@@ -1,0 +1,106 @@
+// Experiment E4 (§2.5, §3.2): the asynchronous kernel's energy payoff.
+//
+// A sensing app samples the temperature once per period. Two kernels:
+//   (a) event-driven (shipped design): the app blocks in yield; the kernel sleeps
+//       the MCU whenever nothing is runnable;
+//   (b) busy-poll baseline: the app spins on yield-no-wait, the CPU never sleeps —
+//       what a naive synchronous main loop does on this hardware.
+//
+// Sweep the sampling period. Expected shape (the paper's energy argument): the
+// async kernel's sleep fraction approaches 100% as the period grows and its energy
+// advantage grows proportionally; the busy-poll baseline burns full power always.
+#include <cstdio>
+#include <string>
+
+#include "board/sim_board.h"
+
+namespace {
+
+const char* kEventDrivenApp = R"(
+_start:
+loop:
+    call temp_read_sync
+    li a0, %PERIOD%
+    call sleep_ticks
+    j loop
+)";
+
+const char* kBusyPollApp = R"(
+_start:
+loop:
+    call temp_read_sync
+    # arm the alarm, then spin on yield-no-wait until the upcall lands: the CPU
+    # never enters a sleep state.
+    li a0, 0
+    li a1, 5
+    li a2, %PERIOD%
+    li a3, 0
+    li a4, 2
+    ecall
+spin:
+    li a0, 0
+    li a4, 0
+    ecall              # yield-no-wait: a0 = 1 iff an upcall ran
+    beqz a0, spin
+    j loop
+)";
+
+struct EnergyResult {
+  double sleep_fraction;
+  double energy;
+  uint64_t samples;
+};
+
+EnergyResult RunKernel(const char* app_template, uint32_t period, uint64_t horizon) {
+  tock::SimBoard board;
+  std::string source = app_template;
+  std::string needle = "%PERIOD%";
+  size_t pos;
+  while ((pos = source.find(needle)) != std::string::npos) {
+    source.replace(pos, needle.size(), std::to_string(period));
+  }
+  // Busy-poll needs an alarm subscription for yield-no-wait delivery.
+  if (source.find("spin:") != std::string::npos) {
+    source.insert(source.find("loop:"),
+                  "    li a0, 0\n    li a1, 0\n    la a2, nopret\n    li a3, 0\n"
+                  "    li a4, 1\n    ecall\n");
+    source += "\nnopret:\n    jr ra\n";
+  }
+  tock::AppSpec app;
+  app.name = "sense";
+  app.source = source;
+  if (board.installer().Install(app) == 0 || board.Boot() != 1) {
+    std::fprintf(stderr, "setup failed: %s\n", board.installer().error().c_str());
+    return {};
+  }
+  board.mcu().ResetEnergyAccounting();
+  board.Run(horizon);
+  return EnergyResult{board.mcu().SleepFraction(), board.mcu().Energy(),
+                      board.kernel().process(0)->upcalls_delivered};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== E4 (Figure, §2.5): duty-cycle energy, async kernel vs busy-poll ====\n\n");
+  std::printf("  %10s | %10s %12s | %10s %12s | %7s\n", "period", "async slp%", "async energy",
+              "poll slp%", "poll energy", "ratio");
+  std::printf("  %10s-+-%10s-%12s-+-%10s-%12s-+-%7s\n", "----------", "----------",
+              "------------", "----------", "------------", "-----");
+
+  const uint32_t kPeriods[] = {1'000, 10'000, 100'000, 1'000'000};
+  for (uint32_t period : kPeriods) {
+    uint64_t horizon = static_cast<uint64_t>(period) * 20 + 1'000'000;
+    EnergyResult async_result = RunKernel(kEventDrivenApp, period, horizon);
+    EnergyResult poll_result = RunKernel(kBusyPollApp, period, horizon);
+    double ratio = async_result.energy > 0 ? poll_result.energy / async_result.energy : 0;
+    std::printf("  %10u | %9.2f%% %12.0f | %9.2f%% %12.0f | %6.1fx\n", period,
+                100.0 * async_result.sleep_fraction, async_result.energy,
+                100.0 * poll_result.sleep_fraction, poll_result.energy, ratio);
+  }
+
+  std::printf("\nshape: the async kernel's sleep residency climbs toward 100%% with the\n"
+              "period and its energy advantage grows with it; the busy-poll kernel\n"
+              "stays near 0%% sleep — the asynchronous-design payoff of §2.5.\n");
+  return 0;
+}

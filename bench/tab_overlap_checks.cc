@@ -1,0 +1,88 @@
+// Experiment E7 (§5.1.1): runtime overlap rejection vs cell-typed acceptance.
+//
+// The paper weighs two fixes for mutably-aliased allow buffers: reject overlaps with
+// a runtime check ("unreasonable runtime overheads for the systems Tock targets"),
+// or weaken the type to interior-mutable cells (chosen). The check's cost grows with
+// the number of live allow slots, because every new allow must be compared against
+// all of them; the cell approach is O(1).
+//
+// Measured in host nanoseconds of kernel-side allow handling (the check is kernel
+// code; the simulated cost model does not price hypothetical designs).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "board/sim_board.h"
+
+namespace {
+
+// Builds an app that first populates `n_slots` disjoint allows across distinct
+// driver/allow numbers, then re-allows one slot `iterations` times (each re-allow
+// paying the overlap scan when enabled).
+std::string AllowChurnApp(int n_slots, int iterations) {
+  std::string source = "_start:\n    mv s0, a0\n";
+  // Populate slots: console(1) allow nums 2..; spread across a few drivers.
+  for (int i = 0; i < n_slots; ++i) {
+    source += "    li a0, 1\n";
+    source += "    li a1, " + std::to_string(10 + i) + "\n";
+    source += "    addi a2, s0, " + std::to_string(256 + 64 * i) + "\n";
+    source += "    li a3, 32\n    li a4, 3\n    ecall\n";
+  }
+  source += "    li s1, " + std::to_string(iterations) + "\nloop:\n";
+  source += "    li a0, 1\n    li a1, 9\n";
+  source += "    addi a2, s0, " + std::to_string(256 + 64 * n_slots) + "\n";
+  source += "    li a3, 32\n    li a4, 3\n    ecall\n";
+  source += "    addi s1, s1, -1\n    bnez s1, loop\n";
+  source += "    li a0, 0\n    li a4, 6\n    ecall\n";
+  return source;
+}
+
+double MeasureHostNsPerAllow(bool overlap_check, int n_slots) {
+  constexpr int kIterations = 2000;
+  tock::BoardConfig config;
+  config.kernel.check_allow_overlap = overlap_check;
+  config.kernel.process_ram_quota = 24 * 1024;
+  tock::SimBoard board(config);
+  tock::AppSpec app;
+  app.name = "churn";
+  app.source = AllowChurnApp(n_slots, kIterations);
+  app.include_runtime = false;
+  app.min_ram = 8192;
+  if (board.installer().Install(app) == 0 || board.Boot() != 1) {
+    std::fprintf(stderr, "setup failed: %s\n", board.installer().error().c_str());
+    return -1;
+  }
+  auto start = std::chrono::steady_clock::now();
+  board.Run(400'000'000);
+  auto end = std::chrono::steady_clock::now();
+  if (board.kernel().process(0)->state != tock::ProcessState::kTerminated) {
+    std::fprintf(stderr, "app did not finish (n_slots=%d)\n", n_slots);
+  }
+  double ns = std::chrono::duration<double, std::nano>(end - start).count();
+  return ns / kIterations;  // host ns per loop iteration (1 allow each)
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== E7 (Table, §5.1.1): overlap runtime check vs cell semantics ====\n");
+  std::printf("(host ns per allow syscall path, including VM execution — the *delta*\n"
+              " and its growth with live slots is the signal)\n\n");
+  std::printf("  live slots | cells (no check) | overlap check | delta\n");
+  std::printf("  -----------+------------------+---------------+-------\n");
+  const int kSlotCounts[] = {1, 2, 4, 8, 12};
+  for (int n : kSlotCounts) {
+    // Warm + measure; take the better of two runs to shed host noise.
+    double cells = MeasureHostNsPerAllow(false, n);
+    cells = std::min(cells, MeasureHostNsPerAllow(false, n));
+    double checked = MeasureHostNsPerAllow(true, n);
+    checked = std::min(checked, MeasureHostNsPerAllow(true, n));
+    std::printf("  %10d | %13.0f ns | %10.0f ns | %+5.0f ns\n", n, cells, checked,
+                checked - cells);
+  }
+  std::printf("\nshape: the cell design's cost is flat in the number of live buffers; the\n"
+              "overlap check adds a per-allow cost that grows with them — the overhead\n"
+              "§5.1.1 deems unreasonable for this class of system.\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Root-of-trust scenario (§3): a 2FA-style token built on the verified-boot path.
+//
+//  * The board boots with the asynchronous, signature-checking process loader; a
+//    tampered app image is rejected, a correctly signed authenticator app runs.
+//  * The authenticator keeps its device secret in read-only flash and allows it to
+//    the kernel's HMAC engine via read-only allow — the §3.3.3 pattern that made
+//    allow-readonly "a must-have for root-of-trust applications".
+//  * The host sends an 8-byte challenge over the UART; the app answers with the
+//    HMAC-SHA256 response, which we verify out-of-band.
+//
+//   $ ./build/examples/root_of_trust
+#include <cstdio>
+#include <cstring>
+
+#include "board/sim_board.h"
+#include "crypto/hmac_sha256.h"
+
+namespace {
+
+// The authenticator: reads an 8-byte challenge from the console, MACs it under the
+// flash-resident secret, and prints the 32-byte response tag in hex.
+const char* kAuthenticatorApp = R"(
+_start:
+    mv s0, a0
+    # --- read the challenge: allow_rw(console, 1, ram+64, 8); command(read 8) ---
+    li a0, 1
+    li a1, 1
+    addi a2, s0, 64
+    li a3, 8
+    li a4, 3
+    ecall
+    li a0, 1
+    li a1, 2
+    li a2, 8
+    li a3, 0
+    li a4, 2
+    ecall
+    li a0, 2
+    li a1, 1
+    li a2, 2
+    li a4, 0
+    ecall                  # wait for read-complete
+    # --- HMAC: key straight from flash via read-only allow (§3.3.3) ---
+    li a0, 0x40003
+    li a1, 0
+    la a2, secret
+    li a3, 32
+    li a4, 4
+    ecall
+    # data = the challenge we just received (read-only allow of our own RAM)
+    li a0, 0x40003
+    li a1, 1
+    addi a2, s0, 64
+    li a3, 8
+    li a4, 4
+    ecall
+    # digest out
+    li a0, 0x40003
+    li a1, 2
+    addi a2, s0, 128
+    li a3, 32
+    li a4, 3
+    ecall
+    # run + wait
+    li a0, 0x40003
+    li a1, 1
+    li a2, 8
+    li a3, 0
+    li a4, 2
+    ecall
+    li a0, 2
+    li a1, 0x40003
+    li a2, 0
+    li a4, 0
+    ecall
+    # --- print the 32-byte tag as 64 hex chars into ram+192 ---
+    li t0, 0               # index
+hexloop:
+    addi t1, s0, 128
+    add t1, t1, t0
+    lbu t2, 0(t1)
+    srli t3, t2, 4
+    call nibble_hi
+    andi t3, t2, 15
+    call nibble_lo
+    addi t0, t0, 1
+    li t1, 32
+    blt t0, t1, hexloop
+    # newline + print
+    li t1, '\n'
+    addi t2, s0, 192
+    li t3, 64
+    add t2, t2, t3
+    sb t1, 0(t2)
+    addi a0, s0, 192
+    li a1, 65
+    call console_print
+    li a0, 0
+    call tock_exit_terminate
+
+# helpers: append hex digit of t3 at ram+192 + 2*t0 (+1 for lo)
+nibble_hi:
+    addi t4, s0, 192
+    slli t5, t0, 1
+    add t4, t4, t5
+    j nibble_emit
+nibble_lo:
+    addi t4, s0, 192
+    slli t5, t0, 1
+    add t4, t4, t5
+    addi t4, t4, 1
+nibble_emit:
+    li t5, 10
+    blt t3, t5, nibble_digit
+    addi t6, t3, 87        # 'a' - 10
+    sb t6, 0(t4)
+    jr ra
+nibble_digit:
+    addi t6, t3, 48
+    sb t6, 0(t4)
+    jr ra
+
+.align 4
+secret:
+    .byte 0xde, 0xad, 0xbe, 0xef, 0x00, 0x11, 0x22, 0x33
+    .byte 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb
+    .byte 0xcc, 0xdd, 0xee, 0xff, 0x01, 0x23, 0x45, 0x67
+    .byte 0x89, 0xab, 0xcd, 0xef, 0xfe, 0xdc, 0xba, 0x98
+)";
+
+}  // namespace
+
+int main() {
+  tock::BoardConfig config;
+  config.kernel.loader = tock::LoaderMode::kAsynchronous;  // verified boot (§3.4)
+  tock::SimBoard board(config);
+
+  tock::AppSpec authenticator;
+  authenticator.name = "authent";
+  authenticator.source = kAuthenticatorApp;
+  authenticator.sign = true;
+
+  tock::AppSpec malware;
+  malware.name = "malware";
+  malware.source = "_start:\nspin:\n    j spin\n";
+  malware.sign = true;
+  malware.corrupt_signature = true;  // supply-chain tamper
+
+  if (board.installer().Install(authenticator) == 0 ||
+      board.installer().Install(malware) == 0) {
+    std::fprintf(stderr, "install failed: %s\n", board.installer().error().c_str());
+    return 1;
+  }
+
+  int loaded = board.Boot();
+  std::printf("verified boot: %d app(s) accepted, %d rejected\n", loaded,
+              board.loader().rejected_count());
+  for (const auto& record : board.loader().records()) {
+    std::printf("  %-8s %s\n", record.name.c_str(),
+                record.created ? "signature OK, running"
+                               : (record.reject_reason ? record.reject_reason : "?"));
+  }
+
+  // Let the authenticator come up and park on the console read.
+  board.Run(1'000'000);
+
+  const uint8_t challenge[8] = {0x31, 0x41, 0x59, 0x26, 0x53, 0x58, 0x97, 0x93};
+  std::printf("\nhost -> token: challenge ");
+  for (uint8_t b : challenge) {
+    std::printf("%02x", b);
+  }
+  std::printf("\n");
+  board.uart_hw().InjectRx(std::string(reinterpret_cast<const char*>(challenge), 8));
+
+  board.Run(50'000'000);
+  std::printf("token -> host: response  %s", board.uart_hw().output().c_str());
+
+  // Out-of-band verification with the same secret.
+  const uint8_t secret[32] = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66,
+                              0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x01, 0x23,
+                              0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0xfe, 0xdc, 0xba, 0x98};
+  auto expected = tock::HmacSha256::Compute(secret, sizeof(secret), challenge,
+                                            sizeof(challenge));
+  char expected_hex[65];
+  for (int i = 0; i < 32; ++i) {
+    std::snprintf(expected_hex + 2 * i, 3, "%02x", expected[i]);
+  }
+  bool ok = board.uart_hw().output().find(expected_hex) != std::string::npos;
+  std::printf("host verification:       %s\n", ok ? "MATCH — token authenticated"
+                                                  : "MISMATCH — authentication failed");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// ERA: 4
+// Compile-time layer-composition checking (§4.1, Figure 3).
+//
+// A hardware SPI controller advertises, in its *type*, which chip-select polarities
+// the silicon can generate (ChipSpi<SpiCsCaps::...>). A device driver states, in its
+// type, which polarity its device requires. Wiring a device to a controller that
+// cannot generate its polarity is a compile error — the exact mechanism the paper
+// describes: "using template constants in Rust types we can express the capabilities
+// of hardware drivers and the requirements of chip-specific drivers".
+//
+// tests/compile_fail/spi_polarity_mismatch.cc verifies the negative case.
+#ifndef TOCK_BOARD_COMPOSITION_H_
+#define TOCK_BOARD_COMPOSITION_H_
+
+#include "chip/chip_spi.h"
+#include "kernel/hil.h"
+#include "util/cells.h"
+
+namespace tock {
+
+// A typed SPI device binding. `Controller` is a ChipSpi instantiation; `RequiredCs`
+// is the SpiCsCaps bit this device's chip-select pin needs.
+template <typename Controller, uint32_t RequiredCs>
+class SpiDeviceBinding {
+  static_assert((Controller::kSupportedPolarities & RequiredCs) != 0,
+                "invalid board composition: this SPI controller cannot generate the "
+                "chip-select polarity the device requires (Fig 3)");
+
+ public:
+  SpiDeviceBinding(Controller* controller, unsigned cs_index)
+      : controller_(controller), cs_index_(cs_index) {}
+
+  // Applies the statically-validated configuration to the hardware. Because the
+  // static_assert already proved compatibility, the runtime path cannot hit the
+  // controller's polarity_config_error.
+  Result<void> Configure() {
+    CsPolarity polarity = RequiredCs == SpiCsCaps::kActiveHigh ? CsPolarity::kActiveHigh
+                                                               : CsPolarity::kActiveLow;
+    Result<void> configured = controller_->ConfigurePolarity(polarity);
+    if (!configured.ok()) {
+      return configured;
+    }
+    controller_->Enable();
+    return controller_->SelectChip(cs_index_);
+  }
+
+  hil::SpiMaster* master() { return controller_; }
+  unsigned cs_index() const { return cs_index_; }
+
+ private:
+  Controller* controller_;
+  unsigned cs_index_;
+};
+
+// Example device-driver types, each encoding its datasheet's CS requirement.
+// (Modelled on common parts: most sensors are active-low; some displays latch on an
+// active-high frame-select.)
+template <typename Controller>
+using ActiveLowSensorBinding = SpiDeviceBinding<Controller, SpiCsCaps::kActiveLow>;
+
+template <typename Controller>
+using ActiveHighDisplayBinding = SpiDeviceBinding<Controller, SpiCsCaps::kActiveHigh>;
+
+}  // namespace tock
+
+#endif  // TOCK_BOARD_COMPOSITION_H_

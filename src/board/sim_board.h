@@ -1,0 +1,213 @@
+// ERA: 2
+// SimBoard: the trusted platform-initialization layer (Fig 2's "core kernel +
+// hardware-specific adaptors" wiring). This is the one place capabilities are
+// minted (§4.4), static buffers are carved out, chips are bound to peripherals, the
+// driver table is populated, and the loader is configured. Everything above (the
+// capsules) receives only the narrow handles constructed here.
+#ifndef TOCK_BOARD_SIM_BOARD_H_
+#define TOCK_BOARD_SIM_BOARD_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "capsule/alarm_driver.h"
+#include "capsule/console.h"
+#include "capsule/crypto_drivers.h"
+#include "capsule/led_button_gpio.h"
+#include "capsule/nonvolatile_storage.h"
+#include "capsule/process_console.h"
+#include "capsule/process_info.h"
+#include "capsule/radio_driver.h"
+#include "capsule/sensors.h"
+#include "capsule/virtual_alarm.h"
+#include "capsule/virtual_uart.h"
+#include "chip/chip_aes.h"
+#include "chip/chip_alarm.h"
+#include "chip/chip_digest.h"
+#include "chip/chip_flash.h"
+#include "chip/chip_gpio.h"
+#include "chip/chip_radio.h"
+#include "chip/chip_rng.h"
+#include "chip/chip_spi.h"
+#include "chip/chip_uart.h"
+#include "chip/kernel_ram.h"
+#include "hw/crypto_accel.h"
+#include "hw/flash_ctrl.h"
+#include "hw/gpio.h"
+#include "hw/mcu.h"
+#include "hw/radio.h"
+#include "hw/rng.h"
+#include "hw/spi.h"
+#include "hw/temp_sensor.h"
+#include "hw/timer.h"
+#include "hw/uart.h"
+#include "kernel/capability.h"
+#include "kernel/kernel.h"
+#include "kernel/process_loader.h"
+#include "libtock/libtock.h"
+
+namespace tock {
+
+struct BoardConfig {
+  KernelConfig kernel;
+  uint32_t rng_seed = 0xC0FFEE;
+  uint16_t radio_addr = 1;
+  RadioMedium* medium = nullptr;  // attach to a shared radio medium (multi-board)
+};
+
+class SimBoard {
+ public:
+  // Apps are flashed into the upper half of flash; the lower half is notionally the
+  // kernel image.
+  static constexpr uint32_t kAppFlashBase = 256 * 1024;
+  static constexpr uint32_t kAppFlashEnd = MemoryMap::kFlashSize;
+
+  // The device key used to sign and verify application images (per-device secret
+  // fused at manufacturing in the real products of §3.4).
+  static const uint8_t kDeviceKey[32];
+
+  // Flash window exposed to userspace through the nonvolatile-storage capsule
+  // (below the app region, above the notional kernel image).
+  static constexpr uint32_t kNvStorageBase = 192 * 1024;
+  static constexpr uint32_t kNvStorageSize = 64 * 1024;
+
+  // LED / button pin assignment on the GPIO bank.
+  static constexpr unsigned kLed0 = 0;
+  static constexpr unsigned kLed1 = 1;
+  static constexpr unsigned kButton0 = 8;
+  static constexpr unsigned kButton1 = 9;
+
+  explicit SimBoard(const BoardConfig& config = BoardConfig{});
+
+  // --- Pre-boot: install app images (the tockloader step). ---
+  AppInstaller& installer() { return installer_; }
+
+  // Runs the configured loader (synchronous pass, or the asynchronous verified
+  // state machine driven to completion). Returns processes created.
+  int Boot();
+
+  // Runs the kernel main loop for `cycles` of simulated time.
+  void Run(uint64_t cycles) { kernel_.MainLoop(mcu_.CyclesNow() + cycles, main_cap_); }
+
+  // --- Introspection for tests, examples, experiments ---
+  Mcu& mcu() { return mcu_; }
+  Kernel& kernel() { return kernel_; }
+  ProcessLoader& loader() { return loader_; }
+  Uart& uart_hw() { return uart_hw_; }
+  Uart& uart1_hw() { return uart1_hw_; }  // the process console's port
+  Gpio& gpio_hw() { return gpio_hw_; }
+  TempSensor& temp_hw() { return temp_hw_; }
+  Radio& radio_hw() { return radio_hw_; }
+  ChipDigest& chip_digest() { return chip_digest_; }
+  VirtualAlarmMux& valarm_mux() { return valarm_mux_; }
+  const MainLoopCapability& main_cap() { return main_cap_; }
+  const ProcessManagementCapability& pm_cap() { return pm_cap_; }
+
+ private:
+  BoardConfig config_;
+
+  // ---- Capability minting (trusted init only, §4.4) ----
+  CapabilityFactory cap_factory_;
+  ProcessManagementCapability pm_cap_ = cap_factory_.MintProcessManagement();
+  MainLoopCapability main_cap_ = cap_factory_.MintMainLoop();
+  MemoryAllocationCapability mem_cap_ = cap_factory_.MintMemoryAllocation();
+  ProcessLoadingCapability load_cap_ = cap_factory_.MintProcessLoading();
+
+  // ---- Hardware ----
+  Mcu mcu_;
+  Uart uart_hw_;
+  Uart uart1_hw_;
+  AlarmTimer alarm_hw_;
+  SysTick systick_;
+  Gpio gpio_hw_;
+  Spi spi_hw_;
+  Rng rng_hw_;
+  AesAccel aes_hw_;
+  ShaAccel sha_hw_;
+  FlashController flash_hw_;
+  Radio radio_hw_;
+  TempSensor temp_hw_;
+
+  // Attaches every peripheral to the bus *before* chips and capsules construct, so
+  // their bring-up MMIO writes land on real devices (member-initialization order is
+  // the board's wiring order).
+  struct BusWiring {
+    BusWiring(SimBoard& board);
+  } bus_wiring_{*this};
+
+  // ---- Kernel ----
+  Kernel kernel_;
+  KernelRamAllocator kram_;
+
+  // ---- Chip drivers (privileged HIL implementations) ----
+  ChipAlarm chip_alarm_;
+  ChipUart chip_uart_;
+  ChipUart chip_uart1_;
+  ChipGpio chip_gpio_;
+  ChipRng chip_rng_;
+  ChipTemp chip_temp_;
+  ChipDigest chip_digest_;
+  ChipAes chip_aes_;
+  ChipSpi<SpiCsCaps::kActiveLow> chip_spi_;
+  ChipRadio chip_radio_;
+  ChipFlash chip_flash_;
+
+  // ---- Virtualizers ----
+  VirtualAlarmMux valarm_mux_;
+  VirtualAlarm alarm_driver_valarm_;
+  VirtualUartMux vuart_mux_;
+  VirtualUartDevice console_vuart_;
+
+  // ---- Static capsule buffers (the board-owned 'static allocations) ----
+  std::array<uint8_t, 128> console_tx_storage_{};
+  std::array<uint8_t, 64> console_rx_storage_{};
+  std::array<uint8_t, 256> hmac_data_storage_{};
+  std::array<uint8_t, 32> hmac_digest_storage_{};
+  std::array<uint8_t, 256> aes_data_storage_{};
+  std::array<uint8_t, 256> radio_tx_storage_{};
+  std::array<uint8_t, 256> radio_rx_storage_{};
+  std::array<uint8_t, 256> nv_storage_buffer_{};
+  std::array<uint8_t, 512> pconsole_tx_storage_{};
+  std::array<uint8_t, 8> pconsole_rx_storage_{};
+
+  // ---- Capsules ----
+  AlarmDriver alarm_driver_;
+  ConsoleDriver console_;
+  LedDriver led_driver_;
+  ButtonDriver button_driver_;
+  GpioDriver gpio_driver_;
+  RngDriver rng_driver_;
+  TempDriver temp_driver_;
+  HmacDriver hmac_driver_;
+  AesDriver aes_driver_;
+  RadioDriver radio_driver_;
+  ProcessInfoDriver process_info_;
+  NonvolatileStorage nv_storage_;
+  ProcessConsole process_console_;
+
+  // ---- Loading ----
+  ProcessLoader loader_;
+  AppInstaller installer_;
+};
+
+// A set of boards stepped in bounded slices against a shared radio medium — the
+// Signpost-style deployment substrate (§2).
+class World {
+ public:
+  RadioMedium& medium() { return medium_; }
+
+  void AddBoard(SimBoard* board) { boards_.push_back(board); }
+
+  // Advances every board to (its own) now + cycles, in slices, so cross-board radio
+  // traffic interleaves deterministically.
+  void Run(uint64_t cycles, uint64_t slice = 20'000);
+
+ private:
+  RadioMedium medium_;
+  std::vector<SimBoard*> boards_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_BOARD_SIM_BOARD_H_

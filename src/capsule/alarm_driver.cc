@@ -1,0 +1,96 @@
+// ERA: 5
+#include "capsule/alarm_driver.h"
+
+namespace tock {
+
+SyscallReturn AlarmDriver::Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                                   uint32_t arg2) {
+  switch (command_num) {
+    case 0:
+      return SyscallReturn::Success();
+    case 1:
+      return SyscallReturn::SuccessU32(kTicksPerSecond);
+    case 2:
+      return SyscallReturn::SuccessU32(valarm_->Now());
+    case 3: {  // stop
+      bool was_armed = false;
+      grant_.Enter(pid, [&](AlarmState& state) {
+        was_armed = state.armed;
+        state.armed = false;
+      });
+      RearmForProcesses();
+      return was_armed ? SyscallReturn::Success()
+                       : SyscallReturn::Failure(ErrorCode::kAlready);
+    }
+    case 4:    // set absolute (reference, dt)
+    case 5: {  // set relative (dt)
+      uint32_t reference = command_num == 4 ? arg1 : valarm_->Now();
+      uint32_t dt = command_num == 4 ? arg2 : arg1;
+      bool ok = false;
+      grant_.Enter(pid, [&](AlarmState& state) {
+        state.armed = true;
+        state.reference = reference;
+        state.dt = dt;
+        ok = true;
+      });
+      if (!ok) {
+        return SyscallReturn::Failure(ErrorCode::kNoMem);
+      }
+      RearmForProcesses();
+      return SyscallReturn::SuccessU32(reference + dt);
+    }
+    default:
+      return SyscallReturn::Failure(ErrorCode::kNoSupport);
+  }
+}
+
+void AlarmDriver::AlarmFired() {
+  uint32_t now = valarm_->Now();
+  // Deliver to every process whose deadline passed, then re-arm for the remainder.
+  for (size_t i = 0; i < Kernel::kMaxProcesses; ++i) {
+    Process* p = kernel_->process(i);
+    if (p == nullptr || !p->id.IsValid() || !p->IsAlive()) {
+      continue;
+    }
+    grant_.Enter(p->id, [&](AlarmState& state) {
+      if (state.armed && hil::Alarm::Expired(now, state.reference, state.dt)) {
+        state.armed = false;
+        kernel_->ScheduleUpcall(p->id, DriverNum::kAlarm, 0, now, state.reference + state.dt,
+                                0);
+      }
+    });
+  }
+  RearmForProcesses();
+}
+
+void AlarmDriver::RearmForProcesses() {
+  uint32_t now = valarm_->Now();
+  bool any = false;
+  uint32_t min_remaining = 0;
+
+  for (size_t i = 0; i < Kernel::kMaxProcesses; ++i) {
+    Process* p = kernel_->process(i);
+    if (p == nullptr || !p->id.IsValid() || !p->IsAlive()) {
+      continue;
+    }
+    grant_.Enter(p->id, [&](AlarmState& state) {
+      if (!state.armed) {
+        return;
+      }
+      uint32_t elapsed = now - state.reference;
+      uint32_t remaining = elapsed >= state.dt ? 0 : state.dt - elapsed;
+      if (!any || remaining < min_remaining) {
+        min_remaining = remaining;
+        any = true;
+      }
+    });
+  }
+
+  if (any) {
+    valarm_->SetAlarm(now, min_remaining);
+  } else if (valarm_->IsArmed()) {
+    valarm_->Disarm();
+  }
+}
+
+}  // namespace tock

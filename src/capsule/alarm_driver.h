@@ -1,0 +1,52 @@
+// ERA: 5
+// Userspace alarm driver (driver 0x0): exposes the virtual alarm stack to processes.
+// Per-process expirations live in a grant (§2.4); one VirtualAlarm serves the whole
+// driver, re-armed to the soonest pending userspace deadline.
+//
+// Commands: 0 exists | 1 ticks-per-second | 2 now | 3 stop |
+//           4 set-absolute(reference, dt) | 5 set-relative(dt)
+// Subscribe 0: fired upcall, args (now, expiration).
+#ifndef TOCK_CAPSULE_ALARM_DRIVER_H_
+#define TOCK_CAPSULE_ALARM_DRIVER_H_
+
+#include "capsule/driver_nums.h"
+#include "capsule/virtual_alarm.h"
+#include "kernel/driver.h"
+#include "kernel/grant.h"
+#include "kernel/kernel.h"
+
+namespace tock {
+
+class AlarmDriver : public SyscallDriver, public hil::AlarmClient {
+ public:
+  static constexpr uint32_t kTicksPerSecond = 16'000'000;  // simulated core clock
+
+  AlarmDriver(Kernel* kernel, VirtualAlarm* valarm, const MemoryAllocationCapability& mem_cap)
+      : kernel_(kernel), valarm_(valarm), grant_(kernel, mem_cap) {
+    valarm_->SetClient(this);
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override;
+
+  // hil::AlarmClient
+  void AlarmFired() override;
+
+ private:
+  struct AlarmState {
+    bool armed = false;
+    uint32_t reference = 0;
+    uint32_t dt = 0;
+  };
+
+  // Re-arms the virtual alarm for the earliest armed process deadline.
+  void RearmForProcesses();
+
+  Kernel* kernel_;
+  VirtualAlarm* valarm_;
+  Grant<AlarmState> grant_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_ALARM_DRIVER_H_

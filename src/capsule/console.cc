@@ -1,0 +1,172 @@
+// ERA: 2
+#include "capsule/console.h"
+
+#include <algorithm>
+
+namespace tock {
+
+SyscallReturn ConsoleDriver::Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                                     uint32_t arg2) {
+  (void)arg2;
+  switch (command_num) {
+    case 0:
+      return SyscallReturn::Success();
+
+    case 1: {  // write `arg1` bytes from read-only allow 1
+      bool already = false;
+      bool entered = false;
+      grant_.Enter(pid, [&](ConsoleState& state) {
+        entered = true;
+        if (state.tx_pending) {
+          already = true;
+          return;
+        }
+        state.tx_pending = true;
+        state.tx_len = arg1;
+      });
+      if (!entered) {
+        return SyscallReturn::Failure(ErrorCode::kNoMem);
+      }
+      if (already) {
+        return SyscallReturn::Failure(ErrorCode::kBusy);
+      }
+      ServiceTxQueue();
+      return SyscallReturn::Success();
+    }
+
+    case 2: {  // read `arg1` bytes into read-write allow 1
+      if (rx_ == nullptr) {
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+      }
+      if (rx_busy_) {
+        return SyscallReturn::Failure(ErrorCode::kBusy);
+      }
+      auto buffer = rx_buffer_.Take();
+      if (!buffer.has_value()) {
+        return SyscallReturn::Failure(ErrorCode::kBusy);
+      }
+      uint32_t len = std::min<uint32_t>(arg1, static_cast<uint32_t>(buffer->Capacity()));
+      if (len == 0) {
+        rx_buffer_.Set(*buffer);
+        return SyscallReturn::Failure(ErrorCode::kSize);
+      }
+      buffer->Reset();
+      buffer->SliceTo(len);
+      hil::BufResult started = rx_->Receive(*buffer);
+      if (started.has_value()) {
+        rx_buffer_.Set(started->buffer);
+        return SyscallReturn::Failure(started->error);
+      }
+      rx_busy_ = true;
+      rx_in_flight_ = pid;
+      grant_.Enter(pid, [&](ConsoleState& state) {
+        state.rx_pending = true;
+        state.rx_len = len;
+      });
+      return SyscallReturn::Success();
+    }
+
+    default:
+      return SyscallReturn::Failure(ErrorCode::kNoSupport);
+  }
+}
+
+void ConsoleDriver::ServiceTxQueue() {
+  if (tx_busy_ || tx_buffer_.IsNone()) {
+    return;
+  }
+  // Round-robin over processes with a pending write. Process order is fair enough
+  // here because each write clears its pending flag on completion.
+  for (size_t i = 0; i < Kernel::kMaxProcesses; ++i) {
+    Process* p = kernel_->process(i);
+    if (p == nullptr || !p->id.IsValid() || !p->IsAlive()) {
+      continue;
+    }
+    ProcessId pid = p->id;
+    bool start = false;
+    uint32_t len = 0;
+    grant_.Enter(pid, [&](ConsoleState& state) {
+      if (state.tx_pending) {
+        start = true;
+        len = state.tx_len;
+      }
+    });
+    if (!start) {
+      continue;
+    }
+
+    auto buffer = tx_buffer_.Take();
+    if (!buffer.has_value()) {
+      return;
+    }
+    buffer->Reset();
+    uint32_t capacity = static_cast<uint32_t>(buffer->Capacity());
+    uint32_t copied = 0;
+    // Closure-scoped access to the process's allowed buffer (§3.3.2): the span
+    // cannot outlive this call, so the console cannot hold process memory.
+    kernel_->WithReadOnlyBuffer(pid, DriverNum::kConsole, 1,
+                                [&](std::span<const uint8_t> app) {
+                                  copied = std::min<uint32_t>(
+                                      {len, capacity, static_cast<uint32_t>(app.size())});
+                                  std::copy_n(app.begin(), copied, buffer->Active().begin());
+                                });
+    if (copied == 0) {
+      // Nothing allowed (or empty): complete immediately with 0 bytes.
+      tx_buffer_.Set(*buffer);
+      grant_.Enter(pid, [&](ConsoleState& state) { state.tx_pending = false; });
+      kernel_->ScheduleUpcall(pid, DriverNum::kConsole, 1, 0, 0, 0);
+      continue;
+    }
+
+    buffer->SliceTo(copied);
+    hil::BufResult started = tx_->Transmit(*buffer);
+    if (started.has_value()) {
+      SubSliceMut returned = started->buffer;
+      returned.Reset();
+      tx_buffer_.Set(returned);
+      return;  // lower layer busy; retry on its completion
+    }
+    tx_busy_ = true;
+    tx_in_flight_ = pid;
+    grant_.Enter(pid, [&](ConsoleState& state) { state.tx_len = copied; });
+    return;
+  }
+}
+
+void ConsoleDriver::TransmitComplete(SubSliceMut buffer, Result<void> result) {
+  buffer.Reset();
+  tx_buffer_.Set(buffer);
+  if (tx_busy_) {
+    tx_busy_ = false;
+    ProcessId pid = tx_in_flight_;
+    uint32_t written = 0;
+    grant_.Enter(pid, [&](ConsoleState& state) {
+      written = state.tx_len;
+      state.tx_pending = false;
+    });
+    kernel_->ScheduleUpcall(pid, DriverNum::kConsole, 1,
+                            result.ok() ? written : 0, 0, 0);
+  }
+  ServiceTxQueue();
+}
+
+void ConsoleDriver::ReceiveComplete(SubSliceMut buffer, uint32_t received,
+                                    Result<void> result) {
+  ProcessId pid = rx_in_flight_;
+  rx_busy_ = false;
+
+  uint32_t delivered = 0;
+  if (result.ok()) {
+    kernel_->WithReadWriteBuffer(pid, DriverNum::kConsole, 1, [&](std::span<uint8_t> app) {
+      delivered = std::min<uint32_t>(received, static_cast<uint32_t>(app.size()));
+      std::copy_n(buffer.Active().begin(), delivered, app.begin());
+    });
+  }
+  buffer.Reset();
+  rx_buffer_.Set(buffer);
+
+  grant_.Enter(pid, [&](ConsoleState& state) { state.rx_pending = false; });
+  kernel_->ScheduleUpcall(pid, DriverNum::kConsole, 2, delivered, 0, 0);
+}
+
+}  // namespace tock

@@ -1,0 +1,79 @@
+// ERA: 2
+// Console capsule (driver 0x1): buffered process printing and line input over a
+// (possibly virtualized) UART. This is the canonical full-path driver: process
+// memory enters the kernel through read-only allows, is staged into a capsule-owned
+// static buffer, flows down the split-phase UART stack, and completion is signalled
+// back with an upcall (§2.5's example sequence).
+//
+// ABI (matching upstream console):
+//   read-only allow 1: bytes to write     subscribe 1: write-complete(len)
+//   read-write allow 1: receive buffer    subscribe 2: read-complete(len)
+//   command 1 (len): start write          command 2 (len): start read
+#ifndef TOCK_CAPSULE_CONSOLE_H_
+#define TOCK_CAPSULE_CONSOLE_H_
+
+#include "capsule/driver_nums.h"
+#include "kernel/driver.h"
+#include "kernel/grant.h"
+#include "kernel/hil.h"
+#include "kernel/kernel.h"
+#include "util/cells.h"
+
+namespace tock {
+
+class ConsoleDriver : public SyscallDriver,
+                      public hil::UartTransmitClient,
+                      public hil::UartReceiveClient {
+ public:
+  // `tx_buffer` is the capsule's static staging buffer, owned by the board and
+  // lent to the console for the life of the system (a 'static buffer in Tock).
+  ConsoleDriver(Kernel* kernel, hil::UartTransmit* tx, hil::UartReceive* rx,
+                SubSliceMut tx_buffer, SubSliceMut rx_buffer,
+                const MemoryAllocationCapability& mem_cap)
+      : kernel_(kernel),
+        tx_(tx),
+        rx_(rx),
+        tx_buffer_(tx_buffer),
+        rx_buffer_(rx_buffer),
+        grant_(kernel, mem_cap) {
+    tx_->SetTransmitClient(this);
+    if (rx_ != nullptr) {
+      rx_->SetReceiveClient(this);
+    }
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override;
+
+  // hil::UartTransmitClient
+  void TransmitComplete(SubSliceMut buffer, Result<void> result) override;
+  // hil::UartReceiveClient
+  void ReceiveComplete(SubSliceMut buffer, uint32_t received, Result<void> result) override;
+
+ private:
+  struct ConsoleState {
+    bool tx_pending = false;
+    uint32_t tx_len = 0;
+    bool rx_pending = false;
+    uint32_t rx_len = 0;
+  };
+
+  // Starts the next pending process write if the staging buffer is free.
+  void ServiceTxQueue();
+
+  Kernel* kernel_;
+  hil::UartTransmit* tx_;
+  hil::UartReceive* rx_;
+  OptionalCell<SubSliceMut> tx_buffer_;
+  OptionalCell<SubSliceMut> rx_buffer_;
+  Grant<ConsoleState> grant_;
+
+  ProcessId tx_in_flight_;      // valid while a write is on the wire
+  bool tx_busy_ = false;
+  ProcessId rx_in_flight_;
+  bool rx_busy_ = false;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_CONSOLE_H_

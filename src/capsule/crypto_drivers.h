@@ -1,0 +1,241 @@
+// ERA: 3
+// Cryptography capsules, the root-of-trust workload of §3.1:
+//   HMAC (driver 0x40003): read-only allow 0 = key (32 B), read-only allow 1 = data,
+//     read-write allow 2 = digest out (32 B), subscribe 0 = done, command 1 = run.
+//   AES-128-CTR (driver 0x40006): read-only allow 0 = key (16 B), read-only allow
+//     1 = IV (16 B), read-write allow 2 = data (in place), subscribe 0 = done,
+//     command 1 (len) = crypt.
+//
+// Keys are typically read-only-allowed straight from flash (§3.3.3) — these drivers
+// only ever read them through closure-scoped spans.
+#ifndef TOCK_CAPSULE_CRYPTO_DRIVERS_H_
+#define TOCK_CAPSULE_CRYPTO_DRIVERS_H_
+
+#include <algorithm>
+#include <array>
+
+#include "capsule/driver_nums.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+#include "kernel/kernel.h"
+#include "util/cells.h"
+
+namespace tock {
+
+class HmacDriver : public SyscallDriver, public hil::DigestClient {
+ public:
+  HmacDriver(Kernel* kernel, hil::DigestEngine* engine, SubSliceMut data_buffer,
+             SubSliceMut digest_buffer)
+      : kernel_(kernel),
+        engine_(engine),
+        data_buffer_(data_buffer),
+        digest_buffer_(digest_buffer) {
+    engine_->SetDigestClient(this);
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override {
+    (void)arg2;
+    switch (command_num) {
+      case 0:
+        return SyscallReturn::Success();
+      case 1: {  // run over arg1 bytes of allowed data
+        if (busy_) {
+          return SyscallReturn::Failure(ErrorCode::kBusy);
+        }
+        // Fetch the key through a closure-scoped span and program the engine.
+        std::array<uint8_t, 32> key{};
+        bool have_key = false;
+        kernel_->WithReadOnlyBuffer(pid, DriverNum::kHmac, 0,
+                                    [&](std::span<const uint8_t> k) {
+                                      if (k.size() == key.size()) {
+                                        std::copy(k.begin(), k.end(), key.begin());
+                                        have_key = true;
+                                      }
+                                    });
+        if (!have_key) {
+          return SyscallReturn::Failure(ErrorCode::kInvalid);
+        }
+        Result<void> keyed = engine_->SetHmacKey(SubSlice(key.data(), key.size()));
+        if (!keyed.ok()) {
+          return SyscallReturn::Failure(keyed.error());
+        }
+
+        auto data = data_buffer_.Take();
+        auto digest = digest_buffer_.Take();
+        if (!data.has_value() || !digest.has_value()) {
+          if (data.has_value()) {
+            data_buffer_.Set(*data);
+          }
+          if (digest.has_value()) {
+            digest_buffer_.Set(*digest);
+          }
+          return SyscallReturn::Failure(ErrorCode::kBusy);
+        }
+        data->Reset();
+        uint32_t copied = 0;
+        kernel_->WithReadOnlyBuffer(pid, DriverNum::kHmac, 1,
+                                    [&](std::span<const uint8_t> app) {
+                                      copied = std::min<uint32_t>(
+                                          {arg1, static_cast<uint32_t>(app.size()),
+                                           static_cast<uint32_t>(data->Capacity())});
+                                      std::copy_n(app.begin(), copied, data->Active().begin());
+                                    });
+        data->SliceTo(copied);
+        SubSliceMut digest_back;
+        hil::BufResult started = engine_->ComputeDigest(*data, *digest, &digest_back);
+        if (started.has_value()) {
+          SubSliceMut returned = started->buffer;
+          returned.Reset();
+          data_buffer_.Set(returned);
+          digest_buffer_.Set(digest_back);
+          return SyscallReturn::Failure(started->error);
+        }
+        busy_ = true;
+        requester_ = pid;
+        return SyscallReturn::Success();
+      }
+      default:
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+    }
+  }
+
+  // hil::DigestClient
+  void DigestDone(SubSliceMut data, SubSliceMut digest, Result<void> result) override {
+    data.Reset();
+    data_buffer_.Set(data);
+    if (busy_) {
+      busy_ = false;
+      uint32_t delivered = 0;
+      if (result.ok()) {
+        kernel_->WithReadWriteBuffer(requester_, DriverNum::kHmac, 2,
+                                     [&](std::span<uint8_t> out) {
+                                       delivered = std::min<uint32_t>(
+                                           static_cast<uint32_t>(out.size()),
+                                           static_cast<uint32_t>(digest.Size()));
+                                       std::copy_n(digest.Active().begin(), delivered,
+                                                   out.begin());
+                                     });
+      }
+      kernel_->ScheduleUpcall(requester_, DriverNum::kHmac, 0,
+                              result.ok() ? delivered : 0, 0, 0);
+    }
+    digest_buffer_.Set(digest);
+  }
+
+ private:
+  Kernel* kernel_;
+  hil::DigestEngine* engine_;
+  OptionalCell<SubSliceMut> data_buffer_;
+  OptionalCell<SubSliceMut> digest_buffer_;
+  bool busy_ = false;
+  ProcessId requester_;
+};
+
+class AesDriver : public SyscallDriver, public hil::AesClient {
+ public:
+  AesDriver(Kernel* kernel, hil::AesEngine* engine, SubSliceMut data_buffer)
+      : kernel_(kernel), engine_(engine), data_buffer_(data_buffer) {
+    engine_->SetAesClient(this);
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override {
+    (void)arg2;
+    switch (command_num) {
+      case 0:
+        return SyscallReturn::Success();
+      case 1: {  // CTR-crypt arg1 bytes of allow 2, in place
+        if (busy_) {
+          return SyscallReturn::Failure(ErrorCode::kBusy);
+        }
+        std::array<uint8_t, 16> key{};
+        std::array<uint8_t, 16> iv{};
+        bool have_key = false;
+        bool have_iv = false;
+        kernel_->WithReadOnlyBuffer(pid, DriverNum::kAes, 0, [&](std::span<const uint8_t> k) {
+          if (k.size() == key.size()) {
+            std::copy(k.begin(), k.end(), key.begin());
+            have_key = true;
+          }
+        });
+        kernel_->WithReadOnlyBuffer(pid, DriverNum::kAes, 1, [&](std::span<const uint8_t> v) {
+          if (v.size() == iv.size()) {
+            std::copy(v.begin(), v.end(), iv.begin());
+            have_iv = true;
+          }
+        });
+        if (!have_key || !have_iv) {
+          return SyscallReturn::Failure(ErrorCode::kInvalid);
+        }
+        if (!engine_->SetKey(SubSlice(key.data(), key.size())).ok() ||
+            !engine_->SetIv(SubSlice(iv.data(), iv.size())).ok()) {
+          return SyscallReturn::Failure(ErrorCode::kBusy);
+        }
+
+        auto data = data_buffer_.Take();
+        if (!data.has_value()) {
+          return SyscallReturn::Failure(ErrorCode::kBusy);
+        }
+        data->Reset();
+        uint32_t copied = 0;
+        kernel_->WithReadWriteBuffer(pid, DriverNum::kAes, 2, [&](std::span<uint8_t> app) {
+          copied = std::min<uint32_t>({arg1, static_cast<uint32_t>(app.size()),
+                                       static_cast<uint32_t>(data->Capacity())});
+          std::copy_n(app.begin(), copied, data->Active().begin());
+        });
+        if (copied == 0) {
+          data_buffer_.Set(*data);
+          return SyscallReturn::Failure(ErrorCode::kInvalid);
+        }
+        data->SliceTo(copied);
+        hil::BufResult started = engine_->Crypt(hil::AesMode::kCtr, *data);
+        if (started.has_value()) {
+          SubSliceMut returned = started->buffer;
+          returned.Reset();
+          data_buffer_.Set(returned);
+          return SyscallReturn::Failure(started->error);
+        }
+        busy_ = true;
+        requester_ = pid;
+        len_ = copied;
+        return SyscallReturn::Success();
+      }
+      default:
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+    }
+  }
+
+  // hil::AesClient
+  void CryptDone(SubSliceMut buffer, Result<void> result) override {
+    if (busy_) {
+      busy_ = false;
+      uint32_t delivered = 0;
+      if (result.ok()) {
+        kernel_->WithReadWriteBuffer(requester_, DriverNum::kAes, 2,
+                                     [&](std::span<uint8_t> app) {
+                                       delivered = std::min<uint32_t>(
+                                           len_, static_cast<uint32_t>(app.size()));
+                                       std::copy_n(buffer.Active().begin(), delivered,
+                                                   app.begin());
+                                     });
+      }
+      kernel_->ScheduleUpcall(requester_, DriverNum::kAes, 0, result.ok() ? delivered : 0, 0,
+                              0);
+    }
+    buffer.Reset();
+    data_buffer_.Set(buffer);
+  }
+
+ private:
+  Kernel* kernel_;
+  hil::AesEngine* engine_;
+  OptionalCell<SubSliceMut> data_buffer_;
+  bool busy_ = false;
+  ProcessId requester_;
+  uint32_t len_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_CRYPTO_DRIVERS_H_

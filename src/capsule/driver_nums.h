@@ -1,0 +1,27 @@
+// ERA: 2
+// System call driver numbers, matching upstream Tock's registry where an equivalent
+// driver exists.
+#ifndef TOCK_CAPSULE_DRIVER_NUMS_H_
+#define TOCK_CAPSULE_DRIVER_NUMS_H_
+
+#include <cstdint>
+
+namespace tock {
+
+struct DriverNum {
+  static constexpr uint32_t kAlarm = 0x0;
+  static constexpr uint32_t kConsole = 0x1;
+  static constexpr uint32_t kLed = 0x2;
+  static constexpr uint32_t kButton = 0x3;
+  static constexpr uint32_t kGpio = 0x4;
+  static constexpr uint32_t kRadio = 0x30001;
+  static constexpr uint32_t kRng = 0x40001;
+  static constexpr uint32_t kHmac = 0x40003;
+  static constexpr uint32_t kAes = 0x40006;
+  static constexpr uint32_t kTemperature = 0x60000;
+  static constexpr uint32_t kProcessInfo = 0xA0001;  // local extension
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_DRIVER_NUMS_H_

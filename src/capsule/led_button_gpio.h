@@ -1,0 +1,176 @@
+// ERA: 1
+// LED (driver 0x2), Button (driver 0x3) and GPIO (driver 0x4) capsules over a GPIO
+// controller HIL. Board init decides which pins are LEDs, buttons, or raw GPIO.
+#ifndef TOCK_CAPSULE_LED_BUTTON_GPIO_H_
+#define TOCK_CAPSULE_LED_BUTTON_GPIO_H_
+
+#include <cstdint>
+
+#include "capsule/driver_nums.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+#include "kernel/kernel.h"
+#include "util/static_vec.h"
+
+namespace tock {
+
+// Commands: 0 = LED count | 1 = on(led) | 2 = off(led) | 3 = toggle(led).
+class LedDriver : public SyscallDriver {
+ public:
+  static constexpr size_t kMaxLeds = 8;
+
+  LedDriver(hil::GpioController* gpio, std::initializer_list<unsigned> pins) : gpio_(gpio) {
+    for (unsigned pin : pins) {
+      pins_.PushBack(pin);
+      gpio_->MakeOutput(pin);
+      gpio_->SetPin(pin, false);
+    }
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override {
+    (void)pid;
+    (void)arg2;
+    if (command_num == 0) {
+      return SyscallReturn::SuccessU32(static_cast<uint32_t>(pins_.Size()));
+    }
+    if (arg1 >= pins_.Size()) {
+      return SyscallReturn::Failure(ErrorCode::kInvalid);
+    }
+    unsigned pin = pins_[arg1];
+    switch (command_num) {
+      case 1:
+        gpio_->SetPin(pin, true);
+        return SyscallReturn::Success();
+      case 2:
+        gpio_->SetPin(pin, false);
+        return SyscallReturn::Success();
+      case 3:
+        gpio_->SetPin(pin, !gpio_->ReadPin(pin));
+        return SyscallReturn::Success();
+      default:
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+    }
+  }
+
+ private:
+  hil::GpioController* gpio_;
+  StaticVec<unsigned, kMaxLeds> pins_;
+};
+
+// Commands: 0 = button count | 1 = enable events(btn) | 2 = disable events(btn) |
+// 3 = read(btn). Subscribe 0: (button index, pressed) on every enabled edge. Events
+// broadcast to all processes; unsubscribed processes drop them (null upcall).
+class ButtonDriver : public SyscallDriver, public hil::GpioInterruptClient {
+ public:
+  static constexpr size_t kMaxButtons = 8;
+
+  ButtonDriver(Kernel* kernel, hil::GpioController* gpio,
+               std::initializer_list<unsigned> pins)
+      : kernel_(kernel), gpio_(gpio) {
+    for (unsigned pin : pins) {
+      pins_.PushBack(pin);
+      gpio_->MakeInput(pin);
+    }
+    gpio_->SetInterruptClient(this);
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override {
+    (void)pid;
+    (void)arg2;
+    if (command_num == 0) {
+      return SyscallReturn::SuccessU32(static_cast<uint32_t>(pins_.Size()));
+    }
+    if (arg1 >= pins_.Size()) {
+      return SyscallReturn::Failure(ErrorCode::kInvalid);
+    }
+    unsigned pin = pins_[arg1];
+    switch (command_num) {
+      case 1:
+        gpio_->EnableInterrupt(pin, hil::GpioEdge::kBoth);
+        return SyscallReturn::Success();
+      case 2:
+        gpio_->DisableInterrupt(pin);
+        return SyscallReturn::Success();
+      case 3:
+        return SyscallReturn::SuccessU32(gpio_->ReadPin(pin) ? 1 : 0);
+      default:
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+    }
+  }
+
+  // hil::GpioInterruptClient
+  void PinInterrupt(unsigned pin, bool level) override {
+    for (size_t i = 0; i < pins_.Size(); ++i) {
+      if (pins_[i] != pin) {
+        continue;
+      }
+      for (size_t s = 0; s < Kernel::kMaxProcesses; ++s) {
+        Process* p = kernel_->process(s);
+        if (p != nullptr && p->id.IsValid() && p->IsAlive()) {
+          kernel_->ScheduleUpcall(p->id, DriverNum::kButton, 0,
+                                  static_cast<uint32_t>(i), level ? 1 : 0, 0);
+        }
+      }
+    }
+  }
+
+ private:
+  Kernel* kernel_;
+  hil::GpioController* gpio_;
+  StaticVec<unsigned, kMaxButtons> pins_;
+};
+
+// Commands: 0 = pin count | 1 = make output(pin) | 2 = set(pin) | 3 = clear(pin) |
+// 4 = toggle(pin) | 5 = make input(pin) | 6 = read(pin).
+class GpioDriver : public SyscallDriver {
+ public:
+  GpioDriver(hil::GpioController* gpio, std::initializer_list<unsigned> pins) : gpio_(gpio) {
+    for (unsigned pin : pins) {
+      pins_.PushBack(pin);
+    }
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override {
+    (void)pid;
+    (void)arg2;
+    if (command_num == 0) {
+      return SyscallReturn::SuccessU32(static_cast<uint32_t>(pins_.Size()));
+    }
+    if (arg1 >= pins_.Size()) {
+      return SyscallReturn::Failure(ErrorCode::kInvalid);
+    }
+    unsigned pin = pins_[arg1];
+    switch (command_num) {
+      case 1:
+        gpio_->MakeOutput(pin);
+        return SyscallReturn::Success();
+      case 2:
+        gpio_->SetPin(pin, true);
+        return SyscallReturn::Success();
+      case 3:
+        gpio_->SetPin(pin, false);
+        return SyscallReturn::Success();
+      case 4:
+        gpio_->SetPin(pin, !gpio_->ReadPin(pin));
+        return SyscallReturn::Success();
+      case 5:
+        gpio_->MakeInput(pin);
+        return SyscallReturn::Success();
+      case 6:
+        return SyscallReturn::SuccessU32(gpio_->ReadPin(pin) ? 1 : 0);
+      default:
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+    }
+  }
+
+ private:
+  hil::GpioController* gpio_;
+  StaticVec<unsigned, 16> pins_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_LED_BUTTON_GPIO_H_

@@ -1,0 +1,165 @@
+// ERA: 5
+// Nonvolatile storage capsule (driver 0x50001, mirroring upstream
+// `nonvolatile_storage_driver`): gives each process access to a byte-addressed
+// window of flash through the split-phase flash HIL. This is the §2.1 motivating
+// stack in miniature — a storage driver above an asynchronous flash controller,
+// connected by circular references and completion callbacks.
+//
+//   read-write allow 0 = read destination | read-only allow 1 = write source
+//   subscribe 0 = read done(len) | subscribe 1 = write done(len)
+//   command 1 (offset, len) = read | command 2 (offset, len) = write |
+//   command 3 = storage size
+//
+// All processes share one region in this implementation (upstream offers both
+// shared and per-app modes); offsets are bounds-checked against it.
+#ifndef TOCK_CAPSULE_NONVOLATILE_STORAGE_H_
+#define TOCK_CAPSULE_NONVOLATILE_STORAGE_H_
+
+#include <algorithm>
+
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+#include "kernel/kernel.h"
+#include "util/cells.h"
+
+namespace tock {
+
+struct NvStorageDriverNum {
+  static constexpr uint32_t kValue = 0x50001;
+};
+
+class NonvolatileStorage : public SyscallDriver, public hil::FlashClient {
+ public:
+  // `region_start`/`region_size`: the flash window userspace may touch. The board
+  // carves this from space the kernel and apps don't use.
+  NonvolatileStorage(Kernel* kernel, hil::FlashStorage* flash, uint32_t region_start,
+                     uint32_t region_size, SubSliceMut buffer)
+      : kernel_(kernel),
+        flash_(flash),
+        region_start_(region_start),
+        region_size_(region_size),
+        buffer_(buffer) {
+    flash_->SetFlashClient(this);
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override {
+    switch (command_num) {
+      case 0:
+        return SyscallReturn::Success();
+      case 3:
+        return SyscallReturn::SuccessU32(region_size_);
+      case 1:  // read(offset, len) into read-write allow 0
+        return StartRead(pid, arg1, arg2);
+      case 2:  // write(offset, len) from read-only allow 1
+        return StartWrite(pid, arg1, arg2);
+      default:
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+    }
+  }
+
+  // hil::FlashClient ------------------------------------------------------------------
+  void WriteComplete(SubSliceMut buffer, Result<void> result) override {
+    buffer.Reset();
+    buffer_.Set(buffer);
+    if (busy_) {
+      busy_ = false;
+      kernel_->ScheduleUpcall(requester_, NvStorageDriverNum::kValue, 1,
+                              result.ok() ? pending_len_ : 0, 0, 0);
+    }
+  }
+
+  void EraseComplete(Result<void> result) override { (void)result; }
+
+ private:
+  bool RangeValid(uint32_t offset, uint32_t len) const {
+    return len > 0 && offset <= region_size_ && len <= region_size_ - offset;
+  }
+
+  SyscallReturn StartRead(ProcessId pid, uint32_t offset, uint32_t len) {
+    if (busy_) {
+      return SyscallReturn::Failure(ErrorCode::kBusy);
+    }
+    if (!RangeValid(offset, len)) {
+      return SyscallReturn::Failure(ErrorCode::kInvalid);
+    }
+    auto buffer = buffer_.Take();
+    if (!buffer.has_value()) {
+      return SyscallReturn::Failure(ErrorCode::kBusy);
+    }
+    buffer->Reset();
+    uint32_t chunk = std::min<uint32_t>(len, static_cast<uint32_t>(buffer->Capacity()));
+    buffer->SliceTo(chunk);
+    // Flash reads are synchronous on this hardware class; copy out and complete via
+    // an upcall so the userspace contract stays uniformly asynchronous (§2.5).
+    Result<void> read = flash_->ReadFlash(region_start_ + offset, *buffer);
+    uint32_t delivered = 0;
+    if (read.ok()) {
+      kernel_->WithReadWriteBuffer(pid, NvStorageDriverNum::kValue, 0,
+                                   [&](std::span<uint8_t> app) {
+                                     delivered = std::min<uint32_t>(
+                                         chunk, static_cast<uint32_t>(app.size()));
+                                     std::copy_n(buffer->Active().begin(), delivered,
+                                                 app.begin());
+                                   });
+    }
+    buffer->Reset();
+    buffer_.Set(*buffer);
+    if (!read.ok()) {
+      return SyscallReturn::Failure(read.error());
+    }
+    kernel_->ScheduleUpcall(pid, NvStorageDriverNum::kValue, 0, delivered, 0, 0);
+    return SyscallReturn::Success();
+  }
+
+  SyscallReturn StartWrite(ProcessId pid, uint32_t offset, uint32_t len) {
+    if (busy_) {
+      return SyscallReturn::Failure(ErrorCode::kBusy);
+    }
+    if (!RangeValid(offset, len)) {
+      return SyscallReturn::Failure(ErrorCode::kInvalid);
+    }
+    auto buffer = buffer_.Take();
+    if (!buffer.has_value()) {
+      return SyscallReturn::Failure(ErrorCode::kBusy);
+    }
+    buffer->Reset();
+    uint32_t copied = 0;
+    kernel_->WithReadOnlyBuffer(pid, NvStorageDriverNum::kValue, 1,
+                                [&](std::span<const uint8_t> app) {
+                                  copied = std::min<uint32_t>(
+                                      {len, static_cast<uint32_t>(app.size()),
+                                       static_cast<uint32_t>(buffer->Capacity())});
+                                  std::copy_n(app.begin(), copied, buffer->Active().begin());
+                                });
+    if (copied == 0) {
+      buffer_.Set(*buffer);
+      return SyscallReturn::Failure(ErrorCode::kInvalid);
+    }
+    buffer->SliceTo(copied);
+    hil::BufResult started = flash_->WriteFlash(region_start_ + offset, *buffer);
+    if (started.has_value()) {
+      SubSliceMut returned = started->buffer;
+      returned.Reset();
+      buffer_.Set(returned);
+      return SyscallReturn::Failure(started->error);
+    }
+    busy_ = true;
+    requester_ = pid;
+    pending_len_ = copied;
+    return SyscallReturn::Success();
+  }
+
+  Kernel* kernel_;
+  hil::FlashStorage* flash_;
+  uint32_t region_start_;
+  uint32_t region_size_;
+  OptionalCell<SubSliceMut> buffer_;
+  bool busy_ = false;
+  ProcessId requester_;
+  uint32_t pending_len_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_NONVOLATILE_STORAGE_H_

@@ -1,0 +1,145 @@
+// ERA: 5
+// Process console (upstream `process_console`): a tiny kernel shell on its own UART
+// for inspecting and managing processes in the field. It is also the showcase for
+// capability-gated management from capsule code (§4.4): `stop`/`start` work only
+// because the board minted this capsule a ProcessManagementCapability.
+//
+// Commands (newline-terminated): help | list | stop <idx> | start <idx>
+#ifndef TOCK_CAPSULE_PROCESS_CONSOLE_H_
+#define TOCK_CAPSULE_PROCESS_CONSOLE_H_
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "kernel/capability.h"
+#include "kernel/hil.h"
+#include "kernel/kernel.h"
+#include "util/cells.h"
+
+namespace tock {
+
+class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitClient {
+ public:
+  ProcessConsole(Kernel* kernel, hil::UartTransmit* tx, hil::UartReceive* rx,
+                 SubSliceMut tx_buffer, SubSliceMut rx_buffer,
+                 ProcessManagementCapability cap)
+      : kernel_(kernel), tx_(tx), rx_(rx), tx_buffer_(tx_buffer), rx_buffer_(rx_buffer),
+        cap_(cap) {
+    tx_->SetTransmitClient(this);
+    rx_->SetReceiveClient(this);
+  }
+
+  // Board init: begins listening (byte at a time, as upstream does).
+  void Start() { ArmReceive(); }
+
+  // hil::UartReceiveClient ---------------------------------------------------------
+  void ReceiveComplete(SubSliceMut buffer, uint32_t received, Result<void> result) override {
+    if (result.ok() && received == 1) {
+      char c = static_cast<char>(buffer[0]);
+      if (c == '\n' || c == '\r') {
+        line_[line_len_] = '\0';
+        ExecuteLine();
+        line_len_ = 0;
+      } else if (line_len_ + 1 < line_.size()) {
+        line_[line_len_++] = c;
+      }
+    }
+    buffer.Reset();
+    rx_buffer_.Set(buffer);
+    ArmReceive();
+  }
+
+  // hil::UartTransmitClient ----------------------------------------------------------
+  void TransmitComplete(SubSliceMut buffer, Result<void> result) override {
+    (void)result;
+    buffer.Reset();
+    tx_buffer_.Set(buffer);
+  }
+
+ private:
+  void ArmReceive() {
+    if (auto buffer = rx_buffer_.Take()) {
+      buffer->Reset();
+      buffer->SliceTo(1);
+      hil::BufResult armed = rx_->Receive(*buffer);
+      if (armed.has_value()) {
+        rx_buffer_.Set(armed->buffer);
+      }
+    }
+  }
+
+  // Formats into the tx buffer and transmits. If a transmit is in flight the output
+  // is dropped (a shell, not a log pipeline — matches upstream's best-effort).
+  void Emit(const char* text) {
+    auto buffer = tx_buffer_.Take();
+    if (!buffer.has_value()) {
+      return;
+    }
+    buffer->Reset();
+    size_t len = std::min(std::strlen(text), buffer->Capacity());
+    std::memcpy(buffer->Active().data(), text, len);
+    buffer->SliceTo(len);
+    hil::BufResult started = tx_->Transmit(*buffer);
+    if (started.has_value()) {
+      SubSliceMut returned = started->buffer;
+      returned.Reset();
+      tx_buffer_.Set(returned);
+    }
+  }
+
+  void ExecuteLine() {
+    char out[512];
+    if (std::strcmp(line_.data(), "help") == 0) {
+      Emit("commands: help list stop <idx> start <idx>\n");
+      return;
+    }
+    if (std::strcmp(line_.data(), "list") == 0) {
+      size_t pos = static_cast<size_t>(
+          std::snprintf(out, sizeof(out), " idx name      state      syscalls\n"));
+      for (size_t i = 0; i < Kernel::kMaxProcesses && pos < sizeof(out) - 64; ++i) {
+        Process* p = kernel_->process(i);
+        if (p == nullptr || !p->id.IsValid()) {
+          continue;
+        }
+        pos += static_cast<size_t>(std::snprintf(
+            out + pos, sizeof(out) - pos, " %3zu %-9s %-10s %llu\n", i, p->name.c_str(),
+            ProcessStateName(p->state), (unsigned long long)p->syscall_count));
+      }
+      Emit(out);
+      return;
+    }
+    if (std::strncmp(line_.data(), "stop ", 5) == 0 ||
+        std::strncmp(line_.data(), "start ", 6) == 0) {
+      bool stop = line_[2] == 'o';  // st[o]p vs st[a]rt
+      int idx = std::atoi(line_.data() + (stop ? 5 : 6));
+      Process* p = kernel_->process(static_cast<size_t>(idx));
+      if (p == nullptr || !p->id.IsValid()) {
+        Emit("no such process\n");
+        return;
+      }
+      Result<void> result = stop ? kernel_->StopProcess(p->id, cap_)
+                                 : kernel_->RestartProcess(p->id, cap_);
+      std::snprintf(out, sizeof(out), "%s %d: %s\n", stop ? "stop" : "start", idx,
+                    result.ok() ? "ok" : ErrorCodeName(result.error()));
+      Emit(out);
+      return;
+    }
+    if (line_len_ > 0) {
+      Emit("unknown command (try 'help')\n");
+    }
+  }
+
+  Kernel* kernel_;
+  hil::UartTransmit* tx_;
+  hil::UartReceive* rx_;
+  OptionalCell<SubSliceMut> tx_buffer_;
+  OptionalCell<SubSliceMut> rx_buffer_;
+  ProcessManagementCapability cap_;
+  std::array<char, 64> line_{};
+  size_t line_len_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_PROCESS_CONSOLE_H_

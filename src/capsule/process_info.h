@@ -1,0 +1,59 @@
+// ERA: 4
+// Process-inspection capsule (driver 0xA0001) and the working demonstration of
+// capability-gated privileged APIs (§4.4, Listing 1): restarting a process is a
+// privileged kernel operation; this capsule can only offer command 4 because the
+// board *chose* to mint and hand it a ProcessManagementCapability. An otherwise
+// identical capsule without the token cannot even compile a call to RestartProcess
+// (tests/compile_fail/).
+//
+// Commands: 0 exists | 1 = live process count | 2 = own slot index |
+//           3 = own restart count | 4 = restart self (privileged).
+#ifndef TOCK_CAPSULE_PROCESS_INFO_H_
+#define TOCK_CAPSULE_PROCESS_INFO_H_
+
+#include "capsule/driver_nums.h"
+#include "kernel/capability.h"
+#include "kernel/driver.h"
+#include "kernel/kernel.h"
+
+namespace tock {
+
+class ProcessInfoDriver : public SyscallDriver {
+ public:
+  ProcessInfoDriver(Kernel* kernel, ProcessManagementCapability cap)
+      : kernel_(kernel), cap_(cap) {}
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override {
+    (void)arg1;
+    (void)arg2;
+    switch (command_num) {
+      case 0:
+        return SyscallReturn::Success();
+      case 1:
+        return SyscallReturn::SuccessU32(static_cast<uint32_t>(kernel_->NumLiveProcesses()));
+      case 2:
+        return SyscallReturn::SuccessU32(pid.index);
+      case 3: {
+        Process* p = kernel_->GetLiveProcess(pid);
+        return p != nullptr ? SyscallReturn::SuccessU32(p->restart_count)
+                            : SyscallReturn::Failure(ErrorCode::kInvalid);
+      }
+      case 4: {
+        // The privileged call: impossible without the minted capability token.
+        Result<void> result = kernel_->RestartProcess(pid, cap_);
+        return result.ok() ? SyscallReturn::Success() : SyscallReturn::Failure(result.error());
+      }
+      default:
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+    }
+  }
+
+ private:
+  Kernel* kernel_;
+  ProcessManagementCapability cap_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_PROCESS_INFO_H_

@@ -1,0 +1,136 @@
+// ERA: 5
+// Packet radio capsule (driver 0x30001) — the Signpost-style networking workload.
+//   read-only allow 0 = tx payload | read-write allow 1 = rx sink
+//   subscribe 0 = tx done(len) | subscribe 1 = packet received(len, src)
+//   command 1 (dst, len) = transmit | command 2 = start listening | command 3 = addr
+#ifndef TOCK_CAPSULE_RADIO_DRIVER_H_
+#define TOCK_CAPSULE_RADIO_DRIVER_H_
+
+#include <algorithm>
+
+#include "capsule/driver_nums.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+#include "kernel/kernel.h"
+#include "util/cells.h"
+
+namespace tock {
+
+class RadioDriver : public SyscallDriver, public hil::RadioClient {
+ public:
+  RadioDriver(Kernel* kernel, hil::PacketRadio* radio, SubSliceMut tx_buffer,
+              SubSliceMut rx_buffer)
+      : kernel_(kernel), radio_(radio), tx_buffer_(tx_buffer), rx_buffer_(rx_buffer) {
+    radio_->SetRadioClient(this);
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override {
+    switch (command_num) {
+      case 0:
+        return SyscallReturn::Success();
+
+      case 1: {  // transmit arg2 bytes of allow 0 to address arg1
+        if (tx_busy_) {
+          return SyscallReturn::Failure(ErrorCode::kBusy);
+        }
+        auto buffer = tx_buffer_.Take();
+        if (!buffer.has_value()) {
+          return SyscallReturn::Failure(ErrorCode::kBusy);
+        }
+        buffer->Reset();
+        uint32_t copied = 0;
+        kernel_->WithReadOnlyBuffer(pid, DriverNum::kRadio, 0,
+                                    [&](std::span<const uint8_t> app) {
+                                      copied = std::min<uint32_t>(
+                                          {arg2, static_cast<uint32_t>(app.size()),
+                                           static_cast<uint32_t>(buffer->Capacity())});
+                                      std::copy_n(app.begin(), copied,
+                                                  buffer->Active().begin());
+                                    });
+        if (copied == 0) {
+          tx_buffer_.Set(*buffer);
+          return SyscallReturn::Failure(ErrorCode::kInvalid);
+        }
+        buffer->SliceTo(copied);
+        hil::BufResult started =
+            radio_->TransmitPacket(static_cast<uint16_t>(arg1), *buffer);
+        if (started.has_value()) {
+          SubSliceMut returned = started->buffer;
+          returned.Reset();
+          tx_buffer_.Set(returned);
+          return SyscallReturn::Failure(started->error);
+        }
+        tx_busy_ = true;
+        tx_requester_ = pid;
+        tx_len_ = copied;
+        return SyscallReturn::Success();
+      }
+
+      case 2: {  // start listening: received packets land in this process's allow 1
+        listener_ = pid;
+        have_listener_ = true;
+        if (auto buffer = rx_buffer_.Take()) {
+          buffer->Reset();
+          hil::BufResult armed = radio_->StartReceive(*buffer);
+          if (armed.has_value()) {
+            rx_buffer_.Set(armed->buffer);  // already armed from a previous call
+          }
+        }
+        return SyscallReturn::Success();
+      }
+
+      case 3:
+        return SyscallReturn::SuccessU32(radio_->LocalAddress());
+
+      default:
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+    }
+  }
+
+  // hil::RadioClient
+  void TransmitDone(SubSliceMut buffer, Result<void> result) override {
+    buffer.Reset();
+    tx_buffer_.Set(buffer);
+    if (tx_busy_) {
+      tx_busy_ = false;
+      kernel_->ScheduleUpcall(tx_requester_, DriverNum::kRadio, 0,
+                              result.ok() ? tx_len_ : 0, 0, 0);
+    }
+  }
+
+  void PacketReceived(SubSliceMut buffer, uint32_t len) override {
+    if (have_listener_) {
+      uint32_t delivered = 0;
+      kernel_->WithReadWriteBuffer(listener_, DriverNum::kRadio, 1,
+                                   [&](std::span<uint8_t> app) {
+                                     delivered = std::min<uint32_t>(
+                                         len, static_cast<uint32_t>(app.size()));
+                                     std::copy_n(buffer.Active().begin(), delivered,
+                                                 app.begin());
+                                   });
+      kernel_->ScheduleUpcall(listener_, DriverNum::kRadio, 1, delivered, 0, 0);
+    }
+    // Re-arm with the same buffer so listening is continuous.
+    buffer.Reset();
+    hil::BufResult armed = radio_->StartReceive(buffer);
+    if (armed.has_value()) {
+      rx_buffer_.Set(armed->buffer);
+    }
+  }
+
+ private:
+  Kernel* kernel_;
+  hil::PacketRadio* radio_;
+  OptionalCell<SubSliceMut> tx_buffer_;
+  OptionalCell<SubSliceMut> rx_buffer_;
+  bool tx_busy_ = false;
+  ProcessId tx_requester_;
+  uint32_t tx_len_ = 0;
+  bool have_listener_ = false;
+  ProcessId listener_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_RADIO_DRIVER_H_

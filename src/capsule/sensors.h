@@ -1,0 +1,136 @@
+// ERA: 5
+// Sensor capsules: RNG (driver 0x40001) and temperature (driver 0x60000).
+#ifndef TOCK_CAPSULE_SENSORS_H_
+#define TOCK_CAPSULE_SENSORS_H_
+
+#include <algorithm>
+
+#include "capsule/driver_nums.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+#include "kernel/kernel.h"
+
+namespace tock {
+
+// RNG: read-write allow 0 = destination | subscribe 0 = done(bytes) |
+// command 1 (n) = fetch n random bytes. One request outstanding at a time.
+class RngDriver : public SyscallDriver, public hil::RngClient {
+ public:
+  RngDriver(Kernel* kernel, hil::RngSource* source) : kernel_(kernel), source_(source) {
+    source_->SetRngClient(this);
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override {
+    (void)arg2;
+    switch (command_num) {
+      case 0:
+        return SyscallReturn::Success();
+      case 1: {
+        if (busy_) {
+          return SyscallReturn::Failure(ErrorCode::kBusy);
+        }
+        Result<void> started = source_->FetchRandom();
+        if (!started.ok()) {
+          return SyscallReturn::Failure(started.error());
+        }
+        busy_ = true;
+        requester_ = pid;
+        requested_ = arg1;
+        filled_ = 0;
+        return SyscallReturn::Success();
+      }
+      default:
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+    }
+  }
+
+  // hil::RngClient: one 32-bit word of entropy per callback.
+  void RandomReady(uint32_t value) override {
+    if (!busy_) {
+      return;
+    }
+    bool done = false;
+    Result<void> access = kernel_->WithReadWriteBuffer(
+        requester_, DriverNum::kRng, 0, [&](std::span<uint8_t> dest) {
+          uint32_t limit = std::min<uint32_t>(requested_, static_cast<uint32_t>(dest.size()));
+          for (unsigned b = 0; b < 4 && filled_ < limit; ++b, ++filled_) {
+            dest[filled_] = static_cast<uint8_t>(value >> (8 * b));
+          }
+          done = filled_ >= limit;
+        });
+    if (!access.ok()) {
+      busy_ = false;  // process died or revoked the buffer; abandon the request
+      return;
+    }
+    if (done) {
+      busy_ = false;
+      kernel_->ScheduleUpcall(requester_, DriverNum::kRng, 0, filled_, 0, 0);
+      return;
+    }
+    if (!source_->FetchRandom().ok()) {
+      busy_ = false;
+      kernel_->ScheduleUpcall(requester_, DriverNum::kRng, 0, filled_, 0, 0);
+    }
+  }
+
+ private:
+  Kernel* kernel_;
+  hil::RngSource* source_;
+  bool busy_ = false;
+  ProcessId requester_;
+  uint32_t requested_ = 0;
+  uint32_t filled_ = 0;
+};
+
+// Temperature: subscribe 0 = ready(centi-celsius as signed) | command 1 = sample.
+class TempDriver : public SyscallDriver, public hil::TemperatureClient {
+ public:
+  TempDriver(Kernel* kernel, hil::TemperatureSensor* sensor)
+      : kernel_(kernel), sensor_(sensor) {
+    sensor_->SetTemperatureClient(this);
+  }
+
+  SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                        uint32_t arg2) override {
+    (void)arg1;
+    (void)arg2;
+    switch (command_num) {
+      case 0:
+        return SyscallReturn::Success();
+      case 1: {
+        if (busy_) {
+          return SyscallReturn::Failure(ErrorCode::kBusy);
+        }
+        Result<void> started = sensor_->SampleTemperature();
+        if (!started.ok()) {
+          return SyscallReturn::Failure(started.error());
+        }
+        busy_ = true;
+        requester_ = pid;
+        return SyscallReturn::Success();
+      }
+      default:
+        return SyscallReturn::Failure(ErrorCode::kNoSupport);
+    }
+  }
+
+  void TemperatureReady(int32_t centi_celsius) override {
+    if (!busy_) {
+      return;
+    }
+    busy_ = false;
+    kernel_->ScheduleUpcall(requester_, DriverNum::kTemperature, 0,
+                            static_cast<uint32_t>(centi_celsius), 0, 0);
+  }
+
+ private:
+  Kernel* kernel_;
+  hil::TemperatureSensor* sensor_;
+  bool busy_ = false;
+  ProcessId requester_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_SENSORS_H_

@@ -1,0 +1,82 @@
+// ERA: 5
+#include "capsule/virtual_alarm.h"
+
+namespace tock {
+
+uint32_t VirtualAlarm::Now() { return mux_->Now(); }
+
+void VirtualAlarm::SetAlarm(uint32_t reference, uint32_t dt) {
+  reference_ = reference;
+  dt_ = dt;
+  armed_ = true;
+  if (!mux_->in_firing_batch_) {
+    mux_->Rearm();
+  }
+  // During a firing batch the mux rearms once, after all callbacks — a client
+  // re-arming from inside AlarmFired must not trigger recursive rearms.
+}
+
+void VirtualAlarm::Disarm() {
+  armed_ = false;
+  if (!mux_->in_firing_batch_) {
+    mux_->Rearm();
+  }
+}
+
+void VirtualAlarmMux::AlarmFired() {
+  uint32_t now = hw_->Now();
+
+  // Phase 1: collect. Mark every expired client and disarm it before running any
+  // callback, so a callback that inspects or re-arms its own (or another) alarm sees
+  // consistent state.
+  for (VirtualAlarm* alarm : clients_) {
+    if (alarm->armed_ && hil::Alarm::Expired(now, alarm->reference_, alarm->dt_)) {
+      alarm->armed_ = false;
+      alarm->expired_pending_ = true;
+    }
+  }
+
+  // Phase 2: fire. Callbacks may call SetAlarm/Disarm freely; rearming is deferred.
+  in_firing_batch_ = true;
+  for (VirtualAlarm* alarm : clients_) {
+    if (alarm->expired_pending_) {
+      alarm->expired_pending_ = false;
+      ++fired_count_;
+      if (alarm->client_ != nullptr) {
+        alarm->client_->AlarmFired();
+      }
+    }
+  }
+  in_firing_batch_ = false;
+
+  // Phase 3: one rearm for whatever is now the earliest deadline.
+  Rearm();
+}
+
+void VirtualAlarmMux::Rearm() {
+  uint32_t now = hw_->Now();
+  bool any = false;
+  uint32_t min_remaining = 0;
+
+  for (VirtualAlarm* alarm : clients_) {
+    if (!alarm->armed_) {
+      continue;
+    }
+    // Wrapping remaining time; an already-expired alarm has remaining 0 and must
+    // fire as soon as the hardware allows.
+    uint32_t elapsed = now - alarm->reference_;
+    uint32_t remaining = elapsed >= alarm->dt_ ? 0 : alarm->dt_ - elapsed;
+    if (!any || remaining < min_remaining) {
+      min_remaining = remaining;
+      any = true;
+    }
+  }
+
+  if (any) {
+    hw_->SetAlarm(now, min_remaining);
+  } else if (hw_->IsArmed()) {
+    hw_->Disarm();
+  }
+}
+
+}  // namespace tock

@@ -1,0 +1,78 @@
+// ERA: 5
+// Timer virtualization (§4.1's virtualizer example; §5.4's "numerous subtle logic
+// bugs" subsystem). One hardware alarm serves any number of VirtualAlarm clients.
+//
+// The hazards the paper alludes to are all here and handled explicitly:
+//   * 32-bit tick wraparound: all comparisons use wrapping (now - reference >= dt);
+//   * alarms that expired while we were busy: fired immediately on rearm;
+//   * reentrancy: a client's AlarmFired may set a new alarm — expired clients are
+//     collected and disarmed *before* any callback runs, and the hardware alarm is
+//     re-armed after the whole batch;
+//   * near-past references: the mux never arms the hardware in the past.
+//
+// tests/virtual_alarm_test.cc fuzzes these invariants (E12).
+#ifndef TOCK_CAPSULE_VIRTUAL_ALARM_H_
+#define TOCK_CAPSULE_VIRTUAL_ALARM_H_
+
+#include "kernel/hil.h"
+#include "util/intrusive_list.h"
+
+namespace tock {
+
+class VirtualAlarmMux;
+
+// A per-client alarm handle. Storage is owned by whoever owns the client (board or
+// capsule), never allocated by the mux — the heapless discipline of §2.4.
+class VirtualAlarm : public hil::Alarm {
+ public:
+  explicit VirtualAlarm(VirtualAlarmMux* mux) : mux_(mux) {}
+
+  uint32_t Now() override;
+  void SetAlarm(uint32_t reference, uint32_t dt) override;
+  uint32_t GetAlarm() override { return reference_ + dt_; }
+  void Disarm() override;
+  bool IsArmed() override { return armed_; }
+  void SetClient(hil::AlarmClient* client) override { client_ = client; }
+
+  ListLink<VirtualAlarm> link;
+
+ private:
+  friend class VirtualAlarmMux;
+
+  VirtualAlarmMux* mux_;
+  hil::AlarmClient* client_ = nullptr;
+  uint32_t reference_ = 0;
+  uint32_t dt_ = 0;
+  bool armed_ = false;
+  bool expired_pending_ = false;  // marked during a firing batch
+};
+
+class VirtualAlarmMux : public hil::AlarmClient {
+ public:
+  explicit VirtualAlarmMux(hil::Alarm* hw) : hw_(hw) { hw_->SetClient(this); }
+
+  // Board init: registers a client handle with the mux.
+  void AddClient(VirtualAlarm* alarm) { clients_.PushHead(alarm); }
+
+  uint32_t Now() { return hw_->Now(); }
+
+  // hil::AlarmClient (from the hardware alarm).
+  void AlarmFired() override;
+
+  // Recomputes and arms the hardware alarm for the earliest pending expiration.
+  void Rearm();
+
+  uint64_t fired_count() const { return fired_count_; }
+
+ private:
+  friend class VirtualAlarm;
+
+  hil::Alarm* hw_;
+  IntrusiveList<VirtualAlarm> clients_;
+  uint64_t fired_count_ = 0;
+  bool in_firing_batch_ = false;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_VIRTUAL_ALARM_H_

@@ -1,0 +1,46 @@
+// ERA: 5
+#include "capsule/virtual_uart.h"
+
+namespace tock {
+
+hil::BufResult VirtualUartDevice::Transmit(SubSliceMut buffer) {
+  if (pending_.IsSome()) {
+    return hil::Refused(ErrorCode::kBusy, buffer);
+  }
+  pending_.Set(buffer);
+  mux_->ServiceQueue();
+  return hil::Started();
+}
+
+void VirtualUartMux::ServiceQueue() {
+  if (in_flight_ != nullptr) {
+    return;  // wire busy; completion will re-enter
+  }
+  for (VirtualUartDevice* device : devices_) {
+    if (device->pending_.IsNone()) {
+      continue;
+    }
+    auto buffer = device->pending_.Take();
+    hil::BufResult started = hw_->Transmit(*buffer);
+    if (started.has_value()) {
+      // Hardware refused (shouldn't happen when we track in_flight_, but a chip
+      // driver may have other internal users). Put the buffer back and stop.
+      device->pending_.Set(started->buffer);
+      return;
+    }
+    in_flight_ = device;
+    return;
+  }
+}
+
+void VirtualUartMux::TransmitComplete(SubSliceMut buffer, Result<void> result) {
+  VirtualUartDevice* device = in_flight_;
+  in_flight_ = nullptr;
+  if (device != nullptr && device->client_ != nullptr) {
+    device->client_->TransmitComplete(buffer, result);
+  }
+  // The completion callback may have queued a fresh transmit on any device.
+  ServiceQueue();
+}
+
+}  // namespace tock

@@ -1,0 +1,57 @@
+// ERA: 5
+// UART transmit virtualization: multiple kernel clients (console, logger capsules)
+// share one hil::UartTransmit. Each client gets a VirtualUartDevice handle; pending
+// transmits queue FIFO in an intrusive list (no allocation), and completions are
+// dispatched back to the owning device.
+#ifndef TOCK_CAPSULE_VIRTUAL_UART_H_
+#define TOCK_CAPSULE_VIRTUAL_UART_H_
+
+#include "kernel/hil.h"
+#include "util/cells.h"
+#include "util/intrusive_list.h"
+
+namespace tock {
+
+class VirtualUartMux;
+
+class VirtualUartDevice : public hil::UartTransmit {
+ public:
+  explicit VirtualUartDevice(VirtualUartMux* mux) : mux_(mux) {}
+
+  // hil::UartTransmit
+  hil::BufResult Transmit(SubSliceMut buffer) override;
+  void SetTransmitClient(hil::UartTransmitClient* client) override { client_ = client; }
+
+  ListLink<VirtualUartDevice> link;
+
+ private:
+  friend class VirtualUartMux;
+
+  VirtualUartMux* mux_;
+  hil::UartTransmitClient* client_ = nullptr;
+  OptionalCell<SubSliceMut> pending_;  // buffer waiting for (or on) the wire
+};
+
+class VirtualUartMux : public hil::UartTransmitClient {
+ public:
+  explicit VirtualUartMux(hil::UartTransmit* hw) : hw_(hw) { hw_->SetTransmitClient(this); }
+
+  void AddDevice(VirtualUartDevice* device) { devices_.PushTail(device); }
+
+  // hil::UartTransmitClient (from hardware)
+  void TransmitComplete(SubSliceMut buffer, Result<void> result) override;
+
+ private:
+  friend class VirtualUartDevice;
+
+  // Starts the next queued transmit if the wire is free.
+  void ServiceQueue();
+
+  hil::UartTransmit* hw_;
+  IntrusiveList<VirtualUartDevice> devices_;
+  VirtualUartDevice* in_flight_ = nullptr;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_VIRTUAL_UART_H_

@@ -1,0 +1,106 @@
+// ERA: 3
+// hil::AesEngine over the AES accelerator (in-place crypt through a kernel-RAM
+// staging window).
+#ifndef TOCK_CHIP_CHIP_AES_H_
+#define TOCK_CHIP_CHIP_AES_H_
+
+#include "chip/kernel_ram.h"
+#include "chip/regio.h"
+#include "hw/crypto_accel.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+#include "util/cells.h"
+
+namespace tock {
+
+class ChipAes : public hil::AesEngine, public InterruptService {
+ public:
+  static constexpr uint32_t kStagingSize = 512;
+
+  ChipAes(Mcu* mcu, uint32_t base, KernelRamAllocator* kram)
+      : regs_(mcu, base), staging_(kram->Allocate(kStagingSize)) {}
+
+  Result<void> SetKey(SubSlice key) override {
+    if (busy_ || key.Size() != 16) {
+      return Result<void>(busy_ ? ErrorCode::kBusy : ErrorCode::kSize);
+    }
+    WriteWords(AesRegs::kKey0, key, 4);
+    return Result<void>::Ok();
+  }
+
+  Result<void> SetIv(SubSlice iv) override {
+    if (busy_ || iv.Size() != 16) {
+      return Result<void>(busy_ ? ErrorCode::kBusy : ErrorCode::kSize);
+    }
+    WriteWords(AesRegs::kCtr0, iv, 4);
+    return Result<void>::Ok();
+  }
+
+  hil::BufResult Crypt(hil::AesMode mode, SubSliceMut buffer) override {
+    if (busy_) {
+      return hil::Refused(ErrorCode::kBusy, buffer);
+    }
+    uint32_t len = static_cast<uint32_t>(buffer.Size());
+    if (len == 0 || len > kStagingSize ||
+        (mode != hil::AesMode::kCtr && len % 16 != 0)) {
+      return hil::Refused(ErrorCode::kSize, buffer);
+    }
+    regs_.mcu()->bus().WriteBlock(staging_, buffer.Active().data(), len);
+    buffer_.Set(buffer);
+    len_ = len;
+    busy_ = true;
+    regs_.Write(AesRegs::kSrc, staging_);
+    regs_.Write(AesRegs::kDst, staging_);
+    regs_.Write(AesRegs::kLen, len);
+    uint32_t mode_bit = mode == hil::AesMode::kCtr ? 1 : 0;
+    uint32_t decrypt_bit = mode == hil::AesMode::kEcbDecrypt ? 1 : 0;
+    regs_.WriteField(AesRegs::kCtrl, AesRegs::Ctrl::kStart.Set() +
+                                         AesRegs::Ctrl::kMode.Val(mode_bit) +
+                                         AesRegs::Ctrl::kDecrypt.Val(decrypt_bit));
+    return hil::Started();
+  }
+
+  void SetAesClient(hil::AesClient* client) override { client_ = client; }
+
+  void HandleInterrupt(unsigned line) override {
+    (void)line;
+    uint32_t status = regs_.Read(AesRegs::kStatus);
+    regs_.Write(AesRegs::kIntClr,
+                (AesRegs::Status::kDone.Set() + AesRegs::Status::kError.Set()).value);
+    if (!busy_ || !AesRegs::Status::kDone.IsSetIn(status)) {
+      return;
+    }
+    busy_ = false;
+    bool ok = !AesRegs::Status::kError.IsSetIn(status);
+    if (auto buffer = buffer_.Take()) {
+      if (ok) {
+        regs_.mcu()->bus().ReadBlock(staging_, buffer->Active().data(), len_);
+      }
+      if (client_ != nullptr) {
+        client_->CryptDone(*buffer, ok ? Result<void>::Ok() : Result<void>(ErrorCode::kFail));
+      }
+    }
+  }
+
+ private:
+  void WriteWords(uint32_t reg_base, SubSlice bytes, unsigned n_words) {
+    for (unsigned i = 0; i < n_words; ++i) {
+      uint32_t word = 0;
+      for (unsigned b = 0; b < 4; ++b) {
+        word |= static_cast<uint32_t>(bytes[4 * i + b]) << (8 * b);
+      }
+      regs_.Write(reg_base + 4 * i, word);
+    }
+  }
+
+  RegIo regs_;
+  uint32_t staging_;
+  hil::AesClient* client_ = nullptr;
+  OptionalCell<SubSliceMut> buffer_;
+  uint32_t len_ = 0;
+  bool busy_ = false;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CHIP_CHIP_AES_H_

@@ -1,0 +1,77 @@
+// ERA: 1
+// hil::Alarm over the AlarmTimer peripheral's MMIO registers — the lowest layer of
+// the timer stack that §5.4 calls out as subtle-bug territory. One hardware compare
+// register serves the whole system; multiplexing happens above, in the
+// VirtualAlarmMux capsule.
+#ifndef TOCK_CHIP_CHIP_ALARM_H_
+#define TOCK_CHIP_CHIP_ALARM_H_
+
+#include "chip/regio.h"
+#include "hw/timer.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+
+namespace tock {
+
+class ChipAlarm : public hil::Alarm, public InterruptService {
+ public:
+  ChipAlarm(Mcu* mcu, uint32_t base) : regs_(mcu, base) {}
+
+  // hil::Alarm
+  uint32_t Now() override { return regs_.Read(AlarmRegs::kNow); }
+
+  void SetAlarm(uint32_t reference, uint32_t dt) override {
+    uint32_t expiration = reference + dt;
+    uint32_t now = Now();
+    // If the window already passed, fire as soon as the hardware can manage rather
+    // than a full 32-bit wrap later — the classic virtualization-layer hazard.
+    if (Expired(now, reference, dt)) {
+      expiration = now + kMinDt;
+    } else if (expiration - now < kMinDt) {
+      expiration = now + kMinDt;
+    }
+    armed_ = true;
+    expiration_ = expiration;
+    regs_.Write(AlarmRegs::kCompare, expiration);
+    regs_.WriteField(AlarmRegs::kCtrl, AlarmRegs::Ctrl::kEnable.Set());
+  }
+
+  uint32_t GetAlarm() override { return expiration_; }
+
+  void Disarm() override {
+    armed_ = false;
+    regs_.Write(AlarmRegs::kCtrl, 0);
+    regs_.Write(AlarmRegs::kIntClr, 1);
+  }
+
+  bool IsArmed() override { return armed_; }
+
+  void SetClient(hil::AlarmClient* client) override { client_ = client; }
+
+  // InterruptService
+  void HandleInterrupt(unsigned line) override {
+    (void)line;
+    regs_.Write(AlarmRegs::kIntClr, 1);
+    regs_.Write(AlarmRegs::kCtrl, 0);
+    armed_ = false;
+    if (client_ != nullptr) {
+      client_->AlarmFired();
+    }
+  }
+
+ private:
+  // Minimum future distance the hardware can reliably match: programming the
+  // compare + control registers costs several bus cycles, so a smaller margin could
+  // see the counter pass the compare value mid-programming — which the hardware
+  // treats as "match a full 32-bit wrap later" (§5.4's classic timer-logic bug).
+  static constexpr uint32_t kMinDt = 16;
+
+  RegIo regs_;
+  hil::AlarmClient* client_ = nullptr;
+  bool armed_ = false;
+  uint32_t expiration_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CHIP_CHIP_ALARM_H_

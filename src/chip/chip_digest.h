@@ -1,0 +1,151 @@
+// ERA: 3
+// hil::DigestEngine over the SHA/HMAC accelerator. In addition to the HIL used by
+// capsules, exposes a privileged flash-direct digest path for the process loader:
+// the accelerator DMAs straight out of flash (real hash engines do), which is what
+// lets the asynchronous loader verify images without buffering them (§3.4).
+#ifndef TOCK_CHIP_CHIP_DIGEST_H_
+#define TOCK_CHIP_CHIP_DIGEST_H_
+
+#include "chip/kernel_ram.h"
+#include "chip/regio.h"
+#include "hw/crypto_accel.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+#include "kernel/phys_digest.h"
+#include "util/cells.h"
+
+namespace tock {
+
+class ChipDigest : public hil::DigestEngine, public PhysDigestEngine, public InterruptService {
+ public:
+  static constexpr uint32_t kStagingSize = 512;
+  static constexpr uint32_t kDigestSize = PhysDigestEngine::kDigestSize;
+
+  ChipDigest(Mcu* mcu, uint32_t base, KernelRamAllocator* kram)
+      : regs_(mcu, base), staging_(kram->Allocate(kStagingSize)) {}
+
+  // hil::DigestEngine ---------------------------------------------------------------
+  hil::BufResult ComputeDigest(SubSliceMut data, SubSliceMut digest,
+                               SubSliceMut* digest_on_failure) override {
+    if (busy_) {
+      *digest_on_failure = digest;
+      return hil::Refused(ErrorCode::kBusy, data);
+    }
+    uint32_t len = static_cast<uint32_t>(data.Size());
+    if (len > kStagingSize || digest.Size() < kDigestSize) {
+      *digest_on_failure = digest;
+      return hil::Refused(ErrorCode::kSize, data);
+    }
+    regs_.mcu()->bus().WriteBlock(staging_, data.Active().data(), len);
+    data_buffer_.Set(data);
+    digest_buffer_.Set(digest);
+    busy_ = true;
+    phys_request_ = false;
+    StartHardware(staging_, len);
+    return hil::Started();
+  }
+
+  Result<void> SetHmacKey(SubSlice key) override {  // overrides both HIL and Phys bases
+    if (busy_) {
+      return Result<void>(ErrorCode::kBusy);
+    }
+    if (key.Size() == 0) {
+      hmac_mode_ = false;
+      return Result<void>::Ok();
+    }
+    if (key.Size() != 32) {
+      return Result<void>(ErrorCode::kSize);
+    }
+    for (unsigned i = 0; i < 8; ++i) {
+      uint32_t word = 0;
+      for (unsigned b = 0; b < 4; ++b) {
+        word |= static_cast<uint32_t>(key[4 * i + b]) << (8 * b);
+      }
+      regs_.Write(ShaRegs::kKey0 + 4 * i, word);
+    }
+    hmac_mode_ = true;
+    return Result<void>::Ok();
+  }
+
+  void SetDigestClient(hil::DigestClient* client) override { client_ = client; }
+
+  // PhysDigestEngine ------------------------------------------------------------------
+  // Digests `len` bytes starting at physical address `addr` (flash or RAM). Result is
+  // delivered to `done` (one outstanding request). Requires that the caller is
+  // trusted kernel code; capsules only ever see the HIL above.
+  Result<void> ComputeDigestPhys(uint32_t addr, uint32_t len, PhysDoneFn done,
+                                 void* context) override {
+    if (busy_) {
+      return Result<void>(ErrorCode::kBusy);
+    }
+    busy_ = true;
+    phys_request_ = true;
+    phys_done_ = done;
+    phys_context_ = context;
+    StartHardware(addr, len);
+    return Result<void>::Ok();
+  }
+
+  // InterruptService ------------------------------------------------------------------
+  void HandleInterrupt(unsigned line) override {
+    (void)line;
+    uint32_t status = regs_.Read(ShaRegs::kStatus);
+    regs_.Write(ShaRegs::kIntClr, (ShaRegs::Status::kDone.Set() + ShaRegs::Status::kError.Set()).value);
+    if (!busy_ || !ShaRegs::Status::kDone.IsSetIn(status)) {
+      return;
+    }
+    busy_ = false;
+    bool ok = !ShaRegs::Status::kError.IsSetIn(status);
+
+    uint8_t digest_bytes[kDigestSize];
+    for (unsigned i = 0; i < 8; ++i) {
+      uint32_t word = regs_.Read(ShaRegs::kDigest0 + 4 * i);
+      for (unsigned b = 0; b < 4; ++b) {
+        digest_bytes[4 * i + b] = static_cast<uint8_t>(word >> (8 * b));
+      }
+    }
+
+    if (phys_request_) {
+      phys_request_ = false;
+      if (phys_done_ != nullptr) {
+        phys_done_(phys_context_, digest_bytes, ok);
+      }
+      return;
+    }
+
+    auto data = data_buffer_.Take();
+    auto digest = digest_buffer_.Take();
+    if (data.has_value() && digest.has_value()) {
+      for (unsigned i = 0; i < kDigestSize; ++i) {
+        (*digest)[i] = digest_bytes[i];
+      }
+      if (client_ != nullptr) {
+        client_->DigestDone(*data, *digest,
+                            ok ? Result<void>::Ok() : Result<void>(ErrorCode::kFail));
+      }
+    }
+  }
+
+ private:
+  void StartHardware(uint32_t addr, uint32_t len) {
+    regs_.Write(ShaRegs::kSrc, addr);
+    regs_.Write(ShaRegs::kLen, len);
+    regs_.WriteField(ShaRegs::kCtrl, ShaRegs::Ctrl::kStart.Set() +
+                                         ShaRegs::Ctrl::kMode.Val(hmac_mode_ ? 1 : 0));
+  }
+
+  RegIo regs_;
+  uint32_t staging_;
+  hil::DigestClient* client_ = nullptr;
+  OptionalCell<SubSliceMut> data_buffer_;
+  OptionalCell<SubSliceMut> digest_buffer_;
+  bool busy_ = false;
+  bool hmac_mode_ = false;
+  bool phys_request_ = false;
+  PhysDoneFn phys_done_ = nullptr;
+  void* phys_context_ = nullptr;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CHIP_CHIP_DIGEST_H_

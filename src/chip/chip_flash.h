@@ -1,0 +1,98 @@
+// ERA: 3
+// hil::FlashStorage over the flash controller peripheral.
+#ifndef TOCK_CHIP_CHIP_FLASH_H_
+#define TOCK_CHIP_CHIP_FLASH_H_
+
+#include "chip/kernel_ram.h"
+#include "chip/regio.h"
+#include "hw/flash_ctrl.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+#include "util/cells.h"
+
+namespace tock {
+
+class ChipFlash : public hil::FlashStorage, public InterruptService {
+ public:
+  static constexpr uint32_t kStagingSize = FlashRegs::kPageSize;
+
+  ChipFlash(Mcu* mcu, uint32_t base, KernelRamAllocator* kram)
+      : regs_(mcu, base), staging_(kram->Allocate(kStagingSize)) {}
+
+  hil::BufResult WriteFlash(uint32_t flash_addr, SubSliceMut buffer) override {
+    if (busy_) {
+      return hil::Refused(ErrorCode::kBusy, buffer);
+    }
+    uint32_t len = static_cast<uint32_t>(buffer.Size());
+    if (len == 0 || len > kStagingSize) {
+      return hil::Refused(ErrorCode::kSize, buffer);
+    }
+    regs_.mcu()->bus().WriteBlock(staging_, buffer.Active().data(), len);
+    write_buffer_.Set(buffer);
+    busy_ = true;
+    erase_pending_ = false;
+    regs_.Write(FlashRegs::kDstAddr, flash_addr);
+    regs_.Write(FlashRegs::kSrcAddr, staging_);
+    regs_.Write(FlashRegs::kLen, len);
+    regs_.WriteField(FlashRegs::kCtrl, FlashRegs::Ctrl::kProgram.Set());
+    return hil::Started();
+  }
+
+  Result<void> ErasePage(uint32_t flash_addr) override {
+    if (busy_) {
+      return Result<void>(ErrorCode::kBusy);
+    }
+    busy_ = true;
+    erase_pending_ = true;
+    regs_.Write(FlashRegs::kDstAddr, flash_addr);
+    regs_.WriteField(FlashRegs::kCtrl, FlashRegs::Ctrl::kErase.Set());
+    return Result<void>::Ok();
+  }
+
+  Result<void> ReadFlash(uint32_t flash_addr, SubSliceMut buffer) override {
+    // Reads are plain (privileged) memory reads on this hardware class.
+    bool ok = regs_.mcu()->bus().ReadBlock(flash_addr, buffer.Active().data(),
+                                           static_cast<uint32_t>(buffer.Size()));
+    return ok ? Result<void>::Ok() : Result<void>(ErrorCode::kInvalid);
+  }
+
+  void SetFlashClient(hil::FlashClient* client) override { client_ = client; }
+
+  void HandleInterrupt(unsigned line) override {
+    (void)line;
+    uint32_t status = regs_.Read(FlashRegs::kStatus);
+    regs_.Write(FlashRegs::kIntClr,
+                (FlashRegs::Status::kDone.Set() + FlashRegs::Status::kError.Set()).value);
+    if (!busy_ || !FlashRegs::Status::kDone.IsSetIn(status)) {
+      return;
+    }
+    busy_ = false;
+    Result<void> result = FlashRegs::Status::kError.IsSetIn(status)
+                              ? Result<void>(ErrorCode::kFail)
+                              : Result<void>::Ok();
+    if (erase_pending_) {
+      erase_pending_ = false;
+      if (client_ != nullptr) {
+        client_->EraseComplete(result);
+      }
+      return;
+    }
+    if (auto buffer = write_buffer_.Take()) {
+      if (client_ != nullptr) {
+        client_->WriteComplete(*buffer, result);
+      }
+    }
+  }
+
+ private:
+  RegIo regs_;
+  uint32_t staging_;
+  hil::FlashClient* client_ = nullptr;
+  OptionalCell<SubSliceMut> write_buffer_;
+  bool busy_ = false;
+  bool erase_pending_ = false;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CHIP_CHIP_FLASH_H_

@@ -1,0 +1,68 @@
+// ERA: 1
+// hil::GpioController over the GPIO bank's MMIO registers.
+#ifndef TOCK_CHIP_CHIP_GPIO_H_
+#define TOCK_CHIP_CHIP_GPIO_H_
+
+#include "chip/regio.h"
+#include "hw/gpio.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+
+namespace tock {
+
+class ChipGpio : public hil::GpioController, public InterruptService {
+ public:
+  ChipGpio(Mcu* mcu, uint32_t base) : regs_(mcu, base) {}
+
+  void MakeOutput(unsigned pin) override {
+    regs_.Write(GpioRegs::kDir, regs_.Read(GpioRegs::kDir) | Bit(pin));
+  }
+  void MakeInput(unsigned pin) override {
+    regs_.Write(GpioRegs::kDir, regs_.Read(GpioRegs::kDir) & ~Bit(pin));
+  }
+  void SetPin(unsigned pin, bool level) override {
+    uint32_t out = regs_.Read(GpioRegs::kOut);
+    regs_.Write(GpioRegs::kOut, level ? (out | Bit(pin)) : (out & ~Bit(pin)));
+  }
+  bool ReadPin(unsigned pin) override { return (regs_.Read(GpioRegs::kIn) & Bit(pin)) != 0; }
+
+  void EnableInterrupt(unsigned pin, hil::GpioEdge edge) override {
+    uint32_t rise = regs_.Read(GpioRegs::kIrqRise);
+    uint32_t fall = regs_.Read(GpioRegs::kIrqFall);
+    bool rising = edge == hil::GpioEdge::kRising || edge == hil::GpioEdge::kBoth;
+    bool falling = edge == hil::GpioEdge::kFalling || edge == hil::GpioEdge::kBoth;
+    regs_.Write(GpioRegs::kIrqRise, rising ? (rise | Bit(pin)) : (rise & ~Bit(pin)));
+    regs_.Write(GpioRegs::kIrqFall, falling ? (fall | Bit(pin)) : (fall & ~Bit(pin)));
+  }
+
+  void DisableInterrupt(unsigned pin) override {
+    regs_.Write(GpioRegs::kIrqRise, regs_.Read(GpioRegs::kIrqRise) & ~Bit(pin));
+    regs_.Write(GpioRegs::kIrqFall, regs_.Read(GpioRegs::kIrqFall) & ~Bit(pin));
+  }
+
+  void SetInterruptClient(hil::GpioInterruptClient* client) override { client_ = client; }
+  unsigned NumPins() override { return Gpio::kNumPins; }
+
+  // InterruptService
+  void HandleInterrupt(unsigned line) override {
+    (void)line;
+    uint32_t pending = regs_.Read(GpioRegs::kIrqStatus);
+    regs_.Write(GpioRegs::kIntClr, pending);
+    uint32_t levels = regs_.Read(GpioRegs::kIn);
+    for (unsigned pin = 0; pin < Gpio::kNumPins; ++pin) {
+      if ((pending & Bit(pin)) != 0 && client_ != nullptr) {
+        client_->PinInterrupt(pin, (levels & Bit(pin)) != 0);
+      }
+    }
+  }
+
+ private:
+  static constexpr uint32_t Bit(unsigned pin) { return 1u << pin; }
+
+  RegIo regs_;
+  hil::GpioInterruptClient* client_ = nullptr;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CHIP_CHIP_GPIO_H_

@@ -1,0 +1,85 @@
+// ERA: 1
+// hil::RngSource and hil::TemperatureSensor chip drivers — the two simplest
+// split-phase peripherals.
+#ifndef TOCK_CHIP_CHIP_RNG_H_
+#define TOCK_CHIP_CHIP_RNG_H_
+
+#include "chip/regio.h"
+#include "hw/rng.h"
+#include "hw/temp_sensor.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+
+namespace tock {
+
+class ChipRng : public hil::RngSource, public InterruptService {
+ public:
+  ChipRng(Mcu* mcu, uint32_t base) : regs_(mcu, base) {}
+
+  Result<void> FetchRandom() override {
+    if (busy_) {
+      return Result<void>(ErrorCode::kBusy);
+    }
+    busy_ = true;
+    regs_.Write(RngRegs::kCtrl, 1);
+    return Result<void>::Ok();
+  }
+
+  void SetRngClient(hil::RngClient* client) override { client_ = client; }
+
+  void HandleInterrupt(unsigned line) override {
+    (void)line;
+    regs_.Write(RngRegs::kIntClr, 1);
+    if (!busy_) {
+      return;
+    }
+    busy_ = false;
+    uint32_t value = regs_.Read(RngRegs::kData);
+    if (client_ != nullptr) {
+      client_->RandomReady(value);
+    }
+  }
+
+ private:
+  RegIo regs_;
+  hil::RngClient* client_ = nullptr;
+  bool busy_ = false;
+};
+
+class ChipTemp : public hil::TemperatureSensor, public InterruptService {
+ public:
+  ChipTemp(Mcu* mcu, uint32_t base) : regs_(mcu, base) {}
+
+  Result<void> SampleTemperature() override {
+    if (busy_) {
+      return Result<void>(ErrorCode::kBusy);
+    }
+    busy_ = true;
+    regs_.Write(TempRegs::kCtrl, 1);
+    return Result<void>::Ok();
+  }
+
+  void SetTemperatureClient(hil::TemperatureClient* client) override { client_ = client; }
+
+  void HandleInterrupt(unsigned line) override {
+    (void)line;
+    regs_.Write(TempRegs::kIntClr, 1);
+    if (!busy_) {
+      return;
+    }
+    busy_ = false;
+    int32_t value = static_cast<int32_t>(regs_.Read(TempRegs::kValue));
+    if (client_ != nullptr) {
+      client_->TemperatureReady(value);
+    }
+  }
+
+ private:
+  RegIo regs_;
+  hil::TemperatureClient* client_ = nullptr;
+  bool busy_ = false;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CHIP_CHIP_RNG_H_

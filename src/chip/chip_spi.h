@@ -1,0 +1,108 @@
+// ERA: 1
+// hil::SpiMaster over an SPI controller, parameterized at compile time on the chip-
+// select polarities the silicon supports (§4.1 / Figure 3).
+//
+// `SupportedPolarityMask` is a non-type template parameter: bit 0 = the controller
+// can generate an active-low CS, bit 1 = active-high. Typed device drivers (e.g.
+// board/composition.h's SpiDevice) static_assert their required polarity against
+// this mask, so an impossible stackup is a *compile error* — the paper's "mismatches
+// are caught at compile time through a type error".
+#ifndef TOCK_CHIP_CHIP_SPI_H_
+#define TOCK_CHIP_CHIP_SPI_H_
+
+#include "chip/kernel_ram.h"
+#include "chip/regio.h"
+#include "hw/spi.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+#include "util/cells.h"
+
+namespace tock {
+
+// Polarity capability bits for the template parameter.
+struct SpiCsCaps {
+  static constexpr uint32_t kActiveLow = 1u << 0;
+  static constexpr uint32_t kActiveHigh = 1u << 1;
+  static constexpr uint32_t kBoth = kActiveLow | kActiveHigh;
+};
+
+template <uint32_t SupportedPolarityMask>
+class ChipSpi : public hil::SpiMaster, public InterruptService {
+ public:
+  static constexpr uint32_t kStagingSize = 256;
+  static constexpr uint32_t kSupportedPolarities = SupportedPolarityMask;
+
+  ChipSpi(Mcu* mcu, uint32_t base, KernelRamAllocator* kram)
+      : regs_(mcu, base), staging_(kram->Allocate(kStagingSize)) {}
+
+  // Applies the given polarity. Statically-validated stacks only call this with a
+  // polarity in SupportedPolarityMask; the runtime check remains as belt-and-braces
+  // for hand-wired (unchecked) configurations, mirroring the bug class Fig 3 removes.
+  Result<void> ConfigurePolarity(CsPolarity polarity) {
+    uint32_t bit = polarity == CsPolarity::kActiveLow ? SpiCsCaps::kActiveLow
+                                                      : SpiCsCaps::kActiveHigh;
+    if ((SupportedPolarityMask & bit) == 0) {
+      return Result<void>(ErrorCode::kNoSupport);
+    }
+    regs_.ModifyField(SpiRegs::kCtrl,
+                      SpiRegs::Ctrl::kCsPolarity.Val(static_cast<uint32_t>(polarity)));
+    return Result<void>::Ok();
+  }
+
+  void Enable() { regs_.ModifyField(SpiRegs::kCtrl, SpiRegs::Ctrl::kEnable.Set()); }
+
+  // hil::SpiMaster --------------------------------------------------------------------
+  hil::BufResult Transfer(SubSliceMut buffer) override {
+    if (buffer_.IsSome()) {
+      return hil::Refused(ErrorCode::kBusy, buffer);
+    }
+    uint32_t len = static_cast<uint32_t>(buffer.Size());
+    if (len == 0 || len > kStagingSize) {
+      return hil::Refused(ErrorCode::kSize, buffer);
+    }
+    regs_.mcu()->bus().WriteBlock(staging_, buffer.Active().data(), len);
+    buffer_.Set(buffer);
+    len_ = len;
+    regs_.Write(SpiRegs::kDmaTxAddr, staging_);
+    regs_.Write(SpiRegs::kDmaRxAddr, staging_);
+    regs_.Write(SpiRegs::kLen, len);
+    return hil::Started();
+  }
+
+  Result<void> SelectChip(unsigned cs_index) override {
+    if (buffer_.IsSome()) {
+      return Result<void>(ErrorCode::kBusy);
+    }
+    regs_.Write(SpiRegs::kCsSelect, cs_index);
+    return Result<void>::Ok();
+  }
+
+  void SetSpiClient(hil::SpiClient* client) override { client_ = client; }
+
+  // InterruptService ---------------------------------------------------------------------
+  void HandleInterrupt(unsigned line) override {
+    (void)line;
+    uint32_t status = regs_.Read(SpiRegs::kStatus);
+    regs_.Write(SpiRegs::kIntClr, SpiRegs::Status::kDone.Set().value);
+    if (!SpiRegs::Status::kDone.IsSetIn(status)) {
+      return;
+    }
+    if (auto buffer = buffer_.Take()) {
+      regs_.mcu()->bus().ReadBlock(staging_, buffer->Active().data(), len_);
+      if (client_ != nullptr) {
+        client_->TransferComplete(*buffer, Result<void>::Ok());
+      }
+    }
+  }
+
+ private:
+  RegIo regs_;
+  uint32_t staging_;
+  hil::SpiClient* client_ = nullptr;
+  OptionalCell<SubSliceMut> buffer_;
+  uint32_t len_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CHIP_CHIP_SPI_H_

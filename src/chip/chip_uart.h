@@ -1,0 +1,109 @@
+// ERA: 1
+// hil::UartTransmit / hil::UartReceive over the UART peripheral. DMA transfers stage
+// through a kernel-RAM window: the buffer contents are copied into simulated RAM,
+// the DMA engine is pointed at the staging region, and the kernel buffer is held in
+// a TakeCell until the completion interrupt returns it (§4.2's ownership-passing
+// discipline).
+#ifndef TOCK_CHIP_CHIP_UART_H_
+#define TOCK_CHIP_CHIP_UART_H_
+
+#include "chip/kernel_ram.h"
+#include "chip/regio.h"
+#include "hw/uart.h"
+#include "kernel/driver.h"
+#include "kernel/hil.h"
+#include "util/cells.h"
+
+namespace tock {
+
+class ChipUart : public hil::UartTransmit, public hil::UartReceive, public InterruptService {
+ public:
+  static constexpr uint32_t kStagingSize = 256;
+
+  ChipUart(Mcu* mcu, uint32_t base, KernelRamAllocator* kram)
+      : regs_(mcu, base),
+        tx_staging_(kram->Allocate(kStagingSize)),
+        rx_staging_(kram->Allocate(kStagingSize)) {}
+
+  // Hardware bring-up. Must run after the peripheral is attached to the bus (board
+  // constructors build chip drivers before bus wiring completes).
+  void Init() {
+    regs_.WriteField(UartRegs::kCtrl,
+                     UartRegs::Ctrl::kTxEnable.Set() + UartRegs::Ctrl::kRxEnable.Set());
+  }
+
+  // hil::UartTransmit
+  hil::BufResult Transmit(SubSliceMut buffer) override {
+    if (tx_buffer_.IsSome()) {
+      return hil::Refused(ErrorCode::kBusy, buffer);
+    }
+    uint32_t len = static_cast<uint32_t>(buffer.Size());
+    if (len == 0 || len > kStagingSize) {
+      return hil::Refused(ErrorCode::kSize, buffer);
+    }
+    // Stage into simulated kernel RAM for the DMA engine.
+    regs_.mcu()->bus().WriteBlock(tx_staging_, buffer.Active().data(), len);
+    tx_buffer_.Set(buffer);
+    regs_.Write(UartRegs::kDmaTxAddr, tx_staging_);
+    regs_.Write(UartRegs::kDmaTxLen, len);
+    return hil::Started();
+  }
+
+  void SetTransmitClient(hil::UartTransmitClient* client) override { tx_client_ = client; }
+
+  // hil::UartReceive
+  hil::BufResult Receive(SubSliceMut buffer) override {
+    if (rx_buffer_.IsSome()) {
+      return hil::Refused(ErrorCode::kBusy, buffer);
+    }
+    uint32_t len = static_cast<uint32_t>(buffer.Size());
+    if (len == 0 || len > kStagingSize) {
+      return hil::Refused(ErrorCode::kSize, buffer);
+    }
+    rx_buffer_.Set(buffer);
+    rx_len_ = len;
+    regs_.Write(UartRegs::kDmaRxAddr, rx_staging_);
+    regs_.Write(UartRegs::kDmaRxLen, len);
+    return hil::Started();
+  }
+
+  void SetReceiveClient(hil::UartReceiveClient* client) override { rx_client_ = client; }
+
+  // InterruptService
+  void HandleInterrupt(unsigned line) override {
+    (void)line;
+    uint32_t status = regs_.Read(UartRegs::kStatus);
+    regs_.Write(UartRegs::kIntClr,
+                (UartRegs::Status::kTxDone.Set() + UartRegs::Status::kRxDone.Set()).value);
+
+    if (UartRegs::Status::kTxDone.IsSetIn(status)) {
+      if (auto buffer = tx_buffer_.Take()) {
+        if (tx_client_ != nullptr) {
+          tx_client_->TransmitComplete(*buffer, Result<void>::Ok());
+        }
+      }
+    }
+    if (UartRegs::Status::kRxDone.IsSetIn(status)) {
+      if (auto buffer = rx_buffer_.Take()) {
+        regs_.mcu()->bus().ReadBlock(rx_staging_, buffer->Active().data(), rx_len_);
+        if (rx_client_ != nullptr) {
+          rx_client_->ReceiveComplete(*buffer, rx_len_, Result<void>::Ok());
+        }
+      }
+    }
+  }
+
+ private:
+  RegIo regs_;
+  uint32_t tx_staging_;
+  uint32_t rx_staging_;
+  hil::UartTransmitClient* tx_client_ = nullptr;
+  hil::UartReceiveClient* rx_client_ = nullptr;
+  OptionalCell<SubSliceMut> tx_buffer_;
+  OptionalCell<SubSliceMut> rx_buffer_;
+  uint32_t rx_len_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CHIP_CHIP_UART_H_

@@ -1,0 +1,37 @@
+// ERA: 1
+// Allocator for the kernel's reserved RAM window (the analog of kernel .bss on real
+// hardware). Chip drivers grab DMA staging regions here at board-init time; after
+// boot the allocator is never consulted again, preserving the kernel's heapless
+// steady state (§2.4).
+#ifndef TOCK_CHIP_KERNEL_RAM_H_
+#define TOCK_CHIP_KERNEL_RAM_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "hw/memory_map.h"
+
+namespace tock {
+
+class KernelRamAllocator {
+ public:
+  KernelRamAllocator(uint32_t base, uint32_t size) : next_(base), end_(base + size) {}
+
+  // Returns the simulated address of a fresh `size`-byte region.
+  uint32_t Allocate(uint32_t size, uint32_t align = 4) {
+    uint32_t addr = (next_ + align - 1) & ~(align - 1);
+    assert(addr + size <= end_ && "kernel RAM reserve exhausted at board init");
+    next_ = addr + size;
+    return addr;
+  }
+
+  uint32_t remaining() const { return end_ - next_; }
+
+ private:
+  uint32_t next_;
+  uint32_t end_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CHIP_KERNEL_RAM_H_

@@ -1,0 +1,63 @@
+// ERA: 1
+// Privileged MMIO access helper for chip drivers. Wraps the bus with the per-access
+// cycle cost, and pairs with the register DSL's Field types so driver code reads as
+// `regs.Read(UartRegs::kStatus, UartRegs::Status::kTxDone)`.
+//
+// TRUSTED-BEGIN(MMIO access): chip drivers are the privileged, hardware-facing layer
+// (the analog of Tock's `chips/` crates, which may use unsafe). Everything above
+// them talks through HIL interfaces only.
+#ifndef TOCK_CHIP_REGIO_H_
+#define TOCK_CHIP_REGIO_H_
+
+#include <cstdint>
+
+#include "hw/costs.h"
+#include "hw/mcu.h"
+#include "util/registers.h"
+
+namespace tock {
+
+class RegIo {
+ public:
+  RegIo(Mcu* mcu, uint32_t base) : mcu_(mcu), base_(base) {}
+
+  uint32_t Read(uint32_t offset) const {
+    mcu_->Tick(CycleCosts::kMmioAccess);
+    auto value = mcu_->bus().Read(base_ + offset, 4, Privilege::kPrivileged);
+    return value.has_value() ? *value : 0;
+  }
+
+  void Write(uint32_t offset, uint32_t value) const {
+    mcu_->Tick(CycleCosts::kMmioAccess);
+    mcu_->bus().Write(base_ + offset, value, 4, Privilege::kPrivileged);
+  }
+
+  uint32_t ReadField(uint32_t offset, const Field<uint32_t>& field) const {
+    return field.ReadFrom(Read(offset));
+  }
+
+  bool IsSet(uint32_t offset, const Field<uint32_t>& field) const {
+    return field.IsSetIn(Read(offset));
+  }
+
+  void WriteField(uint32_t offset, const FieldValue<uint32_t>& fv) const {
+    Write(offset, fv.value);
+  }
+
+  void ModifyField(uint32_t offset, const FieldValue<uint32_t>& fv) const {
+    uint32_t cur = Read(offset);
+    Write(offset, (cur & ~fv.mask) | fv.value);
+  }
+
+  Mcu* mcu() const { return mcu_; }
+  uint32_t base() const { return base_; }
+
+ private:
+  Mcu* mcu_;
+  uint32_t base_;
+};
+// TRUSTED-END
+
+}  // namespace tock
+
+#endif  // TOCK_CHIP_REGIO_H_

@@ -1,0 +1,44 @@
+// ERA: 3
+// Software AES-128 (FIPS 197): ECB block operations plus CTR-mode streaming.
+//
+// The paper's root-of-trust adopters rely on hardware crypto accelerators; our
+// simulated AES peripheral (hw/aes_accel) models the asynchronous interface and
+// latency, and uses this software implementation to produce the actual bytes.
+// Verified against FIPS 197 / NIST SP 800-38A vectors in tests/crypto_test.cc.
+//
+// This is a plain table-based implementation: it is *not* constant-time and is for
+// the simulation only.
+#ifndef TOCK_CRYPTO_AES128_H_
+#define TOCK_CRYPTO_AES128_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tock {
+
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+  static constexpr unsigned kNumRounds = 10;
+
+  // Expands `key` into the round-key schedule.
+  explicit Aes128(const uint8_t key[kKeySize]);
+
+  // Encrypts/decrypts one 16-byte block in place.
+  void EncryptBlock(uint8_t block[kBlockSize]) const;
+  void DecryptBlock(uint8_t block[kBlockSize]) const;
+
+  // CTR mode: XORs `len` bytes of `data` (in place) with the keystream generated
+  // from `counter_block`, incrementing the counter big-endian per block. Encryption
+  // and decryption are the same operation.
+  void CtrCrypt(uint8_t counter_block[kBlockSize], uint8_t* data, size_t len) const;
+
+ private:
+  std::array<uint32_t, 4 * (kNumRounds + 1)> round_keys_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CRYPTO_AES128_H_

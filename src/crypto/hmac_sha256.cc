@@ -1,0 +1,53 @@
+// ERA: 3
+#include "crypto/hmac_sha256.h"
+
+#include <cstring>
+
+namespace tock {
+
+HmacSha256::HmacSha256(const uint8_t* key, size_t key_len) {
+  std::array<uint8_t, Sha256::kBlockSize> block_key{};
+  if (key_len > Sha256::kBlockSize) {
+    auto digest = Sha256::Digest(key, key_len);
+    std::memcpy(block_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block_key.data(), key, key_len);
+  }
+
+  std::array<uint8_t, Sha256::kBlockSize> ipad_key;
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad_key[i] = static_cast<uint8_t>(block_key[i] ^ 0x36);
+    opad_key_[i] = static_cast<uint8_t>(block_key[i] ^ 0x5c);
+  }
+  inner_.Update(ipad_key.data(), ipad_key.size());
+}
+
+void HmacSha256::Update(const uint8_t* data, size_t len) { inner_.Update(data, len); }
+
+void HmacSha256::Finalize(uint8_t tag[kTagSize]) {
+  uint8_t inner_digest[Sha256::kDigestSize];
+  inner_.Finalize(inner_digest);
+  Sha256 outer;
+  outer.Update(opad_key_.data(), opad_key_.size());
+  outer.Update(inner_digest, sizeof(inner_digest));
+  outer.Finalize(tag);
+}
+
+std::array<uint8_t, HmacSha256::kTagSize> HmacSha256::Compute(const uint8_t* key, size_t key_len,
+                                                              const uint8_t* data, size_t len) {
+  HmacSha256 mac(key, key_len);
+  mac.Update(data, len);
+  std::array<uint8_t, kTagSize> tag;
+  mac.Finalize(tag.data());
+  return tag;
+}
+
+bool HmacSha256::VerifyTag(const uint8_t* expected, const uint8_t* actual, size_t len) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < len; ++i) {
+    diff |= static_cast<uint8_t>(expected[i] ^ actual[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace tock

@@ -1,0 +1,43 @@
+// ERA: 3
+// HMAC-SHA256 (RFC 2104). Stands in for the signature scheme on process binaries
+// (§3.4): the paper's root-of-trust products verify asymmetric signatures; we use a
+// device-key MAC, which exercises the identical loader state machine (fetch header ->
+// hash image -> verify tag -> mark runnable) with a dependency tree we fully own.
+// Verified against RFC 4231 vectors in tests/crypto_test.cc.
+#ifndef TOCK_CRYPTO_HMAC_SHA256_H_
+#define TOCK_CRYPTO_HMAC_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/sha256.h"
+
+namespace tock {
+
+class HmacSha256 {
+ public:
+  static constexpr size_t kTagSize = Sha256::kDigestSize;
+
+  // Initializes with an arbitrary-length key (hashed first when longer than the
+  // block size, per RFC 2104).
+  HmacSha256(const uint8_t* key, size_t key_len);
+
+  void Update(const uint8_t* data, size_t len);
+  void Finalize(uint8_t tag[kTagSize]);
+
+  // One-shot convenience.
+  static std::array<uint8_t, kTagSize> Compute(const uint8_t* key, size_t key_len,
+                                               const uint8_t* data, size_t len);
+
+  // Constant-time tag comparison.
+  static bool VerifyTag(const uint8_t* expected, const uint8_t* actual, size_t len);
+
+ private:
+  std::array<uint8_t, Sha256::kBlockSize> opad_key_;
+  Sha256 inner_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CRYPTO_HMAC_SHA256_H_

@@ -1,0 +1,44 @@
+// ERA: 3
+// SHA-256 (FIPS 180-4), streaming interface. Used by the simulated SHA accelerator
+// and the process loader's integrity checks (§3.4). Verified against NIST vectors in
+// tests/crypto_test.cc.
+#ifndef TOCK_CRYPTO_SHA256_H_
+#define TOCK_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tock {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  // Resets to the initial state so the object can be reused.
+  void Reset();
+
+  // Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+
+  // Finalizes and writes the 32-byte digest. The object must be Reset() before reuse.
+  void Finalize(uint8_t digest[kDigestSize]);
+
+  // One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Digest(const uint8_t* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, kBlockSize> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CRYPTO_SHA256_H_

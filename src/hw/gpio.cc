@@ -1,0 +1,74 @@
+// ERA: 1
+#include "hw/gpio.h"
+
+namespace tock {
+
+uint32_t Gpio::MmioRead(uint32_t offset) {
+  switch (offset) {
+    case GpioRegs::kDir:
+      return dir_.Get();
+    case GpioRegs::kOut:
+      return out_.Get();
+    case GpioRegs::kIn:
+      // Reading the input register on a driven pin reflects the driven level, as on
+      // real GPIO blocks (the input buffer samples the pad).
+      return (in_.Get() & ~dir_.Get()) | (out_.Get() & dir_.Get());
+    case GpioRegs::kIrqRise:
+      return irq_rise_.Get();
+    case GpioRegs::kIrqFall:
+      return irq_fall_.Get();
+    case GpioRegs::kIrqStatus:
+      return irq_status_.Get();
+    default:
+      return 0;
+  }
+}
+
+void Gpio::MmioWrite(uint32_t offset, uint32_t value) {
+  switch (offset) {
+    case GpioRegs::kDir:
+      dir_.Set(value);
+      return;
+    case GpioRegs::kOut: {
+      uint32_t changed = (out_.Get() ^ value) & dir_.Get();
+      for (unsigned pin = 0; pin < kNumPins; ++pin) {
+        if ((changed >> pin) & 1) {
+          ++toggles_[pin];
+        }
+      }
+      out_.Set(value);
+      return;
+    }
+    case GpioRegs::kIrqRise:
+      irq_rise_.Set(value);
+      return;
+    case GpioRegs::kIrqFall:
+      irq_fall_.Set(value);
+      return;
+    case GpioRegs::kIntClr:
+      irq_status_.HwModify(FieldValue<uint32_t>{value, 0});
+      return;
+    default:
+      return;
+  }
+}
+
+void Gpio::SetInput(unsigned pin, bool level) {
+  if (pin >= kNumPins) {
+    return;
+  }
+  uint32_t mask = 1u << pin;
+  bool old_level = (in_.Get() & mask) != 0;
+  if (old_level == level) {
+    return;
+  }
+  in_.HwSet(level ? (in_.Get() | mask) : (in_.Get() & ~mask));
+  bool rising = level && !old_level;
+  uint32_t enabled = rising ? irq_rise_.Get() : irq_fall_.Get();
+  if (enabled & mask) {
+    irq_status_.HwSet(irq_status_.Get() | mask);
+    irq_.Raise();
+  }
+}
+
+}  // namespace tock

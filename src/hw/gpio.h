@@ -1,0 +1,59 @@
+// ERA: 1
+// 16-pin GPIO bank with edge interrupts. LEDs are output pins (host-observable);
+// buttons are input pins (host-drivable).
+#ifndef TOCK_HW_GPIO_H_
+#define TOCK_HW_GPIO_H_
+
+#include <cstdint>
+
+#include "hw/interrupt.h"
+#include "hw/memory_bus.h"
+#include "util/registers.h"
+
+namespace tock {
+
+struct GpioRegs {
+  static constexpr uint32_t kDir = 0x00;        // 1 = output
+  static constexpr uint32_t kOut = 0x04;        // output levels
+  static constexpr uint32_t kIn = 0x08;         // RO: input levels
+  static constexpr uint32_t kIrqRise = 0x0C;    // per-pin rising-edge IRQ enable
+  static constexpr uint32_t kIrqFall = 0x10;    // per-pin falling-edge IRQ enable
+  static constexpr uint32_t kIrqStatus = 0x14;  // RO: per-pin pending
+  static constexpr uint32_t kIntClr = 0x18;     // W1C
+};
+
+class Gpio : public MmioDevice {
+ public:
+  static constexpr unsigned kNumPins = 16;
+
+  explicit Gpio(InterruptLine irq) : irq_(irq) {}
+
+  uint32_t MmioRead(uint32_t offset) override;
+  void MmioWrite(uint32_t offset, uint32_t value) override;
+
+  // --- Host-side API ---
+
+  // Drives an input pin (e.g. a button press); raises the bank interrupt on an
+  // enabled edge.
+  void SetInput(unsigned pin, bool level);
+
+  // Observes an output pin (e.g. an LED).
+  bool GetOutput(unsigned pin) const { return (out_.Get() >> pin) & 1; }
+
+  // Number of level changes seen on an output pin (blink counting in tests).
+  uint64_t output_toggles(unsigned pin) const { return toggles_[pin]; }
+
+ private:
+  InterruptLine irq_;
+  ReadWriteReg<uint32_t> dir_;
+  ReadWriteReg<uint32_t> out_;
+  ReadOnlyReg<uint32_t> in_;
+  ReadWriteReg<uint32_t> irq_rise_;
+  ReadWriteReg<uint32_t> irq_fall_;
+  ReadOnlyReg<uint32_t> irq_status_;
+  uint64_t toggles_[kNumPins] = {};
+};
+
+}  // namespace tock
+
+#endif  // TOCK_HW_GPIO_H_

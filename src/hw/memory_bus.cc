@@ -1,0 +1,128 @@
+// ERA: 1
+#include "hw/memory_bus.h"
+
+#include <cstring>
+
+namespace tock {
+
+void MemoryBus::AttachDevice(MemoryMap::Slot slot, MmioDevice* device) {
+  devices_[slot] = device;
+}
+
+MmioDevice* MemoryBus::DeviceAt(uint32_t addr, uint32_t* offset_out) {
+  if (addr < MemoryMap::kMmioBase) {
+    return nullptr;
+  }
+  uint32_t slot = (addr - MemoryMap::kMmioBase) / MemoryMap::kMmioStride;
+  if (slot >= MemoryMap::kNumSlots) {
+    return nullptr;
+  }
+  *offset_out = (addr - MemoryMap::kMmioBase) % MemoryMap::kMmioStride;
+  return devices_[slot];
+}
+
+std::optional<uint32_t> MemoryBus::Read(uint32_t addr, unsigned size, Privilege priv) {
+  if (priv == Privilege::kUnprivileged &&
+      !mpu_->CheckAccess(addr, size, AccessType::kRead)) {
+    Fault(BusFaultKind::kMpuViolation, addr, AccessType::kRead);
+    return std::nullopt;
+  }
+  if (InRam(addr, size)) {
+    uint32_t value = 0;
+    std::memcpy(&value, &ram_[addr - MemoryMap::kRamBase], size);
+    return value;
+  }
+  if (InFlash(addr, size)) {
+    uint32_t value = 0;
+    std::memcpy(&value, &flash_[addr - MemoryMap::kFlashBase], size);
+    return value;
+  }
+  uint32_t offset = 0;
+  if (MmioDevice* dev = DeviceAt(addr, &offset)) {
+    if (size != 4 || (addr & 3) != 0) {
+      Fault(BusFaultKind::kUnalignedMmio, addr, AccessType::kRead);
+      return std::nullopt;
+    }
+    ++mmio_accesses_;
+    return dev->MmioRead(offset);
+  }
+  Fault(BusFaultKind::kUnmapped, addr, AccessType::kRead);
+  return std::nullopt;
+}
+
+bool MemoryBus::Write(uint32_t addr, uint32_t value, unsigned size, Privilege priv) {
+  if (priv == Privilege::kUnprivileged &&
+      !mpu_->CheckAccess(addr, size, AccessType::kWrite)) {
+    return Fault(BusFaultKind::kMpuViolation, addr, AccessType::kWrite);
+  }
+  if (InRam(addr, size)) {
+    std::memcpy(&ram_[addr - MemoryMap::kRamBase], &value, size);
+    return true;
+  }
+  if (InFlash(addr, size)) {
+    // Flash is not writable over the bus: stores must go through the flash
+    // controller peripheral. Real MCUs ignore or fault such stores; we fault so the
+    // kernel's read-only-allow guarantees (§3.3.3) are testable.
+    return Fault(BusFaultKind::kFlashWrite, addr, AccessType::kWrite);
+  }
+  uint32_t offset = 0;
+  if (MmioDevice* dev = DeviceAt(addr, &offset)) {
+    if (size != 4 || (addr & 3) != 0) {
+      return Fault(BusFaultKind::kUnalignedMmio, addr, AccessType::kWrite);
+    }
+    ++mmio_accesses_;
+    dev->MmioWrite(offset, value);
+    return true;
+  }
+  return Fault(BusFaultKind::kUnmapped, addr, AccessType::kWrite);
+}
+
+std::optional<uint32_t> MemoryBus::Fetch(uint32_t addr, Privilege priv) {
+  if (priv == Privilege::kUnprivileged &&
+      !mpu_->CheckAccess(addr, 4, AccessType::kExecute)) {
+    Fault(BusFaultKind::kMpuViolation, addr, AccessType::kExecute);
+    return std::nullopt;
+  }
+  if (InRam(addr, 4)) {
+    uint32_t value = 0;
+    std::memcpy(&value, &ram_[addr - MemoryMap::kRamBase], 4);
+    return value;
+  }
+  if (InFlash(addr, 4)) {
+    uint32_t value = 0;
+    std::memcpy(&value, &flash_[addr - MemoryMap::kFlashBase], 4);
+    return value;
+  }
+  Fault(BusFaultKind::kUnmapped, addr, AccessType::kExecute);
+  return std::nullopt;
+}
+
+bool MemoryBus::ReadBlock(uint32_t addr, uint8_t* out, uint32_t len) {
+  if (InRam(addr, len)) {
+    std::memcpy(out, &ram_[addr - MemoryMap::kRamBase], len);
+    return true;
+  }
+  if (InFlash(addr, len)) {
+    std::memcpy(out, &flash_[addr - MemoryMap::kFlashBase], len);
+    return true;
+  }
+  return false;
+}
+
+bool MemoryBus::WriteBlock(uint32_t addr, const uint8_t* data, uint32_t len) {
+  if (InRam(addr, len)) {
+    std::memcpy(&ram_[addr - MemoryMap::kRamBase], data, len);
+    return true;
+  }
+  return false;
+}
+
+bool MemoryBus::ProgramFlash(uint32_t addr, const uint8_t* data, uint32_t len) {
+  if (!InFlash(addr, len)) {
+    return false;
+  }
+  std::memcpy(&flash_[addr - MemoryMap::kFlashBase], data, len);
+  return true;
+}
+
+}  // namespace tock

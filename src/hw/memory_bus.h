@@ -1,0 +1,114 @@
+// ERA: 1
+// The MCU's memory bus: routes loads and stores to flash, RAM, or MMIO peripherals,
+// and enforces the MPU on unprivileged accesses. Every memory access made by the
+// simulated userspace VM flows through CheckedRead/CheckedWrite, which is what makes
+// process isolation (§2.3) *actually enforced* in this reproduction rather than
+// assumed.
+#ifndef TOCK_HW_MEMORY_BUS_H_
+#define TOCK_HW_MEMORY_BUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/memory_map.h"
+#include "hw/mpu.h"
+
+namespace tock {
+
+// A peripheral's register-bank interface. Offsets are byte offsets from the
+// peripheral's base; accesses are whole 32-bit words (the simulated peripherals, like
+// most real ones, only decode word accesses).
+class MmioDevice {
+ public:
+  virtual ~MmioDevice() = default;
+  virtual uint32_t MmioRead(uint32_t offset) = 0;
+  virtual void MmioWrite(uint32_t offset, uint32_t value) = 0;
+};
+
+enum class Privilege { kPrivileged, kUnprivileged };
+
+enum class BusFaultKind {
+  kNone,
+  kUnmapped,       // no memory or device at this address
+  kMpuViolation,   // unprivileged access denied by the MPU
+  kFlashWrite,     // direct store to flash (must go through the flash controller)
+  kUnalignedMmio,  // MMIO access not word-sized/word-aligned
+};
+
+struct BusFault {
+  BusFaultKind kind = BusFaultKind::kNone;
+  uint32_t addr = 0;
+  AccessType access = AccessType::kRead;
+};
+
+class MemoryBus {
+ public:
+  explicit MemoryBus(Mpu* mpu)
+      : mpu_(mpu), flash_(MemoryMap::kFlashSize, 0xFF), ram_(MemoryMap::kRamSize, 0) {}
+
+  // Registers `device` at the given peripheral slot.
+  void AttachDevice(MemoryMap::Slot slot, MmioDevice* device);
+
+  // Load of `size` (1, 2 or 4) bytes, little-endian. Unprivileged accesses are
+  // checked against the MPU; nullopt => fault, details in last_fault().
+  std::optional<uint32_t> Read(uint32_t addr, unsigned size, Privilege priv);
+
+  // Store of `size` bytes. Same checking rules as Read.
+  bool Write(uint32_t addr, uint32_t value, unsigned size, Privilege priv);
+
+  // Instruction fetch: a read that must also pass an MPU execute check when
+  // unprivileged.
+  std::optional<uint32_t> Fetch(uint32_t addr, Privilege priv);
+
+  // DMA-style block accessors used by peripherals and by the kernel's process-memory
+  // translation layer. Privileged: they bypass the MPU (as bus-master DMA does on
+  // real parts). Return false if the range leaves mapped RAM/flash.
+  bool ReadBlock(uint32_t addr, uint8_t* out, uint32_t len);
+  bool WriteBlock(uint32_t addr, const uint8_t* data, uint32_t len);
+
+  // TRUSTED-BEGIN(flash programming backdoor): only the flash controller peripheral
+  // may write flash contents; it does so through this method after modelling the
+  // program/erase latency.
+  bool ProgramFlash(uint32_t addr, const uint8_t* data, uint32_t len);
+  // TRUSTED-END
+
+  const BusFault& last_fault() const { return last_fault_; }
+  void ClearFault() { last_fault_ = BusFault{}; }
+
+  Mpu* mpu() { return mpu_; }
+
+  // Raw backing stores, for loaders and test fixtures.
+  std::vector<uint8_t>& flash() { return flash_; }
+  std::vector<uint8_t>& ram() { return ram_; }
+
+  // Counters for the MMIO-cost experiments.
+  uint64_t mmio_accesses() const { return mmio_accesses_; }
+
+ private:
+  bool InRam(uint32_t addr, uint32_t len) const {
+    return addr >= MemoryMap::kRamBase &&
+           static_cast<uint64_t>(addr) + len <= static_cast<uint64_t>(MemoryMap::kRamBase) + MemoryMap::kRamSize;
+  }
+  bool InFlash(uint32_t addr, uint32_t len) const {
+    return static_cast<uint64_t>(addr) + len <= MemoryMap::kFlashBase + MemoryMap::kFlashSize;
+  }
+
+  MmioDevice* DeviceAt(uint32_t addr, uint32_t* offset_out);
+
+  bool Fault(BusFaultKind kind, uint32_t addr, AccessType access) {
+    last_fault_ = BusFault{kind, addr, access};
+    return false;
+  }
+
+  Mpu* mpu_;
+  std::vector<uint8_t> flash_;
+  std::vector<uint8_t> ram_;
+  MmioDevice* devices_[MemoryMap::kNumSlots] = {};
+  BusFault last_fault_;
+  uint64_t mmio_accesses_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_HW_MEMORY_BUS_H_

@@ -1,0 +1,45 @@
+// ERA: 1
+// Physical memory map of the simulated MCU — the class of machine from §2: flash for
+// code, a small SRAM, and a bank of MMIO peripherals. No virtual memory.
+#ifndef TOCK_HW_MEMORY_MAP_H_
+#define TOCK_HW_MEMORY_MAP_H_
+
+#include <cstdint>
+
+namespace tock {
+
+struct MemoryMap {
+  static constexpr uint32_t kFlashBase = 0x0000'0000;
+  static constexpr uint32_t kFlashSize = 512 * 1024;
+
+  static constexpr uint32_t kRamBase = 0x2000'0000;
+  static constexpr uint32_t kRamSize = 128 * 1024;
+
+  static constexpr uint32_t kMmioBase = 0x4000'0000;
+  static constexpr uint32_t kMmioStride = 0x1000;  // one 4 KiB page per peripheral
+
+  // Peripheral slots (base = kMmioBase + slot * kMmioStride; IRQ line = slot).
+  enum Slot : unsigned {
+    kUart0 = 0,
+    kAlarm = 1,
+    kGpio = 2,
+    kSpi0 = 3,
+    kRng = 4,
+    kAes = 5,
+    kSha = 6,
+    kFlashCtrl = 7,
+    kRadio = 8,
+    kTempSensor = 9,
+    kSysTick = 10,
+    kUart1 = 11,
+    kNumSlots = 12,
+  };
+
+  static constexpr uint32_t SlotBase(Slot slot) {
+    return kMmioBase + static_cast<uint32_t>(slot) * kMmioStride;
+  }
+};
+
+}  // namespace tock
+
+#endif  // TOCK_HW_MEMORY_MAP_H_

@@ -1,0 +1,98 @@
+// ERA: 1
+#include "hw/radio.h"
+
+namespace tock {
+
+uint32_t Radio::MmioRead(uint32_t offset) {
+  switch (offset) {
+    case RadioRegs::kCtrl:
+      return ctrl_.Get();
+    case RadioRegs::kStatus:
+      return status_.Get();
+    case RadioRegs::kRxLen:
+      return rx_len_;
+    case RadioRegs::kNodeAddr:
+      return node_addr_;
+    case RadioRegs::kDstAddr:
+      return dst_addr_;
+    default:
+      return 0;
+  }
+}
+
+void Radio::MmioWrite(uint32_t offset, uint32_t value) {
+  switch (offset) {
+    case RadioRegs::kCtrl:
+      ctrl_.Set(value);
+      return;
+    case RadioRegs::kIntClr:
+      status_.HwModify(FieldValue<uint32_t>{value, 0});
+      return;
+    case RadioRegs::kTxAddr:
+      tx_addr_ = value;
+      return;
+    case RadioRegs::kTxLen:
+      StartTx(value);
+      return;
+    case RadioRegs::kRxAddr:
+      rx_addr_ = value;
+      return;
+    case RadioRegs::kRxMaxLen:
+      rx_max_len_ = value;
+      return;
+    case RadioRegs::kNodeAddr:
+      node_addr_ = value & 0xFFFF;
+      return;
+    case RadioRegs::kDstAddr:
+      dst_addr_ = value & 0xFFFF;
+      return;
+    default:
+      return;
+  }
+}
+
+void Radio::StartTx(uint32_t len) {
+  if (!ctrl_.IsSet(RadioRegs::Ctrl::kEnable) || medium_ == nullptr || len == 0 ||
+      len > kMaxPacket || status_.IsSet(RadioRegs::Status::kTxBusy)) {
+    return;
+  }
+  std::vector<uint8_t> payload(len);
+  if (!bus_->ReadBlock(tx_addr_, payload.data(), len)) {
+    return;
+  }
+  status_.HwModify(RadioRegs::Status::kTxBusy.Set());
+  ++packets_sent_;
+
+  medium_->Transmit(this, static_cast<uint16_t>(node_addr_), static_cast<uint16_t>(dst_addr_),
+                    std::move(payload));
+
+  clock_->ScheduleAfter(CycleCosts::kRadioCyclesPerByte * (len + 8), [this] {
+    status_.HwModify(RadioRegs::Status::kTxBusy.Clear());
+    status_.HwModify(RadioRegs::Status::kTxDone.Set());
+    irq_.Raise();
+  });
+}
+
+void Radio::Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payload) {
+  (void)src;
+  if (!ctrl_.IsSet(RadioRegs::Ctrl::kEnable) || !ctrl_.IsSet(RadioRegs::Ctrl::kRxEnable)) {
+    return;  // radio off: packet lost, as on air
+  }
+  if (dst != 0xFFFF && dst != node_addr()) {
+    return;  // not addressed to us
+  }
+  if (rx_addr_ == 0 || rx_max_len_ == 0) {
+    return;  // no receive buffer armed: packet lost
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  if (len > rx_max_len_) {
+    len = rx_max_len_;  // truncate oversized packets
+  }
+  bus_->WriteBlock(rx_addr_, payload.data(), len);
+  rx_len_ = len;
+  ++packets_received_;
+  status_.HwModify(RadioRegs::Status::kRxDone.Set());
+  irq_.Raise();
+}
+
+}  // namespace tock

@@ -1,0 +1,115 @@
+// ERA: 1
+// Packet radio and shared medium — the substrate for the Signpost-style multi-node
+// deployments Tock was designed for (§2). Transmissions broadcast to every other
+// radio attached to the same RadioMedium, arriving after an on-air latency
+// proportional to packet size.
+#ifndef TOCK_HW_RADIO_H_
+#define TOCK_HW_RADIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/costs.h"
+#include "hw/interrupt.h"
+#include "hw/memory_bus.h"
+#include "hw/sim_clock.h"
+#include "util/registers.h"
+
+namespace tock {
+
+class RadioMedium;
+
+struct RadioRegs {
+  static constexpr uint32_t kCtrl = 0x00;
+  static constexpr uint32_t kStatus = 0x04;
+  static constexpr uint32_t kIntClr = 0x08;
+  static constexpr uint32_t kTxAddr = 0x0C;
+  static constexpr uint32_t kTxLen = 0x10;  // write starts TX
+  static constexpr uint32_t kRxAddr = 0x14;
+  static constexpr uint32_t kRxMaxLen = 0x18;
+  static constexpr uint32_t kRxLen = 0x1C;     // RO: length of last received packet
+  static constexpr uint32_t kNodeAddr = 0x20;  // this node's address (16-bit)
+  static constexpr uint32_t kDstAddr = 0x24;   // destination (0xFFFF broadcast)
+
+  struct Ctrl {
+    static constexpr Field<uint32_t> kEnable{0, 1};
+    static constexpr Field<uint32_t> kRxEnable{1, 1};
+  };
+  struct Status {
+    static constexpr Field<uint32_t> kTxDone{0, 1};
+    static constexpr Field<uint32_t> kRxDone{1, 1};
+    static constexpr Field<uint32_t> kTxBusy{2, 1};
+  };
+};
+
+class Radio : public MmioDevice {
+ public:
+  static constexpr uint32_t kMaxPacket = 256;
+
+  Radio(SimClock* clock, MemoryBus* bus, InterruptLine irq)
+      : clock_(clock), bus_(bus), irq_(irq) {}
+
+  uint32_t MmioRead(uint32_t offset) override;
+  void MmioWrite(uint32_t offset, uint32_t value) override;
+
+  // Medium side: delivers a packet addressed to this node (or broadcast).
+  void Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payload);
+
+  uint16_t node_addr() const { return static_cast<uint16_t>(node_addr_); }
+  SimClock* clock() { return clock_; }
+
+  void set_medium(RadioMedium* medium) { medium_ = medium; }
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_received() const { return packets_received_; }
+
+ private:
+  void StartTx(uint32_t len);
+
+  SimClock* clock_;
+  MemoryBus* bus_;
+  InterruptLine irq_;
+  RadioMedium* medium_ = nullptr;
+
+  ReadWriteReg<uint32_t> ctrl_;
+  ReadOnlyReg<uint32_t> status_;
+  uint32_t tx_addr_ = 0;
+  uint32_t rx_addr_ = 0;
+  uint32_t rx_max_len_ = 0;
+  uint32_t rx_len_ = 0;
+  uint32_t node_addr_ = 0;
+  uint32_t dst_addr_ = 0xFFFF;
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_received_ = 0;
+};
+
+// The shared channel connecting all radios in a simulated deployment. Each radio has
+// its own MCU and clock; delivery is scheduled on the *receiver's* clock, so
+// multi-board simulations stay deterministic as long as boards are stepped in
+// bounded slices (see board/world.h).
+class RadioMedium {
+ public:
+  void Attach(Radio* radio) {
+    radios_.push_back(radio);
+    radio->set_medium(this);
+  }
+
+  // Broadcasts from `sender` to every other attached radio.
+  void Transmit(Radio* sender, uint16_t src, uint16_t dst, std::vector<uint8_t> payload) {
+    for (Radio* r : radios_) {
+      if (r == sender) {
+        continue;
+      }
+      uint64_t latency = CycleCosts::kRadioCyclesPerByte * (payload.size() + 8);
+      r->clock()->ScheduleAfter(latency,
+                                [r, src, dst, payload] { r->Deliver(src, dst, payload); });
+    }
+  }
+
+ private:
+  std::vector<Radio*> radios_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_HW_RADIO_H_

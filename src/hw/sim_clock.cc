@@ -1,0 +1,67 @@
+// ERA: 1
+#include "hw/sim_clock.h"
+
+#include <algorithm>
+
+namespace tock {
+
+uint64_t SimClock::ScheduleAt(uint64_t at, EventFn fn) {
+  uint64_t id = next_id_++;
+  queue_.push(Event{std::max(at, now_), next_seq_++, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+bool SimClock::Cancel(uint64_t id) {
+  // The priority queue cannot remove an arbitrary element; record the id and drop the
+  // event lazily when it surfaces. live_events_ is decremented now so NextEventAt
+  // consumers don't wait on a dead event's bookkeeping (the stale entry itself is
+  // handled when popped).
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(id);
+  if (live_events_ > 0) {
+    --live_events_;
+  }
+  return true;
+}
+
+void SimClock::Advance(uint64_t cycles) {
+  uint64_t target = now_ + cycles;
+  while (!queue_.empty() && queue_.top().at <= target) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    --live_events_;
+    now_ = ev.at;  // events observe their own deadline as "now"
+    ev.fn();
+  }
+  now_ = target;
+}
+
+uint64_t SimClock::NextEventAt() const {
+  // Skip over lazily-cancelled entries without mutating the queue: copy-scan is
+  // acceptable because cancellations are rare (alarm re-arms dominate).
+  if (queue_.empty()) {
+    return UINT64_MAX;
+  }
+  if (cancelled_.empty()) {
+    return queue_.top().at;
+  }
+  auto copy = queue_;
+  while (!copy.empty()) {
+    const Event& ev = copy.top();
+    if (std::find(cancelled_.begin(), cancelled_.end(), ev.id) == cancelled_.end()) {
+      return ev.at;
+    }
+    copy.pop();
+  }
+  return UINT64_MAX;
+}
+
+}  // namespace tock

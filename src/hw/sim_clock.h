@@ -1,0 +1,65 @@
+// ERA: 1
+// Deterministic simulation clock. All time in the system is cycles of this clock;
+// there is no host wall-clock anywhere, so every run is bit-for-bit reproducible.
+#ifndef TOCK_HW_SIM_CLOCK_H_
+#define TOCK_HW_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tock {
+
+// An event-driven clock: hardware models schedule completion callbacks at absolute
+// cycle times; advancing the clock fires due events in (time, insertion) order.
+//
+// The simulator host-allocates freely (it stands in for physical silicon); the
+// *kernel's* heapless discipline is unaffected.
+class SimClock {
+ public:
+  using EventFn = std::function<void()>;
+
+  uint64_t Now() const { return now_; }
+
+  // Schedules `fn` to run when the clock reaches `at` (or immediately upon the next
+  // advance if `at` is in the past). Returns an id usable with Cancel.
+  uint64_t ScheduleAt(uint64_t at, EventFn fn);
+
+  // Schedules `fn` to run `delay` cycles from now.
+  uint64_t ScheduleAfter(uint64_t delay, EventFn fn) { return ScheduleAt(now_ + delay, std::move(fn)); }
+
+  // Cancels a scheduled event. Returns false if it already fired or never existed.
+  bool Cancel(uint64_t id);
+
+  // Advances the clock by `cycles`, firing every event whose deadline is reached, in
+  // deadline order. Events scheduled by fired events within the window also fire.
+  void Advance(uint64_t cycles);
+
+  // Cycle time of the earliest pending event, or UINT64_MAX when none.
+  uint64_t NextEventAt() const;
+
+  bool HasPendingEvents() const { return live_events_ > 0; }
+
+ private:
+  struct Event {
+    uint64_t at;
+    uint64_t seq;  // tie-breaker: FIFO among same-cycle events
+    uint64_t id;
+    EventFn fn;
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  uint64_t now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<uint64_t> cancelled_;  // ids whose events should be dropped when popped
+};
+
+}  // namespace tock
+
+#endif  // TOCK_HW_SIM_CLOCK_H_

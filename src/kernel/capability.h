@@ -1,0 +1,61 @@
+// ERA: 4
+// Capability tokens gating privileged kernel APIs (paper §4.4, Listing 1).
+//
+// Rust Tock mints zero-sized capability values inside `unsafe` platform-initialization
+// code; functions demand `&dyn Capability` parameters, so a capsule that was never
+// handed the token cannot call them — checked at compile time, free at run time.
+//
+// The C++ rendering: each capability is an empty tag type whose constructor is
+// private. Only CapabilityFactory (used by trusted board-initialization code) can
+// mint them. Passing one by value costs nothing; calling a gated API without one is
+// a compile error. tests/compile_fail/ verifies the negative case.
+#ifndef TOCK_KERNEL_CAPABILITY_H_
+#define TOCK_KERNEL_CAPABILITY_H_
+
+namespace tock {
+
+class CapabilityFactory;
+
+// Grants the right to create, stop, restart, or destroy processes.
+class ProcessManagementCapability {
+ private:
+  ProcessManagementCapability() = default;
+  friend class CapabilityFactory;
+};
+
+// Grants the right to run the kernel main loop (only the board's main() holds it).
+class MainLoopCapability {
+ private:
+  MainLoopCapability() = default;
+  friend class CapabilityFactory;
+};
+
+// Grants the right to create grant regions (board initialization only).
+class MemoryAllocationCapability {
+ private:
+  MemoryAllocationCapability() = default;
+  friend class CapabilityFactory;
+};
+
+// Grants access to process loading / flash app regions.
+class ProcessLoadingCapability {
+ private:
+  ProcessLoadingCapability() = default;
+  friend class CapabilityFactory;
+};
+
+// TRUSTED-BEGIN(capability minting): the single place capabilities come from.
+// Instantiated by board bring-up code; never reachable from capsule code, which
+// receives only the already-minted tokens the board chooses to share.
+class CapabilityFactory {
+ public:
+  ProcessManagementCapability MintProcessManagement() const { return {}; }
+  MainLoopCapability MintMainLoop() const { return {}; }
+  MemoryAllocationCapability MintMemoryAllocation() const { return {}; }
+  ProcessLoadingCapability MintProcessLoading() const { return {}; }
+};
+// TRUSTED-END
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_CAPABILITY_H_

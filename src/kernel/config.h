@@ -1,0 +1,53 @@
+// ERA: 2
+// Compile-time-style kernel configuration. The paper describes several alternatives
+// that coexist behind configuration: the synchronous vs. asynchronous process loader
+// (§3.4), the v1 vs. v2 allow/subscribe semantics (§3.3, kept so experiment E6 can
+// demonstrate why v1 was unsound), the Ti50-style blocking command extension (§3.2),
+// and the fault-response policy.
+#ifndef TOCK_KERNEL_CONFIG_H_
+#define TOCK_KERNEL_CONFIG_H_
+
+#include <cstdint>
+
+namespace tock {
+
+enum class SyscallAbiVersion {
+  kV1,  // original semantics: capsules take ownership of allowed buffers (unsound)
+  kV2,  // Tock 2.0 swapping semantics: the kernel holds allow/subscribe slots
+};
+
+enum class LoaderMode {
+  kSynchronous,  // single pass over headers, structural checks only
+  kAsynchronous, // multi-step state machine with cryptographic verification (§3.4)
+};
+
+enum class FaultResponse {
+  kStop,     // mark the process Faulted and never run it again
+  kRestart,  // reset the process to its initial state and re-run it
+};
+
+struct KernelConfig {
+  SyscallAbiVersion abi = SyscallAbiVersion::kV2;
+  LoaderMode loader = LoaderMode::kSynchronous;
+  FaultResponse fault_response = FaultResponse::kStop;
+
+  // Ti50's downstream extension: a single system call that performs
+  // subscribe+command+yield-wait+unsubscribe in one trap (§3.2). Off by default,
+  // as in mainline Tock.
+  bool enable_blocking_command = false;
+
+  // Process scheduling quantum in cycles (SysTick reload value).
+  uint32_t timeslice_cycles = 10000;
+
+  // RAM quota handed to each process (covers app-accessible memory + grants).
+  uint32_t process_ram_quota = 12 * 1024;
+
+  // For E7: reject read-write allows that overlap an existing allowed buffer of the
+  // same process instead of accepting them with cell semantics (§5.1.1). The paper
+  // deems this overhead unreasonable; it exists so the cost can be measured.
+  bool check_allow_overlap = false;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_CONFIG_H_

@@ -1,0 +1,86 @@
+// ERA: 2
+// The system-call driver interface implemented by capsules (§2.2, §3.3).
+//
+// Under the Tock 2.0 ABI the *kernel* owns allow/subscribe state (swapping
+// semantics); a capsule is only consulted to validate numbers and lengths, and can
+// reach buffer contents exclusively through the short-lived spans the kernel lends
+// inside closures (Kernel::WithReadWriteBuffer / WithReadOnlyBuffer). This is the
+// structural fix for the unsoundness described in §3.3.1: a capsule has no way to
+// stash a reference to process memory.
+#ifndef TOCK_KERNEL_DRIVER_H_
+#define TOCK_KERNEL_DRIVER_H_
+
+#include <cstdint>
+
+#include "kernel/process.h"
+#include "kernel/syscall.h"
+#include "util/error.h"
+
+namespace tock {
+
+class SyscallDriver {
+ public:
+  virtual ~SyscallDriver() = default;
+
+  // Handles a command system call. By convention command 0 is an existence check
+  // and must return Success.
+  virtual SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
+                                uint32_t arg2) = 0;
+
+  // Notification that the kernel swapped a read-write allow slot for `pid`. The
+  // driver may veto (e.g. length requirements); on veto the kernel swaps back.
+  virtual Result<void> AllowReadWrite(ProcessId pid, uint32_t allow_num, uint32_t len) {
+    (void)pid;
+    (void)allow_num;
+    (void)len;
+    return Result<void>::Ok();
+  }
+
+  // Same for read-only allows.
+  virtual Result<void> AllowReadOnly(ProcessId pid, uint32_t allow_num, uint32_t len) {
+    (void)pid;
+    (void)allow_num;
+    (void)len;
+    return Result<void>::Ok();
+  }
+
+  // Notification of a subscribe swap (validation only; the slot is kernel-held).
+  virtual Result<void> Subscribe(ProcessId pid, uint32_t sub_num) {
+    (void)pid;
+    (void)sub_num;
+    return Result<void>::Ok();
+  }
+
+  // V1-ABI compatibility hook (experiment E6 only): under SyscallAbiVersion::kV1 the
+  // kernel passes raw buffer coordinates to the capsule, which becomes responsible
+  // for storing and later *voluntarily* returning them — the unenforceable contract
+  // §3.3.1 shows to be unsound. V2 drivers never see this call.
+  virtual Result<void> LegacyAllowV1(ProcessId pid, uint32_t allow_num, uint32_t addr,
+                                     uint32_t len) {
+    (void)pid;
+    (void)allow_num;
+    (void)addr;
+    (void)len;
+    return Result<void>(ErrorCode::kNoSupport);
+  }
+};
+
+// Chip drivers implement this to receive interrupt bottom halves from the kernel
+// main loop (§2.5: Tock services interrupts from the loop, not in ISRs).
+class InterruptService {
+ public:
+  virtual ~InterruptService() = default;
+  virtual void HandleInterrupt(unsigned line) = 0;
+};
+
+// Capsules implement this to get called back from the kernel loop after setting
+// their deferred call — the mechanism for splitting work out of callback chains.
+class DeferredCallClient {
+ public:
+  virtual ~DeferredCallClient() = default;
+  virtual void HandleDeferredCall() = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_DRIVER_H_

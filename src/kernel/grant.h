@@ -1,0 +1,64 @@
+// ERA: 2
+// Typed grants (§2.4): per-process kernel state allocated *inside the owning
+// process's RAM quota*, made inaccessible to the process itself (the MPU region
+// covers only [ram_start, app_break), and grants live above the grant break).
+//
+// A capsule declares `Grant<MyState> grant_` and enters it per process:
+//
+//   grant_.Enter(pid, [&](MyState& state) { ... });
+//
+// First entry allocates and value-initializes MyState from the process's quota;
+// exhaustion fails only that process. When the process dies, the memory is
+// reclaimed wholesale with the quota — so T must be trivially destructible, which
+// the template enforces.
+#ifndef TOCK_KERNEL_GRANT_H_
+#define TOCK_KERNEL_GRANT_H_
+
+#include <new>
+#include <type_traits>
+
+#include "kernel/capability.h"
+#include "kernel/kernel.h"
+
+namespace tock {
+
+template <typename T>
+class Grant {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "grant state is reclaimed without destruction when a process dies");
+
+ public:
+  Grant() : kernel_(nullptr), grant_id_(0) {}
+
+  // Board initialization only: allocating one of the finite grant slots requires the
+  // memory-allocation capability (§4.4).
+  Grant(Kernel* kernel, const MemoryAllocationCapability& cap)
+      : kernel_(kernel), grant_id_(kernel->AllocateGrantId(cap)) {}
+
+  // Runs `fn(T&)` against this grant's allocation for `pid`. Returns kNoMem when the
+  // process's quota is exhausted and kInvalid when the process is dead.
+  template <typename Fn>
+  Result<void> Enter(ProcessId pid, Fn&& fn) {
+    if (kernel_ == nullptr) {
+      return Result<void>(ErrorCode::kFail);
+    }
+    bool first_time = false;
+    void* mem = kernel_->GrantEnterRaw(pid, grant_id_, sizeof(T), alignof(T), &first_time);
+    if (mem == nullptr) {
+      return Result<void>(kernel_->IsAlive(pid) ? ErrorCode::kNoMem : ErrorCode::kInvalid);
+    }
+    T* state = first_time ? new (mem) T() : static_cast<T*>(mem);
+    fn(*state);
+    return Result<void>::Ok();
+  }
+
+  unsigned grant_id() const { return grant_id_; }
+
+ private:
+  Kernel* kernel_;
+  unsigned grant_id_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_GRANT_H_

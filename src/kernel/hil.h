@@ -1,0 +1,259 @@
+// ERA: 1
+// Hardware Interface Layer (HIL) traits: the narrow, hardware-agnostic, split-phase
+// interfaces through which capsules and virtualizers reach hardware (§2.2, §4.1).
+//
+// Every long-running operation follows Tock's split-phase convention (§4.2): a
+// `Start`-style method takes ownership of a SubSliceMut (the caller's TakeCell is
+// emptied), and the completion callback returns the same buffer. A start method that
+// fails must hand the buffer straight back — mirrored from Tock's
+// `Result<(), (ErrorCode, &'static mut [u8])>` — via BufResult: nullopt means the
+// operation started and the buffer is now owned by the callee until the completion
+// callback.
+#ifndef TOCK_KERNEL_HIL_H_
+#define TOCK_KERNEL_HIL_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "util/error.h"
+#include "util/subslice.h"
+
+namespace tock::hil {
+
+// Failure to start a split-phase operation: the error plus the returned buffer.
+struct BufFailure {
+  ErrorCode error;
+  SubSliceMut buffer;
+};
+
+// nullopt = started; engaged = failed, buffer returned to the caller synchronously.
+using BufResult = std::optional<BufFailure>;
+
+inline BufResult Started() { return std::nullopt; }
+inline BufResult Refused(ErrorCode error, SubSliceMut buffer) {
+  return BufFailure{error, buffer};
+}
+
+// ---------------------------------------------------------------------------------
+// Time (hil::time in upstream Tock). 32-bit tick domain with wraparound arithmetic.
+
+class AlarmClient {
+ public:
+  virtual ~AlarmClient() = default;
+  virtual void AlarmFired() = 0;
+};
+
+class Alarm {
+ public:
+  virtual ~Alarm() = default;
+  virtual uint32_t Now() = 0;
+  // Fires when the counter reaches reference + dt (wrapping). Re-arming replaces any
+  // previously set alarm.
+  virtual void SetAlarm(uint32_t reference, uint32_t dt) = 0;
+  virtual uint32_t GetAlarm() = 0;  // currently armed expiration tick
+  virtual void Disarm() = 0;
+  virtual bool IsArmed() = 0;
+  virtual void SetClient(AlarmClient* client) = 0;
+
+  // Wrapping "has the window (reference, reference+dt] passed by `now`" helper the
+  // virtual-alarm mux relies on (§5.4's subtle-logic-bug territory).
+  static bool Expired(uint32_t now, uint32_t reference, uint32_t dt) {
+    return now - reference >= dt;
+  }
+};
+
+// ---------------------------------------------------------------------------------
+// UART.
+
+class UartTransmitClient {
+ public:
+  virtual ~UartTransmitClient() = default;
+  virtual void TransmitComplete(SubSliceMut buffer, Result<void> result) = 0;
+};
+
+class UartTransmit {
+ public:
+  virtual ~UartTransmit() = default;
+  // Sends the buffer's active window.
+  virtual BufResult Transmit(SubSliceMut buffer) = 0;
+  virtual void SetTransmitClient(UartTransmitClient* client) = 0;
+};
+
+class UartReceiveClient {
+ public:
+  virtual ~UartReceiveClient() = default;
+  virtual void ReceiveComplete(SubSliceMut buffer, uint32_t received, Result<void> result) = 0;
+};
+
+class UartReceive {
+ public:
+  virtual ~UartReceive() = default;
+  // Fills the buffer's active window completely, then calls back.
+  virtual BufResult Receive(SubSliceMut buffer) = 0;
+  virtual void SetReceiveClient(UartReceiveClient* client) = 0;
+};
+
+// ---------------------------------------------------------------------------------
+// GPIO / LEDs.
+
+class GpioInterruptClient {
+ public:
+  virtual ~GpioInterruptClient() = default;
+  virtual void PinInterrupt(unsigned pin, bool level) = 0;
+};
+
+enum class GpioEdge { kRising, kFalling, kBoth };
+
+class GpioController {
+ public:
+  virtual ~GpioController() = default;
+  virtual void MakeOutput(unsigned pin) = 0;
+  virtual void MakeInput(unsigned pin) = 0;
+  virtual void SetPin(unsigned pin, bool level) = 0;
+  virtual bool ReadPin(unsigned pin) = 0;
+  virtual void EnableInterrupt(unsigned pin, GpioEdge edge) = 0;
+  virtual void DisableInterrupt(unsigned pin) = 0;
+  virtual void SetInterruptClient(GpioInterruptClient* client) = 0;
+  virtual unsigned NumPins() = 0;
+};
+
+// ---------------------------------------------------------------------------------
+// Entropy.
+
+class RngClient {
+ public:
+  virtual ~RngClient() = default;
+  virtual void RandomReady(uint32_t value) = 0;
+};
+
+class RngSource {
+ public:
+  virtual ~RngSource() = default;
+  virtual Result<void> FetchRandom() = 0;
+  virtual void SetRngClient(RngClient* client) = 0;
+};
+
+// ---------------------------------------------------------------------------------
+// Temperature.
+
+class TemperatureClient {
+ public:
+  virtual ~TemperatureClient() = default;
+  virtual void TemperatureReady(int32_t centi_celsius) = 0;
+};
+
+class TemperatureSensor {
+ public:
+  virtual ~TemperatureSensor() = default;
+  virtual Result<void> SampleTemperature() = 0;
+  virtual void SetTemperatureClient(TemperatureClient* client) = 0;
+};
+
+// ---------------------------------------------------------------------------------
+// Digest engines (SHA-256 / HMAC-SHA256), mirroring hil::digest.
+
+class DigestClient {
+ public:
+  virtual ~DigestClient() = default;
+  // `data` is the input buffer being returned; `digest` the 32-byte result buffer.
+  virtual void DigestDone(SubSliceMut data, SubSliceMut digest, Result<void> result) = 0;
+};
+
+class DigestEngine {
+ public:
+  virtual ~DigestEngine() = default;
+  // Hashes `data` (or MACs it when a key is set), writing 32 bytes into `digest`.
+  // On refusal both buffers come back in the BufFailure (data) and via
+  // `digest_on_failure` (out-param keeps the common case clean).
+  virtual BufResult ComputeDigest(SubSliceMut data, SubSliceMut digest,
+                                  SubSliceMut* digest_on_failure) = 0;
+  // Switches to HMAC with the given 32-byte key; empty key returns to plain SHA-256.
+  virtual Result<void> SetHmacKey(SubSlice key) = 0;
+  virtual void SetDigestClient(DigestClient* client) = 0;
+};
+
+// ---------------------------------------------------------------------------------
+// AES-128 (CTR/ECB) engines, mirroring hil::symmetric_encryption.
+
+class AesClient {
+ public:
+  virtual ~AesClient() = default;
+  virtual void CryptDone(SubSliceMut buffer, Result<void> result) = 0;
+};
+
+enum class AesMode { kEcbEncrypt, kEcbDecrypt, kCtr };
+
+class AesEngine {
+ public:
+  virtual ~AesEngine() = default;
+  virtual Result<void> SetKey(SubSlice key) = 0;  // 16 bytes
+  virtual Result<void> SetIv(SubSlice iv) = 0;    // 16 bytes (CTR)
+  virtual BufResult Crypt(AesMode mode, SubSliceMut buffer) = 0;  // in place
+  virtual void SetAesClient(AesClient* client) = 0;
+};
+
+// ---------------------------------------------------------------------------------
+// SPI master. The compile-time chip-select polarity composition checks of §4.1 /
+// Figure 3 live at the typed driver layer (board/composition.h); this runtime
+// interface is what those statically validated stacks execute through.
+
+class SpiClient {
+ public:
+  virtual ~SpiClient() = default;
+  virtual void TransferComplete(SubSliceMut buffer, Result<void> result) = 0;
+};
+
+class SpiMaster {
+ public:
+  virtual ~SpiMaster() = default;
+  // Full-duplex, in-place transfer of the buffer's active window on the currently
+  // selected chip.
+  virtual BufResult Transfer(SubSliceMut buffer) = 0;
+  virtual Result<void> SelectChip(unsigned cs_index) = 0;
+  virtual void SetSpiClient(SpiClient* client) = 0;
+};
+
+// ---------------------------------------------------------------------------------
+// Packet radio.
+
+class RadioClient {
+ public:
+  virtual ~RadioClient() = default;
+  virtual void TransmitDone(SubSliceMut buffer, Result<void> result) = 0;
+  virtual void PacketReceived(SubSliceMut buffer, uint32_t len) = 0;
+};
+
+class PacketRadio {
+ public:
+  virtual ~PacketRadio() = default;
+  virtual BufResult TransmitPacket(uint16_t dst, SubSliceMut buffer) = 0;
+  // Hands the radio a receive buffer; PacketReceived returns it with each packet,
+  // and the client re-arms by calling StartReceive again.
+  virtual BufResult StartReceive(SubSliceMut buffer) = 0;
+  virtual void SetRadioClient(RadioClient* client) = 0;
+  virtual uint16_t LocalAddress() = 0;
+};
+
+// ---------------------------------------------------------------------------------
+// Flash storage.
+
+class FlashClient {
+ public:
+  virtual ~FlashClient() = default;
+  virtual void WriteComplete(SubSliceMut buffer, Result<void> result) = 0;
+  virtual void EraseComplete(Result<void> result) = 0;
+};
+
+class FlashStorage {
+ public:
+  virtual ~FlashStorage() = default;
+  virtual BufResult WriteFlash(uint32_t flash_addr, SubSliceMut buffer) = 0;
+  virtual Result<void> ErasePage(uint32_t flash_addr) = 0;
+  // Flash reads are synchronous memory reads on this class of hardware.
+  virtual Result<void> ReadFlash(uint32_t flash_addr, SubSliceMut buffer) = 0;
+  virtual void SetFlashClient(FlashClient* client) = 0;
+};
+
+}  // namespace tock::hil
+
+#endif  // TOCK_KERNEL_HIL_H_

@@ -1,0 +1,723 @@
+// ERA: 2
+#include "kernel/kernel.h"
+
+#include <cassert>
+
+#include "hw/costs.h"
+#include "hw/memory_map.h"
+
+namespace tock {
+
+namespace {
+constexpr unsigned kSysTickIrqLine = MemoryMap::kSysTick;
+constexpr uint32_t kMaxFaultRestarts = 8;
+}  // namespace
+
+Kernel::Kernel(Mcu* mcu, SysTick* systick, const KernelConfig& config)
+    : mcu_(mcu), systick_(systick), config_(config), cpu_(&mcu->bus()) {
+  // The kernel owns the SysTick interrupt line for preemption.
+  mcu_->irq().Enable(kSysTickIrqLine);
+}
+
+// ---- Board wiring ------------------------------------------------------------------
+
+void Kernel::RegisterDriver(uint32_t driver_num, SyscallDriver* driver) {
+  assert(num_drivers_ < kMaxDrivers);
+  drivers_[num_drivers_++] = DriverEntry{driver_num, driver};
+}
+
+void Kernel::RegisterIrqHandler(unsigned line, InterruptService* service) {
+  assert(line < InterruptController::kNumLines);
+  irq_handlers_[line] = service;
+  mcu_->irq().Enable(line);
+}
+
+unsigned Kernel::AllocateGrantId(const MemoryAllocationCapability& cap) {
+  (void)cap;
+  assert(next_grant_id_ < Process::kMaxGrants);
+  return next_grant_id_++;
+}
+
+SyscallDriver* Kernel::LookupDriver(uint32_t driver_num) {
+  for (size_t i = 0; i < num_drivers_; ++i) {
+    if (drivers_[i].num == driver_num) {
+      return drivers_[i].driver;
+    }
+  }
+  return nullptr;
+}
+
+// ---- Process management --------------------------------------------------------------
+
+Process* Kernel::CreateProcess(const ProcessCreateInfo& info,
+                               const ProcessManagementCapability& cap) {
+  (void)cap;
+  if (num_created_processes_ >= kMaxProcesses) {
+    return nullptr;
+  }
+  uint32_t quota = config_.process_ram_quota;
+  uint32_t ram_start = MemoryMap::kRamBase + kKernelRamReserve +
+                       static_cast<uint32_t>(num_created_processes_) * quota;
+  if (ram_start + quota > MemoryMap::kRamBase + MemoryMap::kRamSize) {
+    return nullptr;  // out of physical RAM for another quota
+  }
+
+  size_t slot = num_created_processes_++;
+  Process& p = processes_[slot];
+  p.id = ProcessId{static_cast<uint8_t>(slot), 1};
+  p.name = info.name;
+  p.flash_start = info.flash_start;
+  p.flash_size = info.flash_size;
+  p.entry_point = info.entry_point;
+  p.ram_start = ram_start;
+  p.ram_size = quota;
+  uint32_t accessible = info.min_ram;
+  if (accessible > quota / 2) {
+    accessible = quota / 2;  // leave at least half the quota for grants by default
+  }
+  p.app_break = ram_start + ((accessible + 7) & ~7u);
+  p.initial_break = p.app_break;
+  p.grant_break = ram_start + quota;
+  p.state = ProcessState::kUnstarted;
+  return &p;
+}
+
+Result<void> Kernel::StopProcess(ProcessId pid, const ProcessManagementCapability& cap) {
+  (void)cap;
+  Process* p = GetLiveProcess(pid);
+  if (p == nullptr) {
+    return Result<void>(ErrorCode::kInvalid);
+  }
+  p->state = ProcessState::kTerminated;
+  return Result<void>::Ok();
+}
+
+Result<void> Kernel::RestartProcess(ProcessId pid, const ProcessManagementCapability& cap) {
+  (void)cap;
+  Process* p = (pid.index < kMaxProcesses) ? &processes_[pid.index] : nullptr;
+  if (p == nullptr || !p->id.IsValid()) {
+    return Result<void>(ErrorCode::kInvalid);
+  }
+  ++p->restart_count;
+  p->ResetForRestart();
+  p->SetBreak(p->initial_break);
+  InitProcessContext(*p);
+  p->state = ProcessState::kRunnable;
+  return Result<void>::Ok();
+}
+
+Process* Kernel::GetLiveProcess(ProcessId pid) {
+  if (pid.index >= kMaxProcesses) {
+    return nullptr;
+  }
+  Process& p = processes_[pid.index];
+  if (!p.id.IsValid() || p.id.generation != pid.generation || !p.IsAlive()) {
+    return nullptr;
+  }
+  return &p;
+}
+
+bool Kernel::IsAlive(ProcessId pid) const {
+  return const_cast<Kernel*>(this)->GetLiveProcess(pid) != nullptr;
+}
+
+size_t Kernel::NumLiveProcesses() const {
+  size_t n = 0;
+  for (const Process& p : processes_) {
+    if (p.id.IsValid() && p.IsAlive()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// ---- Memory translation --------------------------------------------------------------
+
+uint8_t* Kernel::TranslateRam(uint32_t addr) {
+  auto& ram = mcu_->bus().ram();
+  assert(addr >= MemoryMap::kRamBase && addr - MemoryMap::kRamBase < ram.size());
+  return &ram[addr - MemoryMap::kRamBase];
+}
+
+const uint8_t* Kernel::TranslateMem(uint32_t addr) {
+  if (addr >= MemoryMap::kRamBase) {
+    return TranslateRam(addr);
+  }
+  auto& flash = mcu_->bus().flash();
+  assert(addr < flash.size());
+  return &flash[addr];
+}
+
+// ---- Grants ---------------------------------------------------------------------------
+
+void* Kernel::GrantEnterRaw(ProcessId pid, unsigned grant_id, uint32_t size, uint32_t align,
+                            bool* first_time) {
+  Process* p = GetLiveProcess(pid);
+  if (p == nullptr || grant_id >= Process::kMaxGrants) {
+    return nullptr;
+  }
+  uint32_t addr = p->grant_ptrs[grant_id];
+  if (addr == 0) {
+    addr = p->AllocateGrantMemory(size, align);
+    if (addr == 0) {
+      return nullptr;  // this process exhausted its own quota; nobody else affected
+    }
+    p->grant_ptrs[grant_id] = addr;
+    *first_time = true;
+  } else {
+    *first_time = false;
+  }
+  return TranslateRam(addr);
+}
+
+// ---- Deferred calls -------------------------------------------------------------------
+
+int Kernel::RegisterDeferredCall(DeferredCallClient* client) {
+  assert(num_deferred_ < kMaxDeferredCalls);
+  deferred_[num_deferred_] = DeferredEntry{client, false};
+  return static_cast<int>(num_deferred_++);
+}
+
+void Kernel::SetDeferredCall(int handle) {
+  if (handle >= 0 && static_cast<size_t>(handle) < num_deferred_) {
+    deferred_[handle].pending = true;
+  }
+}
+
+bool Kernel::RunDeferredCalls() {
+  bool any = false;
+  for (size_t i = 0; i < num_deferred_; ++i) {
+    if (deferred_[i].pending) {
+      deferred_[i].pending = false;
+      any = true;
+      deferred_[i].client->HandleDeferredCall();
+    }
+  }
+  return any;
+}
+
+// ---- Interrupt servicing --------------------------------------------------------------
+
+void Kernel::ServiceInterrupts() {
+  // Bottom halves run here, in the main loop, never in interrupt context (§2.5).
+  while (auto line = mcu_->irq().NextPending()) {
+    mcu_->Tick(CycleCosts::kInterruptEntry);
+    if (*line == kSysTickIrqLine) {
+      systick_->DisarmAndClear();
+      mcu_->irq().Complete(*line);
+      continue;
+    }
+    if (InterruptService* handler = irq_handlers_[*line]) {
+      handler->HandleInterrupt(*line);
+    }
+    mcu_->irq().Complete(*line);
+  }
+}
+
+// ---- Upcalls ----------------------------------------------------------------------------
+
+Result<void> Kernel::ScheduleUpcall(ProcessId pid, uint32_t driver, uint32_t sub,
+                                    uint32_t arg0, uint32_t arg1, uint32_t arg2) {
+  Process* p = GetLiveProcess(pid);
+  if (p == nullptr) {
+    return Result<void>(ErrorCode::kInvalid);
+  }
+  QueuedUpcall upcall{driver, sub, {arg0, arg1, arg2}};
+
+  // A process parked in yield-wait-for (or a blocking command) consumes the upcall
+  // directly: the values are written into its registers and no handler runs (§3.2).
+  if (p->state == ProcessState::kYieldedFor && p->wait_driver == driver &&
+      p->wait_sub == sub) {
+    DeliverDirectReturn(*p, upcall);
+    p->state = ProcessState::kRunnable;
+    return Result<void>::Ok();
+  }
+
+  // Queue even without a live subscription: a later yield-wait-for may consume the
+  // entry as a direct return value (Tock's ReturnValue task). Entries whose
+  // subscription is null at *delivery* time are dropped then.
+  if (!p->upcall_queue.Push(upcall)) {
+    // Make room by evicting entries that could only ever be dropped (their
+    // subscription is currently null), then retry once.
+    p->upcall_queue.RemoveIf([&](const QueuedUpcall& u) {
+      SubscribeSlot* slot = p->FindSubscribe(u.driver, u.sub_num);
+      return slot == nullptr || slot->fn == 0;
+    });
+    if (!p->upcall_queue.Push(upcall)) {
+      ++dropped_upcalls_;
+      return Result<void>(ErrorCode::kNoMem);
+    }
+  }
+  ++total_upcalls_;
+  return Result<void>::Ok();
+}
+
+bool Kernel::TryDeliverQueuedUpcall(Process& p) {
+  while (auto upcall = p.upcall_queue.Pop()) {
+    SubscribeSlot* slot = p.FindSubscribe(upcall->driver, upcall->sub_num);
+    if (slot == nullptr || slot->fn == 0) {
+      ++dropped_upcalls_;  // subscription swapped out after queueing
+      continue;
+    }
+    InvokeUpcallHandler(p, *upcall, slot->fn, slot->userdata);
+    return true;
+  }
+  return false;
+}
+
+void Kernel::InvokeUpcallHandler(Process& p, const QueuedUpcall& upcall, uint32_t fn,
+                                 uint32_t userdata) {
+  if (p.saved_contexts.IsFull()) {
+    // Upcall nesting deeper than the architecture supports: treat as a process
+    // error, as real Tock would overflow the process stack.
+    FaultProcess(p);
+    return;
+  }
+  p.saved_contexts.PushBack(p.ctx);
+  p.ctx.x[Reg::kA0] = upcall.args[0];
+  p.ctx.x[Reg::kA1] = upcall.args[1];
+  p.ctx.x[Reg::kA2] = upcall.args[2];
+  p.ctx.x[Reg::kA3] = userdata;
+  p.ctx.x[Reg::kRa] = Cpu::kUpcallReturnAddr;
+  p.ctx.pc = fn;
+  ++p.upcalls_delivered;
+  mcu_->Tick(CycleCosts::kUpcallInvoke);
+}
+
+void Kernel::DeliverDirectReturn(Process& p, const QueuedUpcall& upcall) {
+  SyscallReturn::Success3U32(upcall.args[0], upcall.args[1], upcall.args[2]).WriteTo(p.ctx);
+  p.blocking_command_wait = false;
+  ++p.upcalls_delivered;
+}
+
+// ---- Scheduler --------------------------------------------------------------------------
+
+bool Kernel::HasDeliverableWork(const Process& p) const {
+  switch (p.state) {
+    case ProcessState::kUnstarted:
+    case ProcessState::kRunnable:
+      return true;
+    case ProcessState::kYielded:
+      return !p.upcall_queue.IsEmpty();
+    default:
+      return false;
+  }
+}
+
+Process* Kernel::NextSchedulableProcess() {
+  for (size_t i = 0; i < kMaxProcesses; ++i) {
+    Process& p = processes_[(schedule_cursor_ + i) % kMaxProcesses];
+    if (p.id.IsValid() && HasDeliverableWork(p)) {
+      schedule_cursor_ = (schedule_cursor_ + i + 1) % kMaxProcesses;
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+void Kernel::ConfigureMpuFor(const Process& p) {
+  // Region 0: the app's flash image, read/execute. Region 1: its accessible RAM.
+  mcu_->mpu().ConfigureRegion(0, MpuRegionConfig{p.flash_start, p.flash_size,
+                                                 /*read=*/true, /*write=*/false,
+                                                 /*execute=*/true, /*enabled=*/true});
+  mcu_->mpu().ConfigureRegion(1, MpuRegionConfig{p.ram_start, p.app_break - p.ram_start,
+                                                 /*read=*/true, /*write=*/true,
+                                                 /*execute=*/false, /*enabled=*/true});
+  mcu_->Tick(2 * CycleCosts::kMpuRegionConfig);
+}
+
+void Kernel::InitProcessContext(Process& p) {
+  p.ctx = CpuContext{};
+  p.ctx.pc = p.entry_point;
+  p.ctx.x[Reg::kSp] = p.app_break & ~0xFu;  // stack grows down from the break
+  p.ctx.x[Reg::kA0] = p.ram_start;
+  p.ctx.x[Reg::kA1] = p.app_break - p.ram_start;
+  p.ctx.x[Reg::kA2] = p.flash_start;
+  p.ctx.x[Reg::kA3] = p.flash_size;
+}
+
+void Kernel::FaultProcess(Process& p) {
+  p.fault_info = ProcessFaultInfo{cpu_.fault(), mcu_->CyclesNow()};
+  if (config_.fault_response == FaultResponse::kRestart &&
+      p.restart_count < kMaxFaultRestarts) {
+    ++p.restart_count;
+    p.ResetForRestart();
+    p.SetBreak(p.initial_break);
+    InitProcessContext(p);
+    p.state = ProcessState::kRunnable;
+    return;
+  }
+  p.state = ProcessState::kFaulted;
+}
+
+// ---- Process execution --------------------------------------------------------------
+
+void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
+  if (p.state == ProcessState::kUnstarted) {
+    InitProcessContext(p);
+    p.state = ProcessState::kRunnable;
+  } else if (p.state == ProcessState::kYielded) {
+    if (!TryDeliverQueuedUpcall(p)) {
+      return;  // every queued upcall had been scrubbed; stay yielded
+    }
+    p.state = ProcessState::kRunnable;
+  }
+
+  if (mpu_configured_for_ != p.id.index) {
+    ConfigureMpuFor(p);
+    mpu_configured_for_ = p.id.index;
+    mcu_->Tick(CycleCosts::kContextSwitch);
+    ++total_context_switches_;
+  }
+
+  systick_->ArmCycles(config_.timeslice_cycles);
+
+  while (true) {
+    if (mcu_->irq().AnyPending()) {
+      if (systick_->Expired()) {
+        ++p.timeslice_expirations;
+      }
+      break;  // return to the kernel loop to service hardware
+    }
+    if (mcu_->CyclesNow() >= deadline_cycles) {
+      break;  // simulation deadline (only reachable with preemption disabled)
+    }
+
+    StepResult result = cpu_.Step(p.ctx);
+    mcu_->Tick(CycleCosts::kVmInstruction);
+
+    switch (result) {
+      case StepResult::kOk:
+        continue;
+      case StepResult::kEcall: {
+        ++total_syscalls_;
+        ++p.syscall_count;
+        mcu_->Tick(CycleCosts::kSyscallEntry);
+        bool keep_running = HandleSyscall(p);
+        mcu_->Tick(CycleCosts::kSyscallExit);
+        if (!keep_running) {
+          systick_->DisarmAndClear();
+          return;
+        }
+        continue;
+      }
+      case StepResult::kUpcallReturn: {
+        if (p.saved_contexts.IsEmpty()) {
+          FaultProcess(p);  // stray jump to the upcall-return magic address
+          systick_->DisarmAndClear();
+          return;
+        }
+        p.ctx = p.saved_contexts.PopBack();
+        // The interrupted yield resumes reporting "an upcall ran".
+        p.ctx.x[Reg::kA0] = 1;
+        continue;
+      }
+      case StepResult::kEbreak:
+      case StepResult::kFault:
+        FaultProcess(p);
+        systick_->DisarmAndClear();
+        return;
+    }
+  }
+
+  systick_->DisarmAndClear();
+}
+
+// ---- System call dispatch --------------------------------------------------------------
+
+bool Kernel::HandleSyscall(Process& p) {
+  Syscall call = Syscall::Decode(p.ctx);
+  switch (call.klass) {
+    case SyscallClass::kYield:
+      return HandleYield(p, call);
+
+    case SyscallClass::kSubscribe:
+      HandleSubscribe(p, call).WriteTo(p.ctx);
+      return true;
+
+    case SyscallClass::kCommand: {
+      SyscallDriver* driver = LookupDriver(call.args[0]);
+      if (driver == nullptr) {
+        SyscallReturn::Failure(ErrorCode::kNoDevice).WriteTo(p.ctx);
+        return true;
+      }
+      uint32_t generation_before = p.id.generation;
+      SyscallReturn ret = driver->Command(p.id, call.args[1], call.args[2], call.args[3]);
+      // A privileged driver may have stopped or restarted the caller mid-command; in
+      // either case the old register context is gone and must not be written.
+      if (p.id.generation != generation_before || p.state != ProcessState::kRunnable) {
+        return false;
+      }
+      ret.WriteTo(p.ctx);
+      return true;
+    }
+
+    case SyscallClass::kReadWriteAllow:
+      HandleAllow(p, call, /*read_only=*/false).WriteTo(p.ctx);
+      return true;
+
+    case SyscallClass::kReadOnlyAllow:
+      HandleAllow(p, call, /*read_only=*/true).WriteTo(p.ctx);
+      return true;
+
+    case SyscallClass::kMemop:
+      HandleMemop(p, call).WriteTo(p.ctx);
+      return true;
+
+    case SyscallClass::kExit: {
+      if (static_cast<ExitVariant>(call.args[0]) == ExitVariant::kRestart) {
+        ++p.restart_count;
+        p.ResetForRestart();
+        p.SetBreak(p.initial_break);
+        InitProcessContext(p);
+        p.state = ProcessState::kRunnable;
+      } else {
+        p.completion_code = call.args[1];
+        p.state = ProcessState::kTerminated;
+      }
+      return false;
+    }
+
+    case SyscallClass::kBlockingCommand:
+      if (!config_.enable_blocking_command) {
+        SyscallReturn::Failure(ErrorCode::kNoSupport).WriteTo(p.ctx);
+        return true;
+      }
+      return HandleBlockingCommand(p, call);
+  }
+  SyscallReturn::Failure(ErrorCode::kNoSupport).WriteTo(p.ctx);
+  return true;
+}
+
+SyscallReturn Kernel::HandleSubscribe(Process& p, const Syscall& call) {
+  uint32_t driver_num = call.args[0];
+  uint32_t sub_num = call.args[1];
+  uint32_t fn = call.args[2];
+  uint32_t userdata = call.args[3];
+
+  SyscallDriver* driver = LookupDriver(driver_num);
+  if (driver == nullptr) {
+    return SyscallReturn::Failure2U32(ErrorCode::kNoDevice, fn, userdata);
+  }
+  Result<void> veto = driver->Subscribe(p.id, sub_num);
+  if (!veto.ok()) {
+    return SyscallReturn::Failure2U32(veto.error(), fn, userdata);
+  }
+  SubscribeSlot* slot = p.FindOrCreateSubscribe(driver_num, sub_num);
+  if (slot == nullptr) {
+    return SyscallReturn::Failure2U32(ErrorCode::kNoMem, fn, userdata);
+  }
+
+  // Swapping semantics (§3.3.2): the previous upcall is returned to userspace, and
+  // queued deliveries of it are scrubbed so the old function can never fire again.
+  uint32_t old_fn = slot->fn;
+  uint32_t old_userdata = slot->userdata;
+  slot->fn = fn;
+  slot->userdata = userdata;
+  p.upcall_queue.RemoveIf([&](const QueuedUpcall& u) {
+    return u.driver == driver_num && u.sub_num == sub_num;
+  });
+  return SyscallReturn::Success2U32(old_fn, old_userdata);
+}
+
+SyscallReturn Kernel::HandleAllow(Process& p, const Syscall& call, bool read_only) {
+  uint32_t driver_num = call.args[0];
+  uint32_t allow_num = call.args[1];
+  uint32_t addr = call.args[2];
+  uint32_t len = call.args[3];
+
+  SyscallDriver* driver = LookupDriver(driver_num);
+  if (driver == nullptr) {
+    return SyscallReturn::Failure2U32(ErrorCode::kNoDevice, addr, len);
+  }
+
+  // Validate the buffer. Zero-length allows are always legal regardless of address:
+  // this is the "un-allow" idiom. §5.1.2's lesson is encoded here — the kernel
+  // accepts the arbitrary user pointer but *stores* it only as an opaque (addr, len)
+  // pair; it never materializes a zero-length host reference from it.
+  if (len > 0) {
+    bool valid = read_only ? (p.InAccessibleRam(addr, len) || p.InOwnFlash(addr, len))
+                           : p.InAccessibleRam(addr, len);
+    if (!valid) {
+      return SyscallReturn::Failure2U32(ErrorCode::kInvalid, addr, len);
+    }
+  }
+
+  if (config_.abi == SyscallAbiVersion::kV1) {
+    // Original semantics: hand the raw buffer to the capsule, which owns it from now
+    // on (unsound; kept for experiment E6).
+    Result<void> res = driver->LegacyAllowV1(p.id, allow_num, addr, len);
+    if (!res.ok()) {
+      return SyscallReturn::Failure2U32(res.error(), addr, len);
+    }
+    return SyscallReturn::Success2U32(0, 0);
+  }
+
+  // E7: optional runtime overlap rejection (the design §5.1.1 weighs and discards).
+  if (!read_only && config_.check_allow_overlap && len > 0) {
+    for (const AllowSlot& slot : p.allow_slots) {
+      if (slot.in_use && !slot.read_only && slot.len > 0 &&
+          !(slot.driver == driver_num && slot.allow_num == allow_num) &&
+          addr < slot.addr + slot.len && slot.addr < addr + len) {
+        return SyscallReturn::Failure2U32(ErrorCode::kInvalid, addr, len);
+      }
+    }
+  }
+
+  Result<void> veto = read_only ? driver->AllowReadOnly(p.id, allow_num, len)
+                                : driver->AllowReadWrite(p.id, allow_num, len);
+  if (!veto.ok()) {
+    return SyscallReturn::Failure2U32(veto.error(), addr, len);
+  }
+
+  AllowSlot* slot = p.FindOrCreateAllow(driver_num, allow_num, read_only);
+  if (slot == nullptr) {
+    return SyscallReturn::Failure2U32(ErrorCode::kNoMem, addr, len);
+  }
+  uint32_t old_addr = slot->addr;
+  uint32_t old_len = slot->len;
+  slot->addr = addr;
+  slot->len = len;
+  return SyscallReturn::Success2U32(old_addr, old_len);
+}
+
+SyscallReturn Kernel::HandleMemop(Process& p, const Syscall& call) {
+  switch (static_cast<MemopOp>(call.args[0])) {
+    case MemopOp::kBrk:
+      if (!p.SetBreak(call.args[1])) {
+        return SyscallReturn::Failure(ErrorCode::kNoMem);
+      }
+      ConfigureMpuFor(p);  // the accessible-RAM region follows the break
+      return SyscallReturn::Success();
+    case MemopOp::kSbrk: {
+      uint32_t old_break = p.app_break;
+      if (!p.SetBreak(p.app_break + call.args[1])) {
+        return SyscallReturn::Failure(ErrorCode::kNoMem);
+      }
+      ConfigureMpuFor(p);
+      return SyscallReturn::SuccessU32(old_break);
+    }
+    case MemopOp::kFlashStart:
+      return SyscallReturn::SuccessU32(p.flash_start);
+    case MemopOp::kFlashEnd:
+      return SyscallReturn::SuccessU32(p.flash_start + p.flash_size);
+    case MemopOp::kRamStart:
+      return SyscallReturn::SuccessU32(p.ram_start);
+    case MemopOp::kRamEnd:
+      return SyscallReturn::SuccessU32(p.app_break);
+  }
+  return SyscallReturn::Failure(ErrorCode::kNoSupport);
+}
+
+bool Kernel::HandleYield(Process& p, const Syscall& call) {
+  switch (static_cast<YieldVariant>(call.args[0])) {
+    case YieldVariant::kNoWait: {
+      if (TryDeliverQueuedUpcall(p)) {
+        return true;  // handler frame installed; a0=1 written on upcall return
+      }
+      p.ctx.x[Reg::kA0] = 0;  // no upcall ran
+      return true;
+    }
+    case YieldVariant::kWait: {
+      if (TryDeliverQueuedUpcall(p)) {
+        return true;
+      }
+      p.state = ProcessState::kYielded;
+      return false;
+    }
+    case YieldVariant::kWaitFor: {
+      uint32_t driver = call.args[1];
+      uint32_t sub = call.args[2];
+      // Consume a matching queued upcall if one already arrived.
+      QueuedUpcall matched;
+      bool found = false;
+      p.upcall_queue.RemoveIf([&](const QueuedUpcall& u) {
+        if (!found && u.driver == driver && u.sub_num == sub) {
+          matched = u;
+          found = true;
+          return true;
+        }
+        return false;
+      });
+      if (found) {
+        DeliverDirectReturn(p, matched);
+        return true;
+      }
+      p.state = ProcessState::kYieldedFor;
+      p.wait_driver = driver;
+      p.wait_sub = sub;
+      return false;
+    }
+  }
+  p.ctx.x[Reg::kA0] = 0;
+  return true;
+}
+
+bool Kernel::HandleBlockingCommand(Process& p, const Syscall& call) {
+  // Ti50-fork semantics (§3.2): driver in a0, command in a1, argument in a2, and the
+  // completion subscribe number in a3. One trap replaces the
+  // subscribe/command/yield/unsubscribe sequence.
+  uint32_t driver_num = call.args[0];
+  SyscallDriver* driver = LookupDriver(driver_num);
+  if (driver == nullptr) {
+    SyscallReturn::Failure(ErrorCode::kNoDevice).WriteTo(p.ctx);
+    return true;
+  }
+  SyscallReturn started = driver->Command(p.id, call.args[1], call.args[2], 0);
+  if (static_cast<uint32_t>(started.variant) < static_cast<uint32_t>(ReturnVariant::kSuccess)) {
+    started.WriteTo(p.ctx);  // command failed synchronously
+    return true;
+  }
+
+  uint32_t sub = call.args[3];
+  QueuedUpcall matched;
+  bool found = false;
+  p.upcall_queue.RemoveIf([&](const QueuedUpcall& u) {
+    if (!found && u.driver == driver_num && u.sub_num == sub) {
+      matched = u;
+      found = true;
+      return true;
+    }
+    return false;
+  });
+  if (found) {
+    DeliverDirectReturn(p, matched);
+    return true;
+  }
+  p.state = ProcessState::kYieldedFor;
+  p.wait_driver = driver_num;
+  p.wait_sub = sub;
+  p.blocking_command_wait = true;
+  return false;
+}
+
+// ---- Main loop ---------------------------------------------------------------------------
+
+bool Kernel::MainLoopStep(const MainLoopCapability& cap, uint64_t deadline_cycles) {
+  (void)cap;
+  ServiceInterrupts();
+  bool deferred_ran = RunDeferredCalls();
+
+  if (Process* p = NextSchedulableProcess()) {
+    ExecuteProcess(*p, deadline_cycles);
+    return true;
+  }
+  if (deferred_ran || mcu_->irq().AnyPending()) {
+    return true;
+  }
+
+  // Nothing to do: sleep until the next hardware event (§2.5), without overshooting
+  // the caller's deadline.
+  mcu_->SleepUntilInterrupt(deadline_cycles);
+  return !mcu_->wedged();
+}
+
+void Kernel::MainLoop(uint64_t deadline_cycles, const MainLoopCapability& cap) {
+  while (mcu_->CyclesNow() < deadline_cycles) {
+    if (!MainLoopStep(cap, deadline_cycles)) {
+      return;  // wedged: no runnable process and no future hardware event
+    }
+  }
+}
+
+}  // namespace tock

@@ -1,0 +1,208 @@
+// ERA: 2
+// The Tock kernel core: system call dispatch, the asynchronous main loop, process
+// scheduling, interrupt servicing, deferred calls, grants, and the kernel-held
+// allow/subscribe machinery of the 2.0 ABI (§2.5, §3.3).
+#ifndef TOCK_KERNEL_KERNEL_H_
+#define TOCK_KERNEL_KERNEL_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "hw/mcu.h"
+#include "hw/timer.h"
+#include "kernel/capability.h"
+#include "kernel/config.h"
+#include "kernel/driver.h"
+#include "kernel/process.h"
+#include "kernel/syscall.h"
+#include "util/error.h"
+#include "vm/cpu.h"
+
+namespace tock {
+
+// Parameters the loader supplies when creating a process.
+struct ProcessCreateInfo {
+  std::string name;
+  uint32_t flash_start = 0;
+  uint32_t flash_size = 0;
+  uint32_t entry_point = 0;
+  uint32_t min_ram = 4096;  // initial app-accessible size (app break above ram_start)
+};
+
+class Kernel {
+ public:
+  static constexpr size_t kMaxProcesses = 8;
+  static constexpr size_t kMaxDrivers = 24;
+  static constexpr size_t kMaxDeferredCalls = 16;
+
+  // RAM reserved at the bottom for the kernel itself (stack/statics on real
+  // hardware); process quotas are carved above it.
+  static constexpr uint32_t kKernelRamReserve = 32 * 1024;
+
+  Kernel(Mcu* mcu, SysTick* systick, const KernelConfig& config);
+
+  const KernelConfig& config() const { return config_; }
+  Mcu* mcu() { return mcu_; }
+
+  // ---- Board wiring (trusted initialization) -------------------------------------
+  void RegisterDriver(uint32_t driver_num, SyscallDriver* driver);
+  void RegisterIrqHandler(unsigned line, InterruptService* service);
+  // Allocates one of the per-process grant slots. Requires the memory-allocation
+  // capability: only board init may shape the grant layout (§4.4).
+  unsigned AllocateGrantId(const MemoryAllocationCapability& cap);
+
+  // ---- Process management (capability-gated, §4.4) -------------------------------
+  Process* CreateProcess(const ProcessCreateInfo& info, const ProcessManagementCapability& cap);
+  Result<void> StopProcess(ProcessId pid, const ProcessManagementCapability& cap);
+  Result<void> RestartProcess(ProcessId pid, const ProcessManagementCapability& cap);
+
+  // ---- Main loop -----------------------------------------------------------------
+  // Runs until `deadline_cycles` of simulated time pass, or the system wedges
+  // (nothing runnable, no pending hardware event). Holding the MainLoopCapability is
+  // required: the loop reconfigures the MPU and executes untrusted code.
+  void MainLoop(uint64_t deadline_cycles, const MainLoopCapability& cap);
+  // One scheduling pass; returns false when the system is wedged. `deadline_cycles`
+  // bounds how far an idle sleep may fast-forward the clock (multi-board lockstep).
+  bool MainLoopStep(const MainLoopCapability& cap, uint64_t deadline_cycles = UINT64_MAX);
+
+  // ---- Capsule services (safe API surface, §2.2) ----------------------------------
+  // Schedules an upcall for (driver, sub). Returns kInvalid for a dead process; a
+  // null or missing subscription drops the upcall successfully (Tock semantics).
+  Result<void> ScheduleUpcall(ProcessId pid, uint32_t driver, uint32_t sub, uint32_t arg0,
+                              uint32_t arg1, uint32_t arg2);
+
+  // Lends the contents of an allowed read-write buffer to `fn` as a span, after
+  // liveness + generation checks. The span must not escape `fn` — this is the
+  // closure-scoped access of §3.3.2. Returns kInvalid if no such buffer.
+  template <typename Fn>
+  Result<void> WithReadWriteBuffer(ProcessId pid, uint32_t driver, uint32_t allow_num, Fn&& fn) {
+    Process* p = GetLiveProcess(pid);
+    if (p == nullptr) {
+      return Result<void>(ErrorCode::kInvalid);
+    }
+    AllowSlot* slot = p->FindAllow(driver, allow_num, /*read_only=*/false);
+    if (slot == nullptr || !slot->in_use) {
+      return Result<void>(ErrorCode::kInvalid);
+    }
+    fn(std::span<uint8_t>(TranslateRam(slot->addr), slot->len));
+    return Result<void>::Ok();
+  }
+
+  template <typename Fn>
+  Result<void> WithReadOnlyBuffer(ProcessId pid, uint32_t driver, uint32_t allow_num, Fn&& fn) {
+    Process* p = GetLiveProcess(pid);
+    if (p == nullptr) {
+      return Result<void>(ErrorCode::kInvalid);
+    }
+    AllowSlot* slot = p->FindAllow(driver, allow_num, /*read_only=*/true);
+    if (slot == nullptr || !slot->in_use) {
+      return Result<void>(ErrorCode::kInvalid);
+    }
+    fn(std::span<const uint8_t>(TranslateMem(slot->addr), slot->len));
+    return Result<void>::Ok();
+  }
+
+  bool IsAlive(ProcessId pid) const;
+
+  // Grant entry: returns the host view of the grant allocation for (pid, grant_id),
+  // allocating `size` bytes from the process's own RAM quota on first entry
+  // (`*first_time` reports whether initialization is needed). nullptr = dead process
+  // or quota exhausted. Used via the typed Grant<T> wrapper (kernel/grant.h).
+  void* GrantEnterRaw(ProcessId pid, unsigned grant_id, uint32_t size, uint32_t align,
+                      bool* first_time);
+
+  // Deferred calls (§2.5): capsules register once, then set the flag to be called
+  // back from the main loop outside any interrupt context.
+  int RegisterDeferredCall(DeferredCallClient* client);
+  void SetDeferredCall(int handle);
+
+  // ---- Introspection (process console, tests, experiments) ------------------------
+  Process* process(size_t index) {
+    return index < kMaxProcesses ? &processes_[index] : nullptr;
+  }
+  Process* GetLiveProcess(ProcessId pid);
+  size_t NumLiveProcesses() const;
+  uint64_t total_syscalls() const { return total_syscalls_; }
+  uint64_t total_context_switches() const { return total_context_switches_; }
+  uint64_t total_upcalls() const { return total_upcalls_; }
+  uint64_t dropped_upcalls() const { return dropped_upcalls_; }
+
+  // TRUSTED-BEGIN(process memory translation): converts a validated simulated RAM
+  // address into a host pointer. Every caller must have bounds-checked the range
+  // against the owning process's layout first; this is the single place the
+  // simulation's equivalent of a raw pointer dereference happens.
+  uint8_t* TranslateRam(uint32_t addr);
+  const uint8_t* TranslateMem(uint32_t addr);  // RAM or flash (read-only allows)
+  // TRUSTED-END
+
+ private:
+  struct DriverEntry {
+    uint32_t num = 0;
+    SyscallDriver* driver = nullptr;
+  };
+
+  SyscallDriver* LookupDriver(uint32_t driver_num);
+
+  // Scheduler: picks the next schedulable process (round-robin) or nullptr.
+  Process* NextSchedulableProcess();
+  bool HasDeliverableWork(const Process& p) const;
+
+  // Runs one process until it blocks, faults, exits, exhausts its timeslice, or the
+  // simulation deadline passes (a cooperative process with no pending hardware
+  // events would otherwise run unboundedly — fine on silicon, not in a simulator).
+  void ExecuteProcess(Process& p, uint64_t deadline_cycles);
+  void ConfigureMpuFor(const Process& p);
+  void InitProcessContext(Process& p);
+
+  // Syscall handling. Returns true if the process should keep running.
+  bool HandleSyscall(Process& p);
+  SyscallReturn HandleSubscribe(Process& p, const Syscall& call);
+  SyscallReturn HandleAllow(Process& p, const Syscall& call, bool read_only);
+  SyscallReturn HandleMemop(Process& p, const Syscall& call);
+  bool HandleYield(Process& p, const Syscall& call);
+  bool HandleBlockingCommand(Process& p, const Syscall& call);
+
+  // Upcall machinery.
+  bool TryDeliverQueuedUpcall(Process& p);
+  void InvokeUpcallHandler(Process& p, const QueuedUpcall& upcall, uint32_t fn,
+                           uint32_t userdata);
+  void DeliverDirectReturn(Process& p, const QueuedUpcall& upcall);
+
+  void FaultProcess(Process& p);
+  void ServiceInterrupts();
+  bool RunDeferredCalls();
+
+  Mcu* mcu_;
+  SysTick* systick_;
+  KernelConfig config_;
+  Cpu cpu_;
+
+  std::array<Process, kMaxProcesses> processes_;
+  size_t num_created_processes_ = 0;
+  size_t schedule_cursor_ = 0;
+  uint8_t mpu_configured_for_ = 0xFF;  // process index currently mapped by the MPU
+
+  std::array<DriverEntry, kMaxDrivers> drivers_{};
+  size_t num_drivers_ = 0;
+
+  std::array<InterruptService*, InterruptController::kNumLines> irq_handlers_{};
+
+  struct DeferredEntry {
+    DeferredCallClient* client = nullptr;
+    bool pending = false;
+  };
+  std::array<DeferredEntry, kMaxDeferredCalls> deferred_{};
+  size_t num_deferred_ = 0;
+
+  unsigned next_grant_id_ = 0;
+
+  uint64_t total_syscalls_ = 0;
+  uint64_t total_context_switches_ = 0;
+  uint64_t total_upcalls_ = 0;
+  uint64_t dropped_upcalls_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_KERNEL_H_

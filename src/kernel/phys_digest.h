@@ -1,0 +1,28 @@
+// ERA: 3
+// Privileged digest interface used by the process loader: hash/MAC a physical
+// memory range (typically a flash-resident app image) without buffering it through
+// kernel RAM. Implemented by the SHA accelerator's chip driver.
+#ifndef TOCK_KERNEL_PHYS_DIGEST_H_
+#define TOCK_KERNEL_PHYS_DIGEST_H_
+
+#include <cstdint>
+
+#include "util/error.h"
+#include "util/subslice.h"
+
+namespace tock {
+
+class PhysDigestEngine {
+ public:
+  static constexpr uint32_t kDigestSize = 32;
+  using PhysDoneFn = void (*)(void* context, const uint8_t digest[kDigestSize], bool ok);
+
+  virtual ~PhysDigestEngine() = default;
+  virtual Result<void> SetHmacKey(SubSlice key) = 0;
+  virtual Result<void> ComputeDigestPhys(uint32_t addr, uint32_t len, PhysDoneFn done,
+                                         void* context) = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_PHYS_DIGEST_H_

@@ -1,0 +1,121 @@
+// ERA: 1
+#include "kernel/process.h"
+
+namespace tock {
+
+const char* ProcessStateName(ProcessState state) {
+  switch (state) {
+    case ProcessState::kUnstarted:
+      return "Unstarted";
+    case ProcessState::kRunnable:
+      return "Runnable";
+    case ProcessState::kYielded:
+      return "Yielded";
+    case ProcessState::kYieldedFor:
+      return "YieldedFor";
+    case ProcessState::kFaulted:
+      return "Faulted";
+    case ProcessState::kTerminated:
+      return "Terminated";
+  }
+  return "?";
+}
+
+AllowSlot* Process::FindAllow(uint32_t driver, uint32_t allow_num, bool read_only) {
+  for (AllowSlot& slot : allow_slots) {
+    if (slot.in_use && slot.driver == driver && slot.allow_num == allow_num &&
+        slot.read_only == read_only) {
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+SubscribeSlot* Process::FindSubscribe(uint32_t driver, uint32_t sub_num) {
+  for (SubscribeSlot& slot : subscribe_slots) {
+    if (slot.in_use && slot.driver == driver && slot.sub_num == sub_num) {
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+AllowSlot* Process::FindOrCreateAllow(uint32_t driver, uint32_t allow_num, bool read_only) {
+  if (AllowSlot* existing = FindAllow(driver, allow_num, read_only)) {
+    return existing;
+  }
+  for (AllowSlot& slot : allow_slots) {
+    if (!slot.in_use) {
+      slot = AllowSlot{true, read_only, driver, allow_num, 0, 0};
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+SubscribeSlot* Process::FindOrCreateSubscribe(uint32_t driver, uint32_t sub_num) {
+  if (SubscribeSlot* existing = FindSubscribe(driver, sub_num)) {
+    return existing;
+  }
+  for (SubscribeSlot& slot : subscribe_slots) {
+    if (!slot.in_use) {
+      slot = SubscribeSlot{true, driver, sub_num, 0, 0};
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+uint32_t Process::AllocateGrantMemory(uint32_t size, uint32_t align) {
+  if (align == 0) {
+    align = 4;
+  }
+  uint32_t candidate = grant_break - size;
+  candidate &= ~(align - 1);
+  if (candidate < app_break || candidate > grant_break) {  // overflow check via wrap
+    return 0;
+  }
+  grant_break = candidate;
+  grant_bytes_allocated += size;
+  return candidate;
+}
+
+bool Process::SetBreak(uint32_t new_break) {
+  if (new_break < ram_start || new_break > grant_break) {
+    return false;
+  }
+  app_break = new_break;
+  return true;
+}
+
+bool Process::InAccessibleRam(uint32_t addr, uint32_t len) const {
+  uint64_t end = static_cast<uint64_t>(addr) + len;
+  return addr >= ram_start && end <= app_break;
+}
+
+bool Process::InOwnFlash(uint32_t addr, uint32_t len) const {
+  uint64_t end = static_cast<uint64_t>(addr) + len;
+  return addr >= flash_start && end <= static_cast<uint64_t>(flash_start) + flash_size;
+}
+
+void Process::ResetForRestart() {
+  ctx = CpuContext{};
+  saved_contexts.Clear();
+  wait_driver = 0;
+  wait_sub = 0;
+  blocking_command_wait = false;
+  yield_flag_pending = 0;
+  for (AllowSlot& slot : allow_slots) {
+    slot = AllowSlot{};
+  }
+  for (SubscribeSlot& slot : subscribe_slots) {
+    slot = SubscribeSlot{};
+  }
+  upcall_queue.Clear();
+  grant_ptrs.fill(0);
+  grant_break = ram_start + ram_size;
+  app_break = ram_start;
+  ++id.generation;
+}
+
+}  // namespace tock

@@ -1,0 +1,158 @@
+// ERA: 1
+// The process control block (§2.3, §2.4).
+//
+// A process owns: a region of flash holding its (untrusted) binary, a fixed quota of
+// RAM, and nothing else. Everything the kernel must remember on its behalf — allow
+// slots, subscriptions, queued upcalls, grant allocations — lives either in this
+// fixed-size PCB or *inside the process's own RAM quota* (grants), so a greedy or
+// malicious process can only ever exhaust itself (§2.4).
+#ifndef TOCK_KERNEL_PROCESS_H_
+#define TOCK_KERNEL_PROCESS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "kernel/syscall.h"
+#include "util/ring_buffer.h"
+#include "util/static_vec.h"
+#include "vm/cpu.h"
+
+namespace tock {
+
+// Identifies a process slot *and* its incarnation. Capsules hold ProcessIds, never
+// pointers; the generation check is how the kernel guarantees that state belonging
+// to a dead process can never be touched through a stale identifier (the liveness
+// check behind every Allow access, §5.1).
+struct ProcessId {
+  uint8_t index = 0xFF;
+  uint32_t generation = 0;
+
+  bool operator==(const ProcessId& other) const = default;
+  bool IsValid() const { return index != 0xFF; }
+};
+
+enum class ProcessState {
+  kUnstarted,   // loaded and verified, not yet run
+  kRunnable,    // has work to do (or is mid-timeslice)
+  kYielded,     // blocked in yield-wait until any upcall arrives
+  kYieldedFor,  // blocked in yield-wait-for / blocking-command on one upcall
+  kFaulted,     // hit an MPU violation or illegal instruction; per-policy disposition
+  kTerminated,  // exited (or was stopped); slot reusable after Reset
+};
+
+const char* ProcessStateName(ProcessState state);
+
+// One kernel-held allowed-buffer slot (Tock 2.0 swapping semantics, §3.3.2). The
+// kernel owns these; capsules only ever see the contents through short-lived spans
+// inside closures.
+struct AllowSlot {
+  bool in_use = false;
+  bool read_only = false;
+  uint32_t driver = 0;
+  uint32_t allow_num = 0;
+  uint32_t addr = 0;
+  uint32_t len = 0;
+};
+
+// One kernel-held subscription slot.
+struct SubscribeSlot {
+  bool in_use = false;
+  uint32_t driver = 0;
+  uint32_t sub_num = 0;
+  uint32_t fn = 0;        // 0 = the null upcall
+  uint32_t userdata = 0;
+};
+
+// A queued upcall: function pointer resolved at delivery time from the subscription
+// table, so re-subscribing scrubs stale queue entries instead of firing old handlers.
+struct QueuedUpcall {
+  uint32_t driver = 0;
+  uint32_t sub_num = 0;
+  uint32_t args[3] = {0, 0, 0};
+};
+
+struct ProcessFaultInfo {
+  VmFault vm_fault;
+  uint64_t at_cycle = 0;
+};
+
+class Process {
+ public:
+  static constexpr size_t kMaxAllowSlots = 16;
+  static constexpr size_t kMaxSubscribeSlots = 16;
+  static constexpr size_t kMaxGrants = 8;
+  static constexpr size_t kUpcallQueueDepth = 16;
+  static constexpr size_t kMaxUpcallNesting = 4;
+
+  // --- Identity & layout (set by the loader) ---
+  ProcessId id;
+  std::string name;
+  uint32_t flash_start = 0;  // app region in flash (TBF header at this address)
+  uint32_t flash_size = 0;
+  uint32_t entry_point = 0;  // absolute address of _start
+  uint32_t ram_start = 0;    // base of this process's RAM quota
+  uint32_t ram_size = 0;     // quota size
+  uint32_t app_break = 0;    // [ram_start, app_break) is app-accessible (MPU RW)
+  uint32_t grant_break = 0;  // (grant_break, ram_start+ram_size] holds grants
+  uint32_t initial_break = 0;  // app_break value at load time (restored on restart)
+
+  // --- Execution state ---
+  ProcessState state = ProcessState::kTerminated;
+  CpuContext ctx;
+  StaticVec<CpuContext, kMaxUpcallNesting> saved_contexts;  // upcall nesting stack
+  // For kYieldedFor: which upcall unblocks us.
+  uint32_t wait_driver = 0;
+  uint32_t wait_sub = 0;
+  bool blocking_command_wait = false;  // kYieldedFor came from kBlockingCommand
+  uint32_t yield_flag_pending = 0;     // a0 to write when a no-wait/wait yield resumes
+
+  ProcessFaultInfo fault_info;
+  uint32_t completion_code = 0;
+  uint32_t restart_count = 0;
+
+  // --- Kernel-held syscall state ---
+  std::array<AllowSlot, kMaxAllowSlots> allow_slots;
+  std::array<SubscribeSlot, kMaxSubscribeSlots> subscribe_slots;
+  RingBuffer<QueuedUpcall, kUpcallQueueDepth> upcall_queue;
+  std::array<uint32_t, kMaxGrants> grant_ptrs{};  // 0 = not yet allocated
+
+  // --- Statistics (process console / experiments) ---
+  uint64_t syscall_count = 0;
+  uint64_t upcalls_delivered = 0;
+  uint64_t timeslice_expirations = 0;
+  uint64_t grant_bytes_allocated = 0;
+
+  bool IsAlive() const {
+    return state != ProcessState::kTerminated && state != ProcessState::kFaulted;
+  }
+
+  // Looks up a slot, returning nullptr when absent.
+  AllowSlot* FindAllow(uint32_t driver, uint32_t allow_num, bool read_only);
+  SubscribeSlot* FindSubscribe(uint32_t driver, uint32_t sub_num);
+
+  // Finds-or-creates; returns nullptr when the fixed table is full (the process has
+  // hit its own resource bound — no other process is affected).
+  AllowSlot* FindOrCreateAllow(uint32_t driver, uint32_t allow_num, bool read_only);
+  SubscribeSlot* FindOrCreateSubscribe(uint32_t driver, uint32_t sub_num);
+
+  // Grant bump allocator: carves `size` bytes (aligned) off the top of the RAM quota,
+  // growing down toward app_break. Returns 0 on exhaustion.
+  uint32_t AllocateGrantMemory(uint32_t size, uint32_t align);
+
+  // memop brk/sbrk support. The break may grow up to the grant break.
+  bool SetBreak(uint32_t new_break);
+
+  // True if [addr, addr+len) lies entirely in app-accessible RAM.
+  bool InAccessibleRam(uint32_t addr, uint32_t len) const;
+  // True if [addr, addr+len) lies in this app's flash region (read-only allows of
+  // keys stored in flash, §3.3.3).
+  bool InOwnFlash(uint32_t addr, uint32_t len) const;
+
+  // Clears all transient state for restart or reuse; bumps the generation.
+  void ResetForRestart();
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_PROCESS_H_

@@ -1,0 +1,213 @@
+// ERA: 3
+#include "kernel/process_loader.h"
+
+#include <cstring>
+
+#include "crypto/hmac_sha256.h"
+
+namespace tock {
+
+void ProcessLoader::SetDeviceKey(const uint8_t key[32]) {
+  std::memcpy(device_key_, key, sizeof(device_key_));
+  have_key_ = true;
+}
+
+bool ProcessLoader::ReadHeader(uint32_t flash_addr, TbfHeader* out) const {
+  if (flash_addr + TbfHeader::kHeaderSize > app_flash_end_) {
+    return false;
+  }
+  return kernel_->mcu()->bus().ReadBlock(flash_addr, reinterpret_cast<uint8_t*>(out),
+                                         TbfHeader::kHeaderSize);
+}
+
+Result<Process*> ProcessLoader::CreateFromHeader(uint32_t flash_addr, const TbfHeader& header,
+                                                 bool verified) {
+  (void)verified;
+  ProcessCreateInfo info;
+  info.name = header.Name();
+  info.flash_start = flash_addr;
+  info.flash_size = header.total_size;
+  info.entry_point = flash_addr + header.entry_offset;
+  info.min_ram = header.min_ram;
+  Process* p = kernel_->CreateProcess(info, pm_cap_);
+  if (p == nullptr) {
+    return ErrorCode::kNoMem;
+  }
+  return p;
+}
+
+// ---- Synchronous loader --------------------------------------------------------------
+
+int ProcessLoader::LoadAllSync() {
+  int created = 0;
+  uint32_t addr = app_flash_start_;
+  while (addr + TbfHeader::kHeaderSize <= app_flash_end_) {
+    TbfHeader header;
+    if (!ReadHeader(addr, &header) || header.magic != TbfHeader::kMagic) {
+      break;  // end of packed app list
+    }
+    LoadRecord record;
+    record.flash_addr = addr;
+    if (!header.StructurallyValid() ||
+        addr + header.total_size > app_flash_end_) {
+      record.name = "<invalid>";
+      record.reject_reason = "structural check failed";
+      ++rejected_count_;
+      records_.push_back(record);
+      // A corrupt total_size would wedge the scan; stop at first bad header.
+      break;
+    }
+    record.name = header.Name();
+    if (header.IsEnabled()) {
+      Result<Process*> result = CreateFromHeader(addr, header, /*verified=*/false);
+      if (result.ok()) {
+        record.created = true;
+        record.pid = result.value()->id;
+        ++created;
+        ++created_count_;
+      } else {
+        record.reject_reason = "out of process slots or RAM";
+        ++rejected_count_;
+      }
+    } else {
+      record.reject_reason = "disabled";
+    }
+    records_.push_back(record);
+    addr += header.total_size;
+  }
+  state_ = State::kDone;
+  return created;
+}
+
+// ---- Asynchronous loader --------------------------------------------------------------
+
+Result<void> ProcessLoader::StartAsyncLoad() {
+  if (digester_ == nullptr || !have_key_) {
+    return Result<void>(ErrorCode::kUninstalled);
+  }
+  if (state_ == State::kScanning || state_ == State::kVerifying) {
+    return Result<void>(ErrorCode::kBusy);
+  }
+  Result<void> keyed = digester_->SetHmacKey(SubSlice(device_key_, sizeof(device_key_)));
+  if (!keyed.ok()) {
+    return keyed;
+  }
+  single_mode_ = false;
+  scan_addr_ = app_flash_start_;
+  state_ = State::kScanning;
+  ProcessCurrentCandidate();
+  return Result<void>::Ok();
+}
+
+Result<void> ProcessLoader::LoadOneAsync(uint32_t flash_addr) {
+  if (digester_ == nullptr || !have_key_) {
+    return Result<void>(ErrorCode::kUninstalled);
+  }
+  if (state_ == State::kScanning || state_ == State::kVerifying) {
+    return Result<void>(ErrorCode::kBusy);
+  }
+  Result<void> keyed = digester_->SetHmacKey(SubSlice(device_key_, sizeof(device_key_)));
+  if (!keyed.ok()) {
+    return keyed;
+  }
+  single_mode_ = true;
+  scan_addr_ = flash_addr;
+  state_ = State::kScanning;
+  ProcessCurrentCandidate();
+  return Result<void>::Ok();
+}
+
+void ProcessLoader::ProcessCurrentCandidate() {
+  // Step 1 of the per-app state machine: structural/header integrity.
+  TbfHeader header;
+  if (!ReadHeader(scan_addr_, &header) || header.magic != TbfHeader::kMagic) {
+    state_ = State::kDone;  // end of packed list
+    return;
+  }
+  if (!header.StructurallyValid() || scan_addr_ + header.total_size > app_flash_end_) {
+    LoadRecord record;
+    record.flash_addr = scan_addr_;
+    record.name = "<invalid>";
+    record.reject_reason = "structural check failed";
+    ++rejected_count_;
+    records_.push_back(record);
+    state_ = State::kDone;  // cannot trust total_size to continue the scan
+    return;
+  }
+  current_header_ = header;
+
+  if (!header.IsEnabled()) {
+    FinishCurrent(/*create=*/false, /*verified=*/false, "disabled");
+    return;
+  }
+  if (!header.IsSigned()) {
+    // The signed-app security model rejects unsigned images outright.
+    FinishCurrent(/*create=*/false, /*verified=*/false, "unsigned image");
+    return;
+  }
+
+  // Step 2: cryptographic integrity+authenticity. The accelerator raises an
+  // interrupt when the MAC over [header | binary] is ready.
+  state_ = State::kVerifying;
+  Result<void> started = digester_->ComputeDigestPhys(
+      scan_addr_, TbfHeader::kHeaderSize + current_header_.binary_size, &DigestDoneTrampoline,
+      this);
+  if (!started.ok()) {
+    FinishCurrent(/*create=*/false, /*verified=*/false, "digest engine unavailable");
+  }
+}
+
+void ProcessLoader::DigestDoneTrampoline(void* context, const uint8_t digest[32], bool ok) {
+  static_cast<ProcessLoader*>(context)->OnDigestDone(digest, ok);
+}
+
+void ProcessLoader::OnDigestDone(const uint8_t digest[32], bool ok) {
+  // Step 3: compare against the signature stored after the binary.
+  uint8_t expected[TbfHeader::kSignatureSize];
+  uint32_t sig_addr = scan_addr_ + TbfHeader::kHeaderSize + current_header_.binary_size;
+  bool sig_read = kernel_->mcu()->bus().ReadBlock(sig_addr, expected, sizeof(expected));
+
+  if (!ok || !sig_read || !HmacSha256::VerifyTag(expected, digest, sizeof(expected))) {
+    FinishCurrent(/*create=*/false, /*verified=*/false, "signature verification failed");
+    return;
+  }
+  // Step 4: runnability (process slot + RAM quota), then create.
+  FinishCurrent(/*create=*/true, /*verified=*/true, nullptr);
+}
+
+void ProcessLoader::FinishCurrent(bool create, bool verified, const char* reject_reason) {
+  LoadRecord record;
+  record.flash_addr = scan_addr_;
+  record.name = current_header_.Name();
+  record.verified = verified;
+  record.reject_reason = reject_reason;
+
+  if (create) {
+    Result<Process*> result = CreateFromHeader(scan_addr_, current_header_, verified);
+    if (result.ok()) {
+      record.created = true;
+      record.pid = result.value()->id;
+      ++created_count_;
+    } else {
+      record.reject_reason = "out of process slots or RAM";
+      ++rejected_count_;
+    }
+  } else if (reject_reason != nullptr && std::strcmp(reject_reason, "disabled") != 0) {
+    ++rejected_count_;
+  }
+  records_.push_back(record);
+
+  if (single_mode_) {
+    state_ = State::kDone;
+    return;
+  }
+  AdvanceScan();
+}
+
+void ProcessLoader::AdvanceScan() {
+  scan_addr_ += current_header_.total_size;
+  state_ = State::kScanning;
+  ProcessCurrentCandidate();
+}
+
+}  // namespace tock

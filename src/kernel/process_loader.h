@@ -1,0 +1,110 @@
+// ERA: 3
+// Process loading (§3.4).
+//
+// Two loaders share the structural header checks:
+//
+//  * The **synchronous loader** is the original design: one pass over the app flash
+//    region, validating magic/version/checksum and creating a process per enabled
+//    header. Cheap, but cannot perform cryptographic checks, because crypto hardware
+//    completes asynchronously.
+//
+//  * The **asynchronous loader** is the state machine the signed-application security
+//    model forced: each candidate image walks
+//        CheckHeader -> ComputeDigest (hardware, interrupt-completed) -> Verify ->
+//        CreateProcess -> next image,
+//    driven entirely by digest-completion callbacks. As the paper notes, once
+//    loading is a state machine, dynamically loading an app at runtime is just
+//    "trigger the kernel to check the new process" — LoadOneAsync.
+#ifndef TOCK_KERNEL_PROCESS_LOADER_H_
+#define TOCK_KERNEL_PROCESS_LOADER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/capability.h"
+#include "kernel/kernel.h"
+#include "kernel/phys_digest.h"
+#include "kernel/tbf.h"
+
+namespace tock {
+
+class ProcessLoader {
+ public:
+  enum class State { kIdle, kScanning, kVerifying, kDone };
+
+  struct LoadRecord {
+    std::string name;
+    uint32_t flash_addr = 0;
+    bool created = false;
+    bool verified = false;  // passed a cryptographic check (async loader only)
+    const char* reject_reason = nullptr;
+    ProcessId pid;
+  };
+
+  ProcessLoader(Kernel* kernel, uint32_t app_flash_start, uint32_t app_flash_end,
+                ProcessManagementCapability pm_cap, ProcessLoadingCapability load_cap)
+      : kernel_(kernel),
+        app_flash_start_(app_flash_start),
+        app_flash_end_(app_flash_end),
+        pm_cap_(pm_cap),
+        load_cap_(load_cap) {}
+
+  // Wires the crypto engine + device key needed for signature verification.
+  void SetDigestEngine(PhysDigestEngine* digester) { digester_ = digester; }
+  void SetDeviceKey(const uint8_t key[32]);
+
+  // --- Synchronous loader ---
+  // Scans the whole region, creating processes after structural checks only.
+  // Signed images are *not* verified (the limitation that motivated the async
+  // design). Returns the number of processes created.
+  int LoadAllSync();
+
+  // --- Asynchronous loader ---
+  // Starts the scan; progress continues from digest-completion interrupts as the
+  // kernel main loop runs. Requires a digest engine and device key.
+  Result<void> StartAsyncLoad();
+
+  // Dynamically loads (and verifies) a single image that was placed at `flash_addr`
+  // at runtime — §3.4's "major benefit".
+  Result<void> LoadOneAsync(uint32_t flash_addr);
+
+  bool Done() const { return state_ == State::kDone; }
+  State state() const { return state_; }
+  int created_count() const { return created_count_; }
+  int rejected_count() const { return rejected_count_; }
+  const std::vector<LoadRecord>& records() const { return records_; }
+
+ private:
+  bool ReadHeader(uint32_t flash_addr, TbfHeader* out) const;
+  // Structural pass on the image at scan_addr_; advances or finishes.
+  void ProcessCurrentCandidate();
+  void AdvanceScan();
+  void FinishCurrent(bool create, bool verified, const char* reject_reason);
+  Result<Process*> CreateFromHeader(uint32_t flash_addr, const TbfHeader& header, bool verified);
+
+  static void DigestDoneTrampoline(void* context, const uint8_t digest[32], bool ok);
+  void OnDigestDone(const uint8_t digest[32], bool ok);
+
+  Kernel* kernel_;
+  uint32_t app_flash_start_;
+  uint32_t app_flash_end_;
+  ProcessManagementCapability pm_cap_;
+  ProcessLoadingCapability load_cap_;
+
+  PhysDigestEngine* digester_ = nullptr;
+  uint8_t device_key_[32] = {};
+  bool have_key_ = false;
+
+  State state_ = State::kIdle;
+  bool single_mode_ = false;  // LoadOneAsync: stop after the current candidate
+  uint32_t scan_addr_ = 0;
+  TbfHeader current_header_;
+  int created_count_ = 0;
+  int rejected_count_ = 0;
+  std::vector<LoadRecord> records_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_PROCESS_LOADER_H_

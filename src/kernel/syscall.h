@@ -1,0 +1,110 @@
+// ERA: 2
+// Tock 2.0 system call ABI (TRD104). Userspace traps with the system call class in
+// a4 and arguments in a0-a3; the kernel replies with a return-variant identifier in
+// a0 and payload words in a1-a3. Keeping the numeric values identical to upstream
+// Tock means the assembly in src/libtock reads like real Tock userspace code.
+#ifndef TOCK_KERNEL_SYSCALL_H_
+#define TOCK_KERNEL_SYSCALL_H_
+
+#include <cstdint>
+
+#include "util/error.h"
+#include "vm/cpu.h"
+
+namespace tock {
+
+enum class SyscallClass : uint32_t {
+  kYield = 0,
+  kSubscribe = 1,
+  kCommand = 2,
+  kReadWriteAllow = 3,
+  kReadOnlyAllow = 4,
+  kMemop = 5,
+  kExit = 6,
+  // Downstream extension modelled after Ti50's fork (§3.2); only decoded when
+  // KernelConfig::enable_blocking_command is set.
+  kBlockingCommand = 7,
+};
+
+// Yield argument values (first argument of the kYield class).
+enum class YieldVariant : uint32_t {
+  kNoWait = 0,
+  kWait = 1,
+  kWaitFor = 2,  // TRD104 yield-wait-for: returns the upcall values directly
+};
+
+// Exit argument values.
+enum class ExitVariant : uint32_t {
+  kTerminate = 0,
+  kRestart = 1,
+};
+
+// Memop operation numbers (subset of TRD104).
+enum class MemopOp : uint32_t {
+  kBrk = 0,
+  kSbrk = 1,
+  kFlashStart = 2,
+  kFlashEnd = 3,
+  kRamStart = 4,
+  kRamEnd = 5,
+};
+
+// TRD104 return variant identifiers.
+enum class ReturnVariant : uint32_t {
+  kFailure = 0,
+  kFailureU32 = 1,
+  kFailure2U32 = 2,
+  kFailureU64 = 3,
+  kSuccess = 128,
+  kSuccessU32 = 129,
+  kSuccess2U32 = 130,
+  kSuccessU64 = 131,
+  kSuccess3U32 = 132,
+};
+
+// A system call return value, written to a0-a3 of the faulting process.
+struct SyscallReturn {
+  ReturnVariant variant;
+  uint32_t values[3] = {0, 0, 0};
+
+  static SyscallReturn Success() { return {ReturnVariant::kSuccess, {0, 0, 0}}; }
+  static SyscallReturn SuccessU32(uint32_t v) { return {ReturnVariant::kSuccessU32, {v, 0, 0}}; }
+  static SyscallReturn Success2U32(uint32_t a, uint32_t b) {
+    return {ReturnVariant::kSuccess2U32, {a, b, 0}};
+  }
+  static SyscallReturn Success3U32(uint32_t a, uint32_t b, uint32_t c) {
+    return {ReturnVariant::kSuccess3U32, {a, b, c}};
+  }
+  static SyscallReturn Failure(ErrorCode error) {
+    return {ReturnVariant::kFailure, {static_cast<uint32_t>(error), 0, 0}};
+  }
+  static SyscallReturn FailureU32(ErrorCode error, uint32_t v) {
+    return {ReturnVariant::kFailureU32, {static_cast<uint32_t>(error), v, 0}};
+  }
+  static SyscallReturn Failure2U32(ErrorCode error, uint32_t a, uint32_t b) {
+    return {ReturnVariant::kFailure2U32, {static_cast<uint32_t>(error), a, b}};
+  }
+
+  // Applies this return value to a process context.
+  void WriteTo(CpuContext& ctx) const {
+    ctx.x[Reg::kA0] = static_cast<uint32_t>(variant);
+    ctx.x[Reg::kA1] = values[0];
+    ctx.x[Reg::kA2] = values[1];
+    ctx.x[Reg::kA3] = values[2];
+  }
+};
+
+// A decoded system call, read out of a trapped process's registers.
+struct Syscall {
+  SyscallClass klass;
+  uint32_t args[4];
+
+  static Syscall Decode(const CpuContext& ctx) {
+    return Syscall{static_cast<SyscallClass>(ctx.x[Reg::kA4]),
+                   {ctx.x[Reg::kA0], ctx.x[Reg::kA1], ctx.x[Reg::kA2], ctx.x[Reg::kA3]}};
+  }
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_SYSCALL_H_

@@ -1,0 +1,66 @@
+// ERA: 3
+#include "kernel/tbf.h"
+
+#include "crypto/hmac_sha256.h"
+
+namespace tock {
+
+uint32_t TbfHeader::ComputeChecksum() const {
+  TbfHeader copy = *this;
+  copy.checksum = 0;
+  uint32_t words[kHeaderSize / 4];
+  std::memcpy(words, &copy, sizeof(words));
+  uint32_t sum = 0;
+  for (uint32_t w : words) {
+    sum ^= w;
+  }
+  return sum;
+}
+
+bool TbfHeader::StructurallyValid() const {
+  if (magic != kMagic || version != kVersion || header_size != kHeaderSize) {
+    return false;
+  }
+  if (checksum != ComputeChecksum()) {
+    return false;
+  }
+  uint32_t payload = header_size + binary_size + (IsSigned() ? kSignatureSize : 0);
+  if (total_size < payload || total_size > payload + 8) {
+    return false;
+  }
+  if (entry_offset < header_size || entry_offset >= header_size + binary_size) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> BuildTbfImage(const std::string& name, const std::vector<uint8_t>& binary,
+                                   uint32_t entry_offset, uint32_t min_ram, bool sign,
+                                   const uint8_t* device_key) {
+  TbfHeader header;
+  std::memset(header.name, 0, sizeof(header.name));
+  std::memcpy(header.name, name.data(),
+              name.size() < sizeof(header.name) ? name.size() : sizeof(header.name));
+  header.binary_size = static_cast<uint32_t>(binary.size());
+  header.entry_offset = TbfHeader::kHeaderSize + entry_offset;
+  header.min_ram = min_ram;
+  header.flags = TbfHeader::kFlagEnabled | (sign ? TbfHeader::kFlagSigned : 0);
+  uint32_t payload = TbfHeader::kHeaderSize + header.binary_size +
+                     (sign ? TbfHeader::kSignatureSize : 0);
+  header.total_size = (payload + 7) & ~7u;
+  header.checksum = header.ComputeChecksum();
+
+  std::vector<uint8_t> image(header.total_size, 0);
+  std::memcpy(image.data(), &header, sizeof(header));
+  std::memcpy(image.data() + TbfHeader::kHeaderSize, binary.data(), binary.size());
+
+  if (sign) {
+    auto tag = HmacSha256::Compute(device_key, 32, image.data(),
+                                   TbfHeader::kHeaderSize + header.binary_size);
+    std::memcpy(image.data() + TbfHeader::kHeaderSize + header.binary_size, tag.data(),
+                tag.size());
+  }
+  return image;
+}
+
+}  // namespace tock

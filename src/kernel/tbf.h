@@ -1,0 +1,67 @@
+// ERA: 3
+// Tock Binary Format (simplified): the on-flash framing for application images.
+//
+// Layout of one app slot in flash:
+//   [TbfHeader (64 bytes)] [binary (binary_size bytes)] [signature (32 bytes, if
+//   signed)] padded so total_size is 8-aligned. Apps are packed back-to-back in the
+//   app flash region; a word that fails the magic check terminates the scan.
+//
+// The signature is an HMAC-SHA256 tag over header+binary under the device key
+// (stand-in for the per-image asymmetric signatures of §3.4 — same loader state
+// machine, dependency tree we fully control; see DESIGN.md).
+#ifndef TOCK_KERNEL_TBF_H_
+#define TOCK_KERNEL_TBF_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tock {
+
+struct TbfHeader {
+  static constexpr uint32_t kMagic = 0x544F434B;  // "TOCK"
+  static constexpr uint32_t kVersion = 2;
+  static constexpr uint32_t kHeaderSize = 64;
+  static constexpr uint32_t kSignatureSize = 32;
+
+  // Flags.
+  static constexpr uint32_t kFlagEnabled = 1u << 0;
+  static constexpr uint32_t kFlagSigned = 1u << 1;
+
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  uint32_t header_size = kHeaderSize;
+  uint32_t total_size = 0;    // header + binary + signature, 8-aligned
+  uint32_t entry_offset = 0;  // entry point, relative to the header start
+  uint32_t min_ram = 4096;    // requested initial app-accessible RAM
+  char name[16] = {};
+  uint32_t flags = kFlagEnabled;
+  uint32_t binary_size = 0;
+  uint32_t checksum = 0;  // XOR of all header words with this field zeroed
+  uint32_t reserved[3] = {};
+
+  bool IsEnabled() const { return (flags & kFlagEnabled) != 0; }
+  bool IsSigned() const { return (flags & kFlagSigned) != 0; }
+
+  // XOR checksum over the 64-byte header with the checksum word zeroed.
+  uint32_t ComputeChecksum() const;
+
+  // Structural validity: magic, version, sizes coherent.
+  bool StructurallyValid() const;
+
+  std::string Name() const {
+    return std::string(name, strnlen(name, sizeof(name)));
+  }
+};
+static_assert(sizeof(TbfHeader) == TbfHeader::kHeaderSize, "TBF header must be 64 bytes");
+
+// Builds a complete TBF image (header + binary [+ signature]) ready to be placed in
+// flash. `device_key` (32 bytes) is used when `sign` is set.
+std::vector<uint8_t> BuildTbfImage(const std::string& name, const std::vector<uint8_t>& binary,
+                                   uint32_t entry_offset, uint32_t min_ram, bool sign,
+                                   const uint8_t* device_key);
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_TBF_H_

@@ -1,0 +1,189 @@
+// ERA: 2
+#include "libtock/libtock.h"
+
+#include <cstring>
+
+namespace tock {
+
+std::string LibTockRuntimeAsm() {
+  // The kernel preserves every register except a0-a3 across a system call, so the
+  // veneers only need to marshal arguments. Yield variants and syscall class
+  // numbers follow TRD104 (see kernel/syscall.h).
+  return R"(
+# ---- libtock runtime veneers ----
+tock_command:
+    li a4, 2
+    ecall
+    ret
+tock_subscribe:
+    li a4, 1
+    ecall
+    ret
+tock_allow_rw:
+    li a4, 3
+    ecall
+    ret
+tock_allow_ro:
+    li a4, 4
+    ecall
+    ret
+tock_memop:
+    li a4, 5
+    ecall
+    ret
+tock_yield_nowait:
+    li a0, 0
+    li a4, 0
+    ecall
+    ret
+tock_yield_wait:
+    li a0, 1
+    li a4, 0
+    ecall
+    ret
+tock_yield_waitfor:
+    mv a2, a1
+    mv a1, a0
+    li a0, 2
+    li a4, 0
+    ecall
+    ret
+tock_exit_terminate:
+    mv a1, a0
+    li a0, 0
+    li a4, 6
+    ecall
+tock_exit_restart:
+    li a0, 1
+    li a4, 6
+    ecall
+tock_blocking_command:
+    li a4, 7
+    ecall
+    ret
+
+# ---- synchronous wrappers over the asynchronous ABI (§3.2) ----
+
+# console_print(a0 = buffer address, a1 = length) -> a0 = bytes written.
+# allow-ro + command + yield-wait-for: three traps standing in for what a blocking
+# write would be on a synchronous kernel.
+console_print:
+    mv t0, a0
+    mv t1, a1
+    # allow_ro(console=1, slot 1, buf, len)
+    li a0, 1
+    li a1, 1
+    mv a2, t0
+    mv a3, t1
+    li a4, 4
+    ecall
+    # command(1, write=1, len, 0)
+    li a0, 1
+    li a1, 1
+    mv a2, t1
+    li a3, 0
+    li a4, 2
+    ecall
+    # yield-wait-for(console=1, sub 1) -> a1 = bytes written
+    li a0, 2
+    li a1, 1
+    li a2, 1
+    li a4, 0
+    ecall
+    mv a0, a1
+    ret
+
+# sleep_ticks(a0 = dt): arms the alarm driver and waits for its upcall.
+sleep_ticks:
+    mv t0, a0
+    # command(alarm=0, set-relative=5, dt, 0)
+    li a0, 0
+    li a1, 5
+    mv a2, t0
+    li a3, 0
+    li a4, 2
+    ecall
+    # yield-wait-for(alarm=0, sub 0)
+    li a0, 2
+    li a1, 0
+    li a2, 0
+    li a4, 0
+    ecall
+    ret
+
+# temp_read_sync() -> a0 = centi-degrees Celsius.
+temp_read_sync:
+    # command(temp=0x60000, sample=1, 0, 0)
+    li a0, 0x60000
+    li a1, 1
+    li a2, 0
+    li a3, 0
+    li a4, 2
+    ecall
+    # yield-wait-for(temp, sub 0) -> a1 = value
+    li a0, 2
+    li a1, 0x60000
+    li a2, 0
+    li a4, 0
+    ecall
+    mv a0, a1
+    ret
+)";
+}
+
+void AppInstaller::SetDeviceKey(const uint8_t key[32]) {
+  std::memcpy(device_key_, key, sizeof(device_key_));
+}
+
+uint32_t AppInstaller::Install(const AppSpec& spec) {
+  error_.clear();
+  std::string source = spec.source;
+  if (spec.include_runtime) {
+    source += "\n";
+    source += LibTockRuntimeAsm();
+  }
+
+  uint32_t code_base = next_addr_ + TbfHeader::kHeaderSize;
+  Assembler assembler;
+  AssembledImage assembled;
+  if (!assembler.Assemble(source, code_base, &assembled)) {
+    error_ = "assembly failed for '" + spec.name + "': " + assembler.error();
+    return 0;
+  }
+  auto start = assembled.symbols.find("_start");
+  if (start == assembled.symbols.end()) {
+    error_ = "app '" + spec.name + "' does not define _start";
+    return 0;
+  }
+
+  std::vector<uint8_t> image =
+      BuildTbfImage(spec.name, assembled.bytes, start->second - code_base, spec.min_ram,
+                    spec.sign, device_key_);
+
+  if (!spec.enabled || spec.corrupt_signature) {
+    TbfHeader header;
+    std::memcpy(&header, image.data(), sizeof(header));
+    if (!spec.enabled) {
+      header.flags &= ~TbfHeader::kFlagEnabled;
+      header.checksum = header.ComputeChecksum();
+      std::memcpy(image.data(), &header, sizeof(header));
+    }
+    if (spec.corrupt_signature && header.IsSigned()) {
+      image[TbfHeader::kHeaderSize + header.binary_size] ^= 0x01;
+    }
+  }
+
+  if (next_addr_ + image.size() > end_) {
+    error_ = "app flash region full";
+    return 0;
+  }
+  if (!mcu_->bus().ProgramFlash(next_addr_, image.data(), static_cast<uint32_t>(image.size()))) {
+    error_ = "flash programming failed";
+    return 0;
+  }
+  uint32_t installed_at = next_addr_;
+  next_addr_ += static_cast<uint32_t>(image.size());
+  return installed_at;
+}
+
+}  // namespace tock

@@ -1,0 +1,82 @@
+// ERA: 2
+// libtock: the userspace runtime for simulated applications.
+//
+// Applications are RV32IM assembly (see src/vm/assembler.h for the dialect). This
+// library provides:
+//   * LibTockRuntimeAsm(): syscall veneers (`tock_command`, `tock_subscribe`, ...)
+//     plus synchronous convenience wrappers built from the asynchronous ABI — the
+//     "half a dozen system calls behind one synchronous call" of §3.2;
+//   * AppInstaller: assembles app sources, wraps them in TBF images (optionally
+//     HMAC-signed with the device key) and writes them into the app flash region,
+//     playing the role of `tockloader`/the factory flashing step.
+#ifndef TOCK_LIBTOCK_LIBTOCK_H_
+#define TOCK_LIBTOCK_LIBTOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/mcu.h"
+#include "kernel/tbf.h"
+#include "vm/assembler.h"
+
+namespace tock {
+
+// Assembly text for the runtime veneers. Appended after application code by the
+// AppInstaller (apps `call` into it by symbol). Provided veneers:
+//
+//   tock_command         a0=driver a1=cmd a2=arg1 a3=arg2   -> a0..a3 = return
+//   tock_subscribe       a0=driver a1=sub a2=fn a3=userdata -> a0..a3
+//   tock_allow_rw        a0=driver a1=num a2=addr a3=len    -> a0..a3
+//   tock_allow_ro        a0=driver a1=num a2=addr a3=len    -> a0..a3
+//   tock_memop           a0=op a1=arg                       -> a0..a1
+//   tock_yield_nowait    -> a0 = 1 if an upcall ran
+//   tock_yield_wait      (blocks until an upcall runs)
+//   tock_yield_waitfor   a0=driver a1=sub -> a1..a3 = upcall args
+//   tock_exit_terminate  a0=completion code (no return)
+//   tock_exit_restart    (no return)
+//   tock_blocking_command a0=driver a1=cmd a2=arg a3=sub -> a1..a3 = upcall args
+//
+// Synchronous wrappers (each a full async sequence, §3.2):
+//   console_print        a0=addr a1=len -> a0 = bytes written
+//   sleep_ticks          a0=dt (alarm-driver sleep)
+//   temp_read_sync       -> a0 = centi-celsius
+std::string LibTockRuntimeAsm();
+
+struct AppSpec {
+  std::string name;
+  std::string source;         // application assembly (defines `_start`)
+  uint32_t min_ram = 4096;    // initial app-accessible RAM request
+  bool sign = false;          // append an HMAC-SHA256 signature
+  bool enabled = true;
+  bool include_runtime = true;  // append LibTockRuntimeAsm() after the source
+  bool corrupt_signature = false;  // test hook: flip a bit in the signature
+};
+
+// Installs applications back-to-back into the app flash region of an MCU before (or
+// after, for dynamic-loading experiments) boot.
+class AppInstaller {
+ public:
+  AppInstaller(Mcu* mcu, uint32_t app_flash_base, uint32_t app_flash_end)
+      : mcu_(mcu), next_addr_(app_flash_base), end_(app_flash_end) {}
+
+  void SetDeviceKey(const uint8_t key[32]);
+
+  // Assembles and writes one app. Returns the flash address of its TBF header, or 0
+  // on failure (see error()).
+  uint32_t Install(const AppSpec& spec);
+
+  const std::string& error() const { return error_; }
+  uint32_t next_addr() const { return next_addr_; }
+
+ private:
+  Mcu* mcu_;
+  uint32_t next_addr_;
+  uint32_t end_;
+  uint8_t device_key_[32] = {};
+  std::string error_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_LIBTOCK_LIBTOCK_H_

@@ -1,0 +1,12 @@
+// ERA: 4
+// CLI wrapper: `loc_audit [src-root]`.
+#include <cstdio>
+
+#include "tools/loc_audit.h"
+
+int main(int argc, char** argv) {
+  const char* root = argc > 1 ? argv[1] : "src";
+  tock::AuditReport report = tock::AuditTree(root);
+  std::printf("%s", tock::FormatReport(report).c_str());
+  return report.unbalanced_files == 0 ? 0 : 1;
+}

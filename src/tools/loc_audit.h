@@ -1,0 +1,51 @@
+// ERA: 4
+// Source-tree audit used to reproduce Figure 5: total kernel size vs. trusted
+// ("unsafe"-analog) code across development eras.
+//
+// Conventions enforced/consumed:
+//   * every source file carries an `// ERA: n` header (n in 1..5, see DESIGN.md §6);
+//   * code that does what Rust would require `unsafe` for (raw bus access,
+//     process-memory translation, capability minting, flash programming) is wrapped
+//     in `TRUSTED-BEGIN(reason)` / `TRUSTED-END` comment markers.
+// The audit counts non-blank lines per file, attributes them to eras, and counts
+// lines inside trusted regions. Unbalanced markers are reported as errors.
+#ifndef TOCK_TOOLS_LOC_AUDIT_H_
+#define TOCK_TOOLS_LOC_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tock {
+
+struct FileAudit {
+  std::string path;
+  int era = 0;  // 0 = untagged
+  uint64_t total_lines = 0;
+  uint64_t trusted_lines = 0;
+  bool balanced_markers = true;
+};
+
+struct EraTotals {
+  uint64_t total_lines = 0;
+  uint64_t trusted_lines = 0;
+};
+
+struct AuditReport {
+  std::vector<FileAudit> files;
+  // Cumulative totals: eras[i] includes everything introduced in eras 1..i+1,
+  // mirroring how the kernel accretes over time in Figure 5.
+  std::vector<EraTotals> cumulative_eras;
+  uint64_t untagged_files = 0;
+  uint64_t unbalanced_files = 0;
+};
+
+// Scans .h/.cc files under `root` (recursively), skipping build directories.
+AuditReport AuditTree(const std::string& root);
+
+// Renders the Figure 5 analog table.
+std::string FormatReport(const AuditReport& report);
+
+}  // namespace tock
+
+#endif  // TOCK_TOOLS_LOC_AUDIT_H_

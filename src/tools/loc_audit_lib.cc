@@ -1,0 +1,122 @@
+// ERA: 4
+#include "tools/loc_audit.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace tock {
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& path) {
+  return path.extension() == ".h" || path.extension() == ".cc";
+}
+
+FileAudit AuditFile(const fs::path& path) {
+  FileAudit audit;
+  audit.path = path.string();
+  std::ifstream in(path);
+  std::string line;
+  int depth = 0;
+  bool first_lines = true;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Era tag: an `// ERA: n` comment within the first few lines.
+    if (first_lines && line_no <= 5) {
+      size_t pos = line.find("ERA:");
+      if (pos != std::string::npos) {
+        audit.era = std::atoi(line.c_str() + pos + 4);
+        first_lines = false;
+      }
+    }
+    bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
+    if (!blank) {
+      ++audit.total_lines;
+    }
+    if (line.find("TRUSTED-BEGIN") != std::string::npos) {
+      ++depth;
+    }
+    if (depth > 0 && !blank) {
+      ++audit.trusted_lines;
+    }
+    if (line.find("TRUSTED-END") != std::string::npos) {
+      if (depth == 0) {
+        audit.balanced_markers = false;
+      } else {
+        --depth;
+      }
+    }
+  }
+  if (depth != 0) {
+    audit.balanced_markers = false;
+  }
+  return audit;
+}
+
+}  // namespace
+
+AuditReport AuditTree(const std::string& root) {
+  AuditReport report;
+  int max_era = 1;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file() || !IsSourceFile(entry.path())) {
+      continue;
+    }
+    std::string p = entry.path().string();
+    if (p.find("/build/") != std::string::npos) {
+      continue;
+    }
+    FileAudit audit = AuditFile(entry.path());
+    if (audit.era == 0) {
+      ++report.untagged_files;
+    }
+    if (!audit.balanced_markers) {
+      ++report.unbalanced_files;
+    }
+    max_era = std::max(max_era, audit.era);
+    report.files.push_back(std::move(audit));
+  }
+  std::sort(report.files.begin(), report.files.end(),
+            [](const FileAudit& a, const FileAudit& b) { return a.path < b.path; });
+
+  report.cumulative_eras.assign(static_cast<size_t>(max_era), EraTotals{});
+  for (const FileAudit& audit : report.files) {
+    int era = audit.era == 0 ? max_era : audit.era;
+    for (int e = era; e <= max_era; ++e) {
+      report.cumulative_eras[e - 1].total_lines += audit.total_lines;
+      report.cumulative_eras[e - 1].trusted_lines += audit.trusted_lines;
+    }
+  }
+  return report;
+}
+
+std::string FormatReport(const AuditReport& report) {
+  std::ostringstream out;
+  out << "Figure 5 analog: kernel growth vs. trusted-code footprint by era\n";
+  out << "(era 1 = original design, 2 = v2.0 syscall redesign, 3 = loader+crypto,\n";
+  out << " 4 = type-system abstractions, 5 = virtualizers/extensions)\n\n";
+  out << "  era | cumulative LoC | trusted LoC | trusted %\n";
+  out << "  ----+----------------+-------------+----------\n";
+  for (size_t i = 0; i < report.cumulative_eras.size(); ++i) {
+    const EraTotals& totals = report.cumulative_eras[i];
+    double pct = totals.total_lines == 0
+                     ? 0.0
+                     : 100.0 * static_cast<double>(totals.trusted_lines) /
+                           static_cast<double>(totals.total_lines);
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %3zu | %14llu | %11llu | %7.2f%%\n", i + 1,
+                  static_cast<unsigned long long>(totals.total_lines),
+                  static_cast<unsigned long long>(totals.trusted_lines), pct);
+    out << line;
+  }
+  out << "\nfiles audited: " << report.files.size()
+      << "  untagged: " << report.untagged_files
+      << "  unbalanced trusted markers: " << report.unbalanced_files << "\n";
+  return out.str();
+}
+
+}  // namespace tock

@@ -1,0 +1,173 @@
+// ERA: 1
+// Interior-mutability cells, the C++ rendering of Tock's core concurrency idiom (§2.1).
+//
+// Tock components hold shared references to each other and mutate their own state
+// through `Cell`-family wrappers rather than through unique mutable references. In
+// C++ there is no borrow checker to appease, but routing mutation through the same
+// narrow cell API keeps the reentrancy hazards the paper describes confined to one
+// place and makes the kernel code structurally comparable to upstream Tock.
+#ifndef TOCK_UTIL_CELLS_H_
+#define TOCK_UTIL_CELLS_H_
+
+#include <optional>
+#include <utility>
+
+namespace tock {
+
+// A mutable value slot. Mirrors `core::cell::Cell<T>`: get copies the value out,
+// set replaces it. Intended for small trivially copyable types.
+template <typename T>
+class Cell {
+ public:
+  constexpr Cell() : value_() {}
+  constexpr explicit Cell(T value) : value_(std::move(value)) {}
+
+  constexpr T Get() const { return value_; }
+  constexpr void Set(T value) { value_ = std::move(value); }
+
+  // Replaces the stored value, returning the previous one.
+  constexpr T Replace(T value) {
+    T old = std::move(value_);
+    value_ = std::move(value);
+    return old;
+  }
+
+ private:
+  T value_;
+};
+
+// A cell that may be empty. Mirrors Tock's `OptionalCell<T>`.
+template <typename T>
+class OptionalCell {
+ public:
+  constexpr OptionalCell() = default;
+  constexpr explicit OptionalCell(T value) : value_(std::move(value)) {}
+
+  constexpr bool IsSome() const { return value_.has_value(); }
+  constexpr bool IsNone() const { return !value_.has_value(); }
+
+  constexpr void Set(T value) { value_ = std::move(value); }
+  constexpr void Clear() { value_.reset(); }
+
+  // Removes and returns the contained value, leaving the cell empty.
+  constexpr std::optional<T> Take() {
+    std::optional<T> out = std::move(value_);
+    value_.reset();
+    return out;
+  }
+
+  // Copies the contained value out without emptying the cell.
+  constexpr std::optional<T> Extract() const { return value_; }
+
+  // Returns the contained value or `fallback` when empty.
+  constexpr T UnwrapOr(T fallback) const { return value_.has_value() ? *value_ : fallback; }
+
+  // Runs `fn(T&)` if a value is present; returns whether it ran.
+  template <typename Fn>
+  constexpr bool Map(Fn&& fn) {
+    if (!value_.has_value()) {
+      return false;
+    }
+    fn(*value_);
+    return true;
+  }
+
+  // Runs `fn(const T&)` if a value is present, producing `fallback` otherwise.
+  template <typename R, typename Fn>
+  constexpr R MapOr(R fallback, Fn&& fn) const {
+    if (!value_.has_value()) {
+      return fallback;
+    }
+    return fn(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+};
+
+// A cell holding exclusive access to a borrowed object, mirroring Tock's
+// `TakeCell<'static, T>`. The cell owns *access*, not storage: it wraps a pointer to
+// an object whose lifetime outlasts the cell (statically allocated in real Tock,
+// board-owned here). `Take` moves the pointer out, enforcing at runtime the
+// move-semantics Rust enforces at compile time: while taken, nobody else can reach
+// the object through this cell.
+template <typename T>
+class TakeCell {
+ public:
+  constexpr TakeCell() : ptr_(nullptr) {}
+  constexpr explicit TakeCell(T* ptr) : ptr_(ptr) {}
+
+  constexpr bool IsSome() const { return ptr_ != nullptr; }
+  constexpr bool IsNone() const { return ptr_ == nullptr; }
+
+  // Removes the pointer from the cell. Returns nullptr if already taken.
+  constexpr T* Take() {
+    T* out = ptr_;
+    ptr_ = nullptr;
+    return out;
+  }
+
+  // Puts a pointer back (e.g. when a split-phase operation completes and returns the
+  // buffer it borrowed).
+  constexpr void Replace(T* ptr) { ptr_ = ptr; }
+
+  // Runs `fn(T&)` with the contents if present, leaving the pointer in the cell.
+  // Returns whether it ran.
+  template <typename Fn>
+  constexpr bool Map(Fn&& fn) {
+    if (ptr_ == nullptr) {
+      return false;
+    }
+    fn(*ptr_);
+    return true;
+  }
+
+  // Like Map but produces a value, with `fallback` when the cell is empty.
+  template <typename R, typename Fn>
+  constexpr R MapOr(R fallback, Fn&& fn) {
+    if (ptr_ == nullptr) {
+      return fallback;
+    }
+    return fn(*ptr_);
+  }
+
+ private:
+  T* ptr_;
+};
+
+// A cell that owns its storage but exposes take/replace access semantics, mirroring
+// Tock's `MapCell<T>`. Unlike TakeCell the value lives inside the cell; `Take` moves
+// it out by value.
+template <typename T>
+class MapCell {
+ public:
+  constexpr MapCell() = default;
+  constexpr explicit MapCell(T value) : value_(std::move(value)) {}
+
+  constexpr bool IsSome() const { return value_.has_value(); }
+  constexpr bool IsNone() const { return !value_.has_value(); }
+
+  constexpr void Put(T value) { value_ = std::move(value); }
+
+  constexpr std::optional<T> Take() {
+    std::optional<T> out = std::move(value_);
+    value_.reset();
+    return out;
+  }
+
+  template <typename Fn>
+  constexpr bool Map(Fn&& fn) {
+    if (!value_.has_value()) {
+      return false;
+    }
+    fn(*value_);
+    return true;
+  }
+
+ private:
+  std::optional<T> value_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_CELLS_H_

@@ -1,0 +1,40 @@
+// ERA: 1
+#include "util/error.h"
+
+namespace tock {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kFail:
+      return "FAIL";
+    case ErrorCode::kBusy:
+      return "BUSY";
+    case ErrorCode::kAlready:
+      return "ALREADY";
+    case ErrorCode::kOff:
+      return "OFF";
+    case ErrorCode::kReserve:
+      return "RESERVE";
+    case ErrorCode::kInvalid:
+      return "INVAL";
+    case ErrorCode::kSize:
+      return "SIZE";
+    case ErrorCode::kCancel:
+      return "CANCEL";
+    case ErrorCode::kNoMem:
+      return "NOMEM";
+    case ErrorCode::kNoSupport:
+      return "NOSUPPORT";
+    case ErrorCode::kNoDevice:
+      return "NODEVICE";
+    case ErrorCode::kUninstalled:
+      return "UNINSTALLED";
+    case ErrorCode::kNoAck:
+      return "NOACK";
+    case ErrorCode::kBadRval:
+      return "BADRVAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace tock

@@ -1,0 +1,88 @@
+// ERA: 1
+// Error codes and the Result type used across the kernel, capsules and userspace ABI.
+//
+// Mirrors Tock's `ErrorCode` (kernel internal) and the success/failure variants encoded
+// in system call return values. Numeric values match the Tock 2.0 ABI so that the
+// simulated userspace sees the same constants a real Tock process would.
+#ifndef TOCK_UTIL_ERROR_H_
+#define TOCK_UTIL_ERROR_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace tock {
+
+// Kernel-wide error codes. Values follow the Tock 2.0 ABI (kernel/src/errorcode.rs).
+enum class ErrorCode : uint32_t {
+  kFail = 1,         // Generic failure condition.
+  kBusy = 2,         // Underlying system is busy; retry.
+  kAlready = 3,      // The state requested is already set.
+  kOff = 4,          // The component is powered down.
+  kReserve = 5,      // Reservation required before use.
+  kInvalid = 6,      // An invalid parameter was passed.
+  kSize = 7,         // Parameter passed was too large.
+  kCancel = 8,       // Operation cancelled by a call.
+  kNoMem = 9,        // Memory required not available.
+  kNoSupport = 10,   // Operation is not supported.
+  kNoDevice = 11,    // Device is not available.
+  kUninstalled = 12, // Device is not physically installed.
+  kNoAck = 13,       // Packet transmission not acknowledged.
+  kBadRval = 1024,   // Driver returned a malformed system call return value.
+};
+
+// Human-readable name for an error code (for logs and fault reports).
+const char* ErrorCodeName(ErrorCode code);
+
+// A value-or-error result, the kernel's equivalent of Rust's `Result<T, ErrorCode>`.
+//
+// Deliberately minimal: no exceptions, no heap. `T` must be default-constructible so
+// the error arm can leave the payload vacant without a union; kernel payloads are all
+// small value types (integers, spans, handles), so this costs nothing in practice.
+template <typename T>
+class Result {
+ public:
+  // Success constructor (implicit, mirrors `Ok(v)`).
+  constexpr Result(T value) : ok_(true), value_(std::move(value)), error_(ErrorCode::kFail) {}
+  // Failure constructor (implicit, mirrors `Err(e)`).
+  constexpr Result(ErrorCode error) : ok_(false), value_(), error_(error) {}
+
+  constexpr bool ok() const { return ok_; }
+  constexpr explicit operator bool() const { return ok_; }
+
+  // Success payload. Must only be called when ok().
+  constexpr const T& value() const { return value_; }
+  constexpr T& value() { return value_; }
+
+  // Error code. Must only be called when !ok().
+  constexpr ErrorCode error() const { return error_; }
+
+  // Returns the payload, or `fallback` on error.
+  constexpr T ValueOr(T fallback) const { return ok_ ? value_ : std::move(fallback); }
+
+ private:
+  bool ok_;
+  T value_;
+  ErrorCode error_;
+};
+
+// Result with no success payload (mirrors `Result<(), ErrorCode>`).
+template <>
+class Result<void> {
+ public:
+  constexpr Result() : ok_(true), error_(ErrorCode::kFail) {}
+  constexpr Result(ErrorCode error) : ok_(false), error_(error) {}
+
+  static constexpr Result Ok() { return Result(); }
+
+  constexpr bool ok() const { return ok_; }
+  constexpr explicit operator bool() const { return ok_; }
+  constexpr ErrorCode error() const { return error_; }
+
+ private:
+  bool ok_;
+  ErrorCode error_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_ERROR_H_

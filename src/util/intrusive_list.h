@@ -1,0 +1,125 @@
+// ERA: 1
+// Intrusive singly-linked list, the C++ analog of Tock's `kernel::collections::List`.
+// Nodes embed their own link, so list membership requires no allocation — essential
+// for virtualizers that queue an unbounded-by-the-virtualizer number of clients whose
+// storage is owned by each client (§2.2).
+#ifndef TOCK_UTIL_INTRUSIVE_LIST_H_
+#define TOCK_UTIL_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+
+namespace tock {
+
+// Embed one of these in T to make it linkable. A node may be on at most one list at a
+// time (same invariant as Tock's ListLink).
+template <typename T>
+struct ListLink {
+  T* next = nullptr;
+};
+
+// Intrusive list over T. `LinkMember` selects which embedded ListLink to use so a type
+// can, in principle, sit on multiple lists.
+template <typename T, ListLink<T> T::* LinkMember = &T::link>
+class IntrusiveList {
+ public:
+  constexpr IntrusiveList() = default;
+
+  constexpr bool IsEmpty() const { return head_ == nullptr; }
+
+  constexpr T* Head() const { return head_; }
+
+  // Pushes to the front. O(1).
+  constexpr void PushHead(T* node) {
+    (node->*LinkMember).next = head_;
+    head_ = node;
+  }
+
+  // Pushes to the back. O(n); virtualizer queues are short and bounded by board
+  // configuration, matching upstream behaviour.
+  constexpr void PushTail(T* node) {
+    (node->*LinkMember).next = nullptr;
+    if (head_ == nullptr) {
+      head_ = node;
+      return;
+    }
+    T* cur = head_;
+    while ((cur->*LinkMember).next != nullptr) {
+      cur = (cur->*LinkMember).next;
+    }
+    (cur->*LinkMember).next = node;
+  }
+
+  // Removes and returns the head, or nullptr when empty.
+  constexpr T* PopHead() {
+    T* out = head_;
+    if (out != nullptr) {
+      head_ = (out->*LinkMember).next;
+      (out->*LinkMember).next = nullptr;
+    }
+    return out;
+  }
+
+  // Unlinks `node` if present; returns whether it was found.
+  constexpr bool Remove(T* node) {
+    if (head_ == nullptr) {
+      return false;
+    }
+    if (head_ == node) {
+      head_ = (node->*LinkMember).next;
+      (node->*LinkMember).next = nullptr;
+      return true;
+    }
+    T* cur = head_;
+    while ((cur->*LinkMember).next != nullptr) {
+      if ((cur->*LinkMember).next == node) {
+        (cur->*LinkMember).next = (node->*LinkMember).next;
+        (node->*LinkMember).next = nullptr;
+        return true;
+      }
+      cur = (cur->*LinkMember).next;
+    }
+    return false;
+  }
+
+  constexpr bool Contains(const T* node) const {
+    for (T* cur = head_; cur != nullptr; cur = (cur->*LinkMember).next) {
+      if (cur == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  constexpr size_t Size() const {
+    size_t n = 0;
+    for (T* cur = head_; cur != nullptr; cur = (cur->*LinkMember).next) {
+      ++n;
+    }
+    return n;
+  }
+
+  // Iteration support (range-for over T*).
+  class Iterator {
+   public:
+    constexpr explicit Iterator(T* node) : node_(node) {}
+    constexpr T* operator*() const { return node_; }
+    constexpr Iterator& operator++() {
+      node_ = (node_->*LinkMember).next;
+      return *this;
+    }
+    constexpr bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    T* node_;
+  };
+
+  constexpr Iterator begin() const { return Iterator(head_); }
+  constexpr Iterator end() const { return Iterator(nullptr); }
+
+ private:
+  T* head_ = nullptr;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_INTRUSIVE_LIST_H_

@@ -1,0 +1,157 @@
+// ERA: 4
+// Typed register-field DSL (paper §4.3), the C++ analog of the `tock-registers` crate.
+//
+// Datasheets describe peripheral registers as named bit-fields with offsets, widths
+// and access permissions. Hand-writing the shift/mask arithmetic for every access is
+// tedious and error-prone; this DSL captures the datasheet once, as constexpr field
+// descriptors, and generates the bit manipulation. All operations are constexpr and
+// compile to the same instructions as the manual code (verified by bench E9).
+//
+// Usage, mirroring tock-registers:
+//
+//   struct Ctrl {
+//     static constexpr Field<uint32_t> kEnable{0, 1};
+//     static constexpr Field<uint32_t> kBaud{1, 3};
+//     enum Baud : uint32_t { k9600 = 0, k115200 = 3 };
+//   };
+//   ReadWriteReg<uint32_t> ctrl;
+//   ctrl.Write(Ctrl::kEnable.Set() + Ctrl::kBaud.Val(Ctrl::k115200));
+//   uint32_t baud = ctrl.Read(Ctrl::kBaud);
+#ifndef TOCK_UTIL_REGISTERS_H_
+#define TOCK_UTIL_REGISTERS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tock {
+
+// A field's value positioned within its register, ready to be combined and written.
+// `mask` records which bits the value covers so Modify can preserve the rest.
+template <typename T>
+struct FieldValue {
+  T mask;
+  T value;
+
+  // Combines two positioned field values (e.g. ENABLE::SET + BAUD.val(3)).
+  constexpr FieldValue operator+(const FieldValue& other) const {
+    return FieldValue{static_cast<T>(mask | other.mask), static_cast<T>(value | other.value)};
+  }
+};
+
+// A bit-field within a register of underlying type T: `shift` is the bit offset of
+// the field's LSB, `width` its size in bits.
+template <typename T>
+struct Field {
+  unsigned shift;
+  unsigned width;
+
+  // Mask of the field in register position.
+  constexpr T Mask() const {
+    constexpr unsigned kBits = std::numeric_limits<T>::digits;
+    T low = width >= kBits ? static_cast<T>(~static_cast<T>(0))
+                           : static_cast<T>((static_cast<T>(1) << width) - 1);
+    return static_cast<T>(low << shift);
+  }
+
+  // Positions `value` (given in field units) within the register; out-of-range bits
+  // are truncated, matching hardware behaviour of writing a too-wide value.
+  constexpr FieldValue<T> Val(T value) const {
+    return FieldValue<T>{Mask(), static_cast<T>((value << shift) & Mask())};
+  }
+
+  // All field bits set / cleared.
+  constexpr FieldValue<T> Set() const { return FieldValue<T>{Mask(), Mask()}; }
+  constexpr FieldValue<T> Clear() const { return FieldValue<T>{Mask(), static_cast<T>(0)}; }
+
+  // Extracts this field (in field units) from a raw register value.
+  constexpr T ReadFrom(T reg) const { return static_cast<T>((reg & Mask()) >> shift); }
+
+  // True if any bit of the field is set in `reg`.
+  constexpr bool IsSetIn(T reg) const { return (reg & Mask()) != 0; }
+};
+
+// In-memory register with full read/write access (the storage side of a simulated
+// peripheral, or a driver-local shadow register).
+template <typename T>
+class ReadWriteReg {
+ public:
+  constexpr ReadWriteReg() : value_(0) {}
+  constexpr explicit ReadWriteReg(T value) : value_(value) {}
+
+  constexpr T Get() const { return value_; }
+  constexpr void Set(T value) { value_ = value; }
+
+  constexpr T Read(const Field<T>& field) const { return field.ReadFrom(value_); }
+  constexpr bool IsSet(const Field<T>& field) const { return field.IsSetIn(value_); }
+
+  // Overwrites the whole register with the given field values (unset fields -> 0).
+  constexpr void Write(const FieldValue<T>& fv) { value_ = fv.value; }
+
+  // Read-modify-write: updates only the bits covered by `fv`.
+  constexpr void Modify(const FieldValue<T>& fv) {
+    value_ = static_cast<T>((value_ & ~fv.mask) | fv.value);
+  }
+
+ private:
+  T value_;
+};
+
+// Register the driver may only read; hardware updates it through HwSet. Attempting a
+// driver-side write is a compile error (the method does not exist) — the DSL's
+// access-permission modelling from §4.3.
+template <typename T>
+class ReadOnlyReg {
+ public:
+  constexpr ReadOnlyReg() : value_(0) {}
+
+  constexpr T Get() const { return value_; }
+  constexpr T Read(const Field<T>& field) const { return field.ReadFrom(value_); }
+  constexpr bool IsSet(const Field<T>& field) const { return field.IsSetIn(value_); }
+
+  // Hardware-side update (peripheral implementation only).
+  constexpr void HwSet(T value) { value_ = value; }
+  constexpr void HwModify(const FieldValue<T>& fv) {
+    value_ = static_cast<T>((value_ & ~fv.mask) | fv.value);
+  }
+
+ private:
+  T value_;
+};
+
+// Register the driver may only write; reads return 0 on real hardware, so no driver
+// read accessor exists. Hardware consumes the value through HwGet.
+template <typename T>
+class WriteOnlyReg {
+ public:
+  constexpr WriteOnlyReg() : value_(0) {}
+
+  constexpr void Set(T value) { value_ = value; }
+  constexpr void Write(const FieldValue<T>& fv) { value_ = fv.value; }
+
+  // Hardware-side read (peripheral implementation only).
+  constexpr T HwGet() const { return value_; }
+
+ private:
+  T value_;
+};
+
+// A local, mutable copy of a register value for staged updates — read the hardware
+// register once, apply several Modify calls, write it back once.
+template <typename T>
+class LocalRegisterCopy {
+ public:
+  constexpr explicit LocalRegisterCopy(T value) : value_(value) {}
+
+  constexpr T Get() const { return value_; }
+  constexpr T Read(const Field<T>& field) const { return field.ReadFrom(value_); }
+  constexpr void Modify(const FieldValue<T>& fv) {
+    value_ = static_cast<T>((value_ & ~fv.mask) | fv.value);
+  }
+
+ private:
+  T value_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_REGISTERS_H_

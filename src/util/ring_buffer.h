@@ -1,0 +1,86 @@
+// ERA: 1
+// Fixed-capacity ring buffer, used for upcall queues, UART receive queues, and the
+// deferred-call scheduler. No heap: storage is embedded in the object, matching the
+// kernel's heapless discipline (§2.4).
+#ifndef TOCK_UTIL_RING_BUFFER_H_
+#define TOCK_UTIL_RING_BUFFER_H_
+
+#include <array>
+#include <cstddef>
+#include <optional>
+
+namespace tock {
+
+template <typename T, size_t N>
+class RingBuffer {
+  static_assert(N > 0, "ring buffer capacity must be positive");
+
+ public:
+  constexpr RingBuffer() = default;
+
+  constexpr bool IsEmpty() const { return count_ == 0; }
+  constexpr bool IsFull() const { return count_ == N; }
+  constexpr size_t Size() const { return count_; }
+  constexpr size_t Capacity() const { return N; }
+
+  // Appends an element; returns false (dropping the element) when full. Callers that
+  // must not lose events should check IsFull first and apply back-pressure.
+  constexpr bool Push(T value) {
+    if (IsFull()) {
+      return false;
+    }
+    storage_[(head_ + count_) % N] = std::move(value);
+    ++count_;
+    return true;
+  }
+
+  // Removes and returns the oldest element, or nullopt when empty.
+  constexpr std::optional<T> Pop() {
+    if (IsEmpty()) {
+      return std::nullopt;
+    }
+    T out = std::move(storage_[head_]);
+    head_ = (head_ + 1) % N;
+    --count_;
+    return out;
+  }
+
+  // Oldest element without removing it.
+  constexpr const T* Front() const { return IsEmpty() ? nullptr : &storage_[head_]; }
+
+  constexpr void Clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  // Removes every element matching `pred`, preserving the order of the rest. Used by
+  // the kernel to scrub the upcall queue when a subscription is swapped out (§3.3.2).
+  template <typename Pred>
+  constexpr size_t RemoveIf(Pred&& pred) {
+    size_t kept = 0;
+    size_t removed = 0;
+    for (size_t i = 0; i < count_; ++i) {
+      size_t src = (head_ + i) % N;
+      if (pred(storage_[src])) {
+        ++removed;
+        continue;
+      }
+      size_t dst = (head_ + kept) % N;
+      if (dst != src) {
+        storage_[dst] = std::move(storage_[src]);
+      }
+      ++kept;
+    }
+    count_ = kept;
+    return removed;
+  }
+
+ private:
+  std::array<T, N> storage_{};
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_RING_BUFFER_H_

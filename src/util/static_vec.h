@@ -1,0 +1,71 @@
+// ERA: 1
+// Fixed-capacity vector. The kernel performs no heap allocation after boot (§2.4);
+// collections whose size is bounded by board configuration use StaticVec.
+#ifndef TOCK_UTIL_STATIC_VEC_H_
+#define TOCK_UTIL_STATIC_VEC_H_
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace tock {
+
+template <typename T, size_t N>
+class StaticVec {
+ public:
+  constexpr StaticVec() = default;
+
+  constexpr size_t Size() const { return size_; }
+  constexpr bool IsEmpty() const { return size_ == 0; }
+  constexpr bool IsFull() const { return size_ == N; }
+  static constexpr size_t Capacity() { return N; }
+
+  // Appends a value; returns false when at capacity.
+  constexpr bool PushBack(T value) {
+    if (size_ == N) {
+      return false;
+    }
+    storage_[size_++] = std::move(value);
+    return true;
+  }
+
+  // Removes the last element. Precondition: not empty.
+  constexpr T PopBack() {
+    assert(size_ > 0);
+    return std::move(storage_[--size_]);
+  }
+
+  // Removes the element at `index` by shifting the tail down (stable order).
+  constexpr void Erase(size_t index) {
+    assert(index < size_);
+    for (size_t i = index + 1; i < size_; ++i) {
+      storage_[i - 1] = std::move(storage_[i]);
+    }
+    --size_;
+  }
+
+  constexpr void Clear() { size_ = 0; }
+
+  constexpr T& operator[](size_t i) {
+    assert(i < size_);
+    return storage_[i];
+  }
+  constexpr const T& operator[](size_t i) const {
+    assert(i < size_);
+    return storage_[i];
+  }
+
+  constexpr T* begin() { return storage_.data(); }
+  constexpr T* end() { return storage_.data() + size_; }
+  constexpr const T* begin() const { return storage_.data(); }
+  constexpr const T* end() const { return storage_.data() + size_; }
+
+ private:
+  std::array<T, N> storage_{};
+  size_t size_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_STATIC_VEC_H_

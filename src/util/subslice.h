@@ -1,0 +1,91 @@
+// ERA: 4
+// SubSlice: pass resizable windows of a buffer between layers without losing the
+// underlying allocation (paper §4.2, Figure 4).
+//
+// Split-phase APIs move buffer ownership down a driver stack and get it back in the
+// completion callback. A layer that only wants to expose the first N bytes to the
+// layer below cannot just shrink the span — the original extent would be lost and the
+// full buffer could never be returned to the top of the stack. SubSlice remembers the
+// original extent: layers slice at will, and `Reset()` restores access to the whole
+// underlying buffer.
+#ifndef TOCK_UTIL_SUBSLICE_H_
+#define TOCK_UTIL_SUBSLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace tock {
+
+// A window into a caller-owned byte buffer. `Mutable` selects const or mutable
+// element access; use the SubSlice / SubSliceMut aliases below.
+template <typename Byte>
+class BasicSubSlice {
+ public:
+  constexpr BasicSubSlice() : data_(nullptr), capacity_(0), start_(0), end_(0) {}
+
+  // Wraps a full buffer; the active window initially covers all of it.
+  constexpr explicit BasicSubSlice(std::span<Byte> buffer)
+      : data_(buffer.data()), capacity_(buffer.size()), start_(0), end_(buffer.size()) {}
+
+  constexpr BasicSubSlice(Byte* data, size_t len) : BasicSubSlice(std::span<Byte>(data, len)) {}
+
+  // Length of the active window.
+  constexpr size_t Size() const { return end_ - start_; }
+  constexpr bool IsEmpty() const { return end_ == start_; }
+
+  // Length of the full underlying buffer, regardless of the current window.
+  constexpr size_t Capacity() const { return capacity_; }
+
+  // The active window as a span. Layers should use this for data access.
+  constexpr std::span<Byte> Active() const { return std::span<Byte>(data_ + start_, Size()); }
+
+  // Element access within the active window (unchecked, like slice indexing after a
+  // bounds-checked Slice call).
+  constexpr Byte& operator[](size_t i) const { return data_[start_ + i]; }
+
+  // Narrows the active window to [offset, offset+len) *relative to the current
+  // window*. Out-of-range requests clamp to the current window, matching the
+  // saturating behaviour of upstream `SubSlice::slice` with range ends.
+  constexpr void Slice(size_t offset, size_t len) {
+    size_t cur = Size();
+    if (offset > cur) {
+      offset = cur;
+    }
+    if (len > cur - offset) {
+      len = cur - offset;
+    }
+    start_ += offset;
+    end_ = start_ + len;
+  }
+
+  // Narrows the window to [offset, end) relative to the current window.
+  constexpr void SliceFrom(size_t offset) { Slice(offset, Size() - (offset > Size() ? Size() : offset)); }
+
+  // Narrows the window to the first `len` elements of the current window.
+  constexpr void SliceTo(size_t len) { Slice(0, len); }
+
+  // Restores the window to the full underlying buffer. This is the operation that
+  // distinguishes SubSlice from a plain span: no matter how many times the buffer was
+  // sliced on the way down the stack, the top layer gets its whole allocation back.
+  constexpr void Reset() {
+    start_ = 0;
+    end_ = capacity_;
+  }
+
+  // True if this SubSlice windows the same underlying buffer as `other`.
+  constexpr bool SameBuffer(const BasicSubSlice& other) const { return data_ == other.data_; }
+
+ private:
+  Byte* data_;
+  size_t capacity_;
+  size_t start_;
+  size_t end_;
+};
+
+using SubSlice = BasicSubSlice<const uint8_t>;
+using SubSliceMut = BasicSubSlice<uint8_t>;
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_SUBSLICE_H_

@@ -1,0 +1,733 @@
+// ERA: 1
+#include "vm/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+
+namespace tock {
+namespace {
+
+// --- Tokenizing helpers -----------------------------------------------------------
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string StripComment(const std::string& line) {
+  // Respect quotes so `.asciz "# not a comment"` survives.
+  bool in_quote = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '"') {
+      in_quote = !in_quote;
+    } else if (!in_quote) {
+      if (c == '#' || (c == '/' && i + 1 < line.size() && line[i + 1] == '/')) {
+        return line.substr(0, i);
+      }
+    }
+  }
+  return line;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+// Splits "a0, 4(sp)" into {"a0", "4(sp)"}.
+std::vector<std::string> SplitOperands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quote = false;
+  for (char c : s) {
+    if (c == '"') {
+      in_quote = !in_quote;
+    }
+    if (c == ',' && !in_quote) {
+      out.push_back(Trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  std::string last = Trim(cur);
+  if (!last.empty()) {
+    out.push_back(last);
+  }
+  return out;
+}
+
+std::optional<unsigned> ParseRegister(const std::string& name_in) {
+  std::string name = ToLower(name_in);
+  static const std::map<std::string, unsigned> kAbi = {
+      {"zero", 0}, {"ra", 1},  {"sp", 2},   {"gp", 3},   {"tp", 4},  {"t0", 5},  {"t1", 6},
+      {"t2", 7},   {"s0", 8},  {"fp", 8},   {"s1", 9},   {"a0", 10}, {"a1", 11}, {"a2", 12},
+      {"a3", 13},  {"a4", 14}, {"a5", 15},  {"a6", 16},  {"a7", 17}, {"s2", 18}, {"s3", 19},
+      {"s4", 20},  {"s5", 21}, {"s6", 22},  {"s7", 23},  {"s8", 24}, {"s9", 25}, {"s10", 26},
+      {"s11", 27}, {"t3", 28}, {"t4", 29},  {"t5", 30},  {"t6", 31}};
+  auto it = kAbi.find(name);
+  if (it != kAbi.end()) {
+    return it->second;
+  }
+  if (name.size() >= 2 && name[0] == 'x') {
+    char* end = nullptr;
+    long v = std::strtol(name.c_str() + 1, &end, 10);
+    if (*end == '\0' && v >= 0 && v < 32) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  return std::nullopt;
+}
+
+// --- Encoders ---------------------------------------------------------------------
+
+uint32_t EncodeR(unsigned funct7, unsigned rs2, unsigned rs1, unsigned funct3, unsigned rd,
+                 unsigned opcode) {
+  return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode;
+}
+uint32_t EncodeI(int32_t imm, unsigned rs1, unsigned funct3, unsigned rd, unsigned opcode) {
+  return (static_cast<uint32_t>(imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) |
+         opcode;
+}
+uint32_t EncodeS(int32_t imm, unsigned rs2, unsigned rs1, unsigned funct3, unsigned opcode) {
+  uint32_t uimm = static_cast<uint32_t>(imm) & 0xFFF;
+  return ((uimm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((uimm & 0x1F) << 7) |
+         opcode;
+}
+uint32_t EncodeB(int32_t imm, unsigned rs2, unsigned rs1, unsigned funct3, unsigned opcode) {
+  uint32_t uimm = static_cast<uint32_t>(imm);
+  return (((uimm >> 12) & 1) << 31) | (((uimm >> 5) & 0x3F) << 25) | (rs2 << 20) | (rs1 << 15) |
+         (funct3 << 12) | (((uimm >> 1) & 0xF) << 8) | (((uimm >> 11) & 1) << 7) | opcode;
+}
+uint32_t EncodeU(uint32_t imm20, unsigned rd, unsigned opcode) {
+  return (imm20 << 12) | (rd << 7) | opcode;
+}
+uint32_t EncodeJ(int32_t imm, unsigned rd, unsigned opcode) {
+  uint32_t uimm = static_cast<uint32_t>(imm);
+  return (((uimm >> 20) & 1) << 31) | (((uimm >> 1) & 0x3FF) << 21) | (((uimm >> 11) & 1) << 20) |
+         (((uimm >> 12) & 0xFF) << 12) | (rd << 7) | opcode;
+}
+
+struct InstrDesc {
+  enum class Format { kR, kI, kLoad, kStore, kBranch, kU, kJ, kShift, kSystem };
+  Format format;
+  unsigned opcode;
+  unsigned funct3;
+  unsigned funct7;
+};
+
+const std::map<std::string, InstrDesc>& InstrTable() {
+  using F = InstrDesc::Format;
+  static const std::map<std::string, InstrDesc> kTable = {
+      {"lui", {F::kU, 0x37, 0, 0}},
+      {"auipc", {F::kU, 0x17, 0, 0}},
+      {"jal", {F::kJ, 0x6F, 0, 0}},
+      {"jalr", {F::kI, 0x67, 0, 0}},
+      {"beq", {F::kBranch, 0x63, 0, 0}},
+      {"bne", {F::kBranch, 0x63, 1, 0}},
+      {"blt", {F::kBranch, 0x63, 4, 0}},
+      {"bge", {F::kBranch, 0x63, 5, 0}},
+      {"bltu", {F::kBranch, 0x63, 6, 0}},
+      {"bgeu", {F::kBranch, 0x63, 7, 0}},
+      {"lb", {F::kLoad, 0x03, 0, 0}},
+      {"lh", {F::kLoad, 0x03, 1, 0}},
+      {"lw", {F::kLoad, 0x03, 2, 0}},
+      {"lbu", {F::kLoad, 0x03, 4, 0}},
+      {"lhu", {F::kLoad, 0x03, 5, 0}},
+      {"sb", {F::kStore, 0x23, 0, 0}},
+      {"sh", {F::kStore, 0x23, 1, 0}},
+      {"sw", {F::kStore, 0x23, 2, 0}},
+      {"addi", {F::kI, 0x13, 0, 0}},
+      {"slti", {F::kI, 0x13, 2, 0}},
+      {"sltiu", {F::kI, 0x13, 3, 0}},
+      {"xori", {F::kI, 0x13, 4, 0}},
+      {"ori", {F::kI, 0x13, 6, 0}},
+      {"andi", {F::kI, 0x13, 7, 0}},
+      {"slli", {F::kShift, 0x13, 1, 0x00}},
+      {"srli", {F::kShift, 0x13, 5, 0x00}},
+      {"srai", {F::kShift, 0x13, 5, 0x20}},
+      {"add", {F::kR, 0x33, 0, 0x00}},
+      {"sub", {F::kR, 0x33, 0, 0x20}},
+      {"sll", {F::kR, 0x33, 1, 0x00}},
+      {"slt", {F::kR, 0x33, 2, 0x00}},
+      {"sltu", {F::kR, 0x33, 3, 0x00}},
+      {"xor", {F::kR, 0x33, 4, 0x00}},
+      {"srl", {F::kR, 0x33, 5, 0x00}},
+      {"sra", {F::kR, 0x33, 5, 0x20}},
+      {"or", {F::kR, 0x33, 6, 0x00}},
+      {"and", {F::kR, 0x33, 7, 0x00}},
+      {"mul", {F::kR, 0x33, 0, 0x01}},
+      {"mulh", {F::kR, 0x33, 1, 0x01}},
+      {"mulhu", {F::kR, 0x33, 3, 0x01}},
+      {"div", {F::kR, 0x33, 4, 0x01}},
+      {"divu", {F::kR, 0x33, 5, 0x01}},
+      {"rem", {F::kR, 0x33, 6, 0x01}},
+      {"remu", {F::kR, 0x33, 7, 0x01}},
+      {"ecall", {F::kSystem, 0x73, 0, 0}},
+      {"ebreak", {F::kSystem, 0x73, 0, 1}},
+      {"fence", {F::kSystem, 0x0F, 0, 2}},
+  };
+  return kTable;
+}
+
+// One parsed source statement.
+struct Statement {
+  int line_no;
+  std::string mnemonic;  // lowercase; empty for pure directives handled in pass 1
+  std::vector<std::string> operands;
+  uint32_t addr = 0;   // assigned in pass 1 (after any alignment padding)
+  uint32_t pad = 0;    // zero bytes emitted before the statement to 4-align code
+  uint32_t size = 0;   // bytes emitted (excluding pad)
+  std::vector<uint8_t> data;  // for data directives, filled in pass 1 (except .word syms)
+};
+
+}  // namespace
+
+bool Assembler::Assemble(const std::string& source, uint32_t base_addr, AssembledImage* out) {
+  error_.clear();
+  out->base_addr = base_addr;
+  out->bytes.clear();
+  out->symbols.clear();
+
+  std::map<std::string, uint32_t> symbols;
+  std::vector<Statement> statements;
+
+  auto fail = [this](int line_no, const std::string& msg) {
+    std::ostringstream oss;
+    oss << "line " << line_no << ": " << msg;
+    error_ = oss.str();
+    return false;
+  };
+
+  // Immediate parser; needs `symbols`, so defined as a lambda used in pass 2 (and in
+  // pass 1 for .equ / .space / .align where symbols must already be defined).
+  auto parse_imm = [&symbols](const std::string& raw, int64_t* value) {
+    std::string text = Trim(raw);
+    if (text.empty()) {
+      return false;
+    }
+    // Character literal.
+    if (text.size() >= 3 && text.front() == '\'' && text.back() == '\'') {
+      std::string inner = text.substr(1, text.size() - 2);
+      if (inner == "\\n") {
+        *value = '\n';
+      } else if (inner == "\\t") {
+        *value = '\t';
+      } else if (inner == "\\0") {
+        *value = 0;
+      } else if (inner.size() == 1) {
+        *value = inner[0];
+      } else {
+        return false;
+      }
+      return true;
+    }
+    // Pure number?
+    char* end = nullptr;
+    long long v = std::strtoll(text.c_str(), &end, 0);
+    if (end != text.c_str() && *end == '\0') {
+      *value = v;
+      return true;
+    }
+    // symbol, symbol+N, symbol-N
+    size_t split = text.find_first_of("+-", 1);
+    std::string sym = Trim(split == std::string::npos ? text : text.substr(0, split));
+    int64_t offset = 0;
+    if (split != std::string::npos) {
+      char* oend = nullptr;
+      offset = std::strtoll(text.c_str() + split, &oend, 0);
+      if (*oend != '\0') {
+        return false;
+      }
+    }
+    auto it = symbols.find(sym);
+    if (it == symbols.end()) {
+      return false;
+    }
+    *value = static_cast<int64_t>(it->second) + offset;
+    return true;
+  };
+
+  // ---------------- Pass 1: parse, assign addresses, collect labels ----------------
+  uint32_t pc = base_addr;
+  std::vector<std::string> pending_labels;
+  std::istringstream stream(source);
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    std::string line = Trim(StripComment(raw_line));
+
+    // Leading labels (possibly several).
+    while (true) {
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        break;
+      }
+      std::string candidate = Trim(line.substr(0, colon));
+      // Only treat as a label if it looks like an identifier.
+      bool ident = !candidate.empty() &&
+                   (std::isalpha(static_cast<unsigned char>(candidate[0])) || candidate[0] == '_' ||
+                    candidate[0] == '.');
+      for (char c : candidate) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '.') {
+          ident = false;
+        }
+      }
+      if (!ident) {
+        break;
+      }
+      if (symbols.count(candidate) != 0) {
+        return fail(line_no, "duplicate label '" + candidate + "'");
+      }
+      // Labels bind to the *next* statement's final address so that a label on an
+      // instruction lands after any alignment padding.
+      pending_labels.push_back(candidate);
+      line = Trim(line.substr(colon + 1));
+    }
+    if (line.empty()) {
+      continue;
+    }
+
+    // Split mnemonic from operands.
+    size_t space = line.find_first_of(" \t");
+    std::string mnemonic = ToLower(space == std::string::npos ? line : line.substr(0, space));
+    std::string rest = space == std::string::npos ? "" : Trim(line.substr(space));
+    std::vector<std::string> operands = SplitOperands(rest);
+
+    Statement st;
+    st.line_no = line_no;
+    st.mnemonic = mnemonic;
+    st.operands = operands;
+
+    // Instructions must sit at 4-byte boundaries (RV32 jump/branch offsets are in
+    // units of 2 and fetches are word-wide); pad with zero bytes after data.
+    bool is_instruction = mnemonic[0] != '.';
+    if (is_instruction && (pc % 4) != 0) {
+      st.pad = 4 - (pc % 4);
+      pc += st.pad;
+    }
+    st.addr = pc;
+    for (const std::string& label : pending_labels) {
+      symbols[label] = pc;
+    }
+    pending_labels.clear();
+
+    if (mnemonic[0] == '.') {
+      if (mnemonic == ".equ") {
+        if (operands.size() != 2) {
+          return fail(line_no, ".equ needs name, value");
+        }
+        int64_t value = 0;
+        if (!parse_imm(operands[1], &value)) {
+          return fail(line_no, "bad .equ value '" + operands[1] + "'");
+        }
+        symbols[operands[0]] = static_cast<uint32_t>(value);
+        continue;  // emits nothing
+      }
+      if (mnemonic == ".word") {
+        st.size = static_cast<uint32_t>(4 * operands.size());
+      } else if (mnemonic == ".byte") {
+        st.size = static_cast<uint32_t>(operands.size());
+      } else if (mnemonic == ".asciz" || mnemonic == ".ascii") {
+        if (operands.size() != 1 || operands[0].size() < 2 || operands[0].front() != '"' ||
+            operands[0].back() != '"') {
+          return fail(line_no, mnemonic + " needs one quoted string");
+        }
+        std::string text = operands[0].substr(1, operands[0].size() - 2);
+        for (size_t i = 0; i < text.size(); ++i) {
+          char c = text[i];
+          if (c == '\\' && i + 1 < text.size()) {
+            ++i;
+            switch (text[i]) {
+              case 'n':
+                c = '\n';
+                break;
+              case 't':
+                c = '\t';
+                break;
+              case '0':
+                c = '\0';
+                break;
+              case '\\':
+                c = '\\';
+                break;
+              case '"':
+                c = '"';
+                break;
+              default:
+                return fail(line_no, "unknown escape in string");
+            }
+          }
+          st.data.push_back(static_cast<uint8_t>(c));
+        }
+        if (mnemonic == ".asciz") {
+          st.data.push_back(0);
+        }
+        st.size = static_cast<uint32_t>(st.data.size());
+      } else if (mnemonic == ".align") {
+        int64_t n = 4;
+        if (!operands.empty() && !parse_imm(operands[0], &n)) {
+          return fail(line_no, "bad .align operand");
+        }
+        uint32_t align = static_cast<uint32_t>(n);
+        uint32_t aligned = (pc + align - 1) / align * align;
+        st.size = aligned - pc;
+        st.data.assign(st.size, 0);
+      } else if (mnemonic == ".space") {
+        int64_t n = 0;
+        if (operands.size() != 1 || !parse_imm(operands[0], &n) || n < 0) {
+          return fail(line_no, "bad .space operand");
+        }
+        st.size = static_cast<uint32_t>(n);
+        st.data.assign(st.size, 0);
+      } else {
+        return fail(line_no, "unknown directive '" + mnemonic + "'");
+      }
+    } else {
+      // Instruction sizes: li and la always expand to two instructions so that pass-1
+      // addresses are stable regardless of symbol values.
+      if (mnemonic == "li" || mnemonic == "la") {
+        st.size = 8;
+      } else if (InstrTable().count(mnemonic) != 0 || mnemonic == "mv" || mnemonic == "j" ||
+                 mnemonic == "jr" || mnemonic == "call" || mnemonic == "ret" ||
+                 mnemonic == "nop" || mnemonic == "beqz" || mnemonic == "bnez" ||
+                 mnemonic == "seqz" || mnemonic == "snez" || mnemonic == "neg") {
+        st.size = 4;
+      } else {
+        return fail(line_no, "unknown mnemonic '" + mnemonic + "'");
+      }
+    }
+
+    pc += st.size;
+    statements.push_back(std::move(st));
+  }
+
+  for (const std::string& label : pending_labels) {
+    symbols[label] = pc;
+  }
+  pending_labels.clear();
+
+  // ---------------- Pass 2: encode --------------------------------------------------
+  out->bytes.reserve(pc - base_addr);
+
+  auto emit_word = [out](uint32_t word) {
+    out->bytes.push_back(static_cast<uint8_t>(word));
+    out->bytes.push_back(static_cast<uint8_t>(word >> 8));
+    out->bytes.push_back(static_cast<uint8_t>(word >> 16));
+    out->bytes.push_back(static_cast<uint8_t>(word >> 24));
+  };
+
+  auto reg_or_fail = [&](const Statement& st, const std::string& token, unsigned* reg) {
+    auto r = ParseRegister(token);
+    if (!r.has_value()) {
+      fail(st.line_no, "bad register '" + token + "'");
+      return false;
+    }
+    *reg = *r;
+    return true;
+  };
+
+  // Parses "imm(reg)" memory operands.
+  auto mem_or_fail = [&](const Statement& st, const std::string& token, int64_t* imm,
+                         unsigned* reg) {
+    size_t open = token.find('(');
+    size_t close = token.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      fail(st.line_no, "bad memory operand '" + token + "'");
+      return false;
+    }
+    std::string imm_part = Trim(token.substr(0, open));
+    if (imm_part.empty()) {
+      imm_part = "0";
+    }
+    if (!parse_imm(imm_part, imm)) {
+      fail(st.line_no, "bad offset '" + imm_part + "'");
+      return false;
+    }
+    return reg_or_fail(st, Trim(token.substr(open + 1, close - open - 1)), reg);
+  };
+
+  for (const Statement& st : statements) {
+    const std::string& m = st.mnemonic;
+    for (uint32_t i = 0; i < st.pad; ++i) {
+      out->bytes.push_back(0);
+    }
+
+    if (m[0] == '.') {
+      if (m == ".word") {
+        for (const std::string& op : st.operands) {
+          int64_t v = 0;
+          if (!parse_imm(op, &v)) {
+            return fail(st.line_no, "bad .word operand '" + op + "'");
+          }
+          emit_word(static_cast<uint32_t>(v));
+        }
+      } else if (m == ".byte") {
+        for (const std::string& op : st.operands) {
+          int64_t v = 0;
+          if (!parse_imm(op, &v)) {
+            return fail(st.line_no, "bad .byte operand '" + op + "'");
+          }
+          out->bytes.push_back(static_cast<uint8_t>(v));
+        }
+      } else {
+        out->bytes.insert(out->bytes.end(), st.data.begin(), st.data.end());
+      }
+      continue;
+    }
+
+    const std::vector<std::string>& ops = st.operands;
+    auto expect_ops = [&](size_t n) {
+      if (ops.size() != n) {
+        fail(st.line_no, m + " expects " + std::to_string(n) + " operands");
+        return false;
+      }
+      return true;
+    };
+
+    // --- Pseudo-instructions ---
+    if (m == "nop") {
+      emit_word(EncodeI(0, 0, 0, 0, 0x13));
+      continue;
+    }
+    if (m == "ret") {
+      emit_word(EncodeI(0, 1, 0, 0, 0x67));  // jalr x0, ra, 0
+      continue;
+    }
+    if (m == "mv") {
+      unsigned rd, rs;
+      if (!expect_ops(2) || !reg_or_fail(st, ops[0], &rd) || !reg_or_fail(st, ops[1], &rs)) {
+        return false;
+      }
+      emit_word(EncodeI(0, rs, 0, rd, 0x13));
+      continue;
+    }
+    if (m == "neg") {
+      unsigned rd, rs;
+      if (!expect_ops(2) || !reg_or_fail(st, ops[0], &rd) || !reg_or_fail(st, ops[1], &rs)) {
+        return false;
+      }
+      emit_word(EncodeR(0x20, rs, 0, 0, rd, 0x33));
+      continue;
+    }
+    if (m == "seqz" || m == "snez") {
+      unsigned rd, rs;
+      if (!expect_ops(2) || !reg_or_fail(st, ops[0], &rd) || !reg_or_fail(st, ops[1], &rs)) {
+        return false;
+      }
+      if (m == "seqz") {
+        emit_word(EncodeI(1, rs, 3, rd, 0x13));  // sltiu rd, rs, 1
+      } else {
+        emit_word(EncodeR(0, rs, 0, 3, rd, 0x33));  // sltu rd, x0, rs
+      }
+      continue;
+    }
+    if (m == "li" || m == "la") {
+      unsigned rd;
+      int64_t value = 0;
+      if (!expect_ops(2) || !reg_or_fail(st, ops[0], &rd)) {
+        return false;
+      }
+      if (!parse_imm(ops[1], &value)) {
+        return fail(st.line_no, "bad immediate '" + ops[1] + "'");
+      }
+      uint32_t uval = static_cast<uint32_t>(value);
+      uint32_t hi = (uval + 0x800) >> 12;
+      int32_t lo = static_cast<int32_t>(uval) - static_cast<int32_t>(hi << 12);
+      emit_word(EncodeU(hi & 0xFFFFF, rd, 0x37));
+      emit_word(EncodeI(lo, rd, 0, rd, 0x13));
+      continue;
+    }
+    if (m == "j" || m == "call") {
+      int64_t target = 0;
+      if (!expect_ops(1) || !parse_imm(ops[0], &target)) {
+        return fail(st.line_no, "bad jump target");
+      }
+      int64_t offset = target - st.addr;
+      if (offset < -(1 << 20) || offset >= (1 << 20)) {
+        return fail(st.line_no, "jump out of range");
+      }
+      emit_word(EncodeJ(static_cast<int32_t>(offset), m == "j" ? 0 : 1, 0x6F));
+      continue;
+    }
+    if (m == "jr") {
+      unsigned rs;
+      if (!expect_ops(1) || !reg_or_fail(st, ops[0], &rs)) {
+        return false;
+      }
+      emit_word(EncodeI(0, rs, 0, 0, 0x67));
+      continue;
+    }
+    if (m == "beqz" || m == "bnez") {
+      unsigned rs;
+      int64_t target = 0;
+      if (!expect_ops(2) || !reg_or_fail(st, ops[0], &rs) || !parse_imm(ops[1], &target)) {
+        return false;
+      }
+      int64_t offset = target - st.addr;
+      if (offset < -(1 << 12) || offset >= (1 << 12)) {
+        return fail(st.line_no, "branch out of range");
+      }
+      emit_word(EncodeB(static_cast<int32_t>(offset), 0, rs, m == "beqz" ? 0 : 1, 0x63));
+      continue;
+    }
+
+    auto it = InstrTable().find(m);
+    if (it == InstrTable().end()) {
+      return fail(st.line_no, "unknown mnemonic '" + m + "'");
+    }
+    const InstrDesc& d = it->second;
+    using F = InstrDesc::Format;
+
+    switch (d.format) {
+      case F::kSystem: {
+        if (m == "ecall") {
+          emit_word(0x00000073);
+        } else if (m == "ebreak") {
+          emit_word(0x00100073);
+        } else {  // fence
+          emit_word(0x0000000F);
+        }
+        break;
+      }
+      case F::kU: {
+        unsigned rd;
+        int64_t imm = 0;
+        if (!expect_ops(2) || !reg_or_fail(st, ops[0], &rd) || !parse_imm(ops[1], &imm)) {
+          return false;
+        }
+        emit_word(EncodeU(static_cast<uint32_t>(imm) & 0xFFFFF, rd, d.opcode));
+        break;
+      }
+      case F::kJ: {  // jal [rd,] target
+        unsigned rd = 1;
+        std::string target_op;
+        if (ops.size() == 1) {
+          target_op = ops[0];
+        } else if (ops.size() == 2) {
+          if (!reg_or_fail(st, ops[0], &rd)) {
+            return false;
+          }
+          target_op = ops[1];
+        } else {
+          return fail(st.line_no, "jal expects 1 or 2 operands");
+        }
+        int64_t target = 0;
+        if (!parse_imm(target_op, &target)) {
+          return fail(st.line_no, "bad jump target '" + target_op + "'");
+        }
+        int64_t offset = target - st.addr;
+        if (offset < -(1 << 20) || offset >= (1 << 20)) {
+          return fail(st.line_no, "jump out of range");
+        }
+        emit_word(EncodeJ(static_cast<int32_t>(offset), rd, d.opcode));
+        break;
+      }
+      case F::kBranch: {
+        unsigned rs1, rs2;
+        int64_t target = 0;
+        if (!expect_ops(3) || !reg_or_fail(st, ops[0], &rs1) || !reg_or_fail(st, ops[1], &rs2) ||
+            !parse_imm(ops[2], &target)) {
+          return false;
+        }
+        int64_t offset = target - st.addr;
+        if (offset < -(1 << 12) || offset >= (1 << 12)) {
+          return fail(st.line_no, "branch out of range");
+        }
+        emit_word(EncodeB(static_cast<int32_t>(offset), rs2, rs1, d.funct3, d.opcode));
+        break;
+      }
+      case F::kLoad: {
+        unsigned rd, rs1;
+        int64_t imm = 0;
+        if (!expect_ops(2) || !reg_or_fail(st, ops[0], &rd) ||
+            !mem_or_fail(st, ops[1], &imm, &rs1)) {
+          return false;
+        }
+        emit_word(EncodeI(static_cast<int32_t>(imm), rs1, d.funct3, rd, d.opcode));
+        break;
+      }
+      case F::kStore: {
+        unsigned rs2, rs1;
+        int64_t imm = 0;
+        if (!expect_ops(2) || !reg_or_fail(st, ops[0], &rs2) ||
+            !mem_or_fail(st, ops[1], &imm, &rs1)) {
+          return false;
+        }
+        emit_word(EncodeS(static_cast<int32_t>(imm), rs2, rs1, d.funct3, d.opcode));
+        break;
+      }
+      case F::kShift: {
+        unsigned rd, rs1;
+        int64_t shamt = 0;
+        if (!expect_ops(3) || !reg_or_fail(st, ops[0], &rd) || !reg_or_fail(st, ops[1], &rs1) ||
+            !parse_imm(ops[2], &shamt)) {
+          return false;
+        }
+        if (shamt < 0 || shamt > 31) {
+          return fail(st.line_no, "shift amount out of range");
+        }
+        emit_word(EncodeR(d.funct7, static_cast<unsigned>(shamt), rs1, d.funct3, rd, d.opcode));
+        break;
+      }
+      case F::kI: {
+        unsigned rd, rs1;
+        int64_t imm = 0;
+        if (m == "jalr") {
+          // Forms: `jalr rs`, `jalr rd, rs, imm`, `jalr rd, imm(rs)`.
+          if (ops.size() == 1) {
+            if (!reg_or_fail(st, ops[0], &rs1)) {
+              return false;
+            }
+            rd = 1;
+          } else if (ops.size() == 3) {
+            if (!reg_or_fail(st, ops[0], &rd) || !reg_or_fail(st, ops[1], &rs1) ||
+                !parse_imm(ops[2], &imm)) {
+              return false;
+            }
+          } else if (ops.size() == 2 && ops[1].find('(') != std::string::npos) {
+            if (!reg_or_fail(st, ops[0], &rd) || !mem_or_fail(st, ops[1], &imm, &rs1)) {
+              return false;
+            }
+          } else {
+            return fail(st.line_no, "bad jalr operands");
+          }
+        } else {
+          if (!expect_ops(3) || !reg_or_fail(st, ops[0], &rd) || !reg_or_fail(st, ops[1], &rs1) ||
+              !parse_imm(ops[2], &imm)) {
+            return false;
+          }
+        }
+        if (imm < -2048 || imm > 2047) {
+          return fail(st.line_no, "immediate out of range (-2048..2047)");
+        }
+        emit_word(EncodeI(static_cast<int32_t>(imm), rs1, d.funct3, rd, d.opcode));
+        break;
+      }
+      case F::kR: {
+        unsigned rd, rs1, rs2;
+        if (!expect_ops(3) || !reg_or_fail(st, ops[0], &rd) || !reg_or_fail(st, ops[1], &rs1) ||
+            !reg_or_fail(st, ops[2], &rs2)) {
+          return false;
+        }
+        emit_word(EncodeR(d.funct7, rs2, rs1, d.funct3, rd, d.opcode));
+        break;
+      }
+    }
+  }
+
+  out->symbols = std::move(symbols);
+  return error_.empty();
+}
+
+}  // namespace tock

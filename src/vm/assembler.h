@@ -1,0 +1,49 @@
+// ERA: 1
+// Two-pass RV32IM assembler. Userspace applications in this reproduction are written
+// as assembly text (see src/libtock for the syscall wrappers and app packaging);
+// the assembler turns them into the raw instruction streams the Cpu executes.
+//
+// Supported syntax:
+//   - labels:           `loop:`
+//   - comments:         `# ...` or `// ...`
+//   - registers:        x0..x31 and ABI names (zero, ra, sp, gp, tp, t0-6, s0-11,
+//                       a0-7, fp)
+//   - RV32I:            lui auipc jal jalr beq bne blt bge bltu bgeu lb lh lw lbu
+//                       lhu sb sh sw addi slti sltiu xori ori andi slli srli srai
+//                       add sub sll slt sltu xor srl sra or and ecall ebreak fence
+//   - RV32M:            mul mulh mulhu div divu rem remu
+//   - pseudo:           li la mv j jr call ret nop beqz bnez seqz snez neg
+//   - directives:       .word .byte .asciz .align .space .equ
+//   - immediates:       decimal, 0x hex, 'c' characters, .equ symbols, labels, and
+//                       symbol+offset / symbol-offset
+#ifndef TOCK_VM_ASSEMBLER_H_
+#define TOCK_VM_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tock {
+
+struct AssembledImage {
+  uint32_t base_addr = 0;
+  std::vector<uint8_t> bytes;
+  std::map<std::string, uint32_t> symbols;  // label -> absolute address
+};
+
+class Assembler {
+ public:
+  // Assembles `source` for placement at absolute address `base_addr` (labels and
+  // `la` resolve to absolute addresses). Returns false on error; see error().
+  bool Assemble(const std::string& source, uint32_t base_addr, AssembledImage* out);
+
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string error_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_VM_ASSEMBLER_H_

@@ -1,0 +1,86 @@
+// ERA: 1
+// Userspace execution engine: an RV32IM interpreter.
+//
+// The paper's processes are real machine code confined by the MPU (§2.3). To make
+// that isolation *enforced* rather than simulated-by-convention, applications in this
+// reproduction are genuine RV32IM instruction streams; every fetch, load and store is
+// routed through the memory bus in unprivileged mode, where the MPU either permits it
+// or faults the process. The kernel never trusts anything a process does.
+//
+// The syscall ABI follows Tock TRD104's RISC-V convention: system call class in a4,
+// arguments in a0-a3, return variant + values in a0-a3.
+#ifndef TOCK_VM_CPU_H_
+#define TOCK_VM_CPU_H_
+
+#include <array>
+#include <cstdint>
+
+#include "hw/memory_bus.h"
+
+namespace tock {
+
+// Architectural register file + pc for one process. Owned by the kernel's Process
+// object; saved/restored around upcalls.
+struct CpuContext {
+  uint32_t pc = 0;
+  std::array<uint32_t, 32> x{};  // x0 hardwired to zero (enforced on write)
+};
+
+// RISC-V ABI register numbers used by the kernel.
+struct Reg {
+  static constexpr unsigned kZero = 0;
+  static constexpr unsigned kRa = 1;
+  static constexpr unsigned kSp = 2;
+  static constexpr unsigned kA0 = 10;
+  static constexpr unsigned kA1 = 11;
+  static constexpr unsigned kA2 = 12;
+  static constexpr unsigned kA3 = 13;
+  static constexpr unsigned kA4 = 14;
+};
+
+enum class StepResult {
+  kOk,            // instruction retired
+  kEcall,         // process executed ecall; syscall args in the context
+  kEbreak,        // debug trap
+  kUpcallReturn,  // pc reached the magic upcall-return address
+  kFault,         // memory/MPU/illegal-instruction fault; details in fault()
+};
+
+struct VmFault {
+  enum class Kind { kNone, kBus, kIllegalInstruction, kMisalignedJump };
+  Kind kind = Kind::kNone;
+  uint32_t pc = 0;        // faulting instruction address
+  uint32_t detail = 0;    // bad address or raw instruction word
+  BusFault bus_fault;     // populated for Kind::kBus
+};
+
+// Executes instructions for one context at a time. Stateless across calls apart from
+// fault bookkeeping, so a single Cpu instance serves every process on the board.
+class Cpu {
+ public:
+  // Jumping to this address signals "return from upcall to kernel" (§2.5). It lives
+  // outside any mappable region so a stray jump cannot alias real code.
+  static constexpr uint32_t kUpcallReturnAddr = 0xFFFF'FFFC;
+
+  explicit Cpu(MemoryBus* bus) : bus_(bus) {}
+
+  // Executes one instruction in unprivileged mode. On kFault the context pc is left
+  // at the faulting instruction for diagnosis.
+  StepResult Step(CpuContext& ctx);
+
+  const VmFault& fault() const { return fault_; }
+
+  uint64_t instructions_retired() const { return instructions_retired_; }
+
+ private:
+  StepResult RaiseBusFault(CpuContext& ctx, uint32_t addr);
+  StepResult RaiseIllegal(CpuContext& ctx, uint32_t instruction);
+
+  MemoryBus* bus_;
+  VmFault fault_;
+  uint64_t instructions_retired_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_VM_CPU_H_

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: capability tokens can only be minted by trusted board code via
+// CapabilityFactory (paper §4.4, Listing 1). Direct construction is a compile error.
+#include "kernel/capability.h"
+
+int main() {
+  tock::ProcessManagementCapability cap;  // error: constructor is private
+  (void)cap;
+  return 0;
+}

@@ -1,0 +1,7 @@
+// MUST NOT COMPILE: calling a privileged kernel API without a capability token.
+// There is no way to conjure the argument: the type has no public constructor.
+#include "kernel/kernel.h"
+
+void Exploit(tock::Kernel* kernel, tock::ProcessId pid) {
+  kernel->StopProcess(pid, {});  // error: initializer list can't reach private ctor
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: an active-high device bound to a controller whose silicon can
+// only generate active-low chip selects (paper §4.1, Figure 3).
+#include "board/composition.h"
+
+using LowOnlyController = tock::ChipSpi<tock::SpiCsCaps::kActiveLow>;
+
+int main() {
+  tock::ActiveHighDisplayBinding<LowOnlyController> binding(nullptr, 0);
+  (void)binding;
+  return 0;
+}

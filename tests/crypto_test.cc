@@ -1,0 +1,244 @@
+// Crypto substrate tests against published vectors: FIPS 197 (AES), NIST SP 800-38A
+// (ECB/CTR modes), FIPS 180-4 (SHA-256), RFC 4231 (HMAC-SHA256).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/aes128.h"
+#include "crypto/hmac_sha256.h"
+#include "crypto/sha256.h"
+
+namespace tock {
+namespace {
+
+std::vector<uint8_t> FromHex(const std::string& hex) {
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<uint8_t>(std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+std::string ToHex(const uint8_t* data, size_t len) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+// ---- AES-128 ----------------------------------------------------------------------
+
+TEST(Aes128, Fips197AppendixBVector) {
+  auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  auto plain = FromHex("3243f6a8885a308d313198a2e0370734");
+  Aes128 aes(key.data());
+  std::vector<uint8_t> block = plain;
+  aes.EncryptBlock(block.data());
+  EXPECT_EQ(ToHex(block.data(), 16), "3925841d02dc09fbdc118597196a0b32");
+  aes.DecryptBlock(block.data());
+  EXPECT_EQ(block, plain);
+}
+
+TEST(Aes128, Sp80038aEcbVectors) {
+  auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes(key.data());
+  struct Case {
+    const char* plain;
+    const char* cipher;
+  };
+  const Case kCases[] = {
+      {"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+      {"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+      {"30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"},
+      {"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"},
+  };
+  for (const Case& c : kCases) {
+    auto block = FromHex(c.plain);
+    aes.EncryptBlock(block.data());
+    EXPECT_EQ(ToHex(block.data(), 16), c.cipher);
+  }
+}
+
+TEST(Aes128, Sp80038aCtrVector) {
+  auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  auto counter = FromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  auto plain = FromHex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  Aes128 aes(key.data());
+  std::vector<uint8_t> data = plain;
+  aes.CtrCrypt(counter.data(), data.data(), data.size());
+  EXPECT_EQ(ToHex(data.data(), data.size()),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(Aes128, CtrIsItsOwnInverse) {
+  auto key = FromHex("000102030405060708090a0b0c0d0e0f");
+  std::vector<uint8_t> data(100);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  std::vector<uint8_t> original = data;
+
+  Aes128 aes(key.data());
+  uint8_t ctr1[16] = {0};
+  aes.CtrCrypt(ctr1, data.data(), data.size());
+  EXPECT_NE(data, original);
+  uint8_t ctr2[16] = {0};
+  aes.CtrCrypt(ctr2, data.data(), data.size());
+  EXPECT_EQ(data, original);
+}
+
+TEST(Aes128, CtrCounterAdvancesAcrossBlocks) {
+  // Encrypting 32 bytes as one call must equal two 16-byte calls with a shared
+  // counter (i.e. the counter increments per block, big-endian).
+  auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes(key.data());
+  std::vector<uint8_t> a(32, 0x5A);
+  std::vector<uint8_t> b = a;
+
+  uint8_t ctr_whole[16] = {0};
+  aes.CtrCrypt(ctr_whole, a.data(), 32);
+
+  uint8_t ctr_split[16] = {0};
+  aes.CtrCrypt(ctr_split, b.data(), 16);
+  aes.CtrCrypt(ctr_split, b.data() + 16, 16);
+  EXPECT_EQ(a, b);
+}
+
+// ---- SHA-256 -----------------------------------------------------------------------
+
+TEST(Sha256, NistShortVectors) {
+  auto d1 = Sha256::Digest(reinterpret_cast<const uint8_t*>("abc"), 3);
+  EXPECT_EQ(ToHex(d1.data(), d1.size()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+
+  auto d2 = Sha256::Digest(nullptr, 0);
+  EXPECT_EQ(ToHex(d2.data(), d2.size()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+
+  const char* two_block = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  auto d3 = Sha256::Digest(reinterpret_cast<const uint8_t*>(two_block), strlen(two_block));
+  EXPECT_EQ(ToHex(d3.data(), d3.size()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hasher;
+  std::vector<uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.Update(chunk.data(), chunk.size());
+  }
+  uint8_t digest[32];
+  hasher.Finalize(digest);
+  EXPECT_EQ(ToHex(digest, 32),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  std::vector<uint8_t> data(200);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  auto oneshot = Sha256::Digest(data.data(), data.size());
+
+  Sha256 streaming;
+  // Odd split sizes exercise the internal buffering.
+  streaming.Update(data.data(), 1);
+  streaming.Update(data.data() + 1, 63);
+  streaming.Update(data.data() + 64, 65);
+  streaming.Update(data.data() + 129, 71);
+  uint8_t digest[32];
+  streaming.Finalize(digest);
+  EXPECT_EQ(std::memcmp(digest, oneshot.data(), 32), 0);
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 hasher;
+  hasher.Update(reinterpret_cast<const uint8_t*>("garbage"), 7);
+  uint8_t scratch[32];
+  hasher.Finalize(scratch);
+  hasher.Reset();
+  hasher.Update(reinterpret_cast<const uint8_t*>("abc"), 3);
+  uint8_t digest[32];
+  hasher.Finalize(digest);
+  EXPECT_EQ(ToHex(digest, 32),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// ---- HMAC-SHA256 (RFC 4231) -----------------------------------------------------------
+
+TEST(HmacSha256, Rfc4231Case1) {
+  std::vector<uint8_t> key(20, 0x0b);
+  const char* data = "Hi There";
+  auto tag = HmacSha256::Compute(key.data(), key.size(),
+                                 reinterpret_cast<const uint8_t*>(data), strlen(data));
+  EXPECT_EQ(ToHex(tag.data(), tag.size()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const char* key = "Jefe";
+  const char* data = "what do ya want for nothing?";
+  auto tag = HmacSha256::Compute(reinterpret_cast<const uint8_t*>(key), strlen(key),
+                                 reinterpret_cast<const uint8_t*>(data), strlen(data));
+  EXPECT_EQ(ToHex(tag.data(), tag.size()),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  std::vector<uint8_t> key(20, 0xaa);
+  std::vector<uint8_t> data(50, 0xdd);
+  auto tag = HmacSha256::Compute(key.data(), key.size(), data.data(), data.size());
+  EXPECT_EQ(ToHex(tag.data(), tag.size()),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  std::vector<uint8_t> key(131, 0xaa);  // longer than the block size: key is hashed
+  const char* data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  auto tag = HmacSha256::Compute(key.data(), key.size(),
+                                 reinterpret_cast<const uint8_t*>(data), strlen(data));
+  EXPECT_EQ(ToHex(tag.data(), tag.size()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, StreamingMatchesOneShot) {
+  std::vector<uint8_t> key(32, 0x42);
+  std::vector<uint8_t> data(150, 0x17);
+  auto oneshot = HmacSha256::Compute(key.data(), key.size(), data.data(), data.size());
+
+  HmacSha256 mac(key.data(), key.size());
+  mac.Update(data.data(), 50);
+  mac.Update(data.data() + 50, 100);
+  uint8_t tag[32];
+  mac.Finalize(tag);
+  EXPECT_EQ(std::memcmp(tag, oneshot.data(), 32), 0);
+}
+
+TEST(HmacSha256, VerifyTagDetectsEveryBitFlip) {
+  std::vector<uint8_t> key(32, 1);
+  std::vector<uint8_t> data(10, 2);
+  auto tag = HmacSha256::Compute(key.data(), key.size(), data.data(), data.size());
+  auto bad = tag;
+  EXPECT_TRUE(HmacSha256::VerifyTag(tag.data(), bad.data(), tag.size()));
+  for (size_t i = 0; i < bad.size(); ++i) {
+    bad[i] ^= 0x80;
+    EXPECT_FALSE(HmacSha256::VerifyTag(tag.data(), bad.data(), tag.size()));
+    bad[i] ^= 0x80;
+  }
+}
+
+}  // namespace
+}  // namespace tock

@@ -1,0 +1,492 @@
+// Tests for the extension features: nonvolatile storage, the process console
+// (kernel shell), cooperative scheduling, and kernel edge cases around resource
+// table exhaustion and upcall queueing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "board/sim_board.h"
+
+namespace tock {
+namespace {
+
+uint32_t RamWord(SimBoard& board, Process& p, uint32_t off) {
+  return *board.mcu().bus().Read(p.ram_start + off, 4, Privilege::kPrivileged);
+}
+
+// ---- Nonvolatile storage -------------------------------------------------------------
+
+TEST(NvStorage, WriteThenReadRoundTripsThroughFlash) {
+  SimBoard board;
+  AppSpec app;
+  app.name = "store";
+  app.source = R"(
+_start:
+    mv s0, a0
+    # allow_ro(nv=0x50001, 1 = write source, flash data, 12)
+    li a0, 0x50001
+    li a1, 1
+    la a2, payload
+    li a3, 12
+    li a4, 4
+    ecall
+    # command(nv, 2 = write, offset=128, len=12); wait for sub 1
+    li a0, 0x50001
+    li a1, 2
+    li a2, 128
+    li a3, 12
+    li a4, 2
+    ecall
+    sw a0, 16(s0)
+    li a0, 2
+    li a1, 0x50001
+    li a2, 1
+    li a4, 0
+    ecall
+    sw a1, 20(s0)        # bytes written
+    # allow_rw(nv, 0 = read dest, ram+64, 12)
+    li a0, 0x50001
+    li a1, 0
+    addi a2, s0, 64
+    li a3, 12
+    li a4, 3
+    ecall
+    # command(nv, 1 = read, offset=128, len=12); wait for sub 0
+    li a0, 0x50001
+    li a1, 1
+    li a2, 128
+    li a3, 12
+    li a4, 2
+    ecall
+    li a0, 2
+    li a1, 0x50001
+    li a2, 0
+    li a4, 0
+    ecall
+    sw a1, 24(s0)        # bytes read
+    li a0, 0
+    call tock_exit_terminate
+payload:
+    .asciz "persist-me!"
+)";
+  ASSERT_NE(board.installer().Install(app), 0u) << board.installer().error();
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(50'000'000);
+  Process& p = *board.kernel().process(0);
+  ASSERT_EQ(p.state, ProcessState::kTerminated);
+  EXPECT_EQ(RamWord(board, p, 20), 12u);
+  EXPECT_EQ(RamWord(board, p, 24), 12u);
+  uint8_t data[12];
+  board.mcu().bus().ReadBlock(p.ram_start + 64, data, 12);
+  EXPECT_EQ(std::memcmp(data, "persist-me!", 12), 0);
+  // The bytes actually live in flash, at the capsule's region + offset.
+  uint8_t flash_bytes[12];
+  board.mcu().bus().ReadBlock(SimBoard::kNvStorageBase + 128, flash_bytes, 12);
+  EXPECT_EQ(std::memcmp(flash_bytes, "persist-me!", 12), 0);
+}
+
+TEST(NvStorage, RejectsOutOfRegionAccess) {
+  SimBoard board;
+  AppSpec app;
+  app.name = "oob";
+  app.source = R"(
+_start:
+    mv s0, a0
+    li a0, 0x50001
+    li a1, 1
+    la a2, payload
+    li a3, 8
+    li a4, 4
+    ecall
+    # write at offset = region size (out of range)
+    li a0, 0x50001
+    li a1, 2
+    li t0, 0x10000
+    mv a2, t0
+    li a3, 8
+    li a4, 2
+    ecall
+    sw a0, 0(s0)     # expect failure variant 0
+    sw a1, 4(s0)     # INVAL
+    # size query
+    li a0, 0x50001
+    li a1, 3
+    li a2, 0
+    li a3, 0
+    li a4, 2
+    ecall
+    sw a1, 8(s0)
+    li a0, 0
+    call tock_exit_terminate
+payload:
+    .asciz "nope..."
+)";
+  ASSERT_NE(board.installer().Install(app), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(5'000'000);
+  Process& p = *board.kernel().process(0);
+  EXPECT_EQ(RamWord(board, p, 0), 0u);
+  EXPECT_EQ(RamWord(board, p, 4), static_cast<uint32_t>(ErrorCode::kInvalid));
+  EXPECT_EQ(RamWord(board, p, 8), SimBoard::kNvStorageSize);
+}
+
+TEST(NvStorage, DataSurvivesProcessRestart) {
+  // The whole point of NV storage: state outlives the process (unlike grants, §2.4).
+  SimBoard board;
+  AppSpec app;
+  app.name = "reborn";
+  app.source = R"(
+_start:
+    mv s0, a0
+    # read flag byte from nv offset 0 into ram+64
+    li a0, 0x50001
+    li a1, 0
+    addi a2, s0, 64
+    li a3, 4
+    li a4, 3
+    ecall
+    li a0, 0x50001
+    li a1, 1
+    li a2, 0
+    li a3, 4
+    li a4, 2
+    ecall
+    li a0, 2
+    li a1, 0x50001
+    li a2, 0
+    li a4, 0
+    ecall
+    lbu t0, 64(s0)
+    li t1, 0x5A
+    beq t0, t1, second_life
+    # first life: write the marker then exit-restart
+    li t1, 0x5A
+    sb t1, 68(s0)
+    li a0, 0x50001
+    li a1, 1
+    addi a2, s0, 68
+    li a3, 4
+    li a4, 4
+    ecall
+    li a0, 0x50001
+    li a1, 2
+    li a2, 0
+    li a3, 4
+    li a4, 2
+    ecall
+    li a0, 2
+    li a1, 0x50001
+    li a2, 1
+    li a4, 0
+    ecall
+    li a0, 1
+    li a4, 6
+    ecall               # exit-restart
+second_life:
+    li a0, 0
+    li a1, 90
+    li a4, 6
+    ecall               # terminate(90): we saw our own pre-restart marker
+)";
+  ASSERT_NE(board.installer().Install(app), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(100'000'000);
+  Process& p = *board.kernel().process(0);
+  EXPECT_EQ(p.state, ProcessState::kTerminated);
+  EXPECT_EQ(p.completion_code, 90u);
+  EXPECT_EQ(p.restart_count, 1u);
+}
+
+// ---- Process console --------------------------------------------------------------------
+
+TEST(ProcessConsoleShell, ListShowsProcessTable) {
+  SimBoard board;
+  AppSpec app;
+  app.name = "worker";
+  app.source = "_start:\nspin:\n    li a0, 10000\n    call sleep_ticks\n    j spin\n";
+  ASSERT_NE(board.installer().Install(app), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(100'000);
+
+  board.uart1_hw().InjectRx("list\n");
+  board.Run(30'000'000);
+  const std::string& out = board.uart1_hw().output();
+  EXPECT_NE(out.find("worker"), std::string::npos) << out;
+  EXPECT_NE(out.find("Yielded"), std::string::npos) << out;
+}
+
+TEST(ProcessConsoleShell, StopAndStartManageProcesses) {
+  SimBoard board;
+  AppSpec app;
+  app.name = "victim";
+  app.source = "_start:\nspin:\n    li a0, 10000\n    call sleep_ticks\n    j spin\n";
+  ASSERT_NE(board.installer().Install(app), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(100'000);
+
+  board.uart1_hw().InjectRx("stop 0\n");
+  board.Run(30'000'000);
+  EXPECT_EQ(board.kernel().process(0)->state, ProcessState::kTerminated);
+  EXPECT_NE(board.uart1_hw().output().find("stop 0: ok"), std::string::npos);
+
+  board.uart1_hw().InjectRx("start 0\n");
+  board.Run(30'000'000);
+  EXPECT_TRUE(board.kernel().process(0)->IsAlive());
+  EXPECT_EQ(board.kernel().process(0)->restart_count, 1u);
+}
+
+TEST(ProcessConsoleShell, UnknownCommandIsReported) {
+  SimBoard board;
+  board.uart1_hw().InjectRx("frobnicate\n");
+  board.Run(30'000'000);
+  EXPECT_NE(board.uart1_hw().output().find("unknown command"), std::string::npos);
+}
+
+// ---- Cooperative scheduling (timeslice = 0 disables preemption) ---------------------------
+
+TEST(Scheduling, CooperativeModeLetsAHogStarveNeighbors) {
+  // The ablation twin of KernelTest.InfiniteLoopCannotStarveNeighbor: with the
+  // SysTick quantum disabled, Tock degenerates to the cooperative model of classic
+  // embedded frameworks — and a spinning app starves everyone (§2's motivation for
+  // hardware-preemptible processes).
+  BoardConfig config;
+  config.kernel.timeslice_cycles = 0;
+  SimBoard board(config);
+  AppSpec hog;
+  hog.name = "hog";
+  hog.source = "_start:\nspin:\n    j spin\n";
+  AppSpec worker;
+  worker.name = "worker";
+  worker.source = R"(
+_start:
+    la a0, msg
+    li a1, 5
+    call console_print
+    li a0, 0
+    call tock_exit_terminate
+msg:
+    .asciz "work\n"
+)";
+  ASSERT_NE(board.installer().Install(hog), 0u);
+  ASSERT_NE(board.installer().Install(worker), 0u);
+  ASSERT_EQ(board.Boot(), 2);
+  board.Run(10'000'000);
+  EXPECT_EQ(board.uart_hw().output().find("work"), std::string::npos)
+      << "worker ran despite cooperative hog";
+  EXPECT_EQ(board.kernel().process(0)->timeslice_expirations, 0u);
+}
+
+// ---- Kernel resource-table edge cases -----------------------------------------------------
+
+TEST(KernelLimits, AllowSlotTableExhaustionFailsGracefully) {
+  SimBoard board;
+  // 17 distinct allow numbers against a 16-slot table: the 17th must fail NOMEM and
+  // nothing else may break.
+  std::string source = "_start:\n    mv s0, a0\n";
+  for (int i = 0; i < 17; ++i) {
+    source += "    li a0, 1\n    li a1, " + std::to_string(20 + i) + "\n";
+    source += "    addi a2, s0, 256\n    li a3, 4\n    li a4, 3\n    ecall\n";
+  }
+  source += "    sw a0, 0(s0)\n    sw a1, 4(s0)\n";
+  source += "    li a0, 0\n    call tock_exit_terminate\n";
+  AppSpec app;
+  app.name = "slots";
+  app.source = source;
+  ASSERT_NE(board.installer().Install(app), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(5'000'000);
+  Process& p = *board.kernel().process(0);
+  ASSERT_EQ(p.state, ProcessState::kTerminated);
+  EXPECT_EQ(RamWord(board, p, 0), 2u);  // Failure2U32
+  EXPECT_EQ(RamWord(board, p, 4), static_cast<uint32_t>(ErrorCode::kNoMem));
+}
+
+TEST(KernelLimits, UpcallQueueOverflowDropsOldestNullEntriesFirst) {
+  // Fill the queue with alarm upcalls the process never drains; the kernel must
+  // not crash and the process must still be able to exit cleanly.
+  SimBoard board;
+  AppSpec app;
+  app.name = "flood";
+  app.source = R"(
+_start:
+    mv s0, a0
+    # subscribe a handler so upcalls queue
+    li a0, 0
+    li a1, 0
+    la a2, handler
+    li a3, 0
+    li a4, 1
+    ecall
+    li s1, 24
+arm_loop:
+    # set relative alarm 100, never yield: each firing queues an upcall
+    li a0, 0
+    li a1, 5
+    li a2, 100
+    li a3, 0
+    li a4, 2
+    ecall
+    # burn ~400 cycles so the alarm fires while we run
+    li t0, 130
+burn:
+    addi t0, t0, -1
+    bnez t0, burn
+    addi s1, s1, -1
+    bnez s1, arm_loop
+    li a0, 0
+    call tock_exit_terminate
+handler:
+    jr ra
+)";
+  ASSERT_NE(board.installer().Install(app), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(20'000'000);
+  Process& p = *board.kernel().process(0);
+  EXPECT_EQ(p.state, ProcessState::kTerminated);
+  // Some upcalls queued beyond capacity were dropped, and that was survivable.
+  EXPECT_GT(board.kernel().dropped_upcalls() + p.upcall_queue.Size(), 0u);
+}
+
+TEST(KernelLimits, NestedUpcallsWithinDepthLimitWork) {
+  // An upcall handler that itself yields and receives another upcall (depth 2).
+  SimBoard board;
+  AppSpec app;
+  app.name = "nest";
+  app.source = R"(
+_start:
+    mv s0, a0
+    li a0, 0
+    li a1, 0
+    la a2, outer
+    li a3, 0
+    li a4, 1
+    ecall
+    # arm + wait
+    li a0, 0
+    li a1, 5
+    li a2, 500
+    li a3, 0
+    li a4, 2
+    ecall
+    li a0, 1
+    li a4, 0
+    ecall
+    li a0, 0
+    call tock_exit_terminate
+outer:
+    addi sp, sp, -4
+    sw ra, 0(sp)
+    lw t0, 0(s0)
+    addi t0, t0, 1
+    sw t0, 0(s0)
+    li t1, 2
+    bge t0, t1, outer_done      # only nest once
+    # re-arm and yield *inside the handler*
+    li a0, 0
+    li a1, 5
+    li a2, 500
+    li a3, 0
+    li a4, 2
+    ecall
+    li a0, 1
+    li a4, 0
+    ecall
+outer_done:
+    lw ra, 0(sp)
+    addi sp, sp, 4
+    jr ra
+)";
+  ASSERT_NE(board.installer().Install(app), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(20'000'000);
+  Process& p = *board.kernel().process(0);
+  EXPECT_EQ(p.state, ProcessState::kTerminated);
+  EXPECT_EQ(RamWord(board, p, 0), 2u);  // handler ran twice (nested once)
+  EXPECT_EQ(p.upcalls_delivered, 2u);
+}
+
+TEST(KernelLimits, RestartClearsAllowAndSubscribeState) {
+  SimBoard board;
+  AppSpec app;
+  app.name = "cleaner";
+  app.source = R"(
+_start:
+    mv s0, a0
+    lw t0, 0(s0)
+    bnez t0, second
+    li t0, 1
+    sw t0, 0(s0)
+    # set up an allow and a subscription, then restart
+    li a0, 1
+    li a1, 1
+    addi a2, s0, 256
+    li a3, 16
+    li a4, 3
+    ecall
+    li a0, 0
+    li a1, 0
+    la a2, second
+    li a3, 0
+    li a4, 1
+    ecall
+    li a0, 1
+    li a4, 6
+    ecall
+second:
+    # after restart, the first allow swap must return the null buffer (0, 0)
+    li a0, 1
+    li a1, 1
+    addi a2, s0, 512
+    li a3, 16
+    li a4, 3
+    ecall
+    sw a1, 4(s0)
+    sw a2, 8(s0)
+    li a0, 0
+    call tock_exit_terminate
+)";
+  ASSERT_NE(board.installer().Install(app), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(10'000'000);
+  Process& p = *board.kernel().process(0);
+  ASSERT_EQ(p.state, ProcessState::kTerminated);
+  EXPECT_EQ(RamWord(board, p, 4), 0u);
+  EXPECT_EQ(RamWord(board, p, 8), 0u);
+}
+
+TEST(KernelLimits, ProcessSlotExhaustion) {
+  // Board supports kMaxProcesses; the loader must reject the ninth app gracefully.
+  SimBoard board;
+  for (int i = 0; i < 9; ++i) {
+    AppSpec app;
+    app.name = "p" + std::to_string(i);
+    app.source = "_start:\nspin:\n    j spin\n";
+    app.include_runtime = false;
+    ASSERT_NE(board.installer().Install(app), 0u) << i;
+  }
+  EXPECT_EQ(board.loader().LoadAllSync(), static_cast<int>(Kernel::kMaxProcesses));
+  EXPECT_EQ(board.loader().rejected_count(), 1);
+}
+
+TEST(KernelLimits, StackOverflowFaultsCleanly) {
+  // Recursing past the MPU window is an ordinary, contained process fault.
+  SimBoard board;
+  AppSpec app;
+  app.name = "recurse";
+  app.source = R"(
+_start:
+recurse:
+    addi sp, sp, -2048
+    sw ra, 0(sp)
+    j recurse
+)";
+  ASSERT_NE(board.installer().Install(app), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(5'000'000);
+  Process& p = *board.kernel().process(0);
+  EXPECT_EQ(p.state, ProcessState::kFaulted);
+  EXPECT_EQ(p.fault_info.vm_fault.bus_fault.kind, BusFaultKind::kMpuViolation);
+}
+
+}  // namespace
+}  // namespace tock

@@ -1,0 +1,684 @@
+// Hardware-substrate tests: clock, bus, MPU, and every peripheral model.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/aes128.h"
+#include "crypto/sha256.h"
+#include "hw/costs.h"
+#include "hw/crypto_accel.h"
+#include "hw/flash_ctrl.h"
+#include "hw/gpio.h"
+#include "hw/mcu.h"
+#include "hw/memory_map.h"
+#include "hw/radio.h"
+#include "hw/rng.h"
+#include "hw/spi.h"
+#include "hw/temp_sensor.h"
+#include "hw/timer.h"
+#include "hw/uart.h"
+
+namespace tock {
+namespace {
+
+// ---- SimClock ------------------------------------------------------------------------
+
+TEST(SimClock, EventsFireInDeadlineOrder) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.ScheduleAt(100, [&] { order.push_back(1); });
+  clock.ScheduleAt(50, [&] { order.push_back(2); });
+  clock.ScheduleAt(75, [&] { order.push_back(3); });
+  clock.Advance(200);
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+  EXPECT_EQ(clock.Now(), 200u);
+}
+
+TEST(SimClock, SameCycleEventsFireFifo) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.ScheduleAt(10, [&] { order.push_back(1); });
+  clock.ScheduleAt(10, [&] { order.push_back(2); });
+  clock.Advance(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimClock, EventsObserveTheirOwnDeadlineAsNow) {
+  SimClock clock;
+  uint64_t seen = 0;
+  clock.ScheduleAt(42, [&] { seen = clock.Now(); });
+  clock.Advance(100);
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(SimClock, EventsScheduledDuringAdvanceFireInWindow) {
+  SimClock clock;
+  bool nested = false;
+  clock.ScheduleAt(10, [&] { clock.ScheduleAfter(5, [&] { nested = true; }); });
+  clock.Advance(20);
+  EXPECT_TRUE(nested);
+}
+
+TEST(SimClock, CancelPreventsFiring) {
+  SimClock clock;
+  bool fired = false;
+  uint64_t id = clock.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(clock.Cancel(id));
+  clock.Advance(20);
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(clock.HasPendingEvents());
+}
+
+TEST(SimClock, NextEventSkipsCancelled) {
+  SimClock clock;
+  uint64_t early = clock.ScheduleAt(10, [] {});
+  clock.ScheduleAt(20, [] {});
+  EXPECT_EQ(clock.NextEventAt(), 10u);
+  clock.Cancel(early);
+  EXPECT_EQ(clock.NextEventAt(), 20u);
+}
+
+TEST(SimClock, PastDeadlinesClampToNow) {
+  SimClock clock;
+  clock.Advance(100);
+  bool fired = false;
+  clock.ScheduleAt(50, [&] { fired = true; });
+  clock.Advance(1);
+  EXPECT_TRUE(fired);
+}
+
+// ---- MPU -----------------------------------------------------------------------------
+
+TEST(Mpu, DeniesByDefault) {
+  Mpu mpu;
+  EXPECT_FALSE(mpu.CheckAccess(0x20000000, 4, AccessType::kRead));
+}
+
+TEST(Mpu, RegionGrantsConfiguredPermissions) {
+  Mpu mpu;
+  mpu.ConfigureRegion(0, {0x20000000, 0x1000, true, true, false, true});
+  EXPECT_TRUE(mpu.CheckAccess(0x20000000, 4, AccessType::kRead));
+  EXPECT_TRUE(mpu.CheckAccess(0x20000FFC, 4, AccessType::kWrite));
+  EXPECT_FALSE(mpu.CheckAccess(0x20000000, 4, AccessType::kExecute));
+}
+
+TEST(Mpu, AccessMustFitEntirelyInRegion) {
+  Mpu mpu;
+  mpu.ConfigureRegion(0, {0x1000, 0x10, true, false, false, true});
+  EXPECT_TRUE(mpu.CheckAccess(0x100C, 4, AccessType::kRead));
+  EXPECT_FALSE(mpu.CheckAccess(0x100E, 4, AccessType::kRead));  // straddles the end
+  EXPECT_FALSE(mpu.CheckAccess(0xFFE, 4, AccessType::kRead));   // straddles the start
+}
+
+TEST(Mpu, DisabledRegionDoesNotMatch) {
+  Mpu mpu;
+  mpu.ConfigureRegion(0, {0x1000, 0x10, true, true, true, true});
+  mpu.DisableRegion(0);
+  EXPECT_FALSE(mpu.CheckAccess(0x1000, 4, AccessType::kRead));
+}
+
+TEST(Mpu, ConfigWritesAreCounted) {
+  Mpu mpu;
+  uint64_t before = mpu.config_writes();
+  mpu.ConfigureRegion(0, {});
+  mpu.ConfigureRegion(1, {});
+  EXPECT_EQ(mpu.config_writes(), before + 2);
+}
+
+// ---- MemoryBus -----------------------------------------------------------------------
+
+class BusTest : public ::testing::Test {
+ protected:
+  Mcu mcu_;
+};
+
+TEST_F(BusTest, RamRoundTripLittleEndian) {
+  MemoryBus& bus = mcu_.bus();
+  EXPECT_TRUE(bus.Write(MemoryMap::kRamBase, 0xA1B2C3D4, 4, Privilege::kPrivileged));
+  EXPECT_EQ(*bus.Read(MemoryMap::kRamBase, 4, Privilege::kPrivileged), 0xA1B2C3D4u);
+  EXPECT_EQ(*bus.Read(MemoryMap::kRamBase, 1, Privilege::kPrivileged), 0xD4u);
+  EXPECT_EQ(*bus.Read(MemoryMap::kRamBase + 3, 1, Privilege::kPrivileged), 0xA1u);
+}
+
+TEST_F(BusTest, DirectFlashWriteFaults) {
+  MemoryBus& bus = mcu_.bus();
+  EXPECT_FALSE(bus.Write(0x100, 1, 4, Privilege::kPrivileged));
+  EXPECT_EQ(bus.last_fault().kind, BusFaultKind::kFlashWrite);
+  // ...but the flash-controller backdoor works.
+  uint8_t data[4] = {1, 2, 3, 4};
+  EXPECT_TRUE(bus.ProgramFlash(0x100, data, 4));
+  EXPECT_EQ(*bus.Read(0x100, 4, Privilege::kPrivileged), 0x04030201u);
+}
+
+TEST_F(BusTest, UnmappedAddressFaults) {
+  EXPECT_FALSE(mcu_.bus().Read(0x90000000, 4, Privilege::kPrivileged).has_value());
+  EXPECT_EQ(mcu_.bus().last_fault().kind, BusFaultKind::kUnmapped);
+}
+
+TEST_F(BusTest, UnprivilegedAccessGoesThroughMpu) {
+  MemoryBus& bus = mcu_.bus();
+  EXPECT_FALSE(bus.Read(MemoryMap::kRamBase, 4, Privilege::kUnprivileged).has_value());
+  EXPECT_EQ(bus.last_fault().kind, BusFaultKind::kMpuViolation);
+  mcu_.mpu().ConfigureRegion(0, {MemoryMap::kRamBase, 0x100, true, false, false, true});
+  EXPECT_TRUE(bus.Read(MemoryMap::kRamBase, 4, Privilege::kUnprivileged).has_value());
+  EXPECT_FALSE(bus.Write(MemoryMap::kRamBase, 0, 4, Privilege::kUnprivileged));
+}
+
+TEST_F(BusTest, MmioRequiresAlignedWordAccess) {
+  Gpio gpio{InterruptLine(&mcu_.irq(), 2)};
+  mcu_.bus().AttachDevice(MemoryMap::kGpio, &gpio);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kGpio);
+  EXPECT_TRUE(mcu_.bus().Write(base, 0xF, 4, Privilege::kPrivileged));
+  EXPECT_FALSE(mcu_.bus().Write(base + 2, 0xF, 4, Privilege::kPrivileged));
+  EXPECT_EQ(mcu_.bus().last_fault().kind, BusFaultKind::kUnalignedMmio);
+  EXPECT_FALSE(mcu_.bus().Read(base, 2, Privilege::kPrivileged).has_value());
+}
+
+// ---- Mcu energy accounting --------------------------------------------------------------
+
+TEST(Mcu, SleepSkipsToNextEventAndBooksSleepCycles) {
+  Mcu mcu;
+  mcu.irq().Enable(0);
+  mcu.clock().ScheduleAt(10'000, [&] { mcu.irq().Raise(0); });
+  uint64_t slept = mcu.SleepUntilInterrupt();
+  EXPECT_EQ(slept, 10'000u);
+  EXPECT_EQ(mcu.sleep_cycles(), 10'000u);
+  EXPECT_TRUE(mcu.irq().AnyPending());
+  EXPECT_GT(mcu.SleepFraction(), 0.99);
+}
+
+TEST(Mcu, SleepWithNoFutureEventWedges) {
+  Mcu mcu;
+  EXPECT_EQ(mcu.SleepUntilInterrupt(), 0u);
+  EXPECT_TRUE(mcu.wedged());
+}
+
+TEST(Mcu, ActiveCyclesCostMoreEnergyThanSleep) {
+  Mcu active;
+  active.Tick(1000);
+  Mcu sleepy;
+  sleepy.irq().Enable(0);
+  sleepy.clock().ScheduleAt(1000, [&] { sleepy.irq().Raise(0); });
+  sleepy.SleepUntilInterrupt();
+  EXPECT_GT(active.Energy(), 50 * (sleepy.Energy() - 10.0));  // sleep ~1000x cheaper
+}
+
+// ---- UART ----------------------------------------------------------------------------
+
+class UartTest : public ::testing::Test {
+ protected:
+  UartTest() : uart_(&mcu_.clock(), &mcu_.bus(), InterruptLine(&mcu_.irq(), 0)) {
+    mcu_.bus().AttachDevice(MemoryMap::kUart0, &uart_);
+    mcu_.irq().Enable(0);
+    base_ = MemoryMap::SlotBase(MemoryMap::kUart0);
+  }
+  void Write(uint32_t reg, uint32_t value) {
+    mcu_.bus().Write(base_ + reg, value, 4, Privilege::kPrivileged);
+  }
+  uint32_t Read(uint32_t reg) {
+    return *mcu_.bus().Read(base_ + reg, 4, Privilege::kPrivileged);
+  }
+  Mcu mcu_;
+  Uart uart_;
+  uint32_t base_;
+};
+
+TEST_F(UartTest, SingleByteTransmitTakesWireTime) {
+  Write(UartRegs::kCtrl, UartRegs::Ctrl::kTxEnable.Set().value);
+  Write(UartRegs::kTxData, 'X');
+  EXPECT_EQ(uart_.output(), "");
+  mcu_.Tick(CycleCosts::kUartCyclesPerByte);
+  EXPECT_EQ(uart_.output(), "X");
+  EXPECT_TRUE(mcu_.irq().IsPending(0));
+  EXPECT_TRUE(UartRegs::Status::kTxDone.IsSetIn(Read(UartRegs::kStatus)));
+}
+
+TEST_F(UartTest, DmaTransmitMovesWholeBuffer) {
+  const char* msg = "dma hello";
+  mcu_.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>(msg), 9);
+  Write(UartRegs::kCtrl, UartRegs::Ctrl::kTxEnable.Set().value);
+  Write(UartRegs::kDmaTxAddr, MemoryMap::kRamBase);
+  Write(UartRegs::kDmaTxLen, 9);
+  mcu_.Tick(9 * CycleCosts::kUartCyclesPerByte);
+  EXPECT_EQ(uart_.output(), "dma hello");
+}
+
+TEST_F(UartTest, TransmitDisabledDoesNothing) {
+  Write(UartRegs::kTxData, 'X');
+  mcu_.Tick(10 * CycleCosts::kUartCyclesPerByte);
+  EXPECT_EQ(uart_.output(), "");
+}
+
+TEST_F(UartTest, InjectedRxBytesArrivePaced) {
+  Write(UartRegs::kCtrl,
+        (UartRegs::Ctrl::kTxEnable.Set() + UartRegs::Ctrl::kRxEnable.Set()).value);
+  uart_.InjectRx("ab");
+  mcu_.Tick(CycleCosts::kUartCyclesPerByte);
+  EXPECT_TRUE(UartRegs::Status::kRxAvail.IsSetIn(Read(UartRegs::kStatus)));
+  EXPECT_EQ(Read(UartRegs::kRxData), static_cast<uint32_t>('a'));
+  // Reading RXDATA clears the available flag until the next byte lands.
+  EXPECT_FALSE(UartRegs::Status::kRxAvail.IsSetIn(Read(UartRegs::kStatus)));
+  mcu_.Tick(CycleCosts::kUartCyclesPerByte);
+  EXPECT_EQ(Read(UartRegs::kRxData), static_cast<uint32_t>('b'));
+}
+
+TEST_F(UartTest, DmaReceiveFillsRamAndInterrupts) {
+  Write(UartRegs::kDmaRxAddr, MemoryMap::kRamBase + 64);
+  Write(UartRegs::kDmaRxLen, 4);
+  uart_.InjectRx("wxyz");
+  mcu_.Tick(5 * CycleCosts::kUartCyclesPerByte);
+  uint8_t received[4];
+  mcu_.bus().ReadBlock(MemoryMap::kRamBase + 64, received, 4);
+  EXPECT_EQ(std::memcmp(received, "wxyz", 4), 0);
+  EXPECT_TRUE(UartRegs::Status::kRxDone.IsSetIn(Read(UartRegs::kStatus)));
+}
+
+// ---- Timers --------------------------------------------------------------------------
+
+TEST(AlarmTimer, FiresAtCompareValue) {
+  Mcu mcu;
+  AlarmTimer timer(&mcu.clock(), InterruptLine(&mcu.irq(), 1));
+  mcu.bus().AttachDevice(MemoryMap::kAlarm, &timer);
+  mcu.irq().Enable(1);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kAlarm);
+
+  mcu.bus().Write(base + AlarmRegs::kCompare, 500, 4, Privilege::kPrivileged);
+  mcu.bus().Write(base + AlarmRegs::kCtrl, 1, 4, Privilege::kPrivileged);
+  mcu.Tick(499);
+  EXPECT_FALSE(mcu.irq().IsPending(1));
+  mcu.Tick(1);
+  EXPECT_TRUE(mcu.irq().IsPending(1));
+  uint32_t status = *mcu.bus().Read(base + AlarmRegs::kStatus, 4, Privilege::kPrivileged);
+  EXPECT_TRUE(AlarmRegs::Status::kFired.IsSetIn(status));
+}
+
+TEST(AlarmTimer, DisableCancelsPendingMatch) {
+  Mcu mcu;
+  AlarmTimer timer(&mcu.clock(), InterruptLine(&mcu.irq(), 1));
+  mcu.bus().AttachDevice(MemoryMap::kAlarm, &timer);
+  mcu.irq().Enable(1);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kAlarm);
+  mcu.bus().Write(base + AlarmRegs::kCompare, 100, 4, Privilege::kPrivileged);
+  mcu.bus().Write(base + AlarmRegs::kCtrl, 1, 4, Privilege::kPrivileged);
+  mcu.bus().Write(base + AlarmRegs::kCtrl, 0, 4, Privilege::kPrivileged);
+  mcu.Tick(200);
+  EXPECT_FALSE(mcu.irq().IsPending(1));
+}
+
+TEST(SysTick, ExpiresAfterReload) {
+  Mcu mcu;
+  SysTick systick(&mcu.clock(), InterruptLine(&mcu.irq(), 10));
+  mcu.irq().Enable(10);
+  systick.ArmCycles(1000);
+  mcu.Tick(999);
+  EXPECT_FALSE(systick.Expired());
+  mcu.Tick(1);
+  EXPECT_TRUE(systick.Expired());
+  EXPECT_TRUE(mcu.irq().IsPending(10));
+  systick.DisarmAndClear();
+  EXPECT_FALSE(systick.Expired());
+}
+
+TEST(SysTick, RearmReplacesCountdown) {
+  Mcu mcu;
+  SysTick systick(&mcu.clock(), InterruptLine(&mcu.irq(), 10));
+  systick.ArmCycles(100);
+  mcu.Tick(50);
+  systick.ArmCycles(100);  // re-arm pushes the deadline out
+  mcu.Tick(60);
+  EXPECT_FALSE(systick.Expired());
+  mcu.Tick(40);
+  EXPECT_TRUE(systick.Expired());
+}
+
+// ---- GPIO ----------------------------------------------------------------------------
+
+TEST(GpioHw, OutputTogglesAreObservable) {
+  Mcu mcu;
+  Gpio gpio{InterruptLine(&mcu.irq(), 2)};
+  mcu.bus().AttachDevice(MemoryMap::kGpio, &gpio);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kGpio);
+  mcu.bus().Write(base + GpioRegs::kDir, 0x1, 4, Privilege::kPrivileged);
+  mcu.bus().Write(base + GpioRegs::kOut, 0x1, 4, Privilege::kPrivileged);
+  EXPECT_TRUE(gpio.GetOutput(0));
+  mcu.bus().Write(base + GpioRegs::kOut, 0x0, 4, Privilege::kPrivileged);
+  EXPECT_FALSE(gpio.GetOutput(0));
+  EXPECT_EQ(gpio.output_toggles(0), 2u);
+}
+
+TEST(GpioHw, EdgeInterruptsRespectEnableMasks) {
+  Mcu mcu;
+  Gpio gpio{InterruptLine(&mcu.irq(), 2)};
+  mcu.bus().AttachDevice(MemoryMap::kGpio, &gpio);
+  mcu.irq().Enable(2);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kGpio);
+  mcu.bus().Write(base + GpioRegs::kIrqRise, 1u << 4, 4, Privilege::kPrivileged);
+
+  gpio.SetInput(4, true);  // rising edge, enabled
+  EXPECT_TRUE(mcu.irq().IsPending(2));
+  mcu.irq().Complete(2);
+  mcu.bus().Write(base + GpioRegs::kIntClr, 1u << 4, 4, Privilege::kPrivileged);
+
+  gpio.SetInput(4, false);  // falling edge, not enabled
+  EXPECT_FALSE(mcu.irq().IsPending(2));
+  gpio.SetInput(4, false);  // no edge at all
+  EXPECT_FALSE(mcu.irq().IsPending(2));
+}
+
+// ---- RNG -----------------------------------------------------------------------------
+
+TEST(RngHw, DeterministicPerSeedAsyncReady) {
+  Mcu mcu;
+  Rng rng(&mcu.clock(), InterruptLine(&mcu.irq(), 4), 1234);
+  mcu.bus().AttachDevice(MemoryMap::kRng, &rng);
+  mcu.irq().Enable(4);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kRng);
+
+  mcu.bus().Write(base + RngRegs::kCtrl, 1, 4, Privilege::kPrivileged);
+  EXPECT_FALSE(RngRegs::Status::kReady.IsSetIn(
+      *mcu.bus().Read(base + RngRegs::kStatus, 4, Privilege::kPrivileged)));
+  mcu.Tick(CycleCosts::kRngCyclesPerWord);
+  EXPECT_TRUE(RngRegs::Status::kReady.IsSetIn(
+      *mcu.bus().Read(base + RngRegs::kStatus, 4, Privilege::kPrivileged)));
+  uint32_t v1 = *mcu.bus().Read(base + RngRegs::kData, 4, Privilege::kPrivileged);
+
+  Mcu mcu2;
+  Rng rng2(&mcu2.clock(), InterruptLine(&mcu2.irq(), 4), 1234);
+  mcu2.bus().AttachDevice(MemoryMap::kRng, &rng2);
+  mcu2.bus().Write(base + RngRegs::kCtrl, 1, 4, Privilege::kPrivileged);
+  mcu2.Tick(CycleCosts::kRngCyclesPerWord);
+  EXPECT_EQ(*mcu2.bus().Read(base + RngRegs::kData, 4, Privilege::kPrivileged), v1);
+}
+
+// ---- Crypto accelerators ------------------------------------------------------------------
+
+class AccelTest : public ::testing::Test {
+ protected:
+  AccelTest()
+      : aes_(&mcu_.clock(), &mcu_.bus(), InterruptLine(&mcu_.irq(), 5)),
+        sha_(&mcu_.clock(), &mcu_.bus(), InterruptLine(&mcu_.irq(), 6)) {
+    mcu_.bus().AttachDevice(MemoryMap::kAes, &aes_);
+    mcu_.bus().AttachDevice(MemoryMap::kSha, &sha_);
+    mcu_.irq().Enable(5);
+    mcu_.irq().Enable(6);
+  }
+  void W(MemoryMap::Slot slot, uint32_t reg, uint32_t v) {
+    mcu_.bus().Write(MemoryMap::SlotBase(slot) + reg, v, 4, Privilege::kPrivileged);
+  }
+  uint32_t R(MemoryMap::Slot slot, uint32_t reg) {
+    return *mcu_.bus().Read(MemoryMap::SlotBase(slot) + reg, 4, Privilege::kPrivileged);
+  }
+  Mcu mcu_;
+  AesAccel aes_;
+  ShaAccel sha_;
+};
+
+TEST_F(AccelTest, AesEcbMatchesSoftwareImplementation) {
+  uint8_t key[16];
+  uint8_t plain[16];
+  for (int i = 0; i < 16; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+    plain[i] = static_cast<uint8_t>(0xF0 + i);
+  }
+  mcu_.bus().WriteBlock(MemoryMap::kRamBase, plain, 16);
+  for (int i = 0; i < 4; ++i) {
+    uint32_t word;
+    std::memcpy(&word, key + 4 * i, 4);
+    W(MemoryMap::kAes, AesRegs::kKey0 + 4 * i, word);
+  }
+  W(MemoryMap::kAes, AesRegs::kSrc, MemoryMap::kRamBase);
+  W(MemoryMap::kAes, AesRegs::kDst, MemoryMap::kRamBase + 64);
+  W(MemoryMap::kAes, AesRegs::kLen, 16);
+  W(MemoryMap::kAes, AesRegs::kCtrl, AesRegs::Ctrl::kStart.Set().value);
+
+  EXPECT_TRUE(AesRegs::Status::kBusy.IsSetIn(R(MemoryMap::kAes, AesRegs::kStatus)));
+  mcu_.Tick(CycleCosts::kAesCyclesPerBlock);
+  EXPECT_TRUE(AesRegs::Status::kDone.IsSetIn(R(MemoryMap::kAes, AesRegs::kStatus)));
+  EXPECT_TRUE(mcu_.irq().IsPending(5));
+
+  uint8_t hw_out[16];
+  mcu_.bus().ReadBlock(MemoryMap::kRamBase + 64, hw_out, 16);
+  Aes128 sw(key);
+  uint8_t sw_out[16];
+  std::memcpy(sw_out, plain, 16);
+  sw.EncryptBlock(sw_out);
+  EXPECT_EQ(std::memcmp(hw_out, sw_out, 16), 0);
+}
+
+TEST_F(AccelTest, AesEcbRejectsPartialBlocks) {
+  W(MemoryMap::kAes, AesRegs::kSrc, MemoryMap::kRamBase);
+  W(MemoryMap::kAes, AesRegs::kDst, MemoryMap::kRamBase);
+  W(MemoryMap::kAes, AesRegs::kLen, 10);
+  W(MemoryMap::kAes, AesRegs::kCtrl, AesRegs::Ctrl::kStart.Set().value);
+  EXPECT_TRUE(AesRegs::Status::kError.IsSetIn(R(MemoryMap::kAes, AesRegs::kStatus)));
+}
+
+TEST_F(AccelTest, ShaDigestMatchesSoftware) {
+  const char* msg = "abc";
+  mcu_.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>(msg), 3);
+  W(MemoryMap::kSha, ShaRegs::kSrc, MemoryMap::kRamBase);
+  W(MemoryMap::kSha, ShaRegs::kLen, 3);
+  W(MemoryMap::kSha, ShaRegs::kCtrl, ShaRegs::Ctrl::kStart.Set().value);
+  mcu_.Tick(10 * CycleCosts::kShaCyclesPerBlock);
+  ASSERT_TRUE(ShaRegs::Status::kDone.IsSetIn(R(MemoryMap::kSha, ShaRegs::kStatus)));
+
+  auto expected = Sha256::Digest(reinterpret_cast<const uint8_t*>(msg), 3);
+  for (int i = 0; i < 8; ++i) {
+    uint32_t word = R(MemoryMap::kSha, ShaRegs::kDigest0 + 4 * i);
+    uint32_t expected_word;
+    std::memcpy(&expected_word, expected.data() + 4 * i, 4);
+    EXPECT_EQ(word, expected_word) << "digest word " << i;
+  }
+}
+
+TEST_F(AccelTest, ShaLatencyScalesWithInputSize) {
+  // Completion must NOT be instantaneous — the asynchrony is what forces the
+  // loader's state machine (§3.4).
+  std::vector<uint8_t> data(512, 0xAB);
+  mcu_.bus().WriteBlock(MemoryMap::kRamBase, data.data(), data.size());
+  W(MemoryMap::kSha, ShaRegs::kSrc, MemoryMap::kRamBase);
+  W(MemoryMap::kSha, ShaRegs::kLen, 512);
+  W(MemoryMap::kSha, ShaRegs::kCtrl, ShaRegs::Ctrl::kStart.Set().value);
+  mcu_.Tick(CycleCosts::kShaCyclesPerBlock);
+  EXPECT_FALSE(ShaRegs::Status::kDone.IsSetIn(R(MemoryMap::kSha, ShaRegs::kStatus)));
+  mcu_.Tick(9 * CycleCosts::kShaCyclesPerBlock);
+  EXPECT_TRUE(ShaRegs::Status::kDone.IsSetIn(R(MemoryMap::kSha, ShaRegs::kStatus)));
+}
+
+// ---- Flash controller ------------------------------------------------------------------
+
+TEST(FlashCtrl, ProgramCopiesRamToFlashAsynchronously) {
+  Mcu mcu;
+  FlashController ctrl(&mcu.clock(), &mcu.bus(), InterruptLine(&mcu.irq(), 7));
+  mcu.bus().AttachDevice(MemoryMap::kFlashCtrl, &ctrl);
+  mcu.irq().Enable(7);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kFlashCtrl);
+
+  const char* payload = "persist me";
+  mcu.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>(payload), 10);
+  mcu.bus().Write(base + FlashRegs::kDstAddr, 0x10000, 4, Privilege::kPrivileged);
+  mcu.bus().Write(base + FlashRegs::kSrcAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  mcu.bus().Write(base + FlashRegs::kLen, 10, 4, Privilege::kPrivileged);
+  mcu.bus().Write(base + FlashRegs::kCtrl, 1, 4, Privilege::kPrivileged);
+
+  uint8_t before[10];
+  mcu.bus().ReadBlock(0x10000, before, 10);
+  EXPECT_NE(std::memcmp(before, payload, 10), 0);  // not yet written
+
+  mcu.Tick(CycleCosts::kFlashWriteCyclesPerPage);
+  uint8_t after[10];
+  mcu.bus().ReadBlock(0x10000, after, 10);
+  EXPECT_EQ(std::memcmp(after, payload, 10), 0);
+  EXPECT_TRUE(mcu.irq().IsPending(7));
+}
+
+TEST(FlashCtrl, EraseSetsPageToOnes) {
+  Mcu mcu;
+  FlashController ctrl(&mcu.clock(), &mcu.bus(), InterruptLine(&mcu.irq(), 7));
+  mcu.bus().AttachDevice(MemoryMap::kFlashCtrl, &ctrl);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kFlashCtrl);
+
+  uint8_t zeros[16] = {};
+  mcu.bus().ProgramFlash(0x10000, zeros, sizeof(zeros));
+  mcu.bus().Write(base + FlashRegs::kDstAddr, 0x10000, 4, Privilege::kPrivileged);
+  mcu.bus().Write(base + FlashRegs::kCtrl, 2, 4, Privilege::kPrivileged);
+  mcu.Tick(CycleCosts::kFlashWriteCyclesPerPage);
+
+  uint8_t data[16];
+  mcu.bus().ReadBlock(0x10000, data, sizeof(data));
+  for (uint8_t b : data) {
+    EXPECT_EQ(b, 0xFF);
+  }
+}
+
+// ---- Radio + medium ------------------------------------------------------------------------
+
+TEST(RadioHw, BroadcastReachesPeerAfterAirTime) {
+  Mcu a, b;
+  Radio radio_a(&a.clock(), &a.bus(), InterruptLine(&a.irq(), 8));
+  Radio radio_b(&b.clock(), &b.bus(), InterruptLine(&b.irq(), 8));
+  a.bus().AttachDevice(MemoryMap::kRadio, &radio_a);
+  b.bus().AttachDevice(MemoryMap::kRadio, &radio_b);
+  b.irq().Enable(8);
+  RadioMedium medium;
+  medium.Attach(&radio_a);
+  medium.Attach(&radio_b);
+
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kRadio);
+  // Receiver: enabled, RX armed.
+  b.bus().Write(base + RadioRegs::kNodeAddr, 2, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kCtrl, 0x3, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kRxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kRxMaxLen, 64, 4, Privilege::kPrivileged);
+
+  // Sender.
+  const char* packet = "ping!";
+  a.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>(packet), 5);
+  a.bus().Write(base + RadioRegs::kNodeAddr, 1, 4, Privilege::kPrivileged);
+  a.bus().Write(base + RadioRegs::kCtrl, 0x1, 4, Privilege::kPrivileged);
+  a.bus().Write(base + RadioRegs::kDstAddr, 0xFFFF, 4, Privilege::kPrivileged);
+  a.bus().Write(base + RadioRegs::kTxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  a.bus().Write(base + RadioRegs::kTxLen, 5, 4, Privilege::kPrivileged);
+
+  EXPECT_EQ(radio_b.packets_received(), 0u);
+  b.Tick(CycleCosts::kRadioCyclesPerByte * 13 + 10);
+  EXPECT_EQ(radio_b.packets_received(), 1u);
+  uint8_t received[5];
+  b.bus().ReadBlock(MemoryMap::kRamBase, received, 5);
+  EXPECT_EQ(std::memcmp(received, packet, 5), 0);
+  EXPECT_TRUE(b.irq().IsPending(8));
+}
+
+TEST(RadioHw, UnicastIgnoredByWrongAddress) {
+  Mcu a, b;
+  Radio radio_a(&a.clock(), &a.bus(), InterruptLine(&a.irq(), 8));
+  Radio radio_b(&b.clock(), &b.bus(), InterruptLine(&b.irq(), 8));
+  a.bus().AttachDevice(MemoryMap::kRadio, &radio_a);
+  b.bus().AttachDevice(MemoryMap::kRadio, &radio_b);
+  RadioMedium medium;
+  medium.Attach(&radio_a);
+  medium.Attach(&radio_b);
+
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kRadio);
+  b.bus().Write(base + RadioRegs::kNodeAddr, 2, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kCtrl, 0x3, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kRxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kRxMaxLen, 64, 4, Privilege::kPrivileged);
+
+  uint8_t payload[3] = {1, 2, 3};
+  a.bus().WriteBlock(MemoryMap::kRamBase, payload, 3);
+  a.bus().Write(base + RadioRegs::kCtrl, 0x1, 4, Privilege::kPrivileged);
+  a.bus().Write(base + RadioRegs::kDstAddr, 77, 4, Privilege::kPrivileged);  // not node 2
+  a.bus().Write(base + RadioRegs::kTxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  a.bus().Write(base + RadioRegs::kTxLen, 3, 4, Privilege::kPrivileged);
+  b.Tick(CycleCosts::kRadioCyclesPerByte * 20);
+  EXPECT_EQ(radio_b.packets_received(), 0u);
+}
+
+// ---- SPI -----------------------------------------------------------------------------
+
+class EchoSlave : public SpiSlaveModel {
+ public:
+  uint8_t Exchange(uint8_t mosi) override { return static_cast<uint8_t>(mosi ^ 0xFF); }
+  void CsAsserted() override { ++selections; }
+  int selections = 0;
+};
+
+TEST(SpiHw, FullDuplexTransferWithAttachedSlave) {
+  Mcu mcu;
+  Spi spi(&mcu.clock(), &mcu.bus(), InterruptLine(&mcu.irq(), 3), /*active-low only*/ 0b01);
+  mcu.bus().AttachDevice(MemoryMap::kSpi0, &spi);
+  mcu.irq().Enable(3);
+  EchoSlave slave;
+  spi.AttachSlave(0, &slave);
+
+  uint8_t tx[4] = {0x00, 0x0F, 0xF0, 0xFF};
+  mcu.bus().WriteBlock(MemoryMap::kRamBase, tx, 4);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kSpi0);
+  mcu.bus().Write(base + SpiRegs::kCtrl, SpiRegs::Ctrl::kEnable.Set().value, 4,
+                  Privilege::kPrivileged);
+  mcu.bus().Write(base + SpiRegs::kDmaTxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  mcu.bus().Write(base + SpiRegs::kDmaRxAddr, MemoryMap::kRamBase + 16, 4,
+                  Privilege::kPrivileged);
+  mcu.bus().Write(base + SpiRegs::kLen, 4, 4, Privilege::kPrivileged);
+  mcu.Tick(4 * CycleCosts::kSpiCyclesPerByte);
+
+  uint8_t rx[4];
+  mcu.bus().ReadBlock(MemoryMap::kRamBase + 16, rx, 4);
+  EXPECT_EQ(rx[0], 0xFF);
+  EXPECT_EQ(rx[3], 0x00);
+  EXPECT_EQ(slave.selections, 1);
+  EXPECT_TRUE(mcu.irq().IsPending(3));
+}
+
+TEST(SpiHw, UnsupportedPolarityIsLatentMisconfiguration) {
+  Mcu mcu;
+  Spi spi(&mcu.clock(), &mcu.bus(), InterruptLine(&mcu.irq(), 3), /*active-low only*/ 0b01);
+  mcu.bus().AttachDevice(MemoryMap::kSpi0, &spi);
+  EchoSlave slave;
+  spi.AttachSlave(0, &slave);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kSpi0);
+  // Request active-high CS on an active-low-only controller: the bug class Fig 3's
+  // compile-time checks eliminate.
+  mcu.bus().Write(base + SpiRegs::kCtrl,
+                  (SpiRegs::Ctrl::kEnable.Set() + SpiRegs::Ctrl::kCsPolarity.Val(1)).value, 4,
+                  Privilege::kPrivileged);
+  EXPECT_TRUE(spi.polarity_config_error());
+
+  uint8_t tx[2] = {0xAA, 0xBB};
+  mcu.bus().WriteBlock(MemoryMap::kRamBase, tx, 2);
+  mcu.bus().Write(base + SpiRegs::kDmaTxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  mcu.bus().Write(base + SpiRegs::kDmaRxAddr, MemoryMap::kRamBase + 8, 4,
+                  Privilege::kPrivileged);
+  mcu.bus().Write(base + SpiRegs::kLen, 2, 4, Privilege::kPrivileged);
+  mcu.Tick(2 * CycleCosts::kSpiCyclesPerByte);
+  // Device never selected: reads float high and the slave saw nothing.
+  uint8_t rx[2];
+  mcu.bus().ReadBlock(MemoryMap::kRamBase + 8, rx, 2);
+  EXPECT_EQ(rx[0], 0xFF);
+  EXPECT_EQ(slave.selections, 0);
+}
+
+// ---- Temperature sensor ---------------------------------------------------------------
+
+TEST(TempSensorHw, ConversionTakesTimeAndTracksAmbient) {
+  Mcu mcu;
+  TempSensor sensor(&mcu.clock(), InterruptLine(&mcu.irq(), 9));
+  mcu.bus().AttachDevice(MemoryMap::kTempSensor, &sensor);
+  mcu.irq().Enable(9);
+  sensor.SetAmbient(2500);
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kTempSensor);
+
+  mcu.bus().Write(base + TempRegs::kCtrl, 1, 4, Privilege::kPrivileged);
+  EXPECT_FALSE(mcu.irq().IsPending(9));
+  mcu.Tick(CycleCosts::kTempConversionCycles);
+  EXPECT_TRUE(mcu.irq().IsPending(9));
+  int32_t value =
+      static_cast<int32_t>(*mcu.bus().Read(base + TempRegs::kValue, 4, Privilege::kPrivileged));
+  EXPECT_NEAR(value, 2500, 25);
+}
+
+}  // namespace
+}  // namespace tock

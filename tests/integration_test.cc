@@ -1,0 +1,79 @@
+// Integration tests: full boards booting real (assembled RV32) applications and
+// exercising the kernel, capsules, chips and simulated hardware end to end.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "board/sim_board.h"
+
+namespace tock {
+namespace {
+
+TEST(Integration, HelloWorldPrintsOverConsole) {
+  SimBoard board;
+
+  AppSpec app;
+  app.name = "hello";
+  app.source = R"(
+_start:
+    la a0, msg
+    li a1, 13
+    call console_print
+    li a0, 0
+    call tock_exit_terminate
+msg:
+    .asciz "Hello, Tock!\n"
+)";
+  ASSERT_NE(board.installer().Install(app), 0u) << board.installer().error();
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(10'000'000);
+
+  EXPECT_NE(board.uart_hw().output().find("Hello, Tock!"), std::string::npos)
+      << "uart output was: '" << board.uart_hw().output() << "'";
+  Process* p = board.kernel().process(0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->state, ProcessState::kTerminated);
+}
+
+TEST(Integration, TwoProcessesInterleaveOutput) {
+  SimBoard board;
+
+  auto printer = [](const std::string& text, int reps) {
+    std::string source = "_start:\n    li s1, " + std::to_string(reps) +
+                         "\nloop:\n"
+                         "    la a0, msg\n"
+                         "    li a1, " +
+                         std::to_string(text.size()) +
+                         "\n"
+                         "    call console_print\n"
+                         "    addi s1, s1, -1\n"
+                         "    bnez s1, loop\n"
+                         "    li a0, 0\n"
+                         "    call tock_exit_terminate\n"
+                         "msg:\n"
+                         "    .asciz \"" +
+                         text + "\"\n";
+    return source;
+  };
+
+  AppSpec a;
+  a.name = "alpha";
+  a.source = printer("A", 5);
+  AppSpec b;
+  b.name = "beta";
+  b.source = printer("B", 5);
+  ASSERT_NE(board.installer().Install(a), 0u) << board.installer().error();
+  ASSERT_NE(board.installer().Install(b), 0u) << board.installer().error();
+  ASSERT_EQ(board.Boot(), 2);
+  board.Run(50'000'000);
+
+  const std::string& out = board.uart_hw().output();
+  EXPECT_EQ(std::count(out.begin(), out.end(), 'A'), 5);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 'B'), 5);
+  // Both processes multiprogram the console: output interleaves rather than one
+  // finishing entirely before the other starts.
+  EXPECT_NE(out.find("AB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tock

@@ -1,0 +1,770 @@
+// Kernel-core tests: the Tock 2.0 system call semantics (§3.3), grants (§2.4),
+// process lifecycle, fault policy, preemption, and capability-gated management.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "board/sim_board.h"
+#include "capsule/driver_nums.h"
+
+namespace tock {
+namespace {
+
+// Runs `source` as the only app on a fresh board until it terminates or the cycle
+// budget expires, returning the board for inspection.
+class KernelTest : public ::testing::Test {
+ protected:
+  void BootWith(const std::string& source, BoardConfig config = BoardConfig{}) {
+    board_ = std::make_unique<SimBoard>(config);
+    AppSpec app;
+    app.name = "test-app";
+    app.source = source;
+    ASSERT_NE(board_->installer().Install(app), 0u) << board_->installer().error();
+    ASSERT_EQ(board_->Boot(), 1);
+  }
+
+  Process& proc() { return *board_->kernel().process(0); }
+
+  std::unique_ptr<SimBoard> board_;
+};
+
+// ---- Allow swapping semantics (§3.3.2, E6) -----------------------------------------------
+
+TEST_F(KernelTest, AllowReturnsPreviousBufferOnSwap) {
+  // First allow returns the (0, 0) null buffer; the second returns the first's
+  // (addr, len); un-allowing returns the second's.
+  BootWith(R"(
+_start:
+    # result area in RAM at ram_start (a0 at entry)
+    mv s0, a0
+    # allow_ro(console, 1, ram+256, 16) -> expect old = (0,0)
+    li a0, 1
+    li a1, 1
+    addi a2, s0, 256
+    li a3, 16
+    li a4, 4
+    ecall
+    sw a0, 0(s0)    # variant (130 = success 2 u32)
+    sw a1, 4(s0)    # old addr
+    sw a2, 8(s0)    # old len
+    # allow_ro again with a different window -> expect old = (ram+256, 16)
+    li a0, 1
+    li a1, 1
+    addi a2, s0, 512
+    li a3, 32
+    li a4, 4
+    ecall
+    sw a1, 12(s0)
+    sw a2, 16(s0)
+    # un-allow (len 0) -> expect old = (ram+512, 32)
+    li a0, 1
+    li a1, 1
+    li a2, 0
+    li a3, 0
+    li a4, 4
+    ecall
+    sw a1, 20(s0)
+    sw a2, 24(s0)
+    li a0, 0
+    call tock_exit_terminate
+)");
+  board_->Run(1'000'000);
+  ASSERT_EQ(proc().state, ProcessState::kTerminated);
+
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_EQ(word(0), 130u);  // Success2U32
+  EXPECT_EQ(word(4), 0u);
+  EXPECT_EQ(word(8), 0u);
+  EXPECT_EQ(word(12), proc().ram_start + 256);
+  EXPECT_EQ(word(16), 16u);
+  EXPECT_EQ(word(20), proc().ram_start + 512);
+  EXPECT_EQ(word(24), 32u);
+}
+
+TEST_F(KernelTest, AllowRejectsBufferOutsideAccessibleRam) {
+  BootWith(R"(
+_start:
+    mv s0, a0
+    # try to allow kernel RAM (below our quota)
+    li a0, 1
+    li a1, 1
+    li a2, 0x20000000
+    li a3, 16
+    li a4, 3
+    ecall
+    sw a0, 0(s0)   # expect failure variant 2 (failure w/ 2 u32)
+    sw a1, 4(s0)   # error code
+    li a0, 0
+    call tock_exit_terminate
+)");
+  board_->Run(1'000'000);
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_EQ(word(0), 2u);  // Failure2U32
+  EXPECT_EQ(word(4), static_cast<uint32_t>(ErrorCode::kInvalid));
+}
+
+TEST_F(KernelTest, ReadOnlyAllowAcceptsOwnFlash) {
+  // Keys live in flash in root-of-trust apps (§3.3.3): allow-ro of a flash address
+  // inside the app's own image must succeed; allow-rw of the same address must not.
+  BootWith(R"(
+_start:
+    mv s0, a0
+    la s1, key
+    # allow_ro(hmac=0x40003, 0, key-in-flash, 32): should succeed (variant 130)
+    li a0, 0x40003
+    li a1, 0
+    mv a2, s1
+    li a3, 32
+    li a4, 4
+    ecall
+    sw a0, 0(s0)
+    # allow_rw of flash: must fail (variant 2)
+    li a0, 0x40003
+    li a1, 1
+    mv a2, s1
+    li a3, 32
+    li a4, 3
+    ecall
+    sw a0, 4(s0)
+    li a0, 0
+    call tock_exit_terminate
+key:
+    .space 32
+)");
+  board_->Run(1'000'000);
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_EQ(word(0), 130u);
+  EXPECT_EQ(word(4), 2u);
+}
+
+TEST_F(KernelTest, ZeroLengthAllowWithArbitraryAddressIsAccepted) {
+  // §5.1.2: the un-allow idiom passes arbitrary (even wild) pointers with length 0;
+  // the kernel must accept and never dereference them.
+  BootWith(R"(
+_start:
+    mv s0, a0
+    li a0, 1
+    li a1, 1
+    li a2, 0xDEAD0000   # unmapped, misaligned-ish, definitely invalid as a buffer
+    li a3, 0
+    li a4, 3
+    ecall
+    sw a0, 0(s0)
+    li a0, 0
+    call tock_exit_terminate
+)");
+  board_->Run(1'000'000);
+  uint32_t variant =
+      *board_->mcu().bus().Read(proc().ram_start, 4, Privilege::kPrivileged);
+  EXPECT_EQ(variant, 130u);  // success
+  EXPECT_EQ(proc().state, ProcessState::kTerminated);
+}
+
+// ---- Subscribe swapping (§3.3.2) ---------------------------------------------------------
+
+TEST_F(KernelTest, SubscribeReturnsPreviousUpcall) {
+  BootWith(R"(
+_start:
+    mv s0, a0
+    # subscribe(alarm=0, sub 0, fn=0x111 (fake but never invoked), ud=0x222)
+    li a0, 0
+    li a1, 0
+    li a2, 0x1110
+    li a3, 0x222
+    li a4, 1
+    ecall
+    sw a1, 0(s0)    # old fn = 0 (null upcall)
+    sw a2, 4(s0)    # old userdata = 0
+    # swap in a new one; expect the old pair back
+    li a0, 0
+    li a1, 0
+    li a2, 0x3330
+    li a3, 0x444
+    li a4, 1
+    ecall
+    sw a1, 8(s0)
+    sw a2, 12(s0)
+    li a0, 0
+    call tock_exit_terminate
+)");
+  board_->Run(1'000'000);
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_EQ(word(0), 0u);
+  EXPECT_EQ(word(4), 0u);
+  EXPECT_EQ(word(8), 0x1110u);
+  EXPECT_EQ(word(12), 0x222u);
+}
+
+TEST_F(KernelTest, ResubscribeScrubsQueuedUpcallsForOldFunction) {
+  // Arm an alarm, let it fire while running (upcall queues), swap the subscription
+  // to null, then yield-no-wait: the old handler must NOT run.
+  BootWith(R"(
+_start:
+    mv s0, a0
+    sw zero, 0(s0)        # handler-run flag
+    # subscribe(alarm, 0, handler, 0)
+    li a0, 0
+    li a1, 0
+    la a2, handler
+    li a3, 0
+    li a4, 1
+    ecall
+    # set relative alarm, 2000 ticks
+    li a0, 0
+    li a1, 5
+    li a2, 2000
+    li a3, 0
+    li a4, 2
+    ecall
+    # busy-spin well past expiry WITHOUT yielding (upcall stays queued)
+    li t0, 900
+spin:
+    addi t0, t0, -1
+    bnez t0, spin
+    # unsubscribe (null upcall)
+    li a0, 0
+    li a1, 0
+    li a2, 0
+    li a3, 0
+    li a4, 1
+    ecall
+    # yield-no-wait: nothing deliverable may remain
+    li a0, 0
+    li a4, 0
+    ecall
+    sw a0, 4(s0)          # flag from yield: 1 if an upcall ran
+    li a0, 0
+    call tock_exit_terminate
+handler:
+    li t1, 1
+    sw t1, 0(s0)
+    jr ra
+)");
+  board_->Run(5'000'000);
+  ASSERT_EQ(proc().state, ProcessState::kTerminated);
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_EQ(word(0), 0u) << "scrubbed handler ran anyway";
+  EXPECT_EQ(word(4), 0u) << "yield-no-wait claimed an upcall ran";
+}
+
+// ---- Yield variants & upcall delivery ------------------------------------------------------
+
+TEST_F(KernelTest, YieldWaitRunsSubscribedHandler) {
+  BootWith(R"(
+_start:
+    mv s0, a0
+    # subscribe(alarm, 0, handler, userdata=77)
+    li a0, 0
+    li a1, 0
+    la a2, handler
+    li a3, 77
+    li a4, 1
+    ecall
+    # set relative alarm 1000
+    li a0, 0
+    li a1, 5
+    li a2, 1000
+    li a3, 0
+    li a4, 2
+    ecall
+    # yield-wait; handler runs with (now, expiration, 0, userdata)
+    li a0, 1
+    li a4, 0
+    ecall
+    li a0, 0
+    call tock_exit_terminate
+handler:
+    sw a0, 0(s0)    # now
+    sw a1, 4(s0)    # expiration
+    sw a3, 8(s0)    # userdata
+    jr ra
+)");
+  board_->Run(5'000'000);
+  ASSERT_EQ(proc().state, ProcessState::kTerminated);
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_GT(word(0), 1000u);      // now is past the dt
+  EXPECT_GE(word(0), word(4));    // fired at/after expiration
+  EXPECT_EQ(word(8), 77u);
+  EXPECT_EQ(proc().upcalls_delivered, 1u);
+}
+
+TEST_F(KernelTest, YieldNoWaitReturnsImmediatelyWhenIdle) {
+  BootWith(R"(
+_start:
+    mv s0, a0
+    li a0, 0
+    li a4, 0
+    ecall            # yield-no-wait with empty queue
+    sw a0, 0(s0)     # must be 0
+    li a0, 0
+    call tock_exit_terminate
+)");
+  board_->Run(1'000'000);
+  EXPECT_EQ(*board_->mcu().bus().Read(proc().ram_start, 4, Privilege::kPrivileged), 0u);
+  EXPECT_EQ(proc().state, ProcessState::kTerminated);
+}
+
+TEST_F(KernelTest, YieldWaitForDeliversValuesWithoutHandler) {
+  // The TRD104 yield-wait-for variant (§3.2): no subscription, no handler — the
+  // upcall's values arrive as syscall return values.
+  BootWith(R"(
+_start:
+    mv s0, a0
+    # set relative alarm 1500
+    li a0, 0
+    li a1, 5
+    li a2, 1500
+    li a3, 0
+    li a4, 2
+    ecall
+    # yield-wait-for(alarm, 0)
+    li a0, 2
+    li a1, 0
+    li a2, 0
+    li a4, 0
+    ecall
+    sw a0, 0(s0)   # variant: 132 (success 3 u32)
+    sw a1, 4(s0)   # arg0 = now
+    sw a2, 8(s0)   # arg1 = expiration
+    li a0, 0
+    call tock_exit_terminate
+)");
+  board_->Run(5'000'000);
+  ASSERT_EQ(proc().state, ProcessState::kTerminated);
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_EQ(word(0), 132u);
+  EXPECT_GT(word(4), 1500u);
+}
+
+// ---- Memop ---------------------------------------------------------------------------------
+
+TEST_F(KernelTest, MemopReportsLayoutAndSbrkGrows) {
+  BootWith(R"(
+_start:
+    mv s0, a0
+    li a0, 4
+    li a4, 5
+    ecall            # ram start
+    sw a1, 0(s0)
+    li a0, 5
+    li a4, 5
+    ecall            # ram end (break)
+    sw a1, 4(s0)
+    li a0, 1
+    li a1, 1024
+    li a4, 5
+    ecall            # sbrk(+1024) -> old break
+    sw a0, 8(s0)     # variant (129 success u32)
+    sw a1, 12(s0)    # old break
+    li a0, 5
+    li a4, 5
+    ecall
+    sw a1, 16(s0)    # new break
+    li a0, 2
+    li a4, 5
+    ecall            # flash start
+    sw a1, 20(s0)
+    li a0, 0
+    call tock_exit_terminate
+)");
+  board_->Run(1'000'000);
+  ASSERT_EQ(proc().state, ProcessState::kTerminated);
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_EQ(word(0), proc().ram_start);
+  uint32_t initial_break = word(4);
+  EXPECT_EQ(word(8), 129u);
+  EXPECT_EQ(word(12), initial_break);
+  EXPECT_EQ(word(16), initial_break + 1024);
+  EXPECT_EQ(word(20), proc().flash_start);
+}
+
+TEST_F(KernelTest, SbrkBeyondQuotaFails) {
+  BootWith(R"(
+_start:
+    mv s0, a0
+    li a0, 1
+    li a1, 0x100000   # 1 MiB, way past the quota
+    li a4, 5
+    ecall
+    sw a0, 0(s0)      # failure variant 0
+    li a0, 0
+    call tock_exit_terminate
+)");
+  board_->Run(1'000'000);
+  EXPECT_EQ(*board_->mcu().bus().Read(proc().ram_start, 4, Privilege::kPrivileged), 0u);
+}
+
+// ---- Exit / restart ---------------------------------------------------------------------------
+
+TEST_F(KernelTest, ExitTerminateRecordsCompletionCode) {
+  BootWith(R"(
+_start:
+    li a0, 0
+    li a1, 42
+    li a4, 6
+    ecall
+)");
+  board_->Run(1'000'000);
+  EXPECT_EQ(proc().state, ProcessState::kTerminated);
+  EXPECT_EQ(proc().completion_code, 42u);
+}
+
+TEST_F(KernelTest, ExitRestartRunsAgainWithBumpedGeneration) {
+  // Writes a flag into RAM, restarts once (checking the flag persists in RAM but
+  // state is fresh), then terminates on the second run.
+  BootWith(R"(
+_start:
+    mv s0, a0
+    lw t0, 0(s0)
+    bnez t0, second_run
+    li t0, 1
+    sw t0, 0(s0)
+    li a0, 1
+    li a4, 6
+    ecall           # exit-restart
+second_run:
+    li a0, 0
+    li a1, 7
+    li a4, 6
+    ecall           # terminate(7)
+)");
+  board_->Run(5'000'000);
+  EXPECT_EQ(proc().state, ProcessState::kTerminated);
+  EXPECT_EQ(proc().completion_code, 7u);
+  EXPECT_EQ(proc().restart_count, 1u);
+  EXPECT_EQ(proc().id.generation, 2u);
+}
+
+// ---- Fault policy (§2.3) -----------------------------------------------------------------------
+
+TEST_F(KernelTest, MpuViolationFaultsProcessWithStopPolicy) {
+  BootWith(R"(
+_start:
+    li t0, 0x20000000   # kernel RAM: out of bounds for us
+    sw t0, 0(t0)
+)");
+  board_->Run(1'000'000);
+  EXPECT_EQ(proc().state, ProcessState::kFaulted);
+  EXPECT_EQ(proc().fault_info.vm_fault.kind, VmFault::Kind::kBus);
+  EXPECT_EQ(proc().fault_info.vm_fault.bus_fault.kind, BusFaultKind::kMpuViolation);
+}
+
+TEST_F(KernelTest, RestartPolicyRestartsFaultingProcess) {
+  BoardConfig config;
+  config.kernel.fault_response = FaultResponse::kRestart;
+  BootWith(R"(
+_start:
+    mv s0, a0
+    lw t0, 0(s0)
+    addi t0, t0, 1
+    sw t0, 0(s0)       # count runs in RAM (RAM persists across restart)
+    li t1, 3
+    bge t0, t1, done
+    li t0, 0x20000000
+    sw t0, 0(t0)       # fault on purpose
+done:
+    li a0, 0
+    call tock_exit_terminate
+)",
+           config);
+  board_->Run(10'000'000);
+  EXPECT_EQ(proc().state, ProcessState::kTerminated);
+  EXPECT_EQ(proc().restart_count, 2u);
+}
+
+TEST_F(KernelTest, FaultyProcessDoesNotHarmNeighbor) {
+  // The core isolation claim (§2.3): one app crashing leaves the other fully
+  // functional.
+  board_ = std::make_unique<SimBoard>();
+  AppSpec bad;
+  bad.name = "bad";
+  bad.source = R"(
+_start:
+    li t0, 0x20000000
+    sw t0, 0(t0)
+)";
+  AppSpec good;
+  good.name = "good";
+  good.source = R"(
+_start:
+    la a0, msg
+    li a1, 3
+    call console_print
+    li a0, 0
+    call tock_exit_terminate
+msg:
+    .asciz "ok\n"
+)";
+  ASSERT_NE(board_->installer().Install(bad), 0u);
+  ASSERT_NE(board_->installer().Install(good), 0u);
+  ASSERT_EQ(board_->Boot(), 2);
+  board_->Run(10'000'000);
+  EXPECT_EQ(board_->kernel().process(0)->state, ProcessState::kFaulted);
+  EXPECT_EQ(board_->kernel().process(1)->state, ProcessState::kTerminated);
+  EXPECT_NE(board_->uart_hw().output().find("ok"), std::string::npos);
+}
+
+// ---- Preemption (§2.3: processes are preemptively scheduled) ------------------------------------
+
+TEST_F(KernelTest, InfiniteLoopCannotStarveNeighbor) {
+  board_ = std::make_unique<SimBoard>();
+  AppSpec hog;
+  hog.name = "hog";
+  hog.source = R"(
+_start:
+spin:
+    j spin
+)";
+  AppSpec worker;
+  worker.name = "worker";
+  worker.source = R"(
+_start:
+    la a0, msg
+    li a1, 5
+    call console_print
+    li a0, 0
+    call tock_exit_terminate
+msg:
+    .asciz "work\n"
+)";
+  ASSERT_NE(board_->installer().Install(hog), 0u);
+  ASSERT_NE(board_->installer().Install(worker), 0u);
+  ASSERT_EQ(board_->Boot(), 2);
+  board_->Run(10'000'000);
+  // Despite the hog never yielding, the timeslice preempts it and the worker runs.
+  EXPECT_NE(board_->uart_hw().output().find("work"), std::string::npos);
+  EXPECT_GT(board_->kernel().process(0)->timeslice_expirations, 0u);
+  EXPECT_EQ(board_->kernel().process(1)->state, ProcessState::kTerminated);
+}
+
+// ---- Grants (§2.4, E5) -----------------------------------------------------------------------
+
+TEST_F(KernelTest, GrantsComeFromOwnQuotaAndSurviveReentry) {
+  BootWith(R"(
+_start:
+    # Two console writes force two grant entries for the same process; state must
+    # persist between them (tx_pending round trip).
+    la a0, msg
+    li a1, 2
+    call console_print
+    la a0, msg
+    li a1, 2
+    call console_print
+    li a0, 0
+    call tock_exit_terminate
+msg:
+    .asciz "x\n"
+)");
+  board_->Run(10'000'000);
+  EXPECT_EQ(proc().state, ProcessState::kTerminated);
+  // Exactly one ConsoleState + one AlarmState-sized allocation may exist; grant
+  // memory is charged to this process, below its quota top.
+  EXPECT_GT(proc().grant_bytes_allocated, 0u);
+  EXPECT_LT(proc().grant_break, proc().ram_start + proc().ram_size);
+  EXPECT_GE(proc().grant_break, proc().app_break);
+}
+
+TEST(KernelDirect, GrantStatePersistsAndIsPerProcess) {
+  SimBoard board;
+  AppSpec a;
+  a.name = "a";
+  a.source = "_start:\nspin:\n    j spin\n";
+  AppSpec b;
+  b.name = "b";
+  b.source = "_start:\nspin:\n    j spin\n";
+  ASSERT_NE(board.installer().Install(a), 0u);
+  ASSERT_NE(board.installer().Install(b), 0u);
+  ASSERT_EQ(board.Boot(), 2);
+
+  CapabilityFactory factory;
+  auto mem_cap = factory.MintMemoryAllocation();
+  struct Counter {
+    int value = 0;
+  };
+  Grant<Counter> grant(&board.kernel(), mem_cap);
+
+  ProcessId pa = board.kernel().process(0)->id;
+  ProcessId pb = board.kernel().process(1)->id;
+  EXPECT_TRUE(grant.Enter(pa, [](Counter& c) { c.value += 5; }).ok());
+  EXPECT_TRUE(grant.Enter(pa, [](Counter& c) { c.value += 5; }).ok());
+  int a_value = 0, b_value = -1;
+  EXPECT_TRUE(grant.Enter(pa, [&](Counter& c) { a_value = c.value; }).ok());
+  EXPECT_TRUE(grant.Enter(pb, [&](Counter& c) { b_value = c.value; }).ok());
+  EXPECT_EQ(a_value, 10);
+  EXPECT_EQ(b_value, 0);  // freshly initialized, not shared
+}
+
+TEST(KernelDirect, GrantEntryFailsOnlyForExhaustedProcess) {
+  BoardConfig config;
+  config.kernel.process_ram_quota = 4096;  // tiny quota
+  SimBoard board(config);
+  AppSpec a;
+  a.name = "a";
+  a.source = "_start:\nspin:\n    j spin\n";
+  AppSpec b;
+  b.name = "b";
+  b.source = "_start:\nspin:\n    j spin\n";
+  ASSERT_NE(board.installer().Install(a), 0u);
+  ASSERT_NE(board.installer().Install(b), 0u);
+  ASSERT_EQ(board.Boot(), 2);
+
+  CapabilityFactory factory;
+  auto mem_cap = factory.MintMemoryAllocation();
+  struct Big {
+    uint8_t bytes[1024];
+  };
+  // Grant ids are a finite board resource; allocate a handful of big grants and
+  // exhaust only process a.
+  Grant<Big> g0(&board.kernel(), mem_cap);
+  Grant<Big> g1(&board.kernel(), mem_cap);
+  Grant<Big> g2(&board.kernel(), mem_cap);
+  Grant<Big> g3(&board.kernel(), mem_cap);
+
+  ProcessId pa = board.kernel().process(0)->id;
+  ProcessId pb = board.kernel().process(1)->id;
+  EXPECT_TRUE(g0.Enter(pa, [](Big&) {}).ok());
+  EXPECT_TRUE(g1.Enter(pa, [](Big&) {}).ok());
+  // Quota is 4096 with half accessible: the third 1 KiB grant cannot fit.
+  Result<void> third = g2.Enter(pa, [](Big&) {});
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.error(), ErrorCode::kNoMem);
+  // ...but process b is untouched and can still allocate (§2.4's whole point).
+  EXPECT_TRUE(g3.Enter(pb, [](Big&) {}).ok());
+}
+
+// ---- Capability-gated process management (§4.4) -----------------------------------------------
+
+TEST(KernelDirect, StopAndRestartRequireOnlyTheToken) {
+  SimBoard board;
+  AppSpec a;
+  a.name = "a";
+  a.source = "_start:\nspin:\n    j spin\n";
+  ASSERT_NE(board.installer().Install(a), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(5'000);
+
+  ProcessId pid = board.kernel().process(0)->id;
+  EXPECT_TRUE(board.kernel().StopProcess(pid, board.pm_cap()).ok());
+  EXPECT_EQ(board.kernel().process(0)->state, ProcessState::kTerminated);
+  EXPECT_FALSE(board.kernel().IsAlive(pid));
+
+  EXPECT_TRUE(board.kernel().RestartProcess(pid, board.pm_cap()).ok());
+  EXPECT_EQ(board.kernel().process(0)->state, ProcessState::kRunnable);
+  // The old ProcessId is stale after restart (generation bumped).
+  EXPECT_FALSE(board.kernel().IsAlive(pid));
+}
+
+TEST(KernelDirect, StaleProcessIdCannotReachNewIncarnation) {
+  SimBoard board;
+  AppSpec a;
+  a.name = "a";
+  a.source = "_start:\nspin:\n    j spin\n";
+  ASSERT_NE(board.installer().Install(a), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+
+  ProcessId old_pid = board.kernel().process(0)->id;
+  ASSERT_TRUE(board.kernel().RestartProcess(old_pid, board.pm_cap()).ok());
+  // An upcall scheduled against the stale id must be refused.
+  Result<void> result = board.kernel().ScheduleUpcall(old_pid, 0, 0, 1, 2, 3);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), ErrorCode::kInvalid);
+}
+
+// ---- Blocking command (Ti50 fork semantics, §3.2 / E3) -----------------------------------------
+
+TEST_F(KernelTest, BlockingCommandCollapsesTheSequence) {
+  BoardConfig config;
+  config.kernel.enable_blocking_command = true;
+  BootWith(R"(
+_start:
+    mv s0, a0
+    # blocking_command(temp=0x60000, cmd=1 sample, arg=0, completion sub=0)
+    li a0, 0x60000
+    li a1, 1
+    li a2, 0
+    li a3, 0
+    li a4, 7
+    ecall
+    sw a0, 0(s0)    # variant 132
+    sw a1, 4(s0)    # centi-degrees
+    li a0, 0
+    call tock_exit_terminate
+)",
+           config);
+  board_->Run(10'000'000);
+  ASSERT_EQ(proc().state, ProcessState::kTerminated);
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_EQ(word(0), 132u);
+  EXPECT_NEAR(static_cast<int32_t>(word(4)), 2150, 30);
+  // The whole operation took exactly TWO system calls (blocking command + exit).
+  EXPECT_EQ(proc().syscall_count, 2u);
+}
+
+TEST_F(KernelTest, BlockingCommandDisabledByDefault) {
+  BootWith(R"(
+_start:
+    mv s0, a0
+    li a0, 0x60000
+    li a1, 1
+    li a2, 0
+    li a3, 0
+    li a4, 7
+    ecall
+    sw a0, 0(s0)
+    sw a1, 4(s0)
+    li a0, 0
+    call tock_exit_terminate
+)");
+  board_->Run(1'000'000);
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_EQ(word(0), 0u);  // plain Failure
+  EXPECT_EQ(word(4), static_cast<uint32_t>(ErrorCode::kNoSupport));
+}
+
+// ---- Unknown driver ------------------------------------------------------------------------------
+
+TEST_F(KernelTest, CommandToMissingDriverFailsWithNoDevice) {
+  BootWith(R"(
+_start:
+    mv s0, a0
+    li a0, 0x99999
+    li a1, 1
+    li a2, 0
+    li a3, 0
+    li a4, 2
+    ecall
+    sw a0, 0(s0)
+    sw a1, 4(s0)
+    li a0, 0
+    call tock_exit_terminate
+)");
+  board_->Run(1'000'000);
+  auto word = [&](uint32_t off) {
+    return *board_->mcu().bus().Read(proc().ram_start + off, 4, Privilege::kPrivileged);
+  };
+  EXPECT_EQ(word(0), 0u);
+  EXPECT_EQ(word(4), static_cast<uint32_t>(ErrorCode::kNoDevice));
+}
+
+}  // namespace
+}  // namespace tock

@@ -1,0 +1,243 @@
+// Process loading tests (§3.4, E11): TBF framing, the synchronous structural
+// loader, the asynchronous verified state machine, and dynamic runtime loading.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "board/sim_board.h"
+#include "crypto/hmac_sha256.h"
+#include "kernel/tbf.h"
+
+namespace tock {
+namespace {
+
+const std::string kSpinApp = "_start:\nspin:\n    j spin\n";
+const std::string kExitApp = "_start:\n    li a0, 0\n    li a1, 9\n    li a4, 6\n    ecall\n";
+
+// ---- TBF framing ------------------------------------------------------------------------
+
+TEST(Tbf, BuildProducesStructurallyValidHeader) {
+  std::vector<uint8_t> binary(100, 0x13);  // nops
+  auto image = BuildTbfImage("demo", binary, 0, 4096, false, nullptr);
+  TbfHeader header;
+  std::memcpy(&header, image.data(), sizeof(header));
+  EXPECT_TRUE(header.StructurallyValid());
+  EXPECT_EQ(header.Name(), "demo");
+  EXPECT_EQ(header.binary_size, 100u);
+  EXPECT_TRUE(header.IsEnabled());
+  EXPECT_FALSE(header.IsSigned());
+  EXPECT_EQ(image.size() % 8, 0u);
+}
+
+TEST(Tbf, ChecksumDetectsHeaderCorruption) {
+  std::vector<uint8_t> binary(16, 0x13);
+  auto image = BuildTbfImage("demo", binary, 0, 4096, false, nullptr);
+  TbfHeader header;
+  std::memcpy(&header, image.data(), sizeof(header));
+  header.min_ram += 4;  // corrupt a field without fixing the checksum
+  EXPECT_FALSE(header.StructurallyValid());
+}
+
+TEST(Tbf, SignedImageCarriesValidHmacTag) {
+  uint8_t key[32] = {9};
+  std::vector<uint8_t> binary(64, 0xAB);
+  auto image = BuildTbfImage("signed", binary, 0, 4096, true, key);
+  TbfHeader header;
+  std::memcpy(&header, image.data(), sizeof(header));
+  ASSERT_TRUE(header.IsSigned());
+  auto expected = HmacSha256::Compute(key, sizeof(key), image.data(),
+                                      TbfHeader::kHeaderSize + header.binary_size);
+  EXPECT_EQ(std::memcmp(image.data() + TbfHeader::kHeaderSize + header.binary_size,
+                        expected.data(), expected.size()),
+            0);
+}
+
+TEST(Tbf, EntryOffsetMustPointInsideBinary) {
+  TbfHeader header;
+  header.binary_size = 64;
+  header.total_size = TbfHeader::kHeaderSize + 64;
+  header.entry_offset = TbfHeader::kHeaderSize + 64;  // one past the end
+  header.checksum = header.ComputeChecksum();
+  EXPECT_FALSE(header.StructurallyValid());
+}
+
+// ---- Synchronous loader -------------------------------------------------------------------
+
+TEST(SyncLoader, LoadsPackedAppsAndStopsAtGarbage) {
+  SimBoard board;
+  AppSpec a;
+  a.name = "one";
+  a.source = kSpinApp;
+  AppSpec b;
+  b.name = "two";
+  b.source = kSpinApp;
+  ASSERT_NE(board.installer().Install(a), 0u);
+  ASSERT_NE(board.installer().Install(b), 0u);
+  EXPECT_EQ(board.loader().LoadAllSync(), 2);
+  EXPECT_EQ(board.kernel().process(0)->name, "one");
+  EXPECT_EQ(board.kernel().process(1)->name, "two");
+}
+
+TEST(SyncLoader, SkipsDisabledApps) {
+  SimBoard board;
+  AppSpec a;
+  a.name = "off";
+  a.source = kSpinApp;
+  a.enabled = false;
+  AppSpec b;
+  b.name = "on";
+  b.source = kSpinApp;
+  ASSERT_NE(board.installer().Install(a), 0u);
+  ASSERT_NE(board.installer().Install(b), 0u);
+  EXPECT_EQ(board.loader().LoadAllSync(), 1);
+  EXPECT_EQ(board.kernel().process(0)->name, "on");
+}
+
+TEST(SyncLoader, EmptyFlashLoadsNothing) {
+  SimBoard board;
+  EXPECT_EQ(board.loader().LoadAllSync(), 0);
+  EXPECT_EQ(board.kernel().NumLiveProcesses(), 0u);
+}
+
+TEST(SyncLoader, RejectsCorruptHeaderWithoutWedgingScan) {
+  SimBoard board;
+  AppSpec a;
+  a.name = "ok";
+  a.source = kSpinApp;
+  uint32_t addr = board.installer().Install(a);
+  ASSERT_NE(addr, 0u);
+  // Corrupt the checksum in flash.
+  uint8_t byte;
+  board.mcu().bus().ReadBlock(addr + 44, &byte, 1);  // somewhere in the header tail
+  byte ^= 0xFF;
+  board.mcu().bus().ProgramFlash(addr + 44, &byte, 1);
+  EXPECT_EQ(board.loader().LoadAllSync(), 0);
+  EXPECT_EQ(board.loader().rejected_count(), 1);
+}
+
+// ---- Asynchronous verified loader (§3.4) -----------------------------------------------------
+
+TEST(AsyncLoader, LoadsOnlyCorrectlySignedApps) {
+  BoardConfig config;
+  config.kernel.loader = LoaderMode::kAsynchronous;
+  SimBoard board(config);
+
+  AppSpec good;
+  good.name = "good";
+  good.source = kSpinApp;
+  good.sign = true;
+  AppSpec unsigned_app;
+  unsigned_app.name = "nosig";
+  unsigned_app.source = kSpinApp;
+  unsigned_app.sign = false;
+  AppSpec tampered;
+  tampered.name = "evil";
+  tampered.source = kSpinApp;
+  tampered.sign = true;
+  tampered.corrupt_signature = true;
+
+  ASSERT_NE(board.installer().Install(good), 0u);
+  ASSERT_NE(board.installer().Install(unsigned_app), 0u);
+  ASSERT_NE(board.installer().Install(tampered), 0u);
+
+  EXPECT_EQ(board.Boot(), 1);
+  EXPECT_EQ(board.loader().rejected_count(), 2);
+  ASSERT_EQ(board.kernel().NumLiveProcesses(), 1u);
+  EXPECT_EQ(board.kernel().process(0)->name, "good");
+
+  // The load records document why each image was accepted or rejected.
+  ASSERT_EQ(board.loader().records().size(), 3u);
+  EXPECT_TRUE(board.loader().records()[0].verified);
+  EXPECT_STREQ(board.loader().records()[1].reject_reason, "unsigned image");
+  EXPECT_STREQ(board.loader().records()[2].reject_reason, "signature verification failed");
+}
+
+TEST(AsyncLoader, VerificationConsumesCryptoTime) {
+  // The state machine exists because crypto is asynchronous: loading must advance
+  // simulated time, unlike the synchronous structural pass.
+  BoardConfig sync_config;
+  SimBoard sync_board(sync_config);
+  AppSpec app;
+  app.name = "app";
+  app.source = kSpinApp;
+  app.sign = true;
+  ASSERT_NE(sync_board.installer().Install(app), 0u);
+  uint64_t t0 = sync_board.mcu().CyclesNow();
+  sync_board.Boot();
+  uint64_t sync_cycles = sync_board.mcu().CyclesNow() - t0;
+
+  BoardConfig async_config;
+  async_config.kernel.loader = LoaderMode::kAsynchronous;
+  SimBoard async_board(async_config);
+  ASSERT_NE(async_board.installer().Install(app), 0u);
+  t0 = async_board.mcu().CyclesNow();
+  ASSERT_EQ(async_board.Boot(), 1);
+  uint64_t async_cycles = async_board.mcu().CyclesNow() - t0;
+
+  EXPECT_GT(async_cycles, sync_cycles + CycleCosts::kShaCyclesPerBlock);
+}
+
+TEST(AsyncLoader, DynamicallyLoadsAppAtRuntime) {
+  // §3.4's "major benefit": with loading as a state machine, installing an app
+  // after boot is just triggering the kernel to check it.
+  BoardConfig config;
+  config.kernel.loader = LoaderMode::kAsynchronous;
+  SimBoard board(config);
+
+  AppSpec first;
+  first.name = "first";
+  first.source = kSpinApp;
+  first.sign = true;
+  ASSERT_NE(board.installer().Install(first), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(100'000);
+  EXPECT_EQ(board.kernel().NumLiveProcesses(), 1u);
+
+  // "Over-the-air update": flash a new signed app while the system runs.
+  AppSpec second;
+  second.name = "second";
+  second.source = kExitApp;
+  second.sign = true;
+  uint32_t addr = board.installer().Install(second);
+  ASSERT_NE(addr, 0u);
+  ASSERT_TRUE(board.loader().LoadOneAsync(addr).ok());
+  board.Run(10'000'000);
+
+  ASSERT_EQ(board.loader().created_count(), 2);
+  Process* p = board.kernel().process(1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name, "second");
+  EXPECT_EQ(p->state, ProcessState::kTerminated);  // it ran and exited(9)
+  EXPECT_EQ(p->completion_code, 9u);
+}
+
+TEST(AsyncLoader, RequiresDigestEngineAndKey) {
+  SimBoard board;
+  ProcessLoader bare(&board.kernel(), SimBoard::kAppFlashBase, SimBoard::kAppFlashEnd,
+                     board.pm_cap(), CapabilityFactory{}.MintProcessLoading());
+  EXPECT_FALSE(bare.StartAsyncLoad().ok());
+}
+
+// ---- Installer diagnostics ----------------------------------------------------------------------
+
+TEST(Installer, ReportsAssemblyErrors) {
+  SimBoard board;
+  AppSpec bad;
+  bad.name = "bad";
+  bad.source = "_start:\n    bogus a0\n";
+  EXPECT_EQ(board.installer().Install(bad), 0u);
+  EXPECT_NE(board.installer().error().find("assembly failed"), std::string::npos);
+}
+
+TEST(Installer, RequiresStartSymbol) {
+  SimBoard board;
+  AppSpec bad;
+  bad.name = "bad";
+  bad.source = "main:\n    nop\n";
+  bad.include_runtime = false;
+  EXPECT_EQ(board.installer().Install(bad), 0u);
+  EXPECT_NE(board.installer().error().find("_start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tock

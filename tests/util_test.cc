@@ -1,0 +1,473 @@
+// Unit tests for the util layer: cells, SubSlice, ring buffer, static vec,
+// intrusive list, and the register-field DSL.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+
+#include "util/cells.h"
+#include "util/error.h"
+#include "util/intrusive_list.h"
+#include "util/registers.h"
+#include "util/ring_buffer.h"
+#include "util/static_vec.h"
+#include "util/subslice.h"
+
+namespace tock {
+namespace {
+
+// ---- Result ------------------------------------------------------------------------
+
+TEST(Result, SuccessCarriesValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+}
+
+TEST(Result, FailureCarriesError) {
+  Result<int> r(ErrorCode::kBusy);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), ErrorCode::kBusy);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> ok = Result<void>::Ok();
+  EXPECT_TRUE(ok.ok());
+  Result<void> err(ErrorCode::kNoMem);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), ErrorCode::kNoMem);
+}
+
+TEST(Result, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kFail), "FAIL");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kNoMem), "NOMEM");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kBadRval), "BADRVAL");
+}
+
+// ---- Cells -------------------------------------------------------------------------
+
+TEST(Cell, GetSetReplace) {
+  Cell<int> cell(1);
+  EXPECT_EQ(cell.Get(), 1);
+  cell.Set(2);
+  EXPECT_EQ(cell.Get(), 2);
+  EXPECT_EQ(cell.Replace(3), 2);
+  EXPECT_EQ(cell.Get(), 3);
+}
+
+TEST(OptionalCell, TakeEmptiesTheCell) {
+  OptionalCell<int> cell(7);
+  ASSERT_TRUE(cell.IsSome());
+  auto taken = cell.Take();
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(*taken, 7);
+  EXPECT_TRUE(cell.IsNone());
+  EXPECT_FALSE(cell.Take().has_value());
+}
+
+TEST(OptionalCell, ExtractCopiesWithoutEmptying) {
+  OptionalCell<int> cell(9);
+  EXPECT_EQ(*cell.Extract(), 9);
+  EXPECT_TRUE(cell.IsSome());
+}
+
+TEST(OptionalCell, MapRunsOnlyWhenPresent) {
+  OptionalCell<int> cell;
+  int runs = 0;
+  EXPECT_FALSE(cell.Map([&](int&) { ++runs; }));
+  cell.Set(1);
+  EXPECT_TRUE(cell.Map([&](int& v) {
+    ++runs;
+    v = 5;
+  }));
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(cell.UnwrapOr(0), 5);
+}
+
+TEST(OptionalCell, MapOrFallsBack) {
+  OptionalCell<int> cell;
+  EXPECT_EQ(cell.MapOr<int>(-1, [](const int& v) { return v * 2; }), -1);
+  cell.Set(21);
+  EXPECT_EQ(cell.MapOr<int>(-1, [](const int& v) { return v * 2; }), 42);
+}
+
+TEST(TakeCell, TakeEnforcesExclusiveAccess) {
+  int storage = 11;
+  TakeCell<int> cell(&storage);
+  ASSERT_TRUE(cell.IsSome());
+  int* taken = cell.Take();
+  EXPECT_EQ(taken, &storage);
+  EXPECT_TRUE(cell.IsNone());
+  EXPECT_EQ(cell.Take(), nullptr);  // double-take yields nothing
+  cell.Replace(taken);
+  EXPECT_TRUE(cell.IsSome());
+}
+
+TEST(TakeCell, MapLeavesContentsInPlace) {
+  int storage = 1;
+  TakeCell<int> cell(&storage);
+  EXPECT_TRUE(cell.Map([](int& v) { v = 2; }));
+  EXPECT_TRUE(cell.IsSome());
+  EXPECT_EQ(storage, 2);
+  EXPECT_EQ(cell.MapOr<int>(-1, [](int& v) { return v + 1; }), 3);
+}
+
+TEST(MapCell, OwnsItsStorage) {
+  MapCell<int> cell;
+  EXPECT_TRUE(cell.IsNone());
+  cell.Put(4);
+  EXPECT_TRUE(cell.Map([](int& v) { v *= 10; }));
+  auto taken = cell.Take();
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(*taken, 40);
+  EXPECT_TRUE(cell.IsNone());
+}
+
+// ---- SubSlice (Figure 4) -------------------------------------------------------------
+
+class SubSliceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { std::iota(storage_.begin(), storage_.end(), 0); }
+  std::array<uint8_t, 16> storage_;
+};
+
+TEST_F(SubSliceTest, InitiallyCoversWholeBuffer) {
+  SubSliceMut slice(storage_.data(), storage_.size());
+  EXPECT_EQ(slice.Size(), 16u);
+  EXPECT_EQ(slice.Capacity(), 16u);
+  EXPECT_EQ(slice[0], 0);
+  EXPECT_EQ(slice[15], 15);
+}
+
+TEST_F(SubSliceTest, SliceNarrowsWindowRelatively) {
+  SubSliceMut slice(storage_.data(), storage_.size());
+  slice.Slice(4, 8);
+  EXPECT_EQ(slice.Size(), 8u);
+  EXPECT_EQ(slice[0], 4);
+  slice.Slice(2, 2);  // relative to the current window
+  EXPECT_EQ(slice.Size(), 2u);
+  EXPECT_EQ(slice[0], 6);
+}
+
+TEST_F(SubSliceTest, ResetRestoresFullExtent) {
+  SubSliceMut slice(storage_.data(), storage_.size());
+  slice.Slice(10, 2);
+  slice.Slice(1, 1);
+  slice.Reset();
+  EXPECT_EQ(slice.Size(), 16u);
+  EXPECT_EQ(slice[0], 0);
+}
+
+TEST_F(SubSliceTest, OutOfRangeSliceClamps) {
+  SubSliceMut slice(storage_.data(), storage_.size());
+  slice.Slice(20, 5);
+  EXPECT_EQ(slice.Size(), 0u);
+  slice.Reset();
+  slice.Slice(12, 100);
+  EXPECT_EQ(slice.Size(), 4u);
+}
+
+TEST_F(SubSliceTest, SliceToAndFrom) {
+  SubSliceMut slice(storage_.data(), storage_.size());
+  slice.SliceTo(4);
+  EXPECT_EQ(slice.Size(), 4u);
+  EXPECT_EQ(slice[3], 3);
+  slice.Reset();
+  slice.SliceFrom(12);
+  EXPECT_EQ(slice.Size(), 4u);
+  EXPECT_EQ(slice[0], 12);
+}
+
+TEST_F(SubSliceTest, WritesThroughWindowHitUnderlyingBuffer) {
+  SubSliceMut slice(storage_.data(), storage_.size());
+  slice.Slice(8, 4);
+  slice[0] = 0xAA;
+  EXPECT_EQ(storage_[8], 0xAA);
+}
+
+TEST_F(SubSliceTest, SameBufferIdentity) {
+  SubSliceMut a(storage_.data(), storage_.size());
+  SubSliceMut b(storage_.data(), storage_.size());
+  std::array<uint8_t, 4> other{};
+  SubSliceMut c(other.data(), other.size());
+  EXPECT_TRUE(a.SameBuffer(b));
+  EXPECT_FALSE(a.SameBuffer(c));
+}
+
+// Property: any sequence of slices never escapes the original extent, and Reset
+// always restores it — the Figure 4 invariant.
+class SubSliceProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SubSliceProperty, SliceSequencesStayInBoundsAndResetRestores) {
+  std::array<uint8_t, 64> storage{};
+  std::iota(storage.begin(), storage.end(), 0);
+  SubSliceMut slice(storage.data(), storage.size());
+
+  uint32_t state = GetParam() * 2654435761u + 1;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  };
+
+  for (int step = 0; step < 100; ++step) {
+    uint32_t offset = next() % 70;  // deliberately allows out-of-range requests
+    uint32_t len = next() % 70;
+    slice.Slice(offset, len);
+    ASSERT_LE(slice.Size(), slice.Capacity());
+    if (!slice.IsEmpty()) {
+      // Every visible element must alias the original storage at a consistent index.
+      uint8_t first = slice[0];
+      ASSERT_LT(first, 64);
+      ASSERT_EQ(&slice[0], &storage[first]);
+    }
+    if (next() % 4 == 0) {
+      slice.Reset();
+      ASSERT_EQ(slice.Size(), 64u);
+    }
+  }
+  slice.Reset();
+  EXPECT_EQ(slice.Size(), 64u);
+  EXPECT_EQ(&slice[0], storage.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubSliceProperty, ::testing::Range(0u, 16u));
+
+// ---- RingBuffer ----------------------------------------------------------------------
+
+TEST(RingBuffer, PushPopFifoOrder) {
+  RingBuffer<int, 4> rb;
+  EXPECT_TRUE(rb.IsEmpty());
+  EXPECT_TRUE(rb.Push(1));
+  EXPECT_TRUE(rb.Push(2));
+  EXPECT_TRUE(rb.Push(3));
+  EXPECT_EQ(*rb.Pop(), 1);
+  EXPECT_EQ(*rb.Pop(), 2);
+  EXPECT_TRUE(rb.Push(4));
+  EXPECT_TRUE(rb.Push(5));
+  EXPECT_TRUE(rb.Push(6));
+  EXPECT_TRUE(rb.IsFull());
+  EXPECT_FALSE(rb.Push(7));
+  EXPECT_EQ(*rb.Pop(), 3);
+  EXPECT_EQ(*rb.Pop(), 4);
+  EXPECT_EQ(*rb.Pop(), 5);
+  EXPECT_EQ(*rb.Pop(), 6);
+  EXPECT_FALSE(rb.Pop().has_value());
+}
+
+TEST(RingBuffer, FrontPeeksWithoutRemoving) {
+  RingBuffer<int, 2> rb;
+  EXPECT_EQ(rb.Front(), nullptr);
+  rb.Push(9);
+  ASSERT_NE(rb.Front(), nullptr);
+  EXPECT_EQ(*rb.Front(), 9);
+  EXPECT_EQ(rb.Size(), 1u);
+}
+
+TEST(RingBuffer, RemoveIfPreservesOrderOfSurvivors) {
+  RingBuffer<int, 8> rb;
+  for (int i = 1; i <= 6; ++i) {
+    rb.Push(i);
+  }
+  size_t removed = rb.RemoveIf([](int v) { return v % 2 == 0; });
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(rb.Size(), 3u);
+  EXPECT_EQ(*rb.Pop(), 1);
+  EXPECT_EQ(*rb.Pop(), 3);
+  EXPECT_EQ(*rb.Pop(), 5);
+}
+
+TEST(RingBuffer, RemoveIfWorksAcrossWraparound) {
+  RingBuffer<int, 4> rb;
+  rb.Push(1);
+  rb.Push(2);
+  rb.Pop();
+  rb.Pop();
+  rb.Push(3);
+  rb.Push(4);
+  rb.Push(5);
+  rb.Push(6);  // storage now wraps
+  EXPECT_EQ(rb.RemoveIf([](int v) { return v == 4 || v == 6; }), 2u);
+  EXPECT_EQ(*rb.Pop(), 3);
+  EXPECT_EQ(*rb.Pop(), 5);
+  EXPECT_TRUE(rb.IsEmpty());
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int, 2> rb;
+  rb.Push(1);
+  rb.Clear();
+  EXPECT_TRUE(rb.IsEmpty());
+  EXPECT_TRUE(rb.Push(2));
+  EXPECT_EQ(*rb.Pop(), 2);
+}
+
+// ---- StaticVec -----------------------------------------------------------------------
+
+TEST(StaticVec, PushPopAndBounds) {
+  StaticVec<int, 3> v;
+  EXPECT_TRUE(v.PushBack(1));
+  EXPECT_TRUE(v.PushBack(2));
+  EXPECT_TRUE(v.PushBack(3));
+  EXPECT_FALSE(v.PushBack(4));
+  EXPECT_TRUE(v.IsFull());
+  EXPECT_EQ(v.PopBack(), 3);
+  EXPECT_EQ(v.Size(), 2u);
+}
+
+TEST(StaticVec, EraseShiftsStably) {
+  StaticVec<int, 4> v;
+  v.PushBack(10);
+  v.PushBack(20);
+  v.PushBack(30);
+  v.Erase(1);
+  ASSERT_EQ(v.Size(), 2u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 30);
+}
+
+TEST(StaticVec, RangeForIteration) {
+  StaticVec<int, 4> v;
+  v.PushBack(1);
+  v.PushBack(2);
+  int sum = 0;
+  for (int x : v) {
+    sum += x;
+  }
+  EXPECT_EQ(sum, 3);
+}
+
+// ---- IntrusiveList -------------------------------------------------------------------
+
+struct Node {
+  int value;
+  ListLink<Node> link;
+};
+
+TEST(IntrusiveList, PushHeadPopHead) {
+  IntrusiveList<Node> list;
+  Node a{1, {}}, b{2, {}};
+  list.PushHead(&a);
+  list.PushHead(&b);
+  EXPECT_EQ(list.Size(), 2u);
+  EXPECT_EQ(list.PopHead(), &b);
+  EXPECT_EQ(list.PopHead(), &a);
+  EXPECT_EQ(list.PopHead(), nullptr);
+}
+
+TEST(IntrusiveList, PushTailKeepsFifo) {
+  IntrusiveList<Node> list;
+  Node a{1, {}}, b{2, {}}, c{3, {}};
+  list.PushTail(&a);
+  list.PushTail(&b);
+  list.PushTail(&c);
+  EXPECT_EQ(list.PopHead(), &a);
+  EXPECT_EQ(list.PopHead(), &b);
+  EXPECT_EQ(list.PopHead(), &c);
+}
+
+TEST(IntrusiveList, RemoveMiddleAndMissing) {
+  IntrusiveList<Node> list;
+  Node a{1, {}}, b{2, {}}, c{3, {}}, d{4, {}};
+  list.PushTail(&a);
+  list.PushTail(&b);
+  list.PushTail(&c);
+  EXPECT_TRUE(list.Remove(&b));
+  EXPECT_FALSE(list.Remove(&d));
+  EXPECT_FALSE(list.Contains(&b));
+  EXPECT_TRUE(list.Contains(&a));
+  EXPECT_TRUE(list.Contains(&c));
+  EXPECT_EQ(list.Size(), 2u);
+}
+
+TEST(IntrusiveList, IterationVisitsAll) {
+  IntrusiveList<Node> list;
+  Node a{1, {}}, b{2, {}}, c{4, {}};
+  list.PushTail(&a);
+  list.PushTail(&b);
+  list.PushTail(&c);
+  int sum = 0;
+  for (Node* n : list) {
+    sum += n->value;
+  }
+  EXPECT_EQ(sum, 7);
+}
+
+// ---- Register DSL (§4.3, E9) ----------------------------------------------------------
+
+struct TestReg {
+  static constexpr Field<uint32_t> kEnable{0, 1};
+  static constexpr Field<uint32_t> kMode{1, 3};
+  static constexpr Field<uint32_t> kCount{8, 8};
+  static constexpr Field<uint32_t> kFull{0, 32};
+};
+
+TEST(Registers, FieldMasksAndPositions) {
+  EXPECT_EQ(TestReg::kEnable.Mask(), 0x1u);
+  EXPECT_EQ(TestReg::kMode.Mask(), 0xEu);
+  EXPECT_EQ(TestReg::kCount.Mask(), 0xFF00u);
+  EXPECT_EQ(TestReg::kFull.Mask(), 0xFFFFFFFFu);
+}
+
+TEST(Registers, ValTruncatesToFieldWidth) {
+  EXPECT_EQ(TestReg::kMode.Val(0x7).value, 0xEu);
+  EXPECT_EQ(TestReg::kMode.Val(0xFF).value, 0xEu);  // overflow truncated
+  EXPECT_EQ(TestReg::kCount.Val(0x12).value, 0x1200u);
+}
+
+TEST(Registers, WriteOverwritesWholeRegister) {
+  ReadWriteReg<uint32_t> reg(0xFFFFFFFF);
+  reg.Write(TestReg::kCount.Val(0x34));
+  EXPECT_EQ(reg.Get(), 0x3400u);  // unset fields become zero
+}
+
+TEST(Registers, ModifyPreservesOtherFields) {
+  ReadWriteReg<uint32_t> reg;
+  reg.Write(TestReg::kEnable.Set() + TestReg::kCount.Val(0xAB));
+  reg.Modify(TestReg::kMode.Val(0x5));
+  EXPECT_EQ(reg.Read(TestReg::kEnable), 1u);
+  EXPECT_EQ(reg.Read(TestReg::kMode), 5u);
+  EXPECT_EQ(reg.Read(TestReg::kCount), 0xABu);
+}
+
+TEST(Registers, CombinedFieldValues) {
+  FieldValue<uint32_t> fv = TestReg::kEnable.Set() + TestReg::kMode.Val(2);
+  EXPECT_EQ(fv.mask, 0xFu);
+  EXPECT_EQ(fv.value, 0x5u);
+}
+
+TEST(Registers, ReadOnlyHwSideUpdates) {
+  ReadOnlyReg<uint32_t> reg;
+  reg.HwSet(0x0100);
+  EXPECT_EQ(reg.Read(TestReg::kCount), 1u);
+  reg.HwModify(TestReg::kEnable.Set());
+  EXPECT_EQ(reg.Get(), 0x0101u);
+}
+
+TEST(Registers, WriteOnlyHwSideReads) {
+  WriteOnlyReg<uint32_t> reg;
+  reg.Write(TestReg::kCount.Val(0x42));
+  EXPECT_EQ(reg.HwGet(), 0x4200u);
+}
+
+TEST(Registers, LocalCopyStagesModifications) {
+  LocalRegisterCopy<uint32_t> copy(0x0101);
+  copy.Modify(TestReg::kCount.Val(0xFF));
+  copy.Modify(TestReg::kEnable.Clear());
+  EXPECT_EQ(copy.Get(), 0xFF00u);
+  EXPECT_EQ(copy.Read(TestReg::kCount), 0xFFu);
+}
+
+TEST(Registers, IsSetDetectsAnyFieldBit) {
+  ReadWriteReg<uint32_t> reg;
+  EXPECT_FALSE(reg.IsSet(TestReg::kMode));
+  reg.Modify(TestReg::kMode.Val(0x4));
+  EXPECT_TRUE(reg.IsSet(TestReg::kMode));
+}
+
+}  // namespace
+}  // namespace tock

@@ -1,0 +1,342 @@
+// VM tests: assembler encodings, instruction semantics, syscall trap, MPU-enforced
+// isolation of the executing process.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "hw/mcu.h"
+#include "hw/memory_map.h"
+#include "vm/assembler.h"
+#include "vm/cpu.h"
+
+namespace tock {
+namespace {
+
+constexpr uint32_t kCodeBase = 0x1000;          // in flash
+constexpr uint32_t kRam = MemoryMap::kRamBase;  // RAM window for the "process"
+
+class VmTest : public ::testing::Test {
+ protected:
+  // Assembles and installs `source` at kCodeBase, opens MPU windows for code (RX)
+  // and the first 4 KiB of RAM (RW), and points the context at the entry.
+  void Load(const std::string& source) {
+    AssembledImage image;
+    ASSERT_TRUE(assembler_.Assemble(source, kCodeBase, &image)) << assembler_.error();
+    ASSERT_TRUE(mcu_.bus().ProgramFlash(kCodeBase, image.bytes.data(),
+                                        static_cast<uint32_t>(image.bytes.size())));
+    symbols_ = image.symbols;
+    mcu_.mpu().ConfigureRegion(
+        0, {kCodeBase, static_cast<uint32_t>(image.bytes.size()), true, false, true, true});
+    mcu_.mpu().ConfigureRegion(1, {kRam, 4096, true, true, false, true});
+    ctx_ = CpuContext{};
+    ctx_.pc = kCodeBase;
+    ctx_.x[Reg::kSp] = kRam + 4096;
+  }
+
+  // Steps until ecall/ebreak/fault or `max` instructions.
+  StepResult Run(int max = 10000) {
+    Cpu cpu(&mcu_.bus());
+    for (int i = 0; i < max; ++i) {
+      StepResult r = cpu.Step(ctx_);
+      if (r != StepResult::kOk) {
+        last_fault_ = cpu.fault();
+        return r;
+      }
+    }
+    return StepResult::kOk;
+  }
+
+  Mcu mcu_;
+  Assembler assembler_;
+  CpuContext ctx_;
+  std::map<std::string, uint32_t> symbols_;
+  VmFault last_fault_;
+};
+
+// ---- Assembler -------------------------------------------------------------------------
+
+TEST_F(VmTest, AssemblerEmitsCanonicalEncodings) {
+  AssembledImage image;
+  ASSERT_TRUE(assembler_.Assemble("addi a0, zero, 42\necall\n", 0, &image));
+  ASSERT_EQ(image.bytes.size(), 8u);
+  uint32_t word0, word1;
+  std::memcpy(&word0, image.bytes.data(), 4);
+  std::memcpy(&word1, image.bytes.data() + 4, 4);
+  EXPECT_EQ(word0, 0x02A00513u);  // addi a0, x0, 42
+  EXPECT_EQ(word1, 0x00000073u);  // ecall
+}
+
+TEST_F(VmTest, AssemblerRejectsUnknownMnemonic) {
+  AssembledImage image;
+  EXPECT_FALSE(assembler_.Assemble("frobnicate a0, a1\n", 0, &image));
+  EXPECT_NE(assembler_.error().find("unknown mnemonic"), std::string::npos);
+}
+
+TEST_F(VmTest, AssemblerRejectsDuplicateLabel) {
+  AssembledImage image;
+  EXPECT_FALSE(assembler_.Assemble("x:\nnop\nx:\nnop\n", 0, &image));
+}
+
+TEST_F(VmTest, AssemblerRejectsOutOfRangeImmediate) {
+  AssembledImage image;
+  EXPECT_FALSE(assembler_.Assemble("addi a0, a0, 5000\n", 0, &image));
+}
+
+TEST_F(VmTest, AssemblerResolvesForwardAndBackwardLabels) {
+  AssembledImage image;
+  ASSERT_TRUE(assembler_.Assemble(R"(
+start:
+    j forward
+back:
+    nop
+forward:
+    j back
+)", 0x100, &image)) << assembler_.error();
+  EXPECT_EQ(image.symbols.at("start"), 0x100u);
+  EXPECT_EQ(image.symbols.at("back"), 0x104u);
+  EXPECT_EQ(image.symbols.at("forward"), 0x108u);
+}
+
+TEST_F(VmTest, AssemblerDirectives) {
+  AssembledImage image;
+  ASSERT_TRUE(assembler_.Assemble(R"(
+.equ MAGIC, 0x1234
+data:
+    .word MAGIC, 7
+    .byte 1, 2
+    .align 4
+    .asciz "hi"
+    .space 3
+)", 0, &image)) << assembler_.error();
+  uint32_t w0;
+  std::memcpy(&w0, image.bytes.data(), 4);
+  EXPECT_EQ(w0, 0x1234u);
+  EXPECT_EQ(image.bytes[8], 1);
+  EXPECT_EQ(image.bytes[9], 2);
+  EXPECT_EQ(image.bytes[12], 'h');  // aligned to 4
+  EXPECT_EQ(image.bytes[13], 'i');
+  EXPECT_EQ(image.bytes[14], 0);
+  EXPECT_EQ(image.bytes.size(), 18u);
+}
+
+// ---- ALU semantics (parameterized) --------------------------------------------------------
+
+struct AluCase {
+  const char* op;
+  uint32_t a;
+  uint32_t b;
+  uint32_t expected;
+};
+
+class AluTest : public VmTest, public ::testing::WithParamInterface<AluCase> {};
+
+TEST_P(AluTest, RegisterRegisterOps) {
+  const AluCase& c = GetParam();
+  std::string source = std::string("_start:\n    ") + c.op +
+                       " a2, a0, a1\n    ecall\n";
+  Load(source);
+  ctx_.x[Reg::kA0] = c.a;
+  ctx_.x[Reg::kA1] = c.b;
+  ASSERT_EQ(Run(), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA2], c.expected) << c.op;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, AluTest,
+    ::testing::Values(
+        AluCase{"add", 3, 4, 7}, AluCase{"add", 0xFFFFFFFF, 1, 0},
+        AluCase{"sub", 3, 4, 0xFFFFFFFF}, AluCase{"and", 0xF0F0, 0xFF00, 0xF000},
+        AluCase{"or", 0xF0F0, 0x0F0F, 0xFFFF}, AluCase{"xor", 0xFF, 0x0F, 0xF0},
+        AluCase{"sll", 1, 5, 32}, AluCase{"sll", 1, 37, 32},  // shift amount mod 32
+        AluCase{"srl", 0x80000000, 4, 0x08000000},
+        AluCase{"sra", 0x80000000, 4, 0xF8000000},
+        AluCase{"slt", 0xFFFFFFFF, 0, 1},   // -1 < 0 signed
+        AluCase{"sltu", 0xFFFFFFFF, 0, 0},  // big unsigned
+        AluCase{"mul", 7, 6, 42}, AluCase{"mul", 0x10000, 0x10000, 0},
+        AluCase{"mulh", 0xFFFFFFFF, 0xFFFFFFFF, 0},        // (-1)*(-1) high = 0
+        AluCase{"mulhu", 0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFE},
+        AluCase{"div", 42, 7, 6}, AluCase{"div", 7, 0, 0xFFFFFFFF},  // div by zero
+        AluCase{"div", 0x80000000, 0xFFFFFFFF, 0x80000000},          // overflow case
+        AluCase{"divu", 42, 0, 0xFFFFFFFF}, AluCase{"rem", 43, 7, 1},
+        AluCase{"rem", 7, 0, 7}, AluCase{"remu", 0xFFFFFFFF, 10, 5}));
+
+TEST_F(VmTest, X0IsHardwiredToZero) {
+  Load("_start:\n    addi zero, zero, 5\n    mv a0, zero\n    ecall\n");
+  ASSERT_EQ(Run(), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[0], 0u);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 0u);
+}
+
+TEST_F(VmTest, LuiAddiComposeLargeConstants) {
+  Load("_start:\n    li a0, 0xDEADBEEF\n    li a1, -1\n    li a2, 2047\n    ecall\n");
+  ASSERT_EQ(Run(), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 0xDEADBEEFu);
+  EXPECT_EQ(ctx_.x[Reg::kA1], 0xFFFFFFFFu);
+  EXPECT_EQ(ctx_.x[Reg::kA2], 2047u);
+}
+
+TEST_F(VmTest, BranchesCompareCorrectly) {
+  Load(R"(
+_start:
+    li a0, 0
+    li t0, -1
+    li t1, 1
+    blt t0, t1, signed_ok
+    j fail
+signed_ok:
+    bltu t1, t0, unsigned_ok   # 1 < 0xFFFFFFFF unsigned
+    j fail
+unsigned_ok:
+    li a0, 1
+    ecall
+fail:
+    li a0, 99
+    ecall
+)");
+  ASSERT_EQ(Run(), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 1u);
+}
+
+TEST_F(VmTest, LoadsAndStoresWithSignExtension) {
+  Load(R"(
+_start:
+    li t0, 0x20000000
+    li t1, 0xFFFF8280
+    sw t1, 0(t0)
+    lb a0, 0(t0)       # 0x80 sign-extended
+    lbu a1, 0(t0)      # 0x80 zero-extended
+    lh a2, 0(t0)       # 0x8280 sign-extended
+    lhu a3, 0(t0)
+    ecall
+)");
+  ASSERT_EQ(Run(), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 0xFFFFFF80u);
+  EXPECT_EQ(ctx_.x[Reg::kA1], 0x80u);
+  EXPECT_EQ(ctx_.x[Reg::kA2], 0xFFFF8280u);
+  EXPECT_EQ(ctx_.x[Reg::kA3], 0x8280u);
+}
+
+TEST_F(VmTest, CallAndRetUseReturnAddress) {
+  Load(R"(
+_start:
+    call helper
+    addi a0, a0, 1
+    ecall
+helper:
+    li a0, 10
+    ret
+)");
+  ASSERT_EQ(Run(), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 11u);
+}
+
+TEST_F(VmTest, FunctionsUseTheStack) {
+  Load(R"(
+_start:
+    addi sp, sp, -8
+    li t0, 123
+    sw t0, 4(sp)
+    sw ra, 0(sp)
+    lw a0, 4(sp)
+    addi sp, sp, 8
+    ecall
+)");
+  ASSERT_EQ(Run(), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 123u);
+}
+
+// ---- Trap and fault semantics -----------------------------------------------------------
+
+TEST_F(VmTest, EcallLeavesPcAfterTrapAndArgsVisible) {
+  Load("_start:\n    li a0, 1\n    li a4, 2\n    ecall\n    li a0, 7\n    ecall\n");
+  ASSERT_EQ(Run(), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 1u);
+  EXPECT_EQ(ctx_.x[Reg::kA4], 2u);
+  // Resuming executes the instruction after the trap.
+  ASSERT_EQ(Run(), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 7u);
+}
+
+TEST_F(VmTest, EbreakIsDistinctFromEcall) {
+  Load("_start:\n    ebreak\n");
+  EXPECT_EQ(Run(), StepResult::kEbreak);
+}
+
+TEST_F(VmTest, StoreOutsideMpuWindowFaults) {
+  Load(R"(
+_start:
+    li t0, 0x20001000   # just past the 4 KiB RW window
+    sw t0, 0(t0)
+)");
+  ASSERT_EQ(Run(), StepResult::kFault);
+  EXPECT_EQ(last_fault_.kind, VmFault::Kind::kBus);
+  EXPECT_EQ(last_fault_.bus_fault.kind, BusFaultKind::kMpuViolation);
+  EXPECT_EQ(last_fault_.detail, 0x20001000u);
+}
+
+TEST_F(VmTest, WriteToOwnCodeFaults) {
+  // Code region is RX, not W: self-modification is an MPU violation.
+  Load(R"(
+_start:
+    li t0, 0x1000
+    sw t0, 0(t0)
+)");
+  ASSERT_EQ(Run(), StepResult::kFault);
+  EXPECT_EQ(last_fault_.bus_fault.kind, BusFaultKind::kMpuViolation);
+}
+
+TEST_F(VmTest, JumpOutsideExecutableRegionFaults) {
+  Load(R"(
+_start:
+    li t0, 0x20000000   # RAM is RW but not X
+    jr t0
+)");
+  ASSERT_EQ(Run(), StepResult::kFault);
+  EXPECT_EQ(last_fault_.bus_fault.access, AccessType::kExecute);
+}
+
+TEST_F(VmTest, MmioIsUnreachableFromUserCode) {
+  Load(R"(
+_start:
+    li t0, 0x40000000
+    lw a0, 0(t0)
+)");
+  ASSERT_EQ(Run(), StepResult::kFault);
+  EXPECT_EQ(last_fault_.bus_fault.kind, BusFaultKind::kMpuViolation);
+}
+
+TEST_F(VmTest, IllegalInstructionFaults) {
+  Load("_start:\n    .word 0xFFFFFFFF\n");
+  ASSERT_EQ(Run(), StepResult::kFault);
+  EXPECT_EQ(last_fault_.kind, VmFault::Kind::kIllegalInstruction);
+}
+
+TEST_F(VmTest, UpcallReturnAddressIsRecognized) {
+  Load("_start:\n    li ra, 0xFFFFFFFC\n    ret\n");
+  EXPECT_EQ(Run(), StepResult::kUpcallReturn);
+}
+
+TEST_F(VmTest, FibonacciComputesCorrectly) {
+  Load(R"(
+_start:
+    li a0, 10
+    li t0, 0
+    li t1, 1
+loop:
+    beqz a0, done
+    add t2, t0, t1
+    mv t0, t1
+    mv t1, t2
+    addi a0, a0, -1
+    j loop
+done:
+    mv a0, t0
+    ecall
+)");
+  ASSERT_EQ(Run(), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 55u);  // fib(10)
+}
+
+}  // namespace
+}  // namespace tock
