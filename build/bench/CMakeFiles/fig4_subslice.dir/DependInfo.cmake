@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_subslice.cc" "bench/CMakeFiles/fig4_subslice.dir/fig4_subslice.cc.o" "gcc" "bench/CMakeFiles/fig4_subslice.dir/fig4_subslice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/board/CMakeFiles/tock_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/capsule/CMakeFiles/tock_capsule.dir/DependInfo.cmake"
+  "/root/repo/build/src/libtock/CMakeFiles/tock_libtock.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/tock_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tock_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tock_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tock_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

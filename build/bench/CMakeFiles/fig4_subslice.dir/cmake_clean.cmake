@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_subslice.dir/fig4_subslice.cc.o"
+  "CMakeFiles/fig4_subslice.dir/fig4_subslice.cc.o.d"
+  "fig4_subslice"
+  "fig4_subslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_subslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_trusted_loc.dir/fig5_trusted_loc.cc.o"
+  "CMakeFiles/fig5_trusted_loc.dir/fig5_trusted_loc.cc.o.d"
+  "fig5_trusted_loc"
+  "fig5_trusted_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_trusted_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

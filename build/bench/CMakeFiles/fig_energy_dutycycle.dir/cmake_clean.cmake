@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_energy_dutycycle.dir/fig_energy_dutycycle.cc.o"
+  "CMakeFiles/fig_energy_dutycycle.dir/fig_energy_dutycycle.cc.o.d"
+  "fig_energy_dutycycle"
+  "fig_energy_dutycycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_energy_dutycycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_allow_semantics.dir/tab_allow_semantics.cc.o"
+  "CMakeFiles/tab_allow_semantics.dir/tab_allow_semantics.cc.o.d"
+  "tab_allow_semantics"
+  "tab_allow_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_allow_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_callbacks_vs_futures.dir/tab_callbacks_vs_futures.cc.o"
+  "CMakeFiles/tab_callbacks_vs_futures.dir/tab_callbacks_vs_futures.cc.o.d"
+  "tab_callbacks_vs_futures"
+  "tab_callbacks_vs_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_callbacks_vs_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_callbacks_vs_futures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_grant_exhaustion.dir/tab_grant_exhaustion.cc.o"
+  "CMakeFiles/tab_grant_exhaustion.dir/tab_grant_exhaustion.cc.o.d"
+  "tab_grant_exhaustion"
+  "tab_grant_exhaustion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_grant_exhaustion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_isolation_cost.dir/tab_isolation_cost.cc.o"
+  "CMakeFiles/tab_isolation_cost.dir/tab_isolation_cost.cc.o.d"
+  "tab_isolation_cost"
+  "tab_isolation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_isolation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_overlap_checks.dir/tab_overlap_checks.cc.o"
+  "CMakeFiles/tab_overlap_checks.dir/tab_overlap_checks.cc.o.d"
+  "tab_overlap_checks"
+  "tab_overlap_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overlap_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

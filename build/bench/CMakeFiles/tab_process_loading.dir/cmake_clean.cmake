@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_process_loading.dir/tab_process_loading.cc.o"
+  "CMakeFiles/tab_process_loading.dir/tab_process_loading.cc.o.d"
+  "tab_process_loading"
+  "tab_process_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_process_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

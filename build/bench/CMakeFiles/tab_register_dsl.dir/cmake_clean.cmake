@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_register_dsl.dir/tab_register_dsl.cc.o"
+  "CMakeFiles/tab_register_dsl.dir/tab_register_dsl.cc.o.d"
+  "tab_register_dsl"
+  "tab_register_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_register_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_syscall_sequences.dir/tab_syscall_sequences.cc.o"
+  "CMakeFiles/tab_syscall_sequences.dir/tab_syscall_sequences.cc.o.d"
+  "tab_syscall_sequences"
+  "tab_syscall_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_syscall_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

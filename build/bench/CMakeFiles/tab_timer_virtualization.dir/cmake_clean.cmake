@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_timer_virtualization.dir/tab_timer_virtualization.cc.o"
+  "CMakeFiles/tab_timer_virtualization.dir/tab_timer_virtualization.cc.o.d"
+  "tab_timer_virtualization"
+  "tab_timer_virtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_timer_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

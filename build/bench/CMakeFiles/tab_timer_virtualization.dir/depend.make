@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_timer_virtualization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_loading.dir/dynamic_loading.cpp.o"
+  "CMakeFiles/dynamic_loading.dir/dynamic_loading.cpp.o.d"
+  "dynamic_loading"
+  "dynamic_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_of_trust.dir/root_of_trust.cpp.o"
+  "CMakeFiles/root_of_trust.dir/root_of_trust.cpp.o.d"
+  "root_of_trust"
+  "root_of_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_of_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signpost.dir/signpost.cpp.o"
+  "CMakeFiles/signpost.dir/signpost.cpp.o.d"
+  "signpost"
+  "signpost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signpost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

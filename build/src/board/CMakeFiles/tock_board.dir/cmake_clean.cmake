@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tock_board.dir/sim_board.cc.o"
+  "CMakeFiles/tock_board.dir/sim_board.cc.o.d"
+  "libtock_board.a"
+  "libtock_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tock_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capsule/alarm_driver.cc" "src/capsule/CMakeFiles/tock_capsule.dir/alarm_driver.cc.o" "gcc" "src/capsule/CMakeFiles/tock_capsule.dir/alarm_driver.cc.o.d"
+  "/root/repo/src/capsule/console.cc" "src/capsule/CMakeFiles/tock_capsule.dir/console.cc.o" "gcc" "src/capsule/CMakeFiles/tock_capsule.dir/console.cc.o.d"
+  "/root/repo/src/capsule/virtual_alarm.cc" "src/capsule/CMakeFiles/tock_capsule.dir/virtual_alarm.cc.o" "gcc" "src/capsule/CMakeFiles/tock_capsule.dir/virtual_alarm.cc.o.d"
+  "/root/repo/src/capsule/virtual_uart.cc" "src/capsule/CMakeFiles/tock_capsule.dir/virtual_uart.cc.o" "gcc" "src/capsule/CMakeFiles/tock_capsule.dir/virtual_uart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/tock_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tock_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tock_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tock_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

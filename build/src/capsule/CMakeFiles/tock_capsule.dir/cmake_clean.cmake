@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tock_capsule.dir/alarm_driver.cc.o"
+  "CMakeFiles/tock_capsule.dir/alarm_driver.cc.o.d"
+  "CMakeFiles/tock_capsule.dir/console.cc.o"
+  "CMakeFiles/tock_capsule.dir/console.cc.o.d"
+  "CMakeFiles/tock_capsule.dir/virtual_alarm.cc.o"
+  "CMakeFiles/tock_capsule.dir/virtual_alarm.cc.o.d"
+  "CMakeFiles/tock_capsule.dir/virtual_uart.cc.o"
+  "CMakeFiles/tock_capsule.dir/virtual_uart.cc.o.d"
+  "libtock_capsule.a"
+  "libtock_capsule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tock_capsule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tock_crypto.dir/aes128.cc.o"
+  "CMakeFiles/tock_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/tock_crypto.dir/hmac_sha256.cc.o"
+  "CMakeFiles/tock_crypto.dir/hmac_sha256.cc.o.d"
+  "CMakeFiles/tock_crypto.dir/sha256.cc.o"
+  "CMakeFiles/tock_crypto.dir/sha256.cc.o.d"
+  "libtock_crypto.a"
+  "libtock_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tock_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

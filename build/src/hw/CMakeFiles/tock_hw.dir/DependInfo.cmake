@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/crypto_accel.cc" "src/hw/CMakeFiles/tock_hw.dir/crypto_accel.cc.o" "gcc" "src/hw/CMakeFiles/tock_hw.dir/crypto_accel.cc.o.d"
+  "/root/repo/src/hw/gpio.cc" "src/hw/CMakeFiles/tock_hw.dir/gpio.cc.o" "gcc" "src/hw/CMakeFiles/tock_hw.dir/gpio.cc.o.d"
+  "/root/repo/src/hw/memory_bus.cc" "src/hw/CMakeFiles/tock_hw.dir/memory_bus.cc.o" "gcc" "src/hw/CMakeFiles/tock_hw.dir/memory_bus.cc.o.d"
+  "/root/repo/src/hw/radio.cc" "src/hw/CMakeFiles/tock_hw.dir/radio.cc.o" "gcc" "src/hw/CMakeFiles/tock_hw.dir/radio.cc.o.d"
+  "/root/repo/src/hw/sim_clock.cc" "src/hw/CMakeFiles/tock_hw.dir/sim_clock.cc.o" "gcc" "src/hw/CMakeFiles/tock_hw.dir/sim_clock.cc.o.d"
+  "/root/repo/src/hw/spi.cc" "src/hw/CMakeFiles/tock_hw.dir/spi.cc.o" "gcc" "src/hw/CMakeFiles/tock_hw.dir/spi.cc.o.d"
+  "/root/repo/src/hw/timer.cc" "src/hw/CMakeFiles/tock_hw.dir/timer.cc.o" "gcc" "src/hw/CMakeFiles/tock_hw.dir/timer.cc.o.d"
+  "/root/repo/src/hw/uart.cc" "src/hw/CMakeFiles/tock_hw.dir/uart.cc.o" "gcc" "src/hw/CMakeFiles/tock_hw.dir/uart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tock_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

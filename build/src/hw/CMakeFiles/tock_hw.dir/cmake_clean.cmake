@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tock_hw.dir/crypto_accel.cc.o"
+  "CMakeFiles/tock_hw.dir/crypto_accel.cc.o.d"
+  "CMakeFiles/tock_hw.dir/gpio.cc.o"
+  "CMakeFiles/tock_hw.dir/gpio.cc.o.d"
+  "CMakeFiles/tock_hw.dir/memory_bus.cc.o"
+  "CMakeFiles/tock_hw.dir/memory_bus.cc.o.d"
+  "CMakeFiles/tock_hw.dir/radio.cc.o"
+  "CMakeFiles/tock_hw.dir/radio.cc.o.d"
+  "CMakeFiles/tock_hw.dir/sim_clock.cc.o"
+  "CMakeFiles/tock_hw.dir/sim_clock.cc.o.d"
+  "CMakeFiles/tock_hw.dir/spi.cc.o"
+  "CMakeFiles/tock_hw.dir/spi.cc.o.d"
+  "CMakeFiles/tock_hw.dir/timer.cc.o"
+  "CMakeFiles/tock_hw.dir/timer.cc.o.d"
+  "CMakeFiles/tock_hw.dir/uart.cc.o"
+  "CMakeFiles/tock_hw.dir/uart.cc.o.d"
+  "libtock_hw.a"
+  "libtock_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tock_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

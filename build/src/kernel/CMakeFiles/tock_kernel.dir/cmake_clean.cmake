@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tock_kernel.dir/kernel.cc.o"
+  "CMakeFiles/tock_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/tock_kernel.dir/process.cc.o"
+  "CMakeFiles/tock_kernel.dir/process.cc.o.d"
+  "CMakeFiles/tock_kernel.dir/process_loader.cc.o"
+  "CMakeFiles/tock_kernel.dir/process_loader.cc.o.d"
+  "CMakeFiles/tock_kernel.dir/tbf.cc.o"
+  "CMakeFiles/tock_kernel.dir/tbf.cc.o.d"
+  "libtock_kernel.a"
+  "libtock_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tock_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tock_libtock.dir/libtock.cc.o"
+  "CMakeFiles/tock_libtock.dir/libtock.cc.o.d"
+  "libtock_libtock.a"
+  "libtock_libtock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tock_libtock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

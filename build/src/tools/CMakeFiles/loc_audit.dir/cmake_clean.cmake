@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loc_audit.dir/loc_audit.cc.o"
+  "CMakeFiles/loc_audit.dir/loc_audit.cc.o.d"
+  "loc_audit"
+  "loc_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loc_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tock_tools.dir/loc_audit_lib.cc.o"
+  "CMakeFiles/tock_tools.dir/loc_audit_lib.cc.o.d"
+  "libtock_tools.a"
+  "libtock_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tock_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

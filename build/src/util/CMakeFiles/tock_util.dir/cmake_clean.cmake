@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tock_util.dir/error.cc.o"
+  "CMakeFiles/tock_util.dir/error.cc.o.d"
+  "libtock_util.a"
+  "libtock_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tock_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

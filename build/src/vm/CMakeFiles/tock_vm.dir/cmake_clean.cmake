@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tock_vm.dir/assembler.cc.o"
+  "CMakeFiles/tock_vm.dir/assembler.cc.o.d"
+  "CMakeFiles/tock_vm.dir/cpu.cc.o"
+  "CMakeFiles/tock_vm.dir/cpu.cc.o.d"
+  "libtock_vm.a"
+  "libtock_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tock_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/abi_test.cc" "tests/CMakeFiles/tock_tests.dir/abi_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/abi_test.cc.o.d"
+  "/root/repo/tests/capability_test.cc" "tests/CMakeFiles/tock_tests.dir/capability_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/capability_test.cc.o.d"
+  "/root/repo/tests/capsule_integration_test.cc" "tests/CMakeFiles/tock_tests.dir/capsule_integration_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/capsule_integration_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/tock_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/extension_test.cc" "tests/CMakeFiles/tock_tests.dir/extension_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/extension_test.cc.o.d"
+  "/root/repo/tests/hw_test.cc" "tests/CMakeFiles/tock_tests.dir/hw_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/hw_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/tock_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kernel_test.cc" "tests/CMakeFiles/tock_tests.dir/kernel_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/kernel_test.cc.o.d"
+  "/root/repo/tests/loader_test.cc" "tests/CMakeFiles/tock_tests.dir/loader_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/loader_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/tock_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/virtual_alarm_test.cc" "tests/CMakeFiles/tock_tests.dir/virtual_alarm_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/virtual_alarm_test.cc.o.d"
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/tock_tests.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/vm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/board/CMakeFiles/tock_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/tock_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/capsule/CMakeFiles/tock_capsule.dir/DependInfo.cmake"
+  "/root/repo/build/src/libtock/CMakeFiles/tock_libtock.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/tock_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tock_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tock_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tock_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

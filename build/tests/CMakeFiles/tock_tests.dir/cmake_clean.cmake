@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tock_tests.dir/abi_test.cc.o"
+  "CMakeFiles/tock_tests.dir/abi_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/capability_test.cc.o"
+  "CMakeFiles/tock_tests.dir/capability_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/capsule_integration_test.cc.o"
+  "CMakeFiles/tock_tests.dir/capsule_integration_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/crypto_test.cc.o"
+  "CMakeFiles/tock_tests.dir/crypto_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/extension_test.cc.o"
+  "CMakeFiles/tock_tests.dir/extension_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/hw_test.cc.o"
+  "CMakeFiles/tock_tests.dir/hw_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/integration_test.cc.o"
+  "CMakeFiles/tock_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/kernel_test.cc.o"
+  "CMakeFiles/tock_tests.dir/kernel_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/loader_test.cc.o"
+  "CMakeFiles/tock_tests.dir/loader_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/util_test.cc.o"
+  "CMakeFiles/tock_tests.dir/util_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/virtual_alarm_test.cc.o"
+  "CMakeFiles/tock_tests.dir/virtual_alarm_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/vm_test.cc.o"
+  "CMakeFiles/tock_tests.dir/vm_test.cc.o.d"
+  "tock_tests"
+  "tock_tests.pdb"
+  "tock_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tock_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
