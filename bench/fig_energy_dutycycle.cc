@@ -74,9 +74,18 @@ EnergyResult RunKernel(const char* app_template, uint32_t period, uint64_t horiz
     return {};
   }
   board.mcu().ResetEnergyAccounting();
+  uint64_t start_cycle = board.mcu().CyclesNow();
+  uint64_t slept_before = board.kernel().stats().sleep_cycles;
   board.Run(horizon);
-  return EnergyResult{board.mcu().SleepFraction(), board.mcu().Energy(),
-                      board.kernel().process(0)->upcalls_delivered};
+  // Sleep residency from the kernel's own counters (kernel/trace.h): cycles the
+  // kernel spent parked in SleepUntilInterrupt over the elapsed window. Energy stays
+  // a hardware power-model quantity.
+  uint64_t elapsed = board.mcu().CyclesNow() - start_cycle;
+  uint64_t slept = board.kernel().stats().sleep_cycles - slept_before;
+  double sleep_fraction =
+      elapsed == 0 ? 0.0 : static_cast<double>(slept) / static_cast<double>(elapsed);
+  return EnergyResult{sleep_fraction, board.mcu().Energy(),
+                      board.kernel().stats().upcalls_delivered};
 }
 
 }  // namespace

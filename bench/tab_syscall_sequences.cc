@@ -136,7 +136,11 @@ RunResult RunVariant(const Variant& variant) {
       break;
     }
   }
-  return RunResult{p.syscall_count, board.mcu().CyclesNow() - start, p.upcalls_delivered,
+  // Trap and upcall counts come from the kernel's own counters (kernel/trace.h),
+  // not from per-process bookkeeping the bench would have to maintain itself.
+  const tock::KernelStats& stats = board.kernel().stats();
+  return RunResult{stats.SyscallsTotal(), board.mcu().CyclesNow() - start,
+                   stats.upcalls_delivered,
                    p.state == tock::ProcessState::kTerminated};
 }
 

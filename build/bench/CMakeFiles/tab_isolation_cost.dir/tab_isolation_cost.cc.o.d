@@ -206,7 +206,8 @@ bench/CMakeFiles/tab_isolation_cost.dir/tab_isolation_cost.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/hw/timer.h /root/repo/src/util/registers.h \
- /root/repo/src/kernel/config.h /root/repo/src/capsule/console.h \
+ /root/repo/src/kernel/config.h /root/repo/src/kernel/trace.h \
+ /root/repo/src/util/event_ring.h /root/repo/src/capsule/console.h \
  /root/repo/src/util/cells.h /root/repo/src/capsule/crypto_drivers.h \
  /root/repo/src/capsule/led_button_gpio.h \
  /root/repo/src/capsule/nonvolatile_storage.h \

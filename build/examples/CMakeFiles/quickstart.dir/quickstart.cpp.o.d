@@ -162,6 +162,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/hw/timer.h /root/repo/src/util/registers.h \
  /usr/include/c++/12/limits /root/repo/src/kernel/config.h \
+ /root/repo/src/kernel/trace.h /root/repo/src/util/event_ring.h \
  /root/repo/src/capsule/console.h /root/repo/src/util/cells.h \
  /root/repo/src/capsule/crypto_drivers.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -159,4 +159,5 @@ src/capsule/CMakeFiles/tock_capsule.dir/alarm_driver.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/hw/timer.h /root/repo/src/util/registers.h \
- /usr/include/c++/12/limits /root/repo/src/kernel/config.h
+ /usr/include/c++/12/limits /root/repo/src/kernel/config.h \
+ /root/repo/src/kernel/trace.h /root/repo/src/util/event_ring.h

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/kernel/process.cc" "src/kernel/CMakeFiles/tock_kernel.dir/process.cc.o" "gcc" "src/kernel/CMakeFiles/tock_kernel.dir/process.cc.o.d"
   "/root/repo/src/kernel/process_loader.cc" "src/kernel/CMakeFiles/tock_kernel.dir/process_loader.cc.o" "gcc" "src/kernel/CMakeFiles/tock_kernel.dir/process_loader.cc.o.d"
   "/root/repo/src/kernel/tbf.cc" "src/kernel/CMakeFiles/tock_kernel.dir/tbf.cc.o" "gcc" "src/kernel/CMakeFiles/tock_kernel.dir/tbf.cc.o.d"
+  "/root/repo/src/kernel/trace.cc" "src/kernel/CMakeFiles/tock_kernel.dir/trace.cc.o" "gcc" "src/kernel/CMakeFiles/tock_kernel.dir/trace.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tock_kernel.dir/process_loader.cc.o.d"
   "CMakeFiles/tock_kernel.dir/tbf.cc.o"
   "CMakeFiles/tock_kernel.dir/tbf.cc.o.d"
+  "CMakeFiles/tock_kernel.dir/trace.cc.o"
+  "CMakeFiles/tock_kernel.dir/trace.cc.o.d"
   "libtock_kernel.a"
   "libtock_kernel.pdb"
 )

@@ -156,4 +156,5 @@ src/kernel/CMakeFiles/tock_kernel.dir/kernel.cc.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/vm/cpu.h /root/repo/src/util/ring_buffer.h \
  /root/repo/src/util/static_vec.h /usr/include/c++/12/cassert \
- /usr/include/assert.h
+ /usr/include/assert.h /root/repo/src/kernel/trace.h \
+ /root/repo/src/util/event_ring.h

@@ -155,7 +155,8 @@ src/kernel/CMakeFiles/tock_kernel.dir/process_loader.cc.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/vm/cpu.h /root/repo/src/util/ring_buffer.h \
  /root/repo/src/util/static_vec.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/kernel/phys_digest.h \
+ /usr/include/assert.h /root/repo/src/kernel/trace.h \
+ /root/repo/src/util/event_ring.h /root/repo/src/kernel/phys_digest.h \
  /root/repo/src/util/subslice.h /root/repo/src/kernel/tbf.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/crypto/hmac_sha256.h /root/repo/src/crypto/sha256.h

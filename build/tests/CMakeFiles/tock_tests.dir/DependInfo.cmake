@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/tock_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/integration_test.cc.o.d"
   "/root/repo/tests/kernel_test.cc" "tests/CMakeFiles/tock_tests.dir/kernel_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/kernel_test.cc.o.d"
   "/root/repo/tests/loader_test.cc" "tests/CMakeFiles/tock_tests.dir/loader_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/loader_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/tock_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/trace_test.cc.o.d"
   "/root/repo/tests/util_test.cc" "tests/CMakeFiles/tock_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/util_test.cc.o.d"
   "/root/repo/tests/virtual_alarm_test.cc" "tests/CMakeFiles/tock_tests.dir/virtual_alarm_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/virtual_alarm_test.cc.o.d"
   "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/tock_tests.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/tock_tests.dir/vm_test.cc.o.d"

@@ -314,6 +314,7 @@ tests/CMakeFiles/tock_tests.dir/capability_test.cc.o: \
  /root/repo/src/util/intrusive_list.h /root/repo/src/kernel/grant.h \
  /root/repo/src/kernel/capability.h /root/repo/src/kernel/kernel.h \
  /root/repo/src/hw/timer.h /root/repo/src/kernel/config.h \
+ /root/repo/src/kernel/trace.h /root/repo/src/util/event_ring.h \
  /root/repo/src/capsule/console.h /root/repo/src/capsule/crypto_drivers.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -17,6 +17,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tock_tests.dir/kernel_test.cc.o.d"
   "CMakeFiles/tock_tests.dir/loader_test.cc.o"
   "CMakeFiles/tock_tests.dir/loader_test.cc.o.d"
+  "CMakeFiles/tock_tests.dir/trace_test.cc.o"
+  "CMakeFiles/tock_tests.dir/trace_test.cc.o.d"
   "CMakeFiles/tock_tests.dir/util_test.cc.o"
   "CMakeFiles/tock_tests.dir/util_test.cc.o.d"
   "CMakeFiles/tock_tests.dir/virtual_alarm_test.cc.o"

@@ -294,8 +294,8 @@ tests/CMakeFiles/tock_tests.dir/util_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/util/cells.h \
- /root/repo/src/util/error.h /root/repo/src/util/intrusive_list.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
+ /root/repo/src/util/cells.h /root/repo/src/util/error.h \
+ /root/repo/src/util/event_ring.h /root/repo/src/util/intrusive_list.h \
  /root/repo/src/util/registers.h /root/repo/src/util/ring_buffer.h \
- /root/repo/src/util/static_vec.h /root/repo/src/util/subslice.h \
- /usr/include/c++/12/span
+ /root/repo/src/util/static_vec.h /root/repo/src/util/subslice.h

@@ -4,7 +4,8 @@
 // capability-gated management from capsule code (§4.4): `stop`/`start` work only
 // because the board minted this capsule a ProcessManagementCapability.
 //
-// Commands (newline-terminated): help | list | stop <idx> | start <idx>
+// Commands (newline-terminated): help | list | stop <idx> | start <idx> |
+// stats (kernel event counters, kernel/trace.h) | trace (last few trace events)
 #ifndef TOCK_CAPSULE_PROCESS_CONSOLE_H_
 #define TOCK_CAPSULE_PROCESS_CONSOLE_H_
 
@@ -91,7 +92,44 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
   void ExecuteLine() {
     char out[512];
     if (std::strcmp(line_.data(), "help") == 0) {
-      Emit("commands: help list stop <idx> start <idx>\n");
+      Emit("commands: help list stats trace stop <idx> start <idx>\n");
+      return;
+    }
+    if (std::strcmp(line_.data(), "stats") == 0) {
+      // Compact counter digest; the full table is Kernel::trace().DumpStats().
+      const KernelStats& s = kernel_->stats();
+      std::snprintf(out, sizeof(out),
+                    "syscalls %llu  ctxsw %llu  mpu %llu  irq %llu  deferred %llu\n"
+                    "upcalls q %llu d %llu s %llu x %llu  grants %llu/%lluB\n"
+                    "sleep %llu cycles in %llu entries\n",
+                    (unsigned long long)s.SyscallsTotal(),
+                    (unsigned long long)s.context_switches,
+                    (unsigned long long)s.mpu_reprograms,
+                    (unsigned long long)s.irq_dispatches,
+                    (unsigned long long)s.deferred_calls_run,
+                    (unsigned long long)s.upcalls_queued,
+                    (unsigned long long)s.upcalls_delivered,
+                    (unsigned long long)s.upcalls_scrubbed,
+                    (unsigned long long)s.upcalls_dropped,
+                    (unsigned long long)s.grant_allocs, (unsigned long long)s.grant_bytes,
+                    (unsigned long long)s.sleep_cycles,
+                    (unsigned long long)s.sleep_entries);
+      Emit(out);
+      return;
+    }
+    if (std::strcmp(line_.data(), "trace") == 0) {
+      const auto& ring = kernel_->trace().events();
+      size_t start = ring.Size() > 8 ? ring.Size() - 8 : 0;  // what fits a tx buffer
+      size_t pos = 0;
+      for (size_t i = start; i < ring.Size() && pos < sizeof(out) - 48; ++i) {
+        const TraceEvent& e = ring[i];
+        pos += static_cast<size_t>(std::snprintf(
+            out + pos, sizeof(out) - pos, "[%llu] %s pid=%d arg=%lu\n",
+            (unsigned long long)e.cycle, TraceEventKindName(e.kind),
+            e.pid == KernelTrace::kNoPid ? -1 : static_cast<int>(e.pid),
+            (unsigned long)e.arg));
+      }
+      Emit(pos == 0 ? "trace empty\n" : out);
       return;
     }
     if (std::strcmp(line_.data(), "list") == 0) {

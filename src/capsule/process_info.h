@@ -7,7 +7,8 @@
 // (tests/compile_fail/).
 //
 // Commands: 0 exists | 1 = live process count | 2 = own slot index |
-//           3 = own restart count | 4 = restart self (privileged).
+//           3 = own restart count | 4 = restart self (privileged) |
+//           5 = read kernel stat (arg1 = StatId, kernel/trace.h) -> Success2U32(lo, hi).
 #ifndef TOCK_CAPSULE_PROCESS_INFO_H_
 #define TOCK_CAPSULE_PROCESS_INFO_H_
 
@@ -25,7 +26,6 @@ class ProcessInfoDriver : public SyscallDriver {
 
   SyscallReturn Command(ProcessId pid, uint32_t command_num, uint32_t arg1,
                         uint32_t arg2) override {
-    (void)arg1;
     (void)arg2;
     switch (command_num) {
       case 0:
@@ -43,6 +43,16 @@ class ProcessInfoDriver : public SyscallDriver {
         // The privileged call: impossible without the minted capability token.
         Result<void> result = kernel_->RestartProcess(pid, cap_);
         return result.ok() ? SyscallReturn::Success() : SyscallReturn::Failure(result.error());
+      }
+      case 5: {
+        // Read-only view of the kernel's event counters (kernel/trace.h). Not
+        // privileged: counters are aggregate observability, not process control.
+        if (arg1 >= static_cast<uint32_t>(StatId::kNumStats)) {
+          return SyscallReturn::Failure(ErrorCode::kInvalid);
+        }
+        uint64_t value = StatValue(kernel_->stats(), static_cast<StatId>(arg1));
+        return SyscallReturn::Success2U32(static_cast<uint32_t>(value),
+                                          static_cast<uint32_t>(value >> 32));
       }
       default:
         return SyscallReturn::Failure(ErrorCode::kNoSupport);

@@ -36,15 +36,29 @@ void VirtualAlarmMux::AlarmFired() {
     }
   }
 
-  // Phase 2: fire. Callbacks may call SetAlarm/Disarm freely; rearming is deferred.
+  // Phase 2: fire. Callbacks may call SetAlarm/Disarm — and AddClient/RemoveClient —
+  // freely; rearming is deferred. Holding an iterator across a callback is the §5.4
+  // "subtle logic bug": a callback that unregisters itself (or any client) rewrites
+  // the links the iterator is standing on. Instead, rescan from the head for the
+  // first still-pending client after every callback. Each callback clears one
+  // pending flag before running, so the loop terminates; clients removed mid-batch
+  // have their flag cleared by RemoveClient and are simply never found.
   in_firing_batch_ = true;
-  for (VirtualAlarm* alarm : clients_) {
-    if (alarm->expired_pending_) {
-      alarm->expired_pending_ = false;
-      ++fired_count_;
-      if (alarm->client_ != nullptr) {
-        alarm->client_->AlarmFired();
+  for (;;) {
+    VirtualAlarm* pending = nullptr;
+    for (VirtualAlarm* alarm : clients_) {
+      if (alarm->expired_pending_) {
+        pending = alarm;
+        break;
       }
+    }
+    if (pending == nullptr) {
+      break;
+    }
+    pending->expired_pending_ = false;
+    ++fired_count_;
+    if (pending->client_ != nullptr) {
+      pending->client_->AlarmFired();
     }
   }
   in_firing_batch_ = false;

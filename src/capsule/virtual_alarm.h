@@ -54,6 +54,18 @@ class VirtualAlarmMux : public hil::AlarmClient {
   // Board init: registers a client handle with the mux.
   void AddClient(VirtualAlarm* alarm) { clients_.PushHead(alarm); }
 
+  // Unregisters a client handle. Safe to call from inside an AlarmFired callback
+  // (clients removing themselves or each other mid-batch): the firing loop rescans
+  // from the list head after every callback instead of holding an iterator.
+  void RemoveClient(VirtualAlarm* alarm) {
+    clients_.Remove(alarm);
+    alarm->armed_ = false;
+    alarm->expired_pending_ = false;
+    if (!in_firing_batch_) {
+      Rearm();
+    }
+  }
+
   uint32_t Now() { return hw_->Now(); }
 
   // hil::AlarmClient (from the hardware alarm).

@@ -9,6 +9,14 @@
 
 #include <cstdint>
 
+// Compile-time gate for the kernel trace/counters subsystem (kernel/trace.h). When
+// defined to 0 (CMake: -DTOCK_TRACE=OFF) every record call collapses to an empty
+// inline and the subsystem compiles away entirely — the trace layer must cost
+// nothing on builds that do not want observability.
+#ifndef TOCK_TRACE_ENABLED
+#define TOCK_TRACE_ENABLED 1
+#endif
+
 namespace tock {
 
 enum class SyscallAbiVersion {
@@ -46,6 +54,11 @@ struct KernelConfig {
   // same process instead of accepting them with cell semantics (§5.1.1). The paper
   // deems this overhead unreasonable; it exists so the cost can be measured.
   bool check_allow_overlap = false;
+
+  // Whether the kernel records counters and trace events at its dispatch points
+  // (kernel/trace.h). Resolved at compile time so a false value removes the record
+  // calls from every hot path rather than testing a flag on each one.
+  static constexpr bool trace_enabled = TOCK_TRACE_ENABLED != 0;
 };
 
 }  // namespace tock

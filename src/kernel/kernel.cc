@@ -89,6 +89,7 @@ Result<void> Kernel::StopProcess(ProcessId pid, const ProcessManagementCapabilit
     return Result<void>(ErrorCode::kInvalid);
   }
   p->state = ProcessState::kTerminated;
+  trace_.RecordProcessExit(mcu_->CyclesNow(), p->id.index, 0);
   return Result<void>::Ok();
 }
 
@@ -103,6 +104,7 @@ Result<void> Kernel::RestartProcess(ProcessId pid, const ProcessManagementCapabi
   p->SetBreak(p->initial_break);
   InitProcessContext(*p);
   p->state = ProcessState::kRunnable;
+  trace_.RecordProcessRestart(mcu_->CyclesNow(), p->id.index);
   return Result<void>::Ok();
 }
 
@@ -163,6 +165,7 @@ void* Kernel::GrantEnterRaw(ProcessId pid, unsigned grant_id, uint32_t size, uin
       return nullptr;  // this process exhausted its own quota; nobody else affected
     }
     p->grant_ptrs[grant_id] = addr;
+    trace_.RecordGrantAlloc(mcu_->CyclesNow(), p->id.index, size);
     *first_time = true;
   } else {
     *first_time = false;
@@ -190,6 +193,7 @@ bool Kernel::RunDeferredCalls() {
     if (deferred_[i].pending) {
       deferred_[i].pending = false;
       any = true;
+      trace_.RecordDeferredCall(mcu_->CyclesNow(), static_cast<uint32_t>(i));
       deferred_[i].client->HandleDeferredCall();
     }
   }
@@ -208,6 +212,7 @@ void Kernel::ServiceInterrupts() {
       continue;
     }
     if (InterruptService* handler = irq_handlers_[*line]) {
+      trace_.RecordIrqDispatch(mcu_->CyclesNow(), *line);
       handler->HandleInterrupt(*line);
     }
     mcu_->irq().Complete(*line);
@@ -239,16 +244,17 @@ Result<void> Kernel::ScheduleUpcall(ProcessId pid, uint32_t driver, uint32_t sub
   if (!p->upcall_queue.Push(upcall)) {
     // Make room by evicting entries that could only ever be dropped (their
     // subscription is currently null), then retry once.
-    p->upcall_queue.RemoveIf([&](const QueuedUpcall& u) {
+    size_t evicted = p->upcall_queue.RemoveIf([&](const QueuedUpcall& u) {
       SubscribeSlot* slot = p->FindSubscribe(u.driver, u.sub_num);
       return slot == nullptr || slot->fn == 0;
     });
+    trace_.RecordUpcallsScrubbed(mcu_->CyclesNow(), p->id.index, evicted);
     if (!p->upcall_queue.Push(upcall)) {
-      ++dropped_upcalls_;
+      trace_.RecordUpcallDropped(mcu_->CyclesNow(), p->id.index);
       return Result<void>(ErrorCode::kNoMem);
     }
   }
-  ++total_upcalls_;
+  trace_.RecordUpcallQueued(mcu_->CyclesNow(), p->id.index, driver);
   return Result<void>::Ok();
 }
 
@@ -256,7 +262,8 @@ bool Kernel::TryDeliverQueuedUpcall(Process& p) {
   while (auto upcall = p.upcall_queue.Pop()) {
     SubscribeSlot* slot = p.FindSubscribe(upcall->driver, upcall->sub_num);
     if (slot == nullptr || slot->fn == 0) {
-      ++dropped_upcalls_;  // subscription swapped out after queueing
+      // Subscription swapped out after queueing.
+      trace_.RecordUpcallDropped(mcu_->CyclesNow(), p.id.index);
       continue;
     }
     InvokeUpcallHandler(p, *upcall, slot->fn, slot->userdata);
@@ -281,6 +288,7 @@ void Kernel::InvokeUpcallHandler(Process& p, const QueuedUpcall& upcall, uint32_
   p.ctx.x[Reg::kRa] = Cpu::kUpcallReturnAddr;
   p.ctx.pc = fn;
   ++p.upcalls_delivered;
+  trace_.RecordUpcallDelivered(mcu_->CyclesNow(), p.id.index);
   mcu_->Tick(CycleCosts::kUpcallInvoke);
 }
 
@@ -288,6 +296,7 @@ void Kernel::DeliverDirectReturn(Process& p, const QueuedUpcall& upcall) {
   SyscallReturn::Success3U32(upcall.args[0], upcall.args[1], upcall.args[2]).WriteTo(p.ctx);
   p.blocking_command_wait = false;
   ++p.upcalls_delivered;
+  trace_.RecordUpcallDelivered(mcu_->CyclesNow(), p.id.index);
 }
 
 // ---- Scheduler --------------------------------------------------------------------------
@@ -323,6 +332,7 @@ void Kernel::ConfigureMpuFor(const Process& p) {
   mcu_->mpu().ConfigureRegion(1, MpuRegionConfig{p.ram_start, p.app_break - p.ram_start,
                                                  /*read=*/true, /*write=*/true,
                                                  /*execute=*/false, /*enabled=*/true});
+  trace_.RecordMpuReprogram(mcu_->CyclesNow(), p.id.index);
   mcu_->Tick(2 * CycleCosts::kMpuRegionConfig);
 }
 
@@ -338,9 +348,11 @@ void Kernel::InitProcessContext(Process& p) {
 
 void Kernel::FaultProcess(Process& p) {
   p.fault_info = ProcessFaultInfo{cpu_.fault(), mcu_->CyclesNow()};
+  trace_.RecordProcessFault(mcu_->CyclesNow(), p.id.index);
   if (config_.fault_response == FaultResponse::kRestart &&
       p.restart_count < kMaxFaultRestarts) {
     ++p.restart_count;
+    trace_.RecordProcessRestart(mcu_->CyclesNow(), p.id.index);
     p.ResetForRestart();
     p.SetBreak(p.initial_break);
     InitProcessContext(p);
@@ -367,7 +379,7 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
     ConfigureMpuFor(p);
     mpu_configured_for_ = p.id.index;
     mcu_->Tick(CycleCosts::kContextSwitch);
-    ++total_context_switches_;
+    trace_.RecordContextSwitch(mcu_->CyclesNow(), p.id.index);
   }
 
   systick_->ArmCycles(config_.timeslice_cycles);
@@ -390,8 +402,8 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
       case StepResult::kOk:
         continue;
       case StepResult::kEcall: {
-        ++total_syscalls_;
         ++p.syscall_count;
+        trace_.RecordSyscall(mcu_->CyclesNow(), p.id.index, p.ctx.x[Reg::kA4]);
         mcu_->Tick(CycleCosts::kSyscallEntry);
         bool keep_running = HandleSyscall(p);
         mcu_->Tick(CycleCosts::kSyscallExit);
@@ -471,9 +483,11 @@ bool Kernel::HandleSyscall(Process& p) {
         p.SetBreak(p.initial_break);
         InitProcessContext(p);
         p.state = ProcessState::kRunnable;
+        trace_.RecordProcessRestart(mcu_->CyclesNow(), p.id.index);
       } else {
         p.completion_code = call.args[1];
         p.state = ProcessState::kTerminated;
+        trace_.RecordProcessExit(mcu_->CyclesNow(), p.id.index, p.completion_code);
       }
       return false;
     }
@@ -514,9 +528,8 @@ SyscallReturn Kernel::HandleSubscribe(Process& p, const Syscall& call) {
   uint32_t old_userdata = slot->userdata;
   slot->fn = fn;
   slot->userdata = userdata;
-  p.upcall_queue.RemoveIf([&](const QueuedUpcall& u) {
-    return u.driver == driver_num && u.sub_num == sub_num;
-  });
+  size_t scrubbed = p.ScrubUpcalls(driver_num, sub_num);
+  trace_.RecordUpcallsScrubbed(mcu_->CyclesNow(), p.id.index, scrubbed);
   return SyscallReturn::Success2U32(old_fn, old_userdata);
 }
 
@@ -708,7 +721,8 @@ bool Kernel::MainLoopStep(const MainLoopCapability& cap, uint64_t deadline_cycle
 
   // Nothing to do: sleep until the next hardware event (§2.5), without overshooting
   // the caller's deadline.
-  mcu_->SleepUntilInterrupt(deadline_cycles);
+  uint64_t slept = mcu_->SleepUntilInterrupt(deadline_cycles);
+  trace_.RecordSleep(mcu_->CyclesNow(), slept);
   return !mcu_->wedged();
 }
 

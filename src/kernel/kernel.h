@@ -16,6 +16,7 @@
 #include "kernel/driver.h"
 #include "kernel/process.h"
 #include "kernel/syscall.h"
+#include "kernel/trace.h"
 #include "util/error.h"
 #include "vm/cpu.h"
 
@@ -123,10 +124,16 @@ class Kernel {
   }
   Process* GetLiveProcess(ProcessId pid);
   size_t NumLiveProcesses() const;
-  uint64_t total_syscalls() const { return total_syscalls_; }
-  uint64_t total_context_switches() const { return total_context_switches_; }
-  uint64_t total_upcalls() const { return total_upcalls_; }
-  uint64_t dropped_upcalls() const { return dropped_upcalls_; }
+
+  // The kernel's event counters and trace ring (kernel/trace.h). `stats()` is what
+  // experiments and the process console consume; the legacy total_* accessors
+  // forward into it so existing callers keep working.
+  const KernelStats& stats() const { return trace_.stats(); }
+  const KernelTrace& trace() const { return trace_; }
+  uint64_t total_syscalls() const { return stats().SyscallsTotal(); }
+  uint64_t total_context_switches() const { return stats().context_switches; }
+  uint64_t total_upcalls() const { return stats().upcalls_queued; }
+  uint64_t dropped_upcalls() const { return stats().upcalls_dropped; }
 
   // TRUSTED-BEGIN(process memory translation): converts a validated simulated RAM
   // address into a host pointer. Every caller must have bounds-checked the range
@@ -197,10 +204,7 @@ class Kernel {
 
   unsigned next_grant_id_ = 0;
 
-  uint64_t total_syscalls_ = 0;
-  uint64_t total_context_switches_ = 0;
-  uint64_t total_upcalls_ = 0;
-  uint64_t dropped_upcalls_ = 0;
+  KernelTrace trace_;
 };
 
 }  // namespace tock

@@ -66,6 +66,12 @@ SubscribeSlot* Process::FindOrCreateSubscribe(uint32_t driver, uint32_t sub_num)
   return nullptr;
 }
 
+size_t Process::ScrubUpcalls(uint32_t driver, uint32_t sub_num) {
+  return upcall_queue.RemoveIf([&](const QueuedUpcall& u) {
+    return u.driver == driver && u.sub_num == sub_num;
+  });
+}
+
 uint32_t Process::AllocateGrantMemory(uint32_t size, uint32_t align) {
   if (align == 0) {
     align = 4;

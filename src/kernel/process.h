@@ -131,6 +131,11 @@ class Process {
   AllowSlot* FindAllow(uint32_t driver, uint32_t allow_num, bool read_only);
   SubscribeSlot* FindSubscribe(uint32_t driver, uint32_t sub_num);
 
+  // Removes every queued upcall for (driver, sub_num) — the §3.3.2 scrub that keeps
+  // a swapped-out upcall function from ever firing. Returns how many were removed,
+  // so the kernel can account for them (kernel/trace.h).
+  size_t ScrubUpcalls(uint32_t driver, uint32_t sub_num);
+
   // Finds-or-creates; returns nullptr when the fixed table is full (the process has
   // hit its own resource bound — no other process is affected).
   AllowSlot* FindOrCreateAllow(uint32_t driver, uint32_t allow_num, bool read_only);

@@ -1,0 +1,210 @@
+// ERA: 2
+#include "kernel/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tock {
+
+uint64_t& KernelStats::SyscallSlot(SyscallClass klass) {
+  switch (klass) {
+    case SyscallClass::kYield:
+      return syscalls_yield;
+    case SyscallClass::kSubscribe:
+      return syscalls_subscribe;
+    case SyscallClass::kCommand:
+      return syscalls_command;
+    case SyscallClass::kReadWriteAllow:
+      return syscalls_rw_allow;
+    case SyscallClass::kReadOnlyAllow:
+      return syscalls_ro_allow;
+    case SyscallClass::kMemop:
+      return syscalls_memop;
+    case SyscallClass::kExit:
+      return syscalls_exit;
+    case SyscallClass::kBlockingCommand:
+      return syscalls_blocking_command;
+  }
+  return syscalls_command;  // unreachable for decoded syscalls
+}
+
+uint64_t StatValue(const KernelStats& stats, StatId id) {
+  switch (id) {
+    case StatId::kSyscallsTotal:
+      return stats.SyscallsTotal();
+    case StatId::kSyscallsYield:
+      return stats.syscalls_yield;
+    case StatId::kSyscallsSubscribe:
+      return stats.syscalls_subscribe;
+    case StatId::kSyscallsCommand:
+      return stats.syscalls_command;
+    case StatId::kSyscallsRwAllow:
+      return stats.syscalls_rw_allow;
+    case StatId::kSyscallsRoAllow:
+      return stats.syscalls_ro_allow;
+    case StatId::kSyscallsMemop:
+      return stats.syscalls_memop;
+    case StatId::kSyscallsExit:
+      return stats.syscalls_exit;
+    case StatId::kSyscallsBlockingCommand:
+      return stats.syscalls_blocking_command;
+    case StatId::kContextSwitches:
+      return stats.context_switches;
+    case StatId::kMpuReprograms:
+      return stats.mpu_reprograms;
+    case StatId::kIrqDispatches:
+      return stats.irq_dispatches;
+    case StatId::kDeferredCallsRun:
+      return stats.deferred_calls_run;
+    case StatId::kUpcallsQueued:
+      return stats.upcalls_queued;
+    case StatId::kUpcallsDelivered:
+      return stats.upcalls_delivered;
+    case StatId::kUpcallsScrubbed:
+      return stats.upcalls_scrubbed;
+    case StatId::kUpcallsDropped:
+      return stats.upcalls_dropped;
+    case StatId::kGrantAllocs:
+      return stats.grant_allocs;
+    case StatId::kGrantBytes:
+      return stats.grant_bytes;
+    case StatId::kSleepCycles:
+      return stats.sleep_cycles;
+    case StatId::kSleepEntries:
+      return stats.sleep_entries;
+    case StatId::kProcessFaults:
+      return stats.process_faults;
+    case StatId::kProcessRestarts:
+      return stats.process_restarts;
+    case StatId::kProcessExits:
+      return stats.process_exits;
+    case StatId::kSyscallsUnknown:
+      return stats.syscalls_unknown;
+    case StatId::kNumStats:
+      break;
+  }
+  return 0;
+}
+
+const char* StatName(StatId id) {
+  switch (id) {
+    case StatId::kSyscallsTotal:
+      return "syscalls.total";
+    case StatId::kSyscallsYield:
+      return "syscalls.yield";
+    case StatId::kSyscallsSubscribe:
+      return "syscalls.subscribe";
+    case StatId::kSyscallsCommand:
+      return "syscalls.command";
+    case StatId::kSyscallsRwAllow:
+      return "syscalls.rw_allow";
+    case StatId::kSyscallsRoAllow:
+      return "syscalls.ro_allow";
+    case StatId::kSyscallsMemop:
+      return "syscalls.memop";
+    case StatId::kSyscallsExit:
+      return "syscalls.exit";
+    case StatId::kSyscallsBlockingCommand:
+      return "syscalls.blocking_command";
+    case StatId::kContextSwitches:
+      return "sched.context_switches";
+    case StatId::kMpuReprograms:
+      return "sched.mpu_reprograms";
+    case StatId::kIrqDispatches:
+      return "irq.dispatches";
+    case StatId::kDeferredCallsRun:
+      return "deferred.calls_run";
+    case StatId::kUpcallsQueued:
+      return "upcalls.queued";
+    case StatId::kUpcallsDelivered:
+      return "upcalls.delivered";
+    case StatId::kUpcallsScrubbed:
+      return "upcalls.scrubbed";
+    case StatId::kUpcallsDropped:
+      return "upcalls.dropped";
+    case StatId::kGrantAllocs:
+      return "grants.allocs";
+    case StatId::kGrantBytes:
+      return "grants.bytes";
+    case StatId::kSleepCycles:
+      return "sleep.cycles";
+    case StatId::kSleepEntries:
+      return "sleep.entries";
+    case StatId::kProcessFaults:
+      return "process.faults";
+    case StatId::kProcessRestarts:
+      return "process.restarts";
+    case StatId::kProcessExits:
+      return "process.exits";
+    case StatId::kSyscallsUnknown:
+      return "syscalls.unknown";
+    case StatId::kNumStats:
+      break;
+  }
+  return "?";
+}
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSyscall:
+      return "syscall";
+    case TraceEventKind::kContextSwitch:
+      return "ctxswitch";
+    case TraceEventKind::kMpuReprogram:
+      return "mpu";
+    case TraceEventKind::kIrqDispatch:
+      return "irq";
+    case TraceEventKind::kDeferredCall:
+      return "deferred";
+    case TraceEventKind::kUpcallQueued:
+      return "upq";
+    case TraceEventKind::kUpcallDelivered:
+      return "updeliver";
+    case TraceEventKind::kUpcallScrubbed:
+      return "upscrub";
+    case TraceEventKind::kUpcallDropped:
+      return "updrop";
+    case TraceEventKind::kGrantAlloc:
+      return "grant";
+    case TraceEventKind::kSleep:
+      return "sleep";
+    case TraceEventKind::kProcessFault:
+      return "fault";
+    case TraceEventKind::kProcessRestart:
+      return "restart";
+    case TraceEventKind::kProcessExit:
+      return "exit";
+  }
+  return "?";
+}
+
+void KernelTrace::DumpStats(std::string& out) const {
+  char line[96];
+  out += "==== kernel stats ====\n";
+  for (uint32_t i = 0; i < static_cast<uint32_t>(StatId::kNumStats); ++i) {
+    StatId id = static_cast<StatId>(i);
+    std::snprintf(line, sizeof(line), "%-26s %" PRIu64 "\n", StatName(id),
+                  StatValue(stats_, id));
+    out += line;
+  }
+}
+
+void KernelTrace::DumpTrace(std::string& out) const {
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "==== trace (%zu events retained, %" PRIu64 " evicted) ====\n",
+                ring_.Size(), ring_.Evicted());
+  out += line;
+  ring_.ForEach([&](const TraceEvent& e) {
+    if (e.pid == kNoPid) {
+      std::snprintf(line, sizeof(line), "[%10" PRIu64 "] %-10s pid=-  arg=%u\n", e.cycle,
+                    TraceEventKindName(e.kind), e.arg);
+    } else {
+      std::snprintf(line, sizeof(line), "[%10" PRIu64 "] %-10s pid=%u  arg=%u\n", e.cycle,
+                    TraceEventKindName(e.kind), e.pid, e.arg);
+    }
+    out += line;
+  });
+}
+
+}  // namespace tock

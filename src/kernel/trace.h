@@ -1,0 +1,272 @@
+// ERA: 2
+// Deterministic kernel trace & counters (observability for the paper's quantitative
+// claims). Every number the experiments report — isolation cost as syscall/context-
+// switch counts (§2.2), sleep residency (§2.5, §3.2), allow/subscribe and upcall
+// scrub activity (§3.3) — is a count of kernel events, so the kernel counts them
+// itself at its dispatch points instead of every bench re-deriving them.
+//
+// Two layers, both heapless:
+//   * KernelStats: monotonic counters, one per event class. Always cheap (an
+//     increment), read through Kernel::stats().
+//   * an EventRing of cycle-stamped TraceEvents — the last N things the kernel did,
+//     dumpable as text. Because the simulator is deterministic, two identical runs
+//     produce byte-identical dumps; tests/trace_test.cc locks that in against a
+//     golden file.
+//
+// The whole subsystem is compile-time-gated on KernelConfig::trace_enabled
+// (-DTOCK_TRACE=OFF): with the gate off, record calls are empty inlines and the
+// layer compiles away.
+#ifndef TOCK_KERNEL_TRACE_H_
+#define TOCK_KERNEL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/config.h"
+#include "kernel/syscall.h"
+#include "util/event_ring.h"
+
+namespace tock {
+
+// Monotonic kernel event counters. Plain aggregate: cheap to read wholesale, and a
+// stable numbered view (StatId) backs the ProcessInfoDriver stats syscall.
+struct KernelStats {
+  // System calls, by class (TRD104 numbering).
+  uint64_t syscalls_yield = 0;
+  uint64_t syscalls_subscribe = 0;
+  uint64_t syscalls_command = 0;
+  uint64_t syscalls_rw_allow = 0;
+  uint64_t syscalls_ro_allow = 0;
+  uint64_t syscalls_memop = 0;
+  uint64_t syscalls_exit = 0;
+  uint64_t syscalls_blocking_command = 0;
+  uint64_t syscalls_unknown = 0;  // trapped with an out-of-range class (NOSUPPORT)
+
+  // Scheduler & hardware interface.
+  uint64_t context_switches = 0;
+  uint64_t mpu_reprograms = 0;
+  uint64_t irq_dispatches = 0;
+  uint64_t deferred_calls_run = 0;
+
+  // Upcall machinery (§3.3): queued = accepted into a queue; delivered = handler
+  // invoked or consumed as a direct return; scrubbed = removed by a subscription
+  // swap or eviction before delivery; dropped = lost (queue full, or the
+  // subscription was null at delivery time).
+  uint64_t upcalls_queued = 0;
+  uint64_t upcalls_delivered = 0;
+  uint64_t upcalls_scrubbed = 0;
+  uint64_t upcalls_dropped = 0;
+
+  // Grant allocator (§2.4).
+  uint64_t grant_allocs = 0;
+  uint64_t grant_bytes = 0;
+
+  // Sleep residency (§2.5): cycles the kernel spent in SleepUntilInterrupt and how
+  // many times it entered the sleep state.
+  uint64_t sleep_cycles = 0;
+  uint64_t sleep_entries = 0;
+
+  // Process lifecycle.
+  uint64_t process_faults = 0;
+  uint64_t process_restarts = 0;
+  uint64_t process_exits = 0;
+
+  uint64_t SyscallsTotal() const {
+    return syscalls_yield + syscalls_subscribe + syscalls_command + syscalls_rw_allow +
+           syscalls_ro_allow + syscalls_memop + syscalls_exit + syscalls_blocking_command +
+           syscalls_unknown;
+  }
+
+  uint64_t& SyscallSlot(SyscallClass klass);
+};
+
+// Stable numbering for the read-only stats syscall (ProcessInfoDriver command 5).
+// Append-only: userspace bakes these numbers in.
+enum class StatId : uint32_t {
+  kSyscallsTotal = 0,
+  kSyscallsYield = 1,
+  kSyscallsSubscribe = 2,
+  kSyscallsCommand = 3,
+  kSyscallsRwAllow = 4,
+  kSyscallsRoAllow = 5,
+  kSyscallsMemop = 6,
+  kSyscallsExit = 7,
+  kSyscallsBlockingCommand = 8,
+  kContextSwitches = 9,
+  kMpuReprograms = 10,
+  kIrqDispatches = 11,
+  kDeferredCallsRun = 12,
+  kUpcallsQueued = 13,
+  kUpcallsDelivered = 14,
+  kUpcallsScrubbed = 15,
+  kUpcallsDropped = 16,
+  kGrantAllocs = 17,
+  kGrantBytes = 18,
+  kSleepCycles = 19,
+  kSleepEntries = 20,
+  kProcessFaults = 21,
+  kProcessRestarts = 22,
+  kProcessExits = 23,
+  kSyscallsUnknown = 24,
+  kNumStats = 25,
+};
+
+// Returns the counter for `id`, or 0 for an out-of-range id.
+uint64_t StatValue(const KernelStats& stats, StatId id);
+const char* StatName(StatId id);
+
+// One recorded kernel event. `pid` is the process slot the event concerns (0xFF =
+// none/kernel); `arg` is event-specific (syscall class, IRQ line, grant size, ...).
+enum class TraceEventKind : uint8_t {
+  kSyscall,        // arg = SyscallClass
+  kContextSwitch,  // arg = process slot switched to
+  kMpuReprogram,   // arg = process slot mapped
+  kIrqDispatch,    // arg = interrupt line
+  kDeferredCall,   // arg = deferred-call handle
+  kUpcallQueued,   // arg = driver number
+  kUpcallDelivered,
+  kUpcallScrubbed,  // arg = entries scrubbed
+  kUpcallDropped,
+  kGrantAlloc,  // arg = bytes allocated
+  kSleep,       // arg = cycles slept (saturated to 32 bits)
+  kProcessFault,
+  kProcessRestart,
+  kProcessExit,  // arg = completion code
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  uint64_t cycle = 0;
+  TraceEventKind kind = TraceEventKind::kSyscall;
+  uint8_t pid = 0xFF;
+  uint32_t arg = 0;
+};
+
+// The kernel-owned recorder. The kernel calls the record methods from its dispatch
+// points, passing the current cycle; everything is an increment plus a ring store.
+class KernelTrace {
+ public:
+  static constexpr size_t kTraceDepth = 256;
+  static constexpr uint8_t kNoPid = 0xFF;
+  static constexpr bool kEnabled = KernelConfig::trace_enabled;
+
+  const KernelStats& stats() const { return stats_; }
+  const EventRing<TraceEvent, kTraceDepth>& events() const { return ring_; }
+
+  void RecordSyscall(uint64_t cycle, uint8_t pid, uint32_t klass_raw) {
+    if constexpr (kEnabled) {
+      if (klass_raw <= static_cast<uint32_t>(SyscallClass::kBlockingCommand)) {
+        ++stats_.SyscallSlot(static_cast<SyscallClass>(klass_raw));
+      } else {
+        ++stats_.syscalls_unknown;
+      }
+      Push(cycle, TraceEventKind::kSyscall, pid, klass_raw);
+    }
+  }
+  void RecordContextSwitch(uint64_t cycle, uint8_t pid) {
+    if constexpr (kEnabled) {
+      ++stats_.context_switches;
+      Push(cycle, TraceEventKind::kContextSwitch, pid, pid);
+    }
+  }
+  void RecordMpuReprogram(uint64_t cycle, uint8_t pid) {
+    if constexpr (kEnabled) {
+      ++stats_.mpu_reprograms;
+      Push(cycle, TraceEventKind::kMpuReprogram, pid, pid);
+    }
+  }
+  void RecordIrqDispatch(uint64_t cycle, uint32_t line) {
+    if constexpr (kEnabled) {
+      ++stats_.irq_dispatches;
+      Push(cycle, TraceEventKind::kIrqDispatch, kNoPid, line);
+    }
+  }
+  void RecordDeferredCall(uint64_t cycle, uint32_t handle) {
+    if constexpr (kEnabled) {
+      ++stats_.deferred_calls_run;
+      Push(cycle, TraceEventKind::kDeferredCall, kNoPid, handle);
+    }
+  }
+  void RecordUpcallQueued(uint64_t cycle, uint8_t pid, uint32_t driver) {
+    if constexpr (kEnabled) {
+      ++stats_.upcalls_queued;
+      Push(cycle, TraceEventKind::kUpcallQueued, pid, driver);
+    }
+  }
+  void RecordUpcallDelivered(uint64_t cycle, uint8_t pid) {
+    if constexpr (kEnabled) {
+      ++stats_.upcalls_delivered;
+      Push(cycle, TraceEventKind::kUpcallDelivered, pid, 0);
+    }
+  }
+  void RecordUpcallsScrubbed(uint64_t cycle, uint8_t pid, uint64_t count) {
+    if constexpr (kEnabled) {
+      if (count == 0) {
+        return;
+      }
+      stats_.upcalls_scrubbed += count;
+      Push(cycle, TraceEventKind::kUpcallScrubbed, pid, static_cast<uint32_t>(count));
+    }
+  }
+  void RecordUpcallDropped(uint64_t cycle, uint8_t pid) {
+    if constexpr (kEnabled) {
+      ++stats_.upcalls_dropped;
+      Push(cycle, TraceEventKind::kUpcallDropped, pid, 0);
+    }
+  }
+  void RecordGrantAlloc(uint64_t cycle, uint8_t pid, uint32_t bytes) {
+    if constexpr (kEnabled) {
+      ++stats_.grant_allocs;
+      stats_.grant_bytes += bytes;
+      Push(cycle, TraceEventKind::kGrantAlloc, pid, bytes);
+    }
+  }
+  void RecordSleep(uint64_t cycle, uint64_t slept_cycles) {
+    if constexpr (kEnabled) {
+      if (slept_cycles == 0) {
+        return;
+      }
+      stats_.sleep_cycles += slept_cycles;
+      ++stats_.sleep_entries;
+      uint32_t arg = slept_cycles > UINT32_MAX ? UINT32_MAX
+                                               : static_cast<uint32_t>(slept_cycles);
+      Push(cycle, TraceEventKind::kSleep, kNoPid, arg);
+    }
+  }
+  void RecordProcessFault(uint64_t cycle, uint8_t pid) {
+    if constexpr (kEnabled) {
+      ++stats_.process_faults;
+      Push(cycle, TraceEventKind::kProcessFault, pid, 0);
+    }
+  }
+  void RecordProcessRestart(uint64_t cycle, uint8_t pid) {
+    if constexpr (kEnabled) {
+      ++stats_.process_restarts;
+      Push(cycle, TraceEventKind::kProcessRestart, pid, 0);
+    }
+  }
+  void RecordProcessExit(uint64_t cycle, uint8_t pid, uint32_t completion_code) {
+    if constexpr (kEnabled) {
+      ++stats_.process_exits;
+      Push(cycle, TraceEventKind::kProcessExit, pid, completion_code);
+    }
+  }
+
+  // Text dumps (host-side introspection only; the record path never allocates).
+  // Deterministic: byte-identical across identical runs.
+  void DumpStats(std::string& out) const;
+  void DumpTrace(std::string& out) const;
+
+ private:
+  void Push(uint64_t cycle, TraceEventKind kind, uint8_t pid, uint32_t arg) {
+    ring_.Push(TraceEvent{cycle, kind, pid, arg});
+  }
+
+  KernelStats stats_;
+  EventRing<TraceEvent, kTraceDepth> ring_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_TRACE_H_

@@ -1,0 +1,71 @@
+// ERA: 1
+// Fixed-capacity overwriting event ring for the kernel trace (kernel/trace.h).
+//
+// Unlike RingBuffer — which drops new elements when full, the right policy for an
+// upcall queue — a trace ring must always accept the *newest* event and evict the
+// oldest, so the buffer converges on "the last N things the kernel did". Storage is
+// embedded, matching the kernel's heapless discipline (§2.4); the number of evicted
+// events is counted so a dump can say how much history was lost.
+#ifndef TOCK_UTIL_EVENT_RING_H_
+#define TOCK_UTIL_EVENT_RING_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tock {
+
+template <typename T, size_t N>
+class EventRing {
+  static_assert(N > 0, "event ring capacity must be positive");
+
+ public:
+  constexpr EventRing() = default;
+
+  constexpr bool IsEmpty() const { return count_ == 0; }
+  constexpr size_t Size() const { return count_; }
+  constexpr size_t Capacity() const { return N; }
+
+  // Total events ever recorded, including evicted ones.
+  constexpr uint64_t TotalRecorded() const { return total_recorded_; }
+  // Events evicted to make room for newer ones.
+  constexpr uint64_t Evicted() const { return total_recorded_ - count_; }
+
+  // Appends an event, evicting the oldest when full. Never fails.
+  constexpr void Push(const T& value) {
+    storage_[(head_ + count_) % N] = value;
+    if (count_ == N) {
+      head_ = (head_ + 1) % N;  // the slot just written replaced the old head
+    } else {
+      ++count_;
+    }
+    ++total_recorded_;
+  }
+
+  // The i-th oldest retained event (0 = oldest, Size()-1 = newest).
+  constexpr const T& operator[](size_t i) const { return storage_[(head_ + i) % N]; }
+
+  // Visits retained events oldest-first.
+  template <typename Fn>
+  constexpr void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < count_; ++i) {
+      fn(storage_[(head_ + i) % N]);
+    }
+  }
+
+  constexpr void Clear() {
+    head_ = 0;
+    count_ = 0;
+    total_recorded_ = 0;
+  }
+
+ private:
+  std::array<T, N> storage_{};
+  size_t head_ = 0;
+  size_t count_ = 0;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_EVENT_RING_H_

@@ -71,6 +71,13 @@ class RingBuffer {
       }
       ++kept;
     }
+    // Scrub the vacated tail slots. Removed elements were never moved out of their
+    // slots (and compaction leaves moved-from residue), so without this the buffer
+    // keeps scrubbed entries alive — for upcall queues that means a "cancelled"
+    // upcall's data outlives its §3.3.2 scrub.
+    for (size_t i = kept; i < count_; ++i) {
+      storage_[(head_ + i) % N] = T{};
+    }
     count_ = kept;
     return removed;
   }

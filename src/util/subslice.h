@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 
 namespace tock {
 
@@ -22,11 +23,19 @@ namespace tock {
 template <typename Byte>
 class BasicSubSlice {
  public:
-  constexpr BasicSubSlice() : data_(nullptr), capacity_(0), start_(0), end_(0) {}
+  // A default-constructed SubSlice is the §5.2 null zero-length-slice pitfall in C++
+  // form: with a null data_, Active() would compute `data_ + start_` and hand the
+  // null pointer to std::span — undefined behaviour even at length zero (UBSan's
+  // "applying offset to null pointer"). Mirror Rust's NonNull::dangling(): empty
+  // windows keep a valid, non-null sentinel base, so span construction and pointer
+  // arithmetic never touch nullptr.
+  constexpr BasicSubSlice() : data_(Sentinel()), capacity_(0), start_(0), end_(0) {}
 
-  // Wraps a full buffer; the active window initially covers all of it.
+  // Wraps a full buffer; the active window initially covers all of it. An empty span
+  // may legally carry a null data(); substitute the sentinel so data_ stays non-null.
   constexpr explicit BasicSubSlice(std::span<Byte> buffer)
-      : data_(buffer.data()), capacity_(buffer.size()), start_(0), end_(buffer.size()) {}
+      : data_(buffer.data() == nullptr ? Sentinel() : buffer.data()),
+        capacity_(buffer.size()), start_(0), end_(buffer.size()) {}
 
   constexpr BasicSubSlice(Byte* data, size_t len) : BasicSubSlice(std::span<Byte>(data, len)) {}
 
@@ -37,11 +46,13 @@ class BasicSubSlice {
   // Length of the full underlying buffer, regardless of the current window.
   constexpr size_t Capacity() const { return capacity_; }
 
-  // The active window as a span. Layers should use this for data access.
+  // The active window as a span. Layers should use this for data access. The
+  // sentinel invariant (data_ is never null) makes the `data_ + start_` arithmetic
+  // here well-defined even for empty windows.
   constexpr std::span<Byte> Active() const { return std::span<Byte>(data_ + start_, Size()); }
 
-  // Element access within the active window (unchecked, like slice indexing after a
-  // bounds-checked Slice call).
+  // Element access within the active window (unchecked within the window, like slice
+  // indexing after a bounds-checked Slice call).
   constexpr Byte& operator[](size_t i) const { return data_[start_ + i]; }
 
   // Narrows the active window to [offset, offset+len) *relative to the current
@@ -77,6 +88,11 @@ class BasicSubSlice {
   constexpr bool SameBuffer(const BasicSubSlice& other) const { return data_ == other.data_; }
 
  private:
+  // One valid byte per instantiation, shared by every empty SubSlice as a non-null
+  // base address (never read or written through a correctly-sized window).
+  static inline std::remove_const_t<Byte> sentinel_byte_{};
+  static constexpr Byte* Sentinel() { return &sentinel_byte_; }
+
   Byte* data_;
   size_t capacity_;
   size_t start_;

@@ -4,10 +4,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <numeric>
+#include <span>
 
 #include "util/cells.h"
 #include "util/error.h"
+#include "util/event_ring.h"
 #include "util/intrusive_list.h"
 #include "util/registers.h"
 #include "util/ring_buffer.h"
@@ -197,6 +200,38 @@ TEST_F(SubSliceTest, SameBufferIdentity) {
   EXPECT_FALSE(a.SameBuffer(c));
 }
 
+// Regression (§5.2): a default-constructed SubSlice used to carry a null data_, so
+// Active() computed `nullptr + 0` — the null zero-length-slice UB the paper calls
+// out for Rust slices. The fix gives empty slices a non-null sentinel base (the C++
+// analog of NonNull::dangling()); every operation below must be well-defined.
+TEST(SubSliceDefault, EmptySliceOperationsAreNullSafe) {
+  SubSliceMut slice;
+  EXPECT_EQ(slice.Size(), 0u);
+  EXPECT_TRUE(slice.IsEmpty());
+  EXPECT_EQ(slice.Capacity(), 0u);
+  std::span<uint8_t> active = slice.Active();
+  EXPECT_EQ(active.size(), 0u);
+  EXPECT_NE(active.data(), nullptr);  // the sentinel, never nullptr arithmetic
+  slice.Slice(3, 7);  // clamps to the (empty) window
+  EXPECT_EQ(slice.Size(), 0u);
+  slice.Reset();
+  EXPECT_EQ(slice.Size(), 0u);
+  // Two empty slices window the "same" (sentinel) buffer; a real buffer differs.
+  SubSliceMut other;
+  EXPECT_TRUE(slice.SameBuffer(other));
+  std::array<uint8_t, 4> storage{};
+  SubSliceMut real(storage.data(), storage.size());
+  EXPECT_FALSE(slice.SameBuffer(real));
+}
+
+TEST(SubSliceDefault, EmptySpanWithNullDataIsNullSafe) {
+  // std::span's default constructor yields data() == nullptr; wrapping it must not
+  // leave a null base inside the SubSlice either.
+  SubSlice slice{std::span<const uint8_t>()};
+  EXPECT_EQ(slice.Size(), 0u);
+  EXPECT_NE(slice.Active().data(), nullptr);
+}
+
 // Property: any sequence of slices never escapes the original extent, and Reset
 // always restores it — the Figure 4 invariant.
 class SubSliceProperty : public ::testing::TestWithParam<uint32_t> {};
@@ -297,6 +332,51 @@ TEST(RingBuffer, RemoveIfWorksAcrossWraparound) {
   EXPECT_TRUE(rb.IsEmpty());
 }
 
+// Regression (§3.3.2 scrub hygiene): RemoveIf used to compact survivors but leave
+// the removed elements (and moved-from residue) alive in the vacated tail slots —
+// a "scrubbed" upcall's payload survived its own scrub. Vacated slots must be reset
+// to T{}, observable here as the shared_ptr refcount dropping back to 1.
+TEST(RingBuffer, RemoveIfScrubsVacatedSlots) {
+  RingBuffer<std::shared_ptr<int>, 4> rb;
+  auto keep = std::make_shared<int>(1);
+  auto scrub_a = std::make_shared<int>(2);
+  auto scrub_b = std::make_shared<int>(3);
+  rb.Push(scrub_a);
+  rb.Push(keep);
+  rb.Push(scrub_b);
+  EXPECT_EQ(scrub_a.use_count(), 2);
+  EXPECT_EQ(scrub_b.use_count(), 2);
+
+  EXPECT_EQ(rb.RemoveIf([](const std::shared_ptr<int>& p) { return *p != 1; }), 2u);
+  EXPECT_EQ(rb.Size(), 1u);
+  // The buffer holds no reference to the scrubbed elements any more.
+  EXPECT_EQ(scrub_a.use_count(), 1);
+  EXPECT_EQ(scrub_b.use_count(), 1);
+  EXPECT_EQ(keep.use_count(), 2);
+  EXPECT_EQ(**rb.Front(), 1);
+}
+
+TEST(RingBuffer, RemoveIfScrubsVacatedSlotsAcrossWraparound) {
+  RingBuffer<std::shared_ptr<int>, 4> rb;
+  rb.Push(std::make_shared<int>(0));
+  rb.Push(std::make_shared<int>(0));
+  rb.Pop();
+  rb.Pop();  // head now at slot 2
+  std::array<std::shared_ptr<int>, 4> tracked;
+  for (int i = 0; i < 4; ++i) {
+    tracked[i] = std::make_shared<int>(i);
+    rb.Push(tracked[i]);  // elements 2..3 wrap into slots 0..1
+  }
+  EXPECT_EQ(rb.RemoveIf([](const std::shared_ptr<int>& p) { return *p % 2 == 0; }), 2u);
+  EXPECT_EQ(rb.Size(), 2u);
+  EXPECT_EQ(tracked[0].use_count(), 1);
+  EXPECT_EQ(tracked[2].use_count(), 1);
+  EXPECT_EQ(tracked[1].use_count(), 2);
+  EXPECT_EQ(tracked[3].use_count(), 2);
+  EXPECT_EQ(**rb.Pop(), 1);
+  EXPECT_EQ(**rb.Pop(), 3);
+}
+
 TEST(RingBuffer, ClearResets) {
   RingBuffer<int, 2> rb;
   rb.Push(1);
@@ -304,6 +384,54 @@ TEST(RingBuffer, ClearResets) {
   EXPECT_TRUE(rb.IsEmpty());
   EXPECT_TRUE(rb.Push(2));
   EXPECT_EQ(*rb.Pop(), 2);
+}
+
+// ---- EventRing -----------------------------------------------------------------------
+// The trace ring (kernel/trace.h) — unlike RingBuffer it never drops new entries;
+// when full it evicts the oldest, because the most recent events are the ones a
+// post-mortem wants.
+
+TEST(EventRing, KeepsEverythingWithinCapacity) {
+  EventRing<int, 4> ring;
+  for (int i = 0; i < 3; ++i) {
+    ring.Push(i);
+  }
+  EXPECT_EQ(ring.Size(), 3u);
+  EXPECT_EQ(ring.TotalRecorded(), 3u);
+  EXPECT_EQ(ring.Evicted(), 0u);
+  for (size_t i = 0; i < ring.Size(); ++i) {
+    EXPECT_EQ(ring[i], static_cast<int>(i));
+  }
+}
+
+TEST(EventRing, OverflowEvictsOldestNotNewest) {
+  EventRing<int, 4> ring;
+  for (int i = 0; i < 10; ++i) {
+    ring.Push(i);
+  }
+  EXPECT_EQ(ring.Size(), 4u);
+  EXPECT_EQ(ring.TotalRecorded(), 10u);
+  EXPECT_EQ(ring.Evicted(), 6u);
+  // The four *newest* survive, oldest-first.
+  int expected = 6;
+  ring.ForEach([&expected](const int& v) { EXPECT_EQ(v, expected++); });
+  EXPECT_EQ(expected, 10);
+  EXPECT_EQ(ring[0], 6);
+  EXPECT_EQ(ring[3], 9);
+}
+
+TEST(EventRing, ClearResetsAllBookkeeping) {
+  EventRing<int, 2> ring;
+  ring.Push(1);
+  ring.Push(2);
+  ring.Push(3);
+  ring.Clear();
+  EXPECT_EQ(ring.Size(), 0u);
+  EXPECT_EQ(ring.TotalRecorded(), 0u);
+  EXPECT_EQ(ring.Evicted(), 0u);
+  ring.Push(7);
+  EXPECT_EQ(ring.Size(), 1u);
+  EXPECT_EQ(ring[0], 7);
 }
 
 // ---- StaticVec -----------------------------------------------------------------------

@@ -166,6 +166,110 @@ TEST_F(VirtualAlarmTest, SimultaneousDeadlinesAllFireInOneBatch) {
   EXPECT_EQ(cb.firings.size(), 1u);
 }
 
+// A client whose callback unregisters its own alarm from the mux — the iteration-
+// invalidation case: the old Phase-2 loop held an iterator across the callback, and
+// RemoveClient rewrites the intrusive links that iterator stands on.
+class SelfRemovingClient : public hil::AlarmClient {
+ public:
+  SelfRemovingClient(VirtualAlarmMux* mux, VirtualAlarm* alarm) : mux_(mux), alarm_(alarm) {}
+  void AlarmFired() override {
+    ++count;
+    mux_->RemoveClient(alarm_);
+  }
+  VirtualAlarmMux* mux_;
+  VirtualAlarm* alarm_;
+  int count = 0;
+};
+
+TEST_F(VirtualAlarmTest, CallbackMayUnregisterItselfMidBatch) {
+  VirtualAlarm a(&mux_), b(&mux_), c(&mux_);
+  mux_.AddClient(&a);
+  mux_.AddClient(&b);
+  mux_.AddClient(&c);
+  SelfRemovingClient ca(&mux_, &a);
+  RecordingClient cb(&mcu_), cc(&mcu_);
+  a.SetClient(&ca);
+  b.SetClient(&cb);
+  c.SetClient(&cc);
+
+  // All three expire in the same batch; a's callback unlinks a while the batch is
+  // still being delivered. b and c must still fire exactly once.
+  uint32_t now = mux_.Now();
+  a.SetAlarm(now, 1000);
+  b.SetAlarm(now, 1000);
+  c.SetAlarm(now, 1000);
+  RunFor(3000);
+  EXPECT_EQ(ca.count, 1);
+  EXPECT_EQ(cb.firings.size(), 1u);
+  EXPECT_EQ(cc.firings.size(), 1u);
+
+  // a is gone: re-running time must not fire it again, and the others stay quiet too.
+  RunFor(3000);
+  EXPECT_EQ(ca.count, 1);
+  EXPECT_EQ(cb.firings.size(), 1u);
+  EXPECT_EQ(cc.firings.size(), 1u);
+}
+
+TEST_F(VirtualAlarmTest, CallbackMayRemoveAnotherPendingClientMidBatch) {
+  // b's callback removes c — which is also expired and still pending in the same
+  // batch. c's callback must NOT run after its removal.
+  VirtualAlarm b(&mux_), c(&mux_);
+  RecordingClient cc(&mcu_);
+
+  class RemoveOtherClient : public hil::AlarmClient {
+   public:
+    RemoveOtherClient(VirtualAlarmMux* mux, VirtualAlarm* victim) : mux_(mux), victim_(victim) {}
+    void AlarmFired() override {
+      ++count;
+      mux_->RemoveClient(victim_);
+    }
+    VirtualAlarmMux* mux_;
+    VirtualAlarm* victim_;
+    int count = 0;
+  };
+  RemoveOtherClient cb(&mux_, &c);
+
+  // AddClient pushes to the head, so insert c first: the firing scan (head-first)
+  // reaches b before c and the removal races against c's pending delivery.
+  mux_.AddClient(&c);
+  mux_.AddClient(&b);
+  b.SetClient(&cb);
+  c.SetClient(&cc);
+  uint32_t now = mux_.Now();
+  b.SetAlarm(now, 1000);
+  c.SetAlarm(now, 1000);
+  RunFor(3000);
+  EXPECT_EQ(cb.count, 1);
+  EXPECT_TRUE(cc.firings.empty());
+}
+
+TEST_F(VirtualAlarmTest, CallbackMayAddAndArmNewClientMidBatch) {
+  VirtualAlarm a(&mux_), late(&mux_);
+  RecordingClient clate(&mcu_);
+  late.SetClient(&clate);
+
+  class AddOtherClient : public hil::AlarmClient {
+   public:
+    AddOtherClient(VirtualAlarmMux* mux, VirtualAlarm* newcomer) : mux_(mux), newcomer_(newcomer) {}
+    void AlarmFired() override {
+      ++count;
+      mux_->AddClient(newcomer_);
+      newcomer_->SetAlarm(newcomer_->Now(), 500);
+    }
+    VirtualAlarmMux* mux_;
+    VirtualAlarm* newcomer_;
+    int count = 0;
+  };
+  AddOtherClient ca(&mux_, &late);
+
+  mux_.AddClient(&a);
+  a.SetClient(&ca);
+  a.SetAlarm(a.Now(), 1000);
+  RunFor(5000);
+  EXPECT_EQ(ca.count, 1);
+  ASSERT_EQ(clate.firings.size(), 1u);
+}
+
 TEST_F(VirtualAlarmTest, HardwareAlarmDisarmedWhenNoClientArmed) {
   VirtualAlarm a(&mux_);
   mux_.AddClient(&a);
