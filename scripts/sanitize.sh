@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Runs the full tier-1 test suite (including the fault-injection soak) under
+# AddressSanitizer + UndefinedBehaviorSanitizer, via the `sanitize` CMake preset.
+# Usage: scripts/sanitize.sh [extra ctest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$(nproc)"
+ctest --preset sanitize "$@"

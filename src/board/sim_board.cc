@@ -53,6 +53,7 @@ SimBoard::SimBoard(const BoardConfig& config)
       temp_hw_(&mcu_.clock(), Line(mcu_, MemoryMap::kTempSensor)),
       // Kernel core.
       kernel_(&mcu_, &systick_, config.kernel),
+      fault_injector_(config.fault_injection_seed),
       kram_(MemoryMap::kRamBase, Kernel::kKernelRamReserve),
       // Chip drivers over MMIO.
       chip_alarm_(&mcu_, Base(MemoryMap::kAlarm)),
@@ -134,6 +135,9 @@ SimBoard::SimBoard(const BoardConfig& config)
   kernel_.RegisterDriver(DriverNum::kRadio, &radio_driver_);
   kernel_.RegisterDriver(DriverNum::kProcessInfo, &process_info_);
   kernel_.RegisterDriver(NvStorageDriverNum::kValue, &nv_storage_);
+
+  // Fault-injection harness (inert until a test arms it).
+  kernel_.SetFaultInjector(&fault_injector_);
 
   // Loader + installer crypto wiring.
   loader_.SetDigestEngine(&chip_digest_);

@@ -43,6 +43,7 @@
 #include "hw/timer.h"
 #include "hw/uart.h"
 #include "kernel/capability.h"
+#include "kernel/fault_injector.h"
 #include "kernel/kernel.h"
 #include "kernel/process_loader.h"
 #include "libtock/libtock.h"
@@ -54,6 +55,9 @@ struct BoardConfig {
   uint32_t rng_seed = 0xC0FFEE;
   uint16_t radio_addr = 1;
   RadioMedium* medium = nullptr;  // attach to a shared radio medium (multi-board)
+  // Seed for the board-owned fault injector (tests); the injector is always wired
+  // but injects nothing until armed, so it costs one null-check per instruction.
+  uint64_t fault_injection_seed = 0;
 };
 
 class SimBoard {
@@ -100,6 +104,7 @@ class SimBoard {
   TempSensor& temp_hw() { return temp_hw_; }
   Radio& radio_hw() { return radio_hw_; }
   ChipDigest& chip_digest() { return chip_digest_; }
+  FaultInjector& fault_injector() { return fault_injector_; }
   VirtualAlarmMux& valarm_mux() { return valarm_mux_; }
   const MainLoopCapability& main_cap() { return main_cap_; }
   const ProcessManagementCapability& pm_cap() { return pm_cap_; }
@@ -138,6 +143,7 @@ class SimBoard {
 
   // ---- Kernel ----
   Kernel kernel_;
+  FaultInjector fault_injector_;
   KernelRamAllocator kram_;
 
   // ---- Chip drivers (privileged HIL implementations) ----

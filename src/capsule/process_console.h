@@ -5,7 +5,8 @@
 // because the board minted this capsule a ProcessManagementCapability.
 //
 // Commands (newline-terminated): help | list | stop <idx> | start <idx> |
-// stats (kernel event counters, kernel/trace.h) | trace (last few trace events)
+// stats (kernel event counters, kernel/trace.h) | trace (last few trace events) |
+// faults (per-process fault policy, restart budget, and last recorded fault)
 #ifndef TOCK_CAPSULE_PROCESS_CONSOLE_H_
 #define TOCK_CAPSULE_PROCESS_CONSOLE_H_
 
@@ -92,7 +93,7 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
   void ExecuteLine() {
     char out[512];
     if (std::strcmp(line_.data(), "help") == 0) {
-      Emit("commands: help list stats trace stop <idx> start <idx>\n");
+      Emit("commands: help list stats trace faults stop <idx> start <idx>\n");
       return;
     }
     if (std::strcmp(line_.data(), "stats") == 0) {
@@ -143,6 +144,38 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
         pos += static_cast<size_t>(std::snprintf(
             out + pos, sizeof(out) - pos, " %3zu %-9s %-10s %llu\n", i, p->name.c_str(),
             ProcessStateName(p->state), (unsigned long long)p->syscall_count));
+      }
+      Emit(out);
+      return;
+    }
+    if (std::strcmp(line_.data(), "faults") == 0) {
+      size_t pos = static_cast<size_t>(
+          std::snprintf(out, sizeof(out), " idx name      policy  rst state      last fault\n"));
+      for (size_t i = 0; i < Kernel::kMaxProcesses && pos < sizeof(out) - 96; ++i) {
+        Process* p = kernel_->process(i);
+        if (p == nullptr || !p->id.IsValid()) {
+          continue;
+        }
+        pos += static_cast<size_t>(std::snprintf(
+            out + pos, sizeof(out) - pos, " %3zu %-9s %-7s %3lu/%lu %-10s ", i,
+            p->name.c_str(), FaultActionName(p->fault_policy.action),
+            (unsigned long)p->restart_count, (unsigned long)p->fault_policy.max_restarts,
+            ProcessStateName(p->state)));
+        if (p->fault_info.vm_fault.kind != VmFault::Kind::kNone) {
+          pos += static_cast<size_t>(std::snprintf(
+              out + pos, sizeof(out) - pos, "%s pc=%lx @%llu",
+              FaultCauseName(FaultCauseArg(p->fault_info.vm_fault)),
+              (unsigned long)p->fault_info.vm_fault.pc,
+              (unsigned long long)p->fault_info.at_cycle));
+        } else {
+          pos += static_cast<size_t>(std::snprintf(out + pos, sizeof(out) - pos, "-"));
+        }
+        if (p->state == ProcessState::kRestartPending) {
+          pos += static_cast<size_t>(
+              std::snprintf(out + pos, sizeof(out) - pos, " revive@%llu",
+                            (unsigned long long)p->restart_due_cycle));
+        }
+        pos += static_cast<size_t>(std::snprintf(out + pos, sizeof(out) - pos, "\n"));
       }
       Emit(out);
       return;

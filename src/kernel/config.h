@@ -29,15 +29,43 @@ enum class LoaderMode {
   kAsynchronous, // multi-step state machine with cryptographic verification (§3.4)
 };
 
-enum class FaultResponse {
+// What the kernel does when a process hits an MPU violation, illegal instruction,
+// or other unrecoverable error (§2.3). Policies are per process: each Process
+// carries its own FaultPolicy, seeded from KernelConfig::default_fault_policy at
+// creation and overridable through Kernel::SetFaultPolicy (capability-gated).
+enum class FaultAction : uint8_t {
+  kPanic,    // halt the whole kernel: debug builds where a fault means "stop the world"
   kStop,     // mark the process Faulted and never run it again
-  kRestart,  // reset the process to its initial state and re-run it
+  kRestart,  // reclaim its state and revive it after a deferred, growing backoff
 };
+
+struct FaultPolicy {
+  FaultAction action = FaultAction::kStop;
+
+  // kRestart knobs. A crash-looping process restarts at most `max_restarts` times;
+  // each revival is deferred by backoff_base_cycles << (restart number - 1), capped
+  // at backoff_cap_cycles, and scheduled through the MCU clock so the faulting app
+  // yields the CPU to its peers between lives instead of restarting for free.
+  uint32_t max_restarts = 8;
+  uint32_t backoff_base_cycles = 20'000;
+  uint32_t backoff_cap_cycles = 1'000'000;
+
+  static constexpr FaultPolicy Panic() { return FaultPolicy{FaultAction::kPanic, 0, 0, 0}; }
+  static constexpr FaultPolicy Stop() { return FaultPolicy{FaultAction::kStop, 0, 0, 0}; }
+  static constexpr FaultPolicy Restart(uint32_t max_restarts = 8,
+                                       uint32_t backoff_base_cycles = 20'000,
+                                       uint32_t backoff_cap_cycles = 1'000'000) {
+    return FaultPolicy{FaultAction::kRestart, max_restarts, backoff_base_cycles,
+                       backoff_cap_cycles};
+  }
+};
+
+const char* FaultActionName(FaultAction action);
 
 struct KernelConfig {
   SyscallAbiVersion abi = SyscallAbiVersion::kV2;
   LoaderMode loader = LoaderMode::kSynchronous;
-  FaultResponse fault_response = FaultResponse::kStop;
+  FaultPolicy default_fault_policy = FaultPolicy::Stop();
 
   // Ti50's downstream extension: a single system call that performs
   // subscribe+command+yield-wait+unsubscribe in one trap (§3.2). Off by default,

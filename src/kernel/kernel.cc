@@ -5,12 +5,12 @@
 
 #include "hw/costs.h"
 #include "hw/memory_map.h"
+#include "kernel/fault_injector.h"
 
 namespace tock {
 
 namespace {
 constexpr unsigned kSysTickIrqLine = MemoryMap::kSysTick;
-constexpr uint32_t kMaxFaultRestarts = 8;
 }  // namespace
 
 Kernel::Kernel(Mcu* mcu, SysTick* systick, const KernelConfig& config)
@@ -78,15 +78,24 @@ Process* Kernel::CreateProcess(const ProcessCreateInfo& info,
   p.app_break = ram_start + ((accessible + 7) & ~7u);
   p.initial_break = p.app_break;
   p.grant_break = ram_start + quota;
+  p.fault_policy = info.fault_policy.value_or(config_.default_fault_policy);
   p.state = ProcessState::kUnstarted;
   return &p;
 }
 
 Result<void> Kernel::StopProcess(ProcessId pid, const ProcessManagementCapability& cap) {
   (void)cap;
-  Process* p = GetLiveProcess(pid);
-  if (p == nullptr) {
+  // Deliberately not GetLiveProcess: stopping a process parked in kRestartPending
+  // must work too (it cancels the scheduled revival).
+  Process* p = (pid.index < kMaxProcesses) ? &processes_[pid.index] : nullptr;
+  if (p == nullptr || !p->id.IsValid() || p->id.generation != pid.generation ||
+      (!p->IsAlive() && p->state != ProcessState::kRestartPending)) {
     return Result<void>(ErrorCode::kInvalid);
+  }
+  if (p->restart_event_id != 0) {
+    mcu_->clock().Cancel(p->restart_event_id);
+    p->restart_event_id = 0;
+    p->restart_due_cycle = 0;
   }
   p->state = ProcessState::kTerminated;
   trace_.RecordProcessExit(mcu_->CyclesNow(), p->id.index, 0);
@@ -99,12 +108,30 @@ Result<void> Kernel::RestartProcess(ProcessId pid, const ProcessManagementCapabi
   if (p == nullptr || !p->id.IsValid()) {
     return Result<void>(ErrorCode::kInvalid);
   }
+  if (p->restart_event_id != 0) {
+    mcu_->clock().Cancel(p->restart_event_id);
+    p->restart_event_id = 0;
+  }
   ++p->restart_count;
   p->ResetForRestart();
   p->SetBreak(p->initial_break);
   InitProcessContext(*p);
   p->state = ProcessState::kRunnable;
+  if (mpu_configured_for_ == p->id.index) {
+    mpu_configured_for_ = 0xFF;  // the break moved; force an MPU reprogram
+  }
   trace_.RecordProcessRestart(mcu_->CyclesNow(), p->id.index);
+  return Result<void>::Ok();
+}
+
+Result<void> Kernel::SetFaultPolicy(ProcessId pid, const FaultPolicy& policy,
+                                    const ProcessManagementCapability& cap) {
+  (void)cap;
+  Process* p = (pid.index < kMaxProcesses) ? &processes_[pid.index] : nullptr;
+  if (p == nullptr || !p->id.IsValid() || p->id.generation != pid.generation) {
+    return Result<void>(ErrorCode::kInvalid);
+  }
+  p->fault_policy = policy;
   return Result<void>::Ok();
 }
 
@@ -160,6 +187,9 @@ void* Kernel::GrantEnterRaw(ProcessId pid, unsigned grant_id, uint32_t size, uin
   }
   uint32_t addr = p->grant_ptrs[grant_id];
   if (addr == 0) {
+    if (fault_injector_ != nullptr && fault_injector_->ShouldFailGrantAlloc(p->id.index)) {
+      return nullptr;  // injected quota exhaustion: indistinguishable from the real one
+    }
     addr = p->AllocateGrantMemory(size, align);
     if (addr == 0) {
       return nullptr;  // this process exhausted its own quota; nobody else affected
@@ -276,8 +306,9 @@ void Kernel::InvokeUpcallHandler(Process& p, const QueuedUpcall& upcall, uint32_
                                  uint32_t userdata) {
   if (p.saved_contexts.IsFull()) {
     // Upcall nesting deeper than the architecture supports: treat as a process
-    // error, as real Tock would overflow the process stack.
-    FaultProcess(p);
+    // error, as real Tock would overflow the process stack. No VM fault is involved,
+    // so the recorded cause is empty.
+    FaultProcess(p, VmFault{});
     return;
   }
   p.saved_contexts.PushBack(p.ctx);
@@ -346,20 +377,76 @@ void Kernel::InitProcessContext(Process& p) {
   p.ctx.x[Reg::kA3] = p.flash_size;
 }
 
-void Kernel::FaultProcess(Process& p) {
-  p.fault_info = ProcessFaultInfo{cpu_.fault(), mcu_->CyclesNow()};
-  trace_.RecordProcessFault(mcu_->CyclesNow(), p.id.index);
-  if (config_.fault_response == FaultResponse::kRestart &&
-      p.restart_count < kMaxFaultRestarts) {
-    ++p.restart_count;
-    trace_.RecordProcessRestart(mcu_->CyclesNow(), p.id.index);
-    p.ResetForRestart();
-    p.SetBreak(p.initial_break);
-    InitProcessContext(p);
-    p.state = ProcessState::kRunnable;
+uint64_t Kernel::BackoffDelay(const Process& p) const {
+  // Exponential: base for the first restart, doubling each subsequent one, capped.
+  // restart_count has already been incremented for the restart being scheduled.
+  uint64_t base = p.fault_policy.backoff_base_cycles;
+  if (base == 0) {
+    base = 1;  // zero-cycle events starve the clock; always move time forward
+  }
+  uint32_t exponent = p.restart_count > 0 ? p.restart_count - 1 : 0;
+  if (exponent > 32) {
+    exponent = 32;
+  }
+  uint64_t delay = base << exponent;
+  uint64_t cap = p.fault_policy.backoff_cap_cycles;
+  if (cap != 0 && delay > cap) {
+    delay = cap;
+  }
+  return delay;
+}
+
+void Kernel::FaultProcess(Process& p, const VmFault& fault) {
+  uint64_t now = mcu_->CyclesNow();
+  p.fault_info = ProcessFaultInfo{fault, now};
+  trace_.RecordProcessFault(now, p.id.index, FaultCauseArg(fault));
+
+  bool restart = p.fault_policy.action == FaultAction::kRestart &&
+                 p.restart_count < p.fault_policy.max_restarts;
+  if (!restart) {
+    p.state = ProcessState::kFaulted;
+    if (p.fault_policy.action == FaultAction::kPanic) {
+      panicked_ = true;  // the main loop halts, as a kernel panic would on hardware
+    }
     return;
   }
-  p.state = ProcessState::kFaulted;
+
+  // Restart policy with budget left. All dynamic kernel state (grants, allows,
+  // subscriptions, queued upcalls) is reclaimed *now*, at death (§2.4); only the
+  // revival is deferred, so a crash loop pays its backoff out of its own time.
+  ++p.restart_count;
+  ProcessFaultInfo diagnostics = p.fault_info;
+  p.ResetForRestart();            // bumps the generation: stale ProcessIds go dead
+  p.fault_info = diagnostics;     // keep the cause visible while restart-pending
+  p.state = ProcessState::kRestartPending;
+  if (mpu_configured_for_ == p.id.index) {
+    mpu_configured_for_ = 0xFF;  // the break moved; force an MPU reprogram at revive
+  }
+
+  ProcessId reborn = p.id;  // post-bump identity the revival must still match
+  p.restart_due_cycle = now + BackoffDelay(p);
+  p.restart_event_id = mcu_->clock().ScheduleAt(
+      p.restart_due_cycle, [this, reborn] { ReviveProcess(reborn); });
+}
+
+void Kernel::ReviveProcess(ProcessId pid) {
+  if (pid.index >= kMaxProcesses) {
+    return;
+  }
+  Process& p = processes_[pid.index];
+  if (!p.id.IsValid() || p.id.generation != pid.generation ||
+      p.state != ProcessState::kRestartPending) {
+    return;  // stopped, force-restarted, or reloaded while the backoff ran
+  }
+  p.restart_event_id = 0;
+  p.restart_due_cycle = 0;
+  p.SetBreak(p.initial_break);
+  InitProcessContext(p);
+  p.state = ProcessState::kRunnable;
+  trace_.RecordProcessRestart(mcu_->CyclesNow(), p.id.index);
+  // A sleeping main loop only wakes for interrupts, not bare clock events; nudge the
+  // kernel-owned SysTick line so the revived process is scheduled promptly.
+  mcu_->irq().Raise(kSysTickIrqLine);
 }
 
 // ---- Process execution --------------------------------------------------------------
@@ -395,6 +482,14 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
       break;  // simulation deadline (only reachable with preemption disabled)
     }
 
+    if (fault_injector_ != nullptr) {
+      if (auto injected = fault_injector_->OnInstruction(p.id.index, p.ctx.pc)) {
+        FaultProcess(p, *injected);
+        systick_->DisarmAndClear();
+        return;
+      }
+    }
+
     StepResult result = cpu_.Step(p.ctx);
     mcu_->Tick(CycleCosts::kVmInstruction);
 
@@ -415,7 +510,8 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
       }
       case StepResult::kUpcallReturn: {
         if (p.saved_contexts.IsEmpty()) {
-          FaultProcess(p);  // stray jump to the upcall-return magic address
+          // Stray jump to the upcall-return magic address.
+          FaultProcess(p, VmFault{});
           systick_->DisarmAndClear();
           return;
         }
@@ -426,7 +522,7 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
       }
       case StepResult::kEbreak:
       case StepResult::kFault:
-        FaultProcess(p);
+        FaultProcess(p, cpu_.fault());
         systick_->DisarmAndClear();
         return;
     }
@@ -483,6 +579,9 @@ bool Kernel::HandleSyscall(Process& p) {
         p.SetBreak(p.initial_break);
         InitProcessContext(p);
         p.state = ProcessState::kRunnable;
+        if (mpu_configured_for_ == p.id.index) {
+          mpu_configured_for_ = 0xFF;  // the break moved; force an MPU reprogram
+        }
         trace_.RecordProcessRestart(mcu_->CyclesNow(), p.id.index);
       } else {
         p.completion_code = call.args[1];
@@ -708,6 +807,9 @@ bool Kernel::HandleBlockingCommand(Process& p, const Syscall& call) {
 
 bool Kernel::MainLoopStep(const MainLoopCapability& cap, uint64_t deadline_cycles) {
   (void)cap;
+  if (panicked_) {
+    return false;  // a Panic-policy process faulted: the kernel has halted
+  }
   ServiceInterrupts();
   bool deferred_ran = RunDeferredCalls();
 

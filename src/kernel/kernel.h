@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "hw/mcu.h"
@@ -22,6 +23,8 @@
 
 namespace tock {
 
+class FaultInjector;
+
 // Parameters the loader supplies when creating a process.
 struct ProcessCreateInfo {
   std::string name;
@@ -29,6 +32,8 @@ struct ProcessCreateInfo {
   uint32_t flash_size = 0;
   uint32_t entry_point = 0;
   uint32_t min_ram = 4096;  // initial app-accessible size (app break above ram_start)
+  // Per-process fault policy; absent means the board-wide default applies.
+  std::optional<FaultPolicy> fault_policy;
 };
 
 class Kernel {
@@ -57,6 +62,19 @@ class Kernel {
   Process* CreateProcess(const ProcessCreateInfo& info, const ProcessManagementCapability& cap);
   Result<void> StopProcess(ProcessId pid, const ProcessManagementCapability& cap);
   Result<void> RestartProcess(ProcessId pid, const ProcessManagementCapability& cap);
+  // Replaces the fault policy of a process. Works on any created slot (including one
+  // parked in kRestartPending); generation-checked like the other management calls.
+  Result<void> SetFaultPolicy(ProcessId pid, const FaultPolicy& policy,
+                              const ProcessManagementCapability& cap);
+
+  // Wires the deterministic fault-injection harness in (tests only; nullptr
+  // disables). The kernel consults it before each retired instruction and on
+  // first-time grant allocations.
+  void SetFaultInjector(FaultInjector* injector) { fault_injector_ = injector; }
+
+  // True once a process with a Panic fault policy has faulted: the main loop halts,
+  // mirroring a kernel panic on hardware.
+  bool panicked() const { return panicked_; }
 
   // ---- Main loop -----------------------------------------------------------------
   // Runs until `deadline_cycles` of simulated time pass, or the system wedges
@@ -176,7 +194,14 @@ class Kernel {
                            uint32_t userdata);
   void DeliverDirectReturn(Process& p, const QueuedUpcall& upcall);
 
-  void FaultProcess(Process& p);
+  // Applies the process's fault policy: panic, park it terminally, or schedule a
+  // deferred backoff restart. `fault` is the cause recorded for diagnostics.
+  void FaultProcess(Process& p, const VmFault& fault);
+  // Deferred-restart callback: brings a kRestartPending process back to life, if its
+  // generation still matches (Stop/Restart may have intervened).
+  void ReviveProcess(ProcessId pid);
+  // Exponential backoff for the *next* restart: base << (restart_count - 1), capped.
+  uint64_t BackoffDelay(const Process& p) const;
   void ServiceInterrupts();
   bool RunDeferredCalls();
 
@@ -203,6 +228,9 @@ class Kernel {
   size_t num_deferred_ = 0;
 
   unsigned next_grant_id_ = 0;
+
+  FaultInjector* fault_injector_ = nullptr;
+  bool panicked_ = false;
 
   KernelTrace trace_;
 };

@@ -15,8 +15,22 @@ const char* ProcessStateName(ProcessState state) {
       return "YieldedFor";
     case ProcessState::kFaulted:
       return "Faulted";
+    case ProcessState::kRestartPending:
+      return "RestartPend";
     case ProcessState::kTerminated:
       return "Terminated";
+  }
+  return "?";
+}
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kPanic:
+      return "panic";
+    case FaultAction::kStop:
+      return "stop";
+    case FaultAction::kRestart:
+      return "restart";
   }
   return "?";
 }
@@ -111,6 +125,12 @@ void Process::ResetForRestart() {
   wait_sub = 0;
   blocking_command_wait = false;
   yield_flag_pending = 0;
+  // Diagnostics from the previous life must not leak into the next one: a restarted
+  // process that never faulted again would otherwise still show the old fault, and
+  // its timeslice-expiration count would keep accumulating across incarnations.
+  fault_info = ProcessFaultInfo{};
+  timeslice_expirations = 0;
+  restart_due_cycle = 0;
   for (AllowSlot& slot : allow_slots) {
     slot = AllowSlot{};
   }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "kernel/config.h"
 #include "kernel/syscall.h"
 #include "util/ring_buffer.h"
 #include "util/static_vec.h"
@@ -33,12 +34,14 @@ struct ProcessId {
 };
 
 enum class ProcessState {
-  kUnstarted,   // loaded and verified, not yet run
-  kRunnable,    // has work to do (or is mid-timeslice)
-  kYielded,     // blocked in yield-wait until any upcall arrives
-  kYieldedFor,  // blocked in yield-wait-for / blocking-command on one upcall
-  kFaulted,     // hit an MPU violation or illegal instruction; per-policy disposition
-  kTerminated,  // exited (or was stopped); slot reusable after Reset
+  kUnstarted,       // loaded and verified, not yet run
+  kRunnable,        // has work to do (or is mid-timeslice)
+  kYielded,         // blocked in yield-wait until any upcall arrives
+  kYieldedFor,      // blocked in yield-wait-for / blocking-command on one upcall
+  kFaulted,         // faulted terminally (Stop/Panic policy, or restart budget spent)
+  kRestartPending,  // faulted under a Restart policy; state already reclaimed, the
+                    // revival is scheduled on the MCU clock after a growing backoff
+  kTerminated,      // exited (or was stopped); slot reusable after Reset
 };
 
 const char* ProcessStateName(ProcessState state);
@@ -107,9 +110,19 @@ class Process {
   bool blocking_command_wait = false;  // kYieldedFor came from kBlockingCommand
   uint32_t yield_flag_pending = 0;     // a0 to write when a no-wait/wait yield resumes
 
+  // Most recent fault of the *current incarnation chain*: ResetForRestart clears it,
+  // and the fault path re-records the fault that ended the previous life so the
+  // process console's `faults` command can show why a process is backing off.
   ProcessFaultInfo fault_info;
   uint32_t completion_code = 0;
   uint32_t restart_count = 0;
+
+  // Per-process fault disposition (§2.3). Seeded from the kernel config's default at
+  // creation; the board or a privileged capsule may override it per process.
+  FaultPolicy fault_policy;
+  // While kRestartPending: the clock event that will revive us (0 = none) and when.
+  uint64_t restart_event_id = 0;
+  uint64_t restart_due_cycle = 0;
 
   // --- Kernel-held syscall state ---
   std::array<AllowSlot, kMaxAllowSlots> allow_slots;
@@ -123,8 +136,12 @@ class Process {
   uint64_t timeslice_expirations = 0;
   uint64_t grant_bytes_allocated = 0;
 
+  // A restart-pending process is *between lives*: its dynamic kernel state has been
+  // reclaimed and its generation bumped, so capsules must treat it as dead until the
+  // revival actually happens.
   bool IsAlive() const {
-    return state != ProcessState::kTerminated && state != ProcessState::kFaulted;
+    return state != ProcessState::kTerminated && state != ProcessState::kFaulted &&
+           state != ProcessState::kRestartPending;
   }
 
   // Looks up a slot, returning nullptr when absent.
@@ -154,7 +171,8 @@ class Process {
   // keys stored in flash, §3.3.3).
   bool InOwnFlash(uint32_t addr, uint32_t len) const;
 
-  // Clears all transient state for restart or reuse; bumps the generation.
+  // Clears all transient state for restart or reuse (including the previous life's
+  // fault record and timeslice-expiration count); bumps the generation.
   void ResetForRestart();
 };
 

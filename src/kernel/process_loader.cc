@@ -7,6 +7,26 @@
 
 namespace tock {
 
+const char* LoadErrorName(LoadError error) {
+  switch (error) {
+    case LoadError::kNone:
+      return "none";
+    case LoadError::kStructural:
+      return "structural";
+    case LoadError::kUnsigned:
+      return "unsigned";
+    case LoadError::kAuthenticity:
+      return "authenticity";
+    case LoadError::kDisabled:
+      return "disabled";
+    case LoadError::kNoResources:
+      return "no-resources";
+    case LoadError::kEngineUnavailable:
+      return "engine-unavailable";
+  }
+  return "?";
+}
+
 void ProcessLoader::SetDeviceKey(const uint8_t key[32]) {
   std::memcpy(device_key_, key, sizeof(device_key_));
   have_key_ = true;
@@ -52,6 +72,7 @@ int ProcessLoader::LoadAllSync() {
         addr + header.total_size > app_flash_end_) {
       record.name = "<invalid>";
       record.reject_reason = "structural check failed";
+      record.error = LoadError::kStructural;
       ++rejected_count_;
       records_.push_back(record);
       // A corrupt total_size would wedge the scan; stop at first bad header.
@@ -67,10 +88,12 @@ int ProcessLoader::LoadAllSync() {
         ++created_count_;
       } else {
         record.reject_reason = "out of process slots or RAM";
+        record.error = LoadError::kNoResources;
         ++rejected_count_;
       }
     } else {
       record.reject_reason = "disabled";
+      record.error = LoadError::kDisabled;
     }
     records_.push_back(record);
     addr += header.total_size;
@@ -129,6 +152,7 @@ void ProcessLoader::ProcessCurrentCandidate() {
     record.flash_addr = scan_addr_;
     record.name = "<invalid>";
     record.reject_reason = "structural check failed";
+    record.error = LoadError::kStructural;
     ++rejected_count_;
     records_.push_back(record);
     state_ = State::kDone;  // cannot trust total_size to continue the scan
@@ -137,12 +161,13 @@ void ProcessLoader::ProcessCurrentCandidate() {
   current_header_ = header;
 
   if (!header.IsEnabled()) {
-    FinishCurrent(/*create=*/false, /*verified=*/false, "disabled");
+    FinishCurrent(/*create=*/false, /*verified=*/false, "disabled", LoadError::kDisabled);
     return;
   }
   if (!header.IsSigned()) {
     // The signed-app security model rejects unsigned images outright.
-    FinishCurrent(/*create=*/false, /*verified=*/false, "unsigned image");
+    FinishCurrent(/*create=*/false, /*verified=*/false, "unsigned image",
+                  LoadError::kUnsigned);
     return;
   }
 
@@ -153,7 +178,8 @@ void ProcessLoader::ProcessCurrentCandidate() {
       scan_addr_, TbfHeader::kHeaderSize + current_header_.binary_size, &DigestDoneTrampoline,
       this);
   if (!started.ok()) {
-    FinishCurrent(/*create=*/false, /*verified=*/false, "digest engine unavailable");
+    FinishCurrent(/*create=*/false, /*verified=*/false, "digest engine unavailable",
+                  LoadError::kEngineUnavailable);
   }
 }
 
@@ -168,19 +194,22 @@ void ProcessLoader::OnDigestDone(const uint8_t digest[32], bool ok) {
   bool sig_read = kernel_->mcu()->bus().ReadBlock(sig_addr, expected, sizeof(expected));
 
   if (!ok || !sig_read || !HmacSha256::VerifyTag(expected, digest, sizeof(expected))) {
-    FinishCurrent(/*create=*/false, /*verified=*/false, "signature verification failed");
+    FinishCurrent(/*create=*/false, /*verified=*/false, "signature verification failed",
+                  LoadError::kAuthenticity);
     return;
   }
   // Step 4: runnability (process slot + RAM quota), then create.
-  FinishCurrent(/*create=*/true, /*verified=*/true, nullptr);
+  FinishCurrent(/*create=*/true, /*verified=*/true, nullptr, LoadError::kNone);
 }
 
-void ProcessLoader::FinishCurrent(bool create, bool verified, const char* reject_reason) {
+void ProcessLoader::FinishCurrent(bool create, bool verified, const char* reject_reason,
+                                  LoadError error) {
   LoadRecord record;
   record.flash_addr = scan_addr_;
   record.name = current_header_.Name();
   record.verified = verified;
   record.reject_reason = reject_reason;
+  record.error = error;
 
   if (create) {
     Result<Process*> result = CreateFromHeader(scan_addr_, current_header_, verified);
@@ -190,6 +219,7 @@ void ProcessLoader::FinishCurrent(bool create, bool verified, const char* reject
       ++created_count_;
     } else {
       record.reject_reason = "out of process slots or RAM";
+      record.error = LoadError::kNoResources;
       ++rejected_count_;
     }
   } else if (reject_reason != nullptr && std::strcmp(reject_reason, "disabled") != 0) {

@@ -29,6 +29,22 @@
 
 namespace tock {
 
+// Typed outcome of one load candidate: which step of the §3.4 state machine
+// rejected it. Distinguishes *integrity* failures (kStructural: the header is
+// malformed or inconsistent) from *authenticity* failures (kAuthenticity: the
+// image parses fine but its signature does not verify under the device key).
+enum class LoadError : uint8_t {
+  kNone = 0,           // created (or still in flight)
+  kStructural,         // header integrity check failed (magic aside, §3.4 step 1)
+  kUnsigned,           // well-formed but unsigned; the signed-app model rejects it
+  kAuthenticity,       // signature verification failed (§3.4 step 3)
+  kDisabled,           // valid image, marked not-enabled
+  kNoResources,        // out of process slots or RAM quota (§3.4 step 4)
+  kEngineUnavailable,  // digest engine refused the request
+};
+
+const char* LoadErrorName(LoadError error);
+
 class ProcessLoader {
  public:
   enum class State { kIdle, kScanning, kVerifying, kDone };
@@ -39,6 +55,7 @@ class ProcessLoader {
     bool created = false;
     bool verified = false;  // passed a cryptographic check (async loader only)
     const char* reject_reason = nullptr;
+    LoadError error = LoadError::kNone;
     ProcessId pid;
   };
 
@@ -80,7 +97,8 @@ class ProcessLoader {
   // Structural pass on the image at scan_addr_; advances or finishes.
   void ProcessCurrentCandidate();
   void AdvanceScan();
-  void FinishCurrent(bool create, bool verified, const char* reject_reason);
+  void FinishCurrent(bool create, bool verified, const char* reject_reason,
+                     LoadError error);
   Result<Process*> CreateFromHeader(uint32_t flash_addr, const TbfHeader& header, bool verified);
 
   static void DigestDoneTrampoline(void* context, const uint8_t digest[32], bool ok);

@@ -144,6 +144,40 @@ const char* StatName(StatId id) {
   return "?";
 }
 
+uint32_t FaultCauseArg(const VmFault& fault) {
+  uint32_t arg = static_cast<uint32_t>(fault.kind);
+  if (fault.kind == VmFault::Kind::kBus) {
+    arg |= static_cast<uint32_t>(fault.bus_fault.kind) << 8;
+  }
+  return arg;
+}
+
+const char* FaultCauseName(uint32_t cause_arg) {
+  switch (static_cast<VmFault::Kind>(cause_arg & 0xFF)) {
+    case VmFault::Kind::kNone:
+      return "none";
+    case VmFault::Kind::kIllegalInstruction:
+      return "illegal-instruction";
+    case VmFault::Kind::kMisalignedJump:
+      return "misaligned-jump";
+    case VmFault::Kind::kBus:
+      switch (static_cast<BusFaultKind>((cause_arg >> 8) & 0xFF)) {
+        case BusFaultKind::kNone:
+          return "bus";
+        case BusFaultKind::kUnmapped:
+          return "bus-unmapped";
+        case BusFaultKind::kMpuViolation:
+          return "mpu-violation";
+        case BusFaultKind::kFlashWrite:
+          return "bus-flash-write";
+        case BusFaultKind::kUnalignedMmio:
+          return "bus-unaligned-mmio";
+      }
+      return "bus";
+  }
+  return "?";
+}
+
 const char* TraceEventKindName(TraceEventKind kind) {
   switch (kind) {
     case TraceEventKind::kSyscall:

@@ -25,6 +25,7 @@
 #include "kernel/config.h"
 #include "kernel/syscall.h"
 #include "util/event_ring.h"
+#include "vm/cpu.h"
 
 namespace tock {
 
@@ -129,12 +130,19 @@ enum class TraceEventKind : uint8_t {
   kUpcallDropped,
   kGrantAlloc,  // arg = bytes allocated
   kSleep,       // arg = cycles slept (saturated to 32 bits)
-  kProcessFault,
+  kProcessFault,  // arg = fault cause (FaultCauseArg encoding)
   kProcessRestart,
   kProcessExit,  // arg = completion code
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
+
+// Fault-cause payload for kProcessFault events: low byte holds the VmFault::Kind,
+// the next byte holds the BusFaultKind when the fault came from the memory bus.
+// Packed into 32 bits so the cause survives in the fixed-size TraceEvent arg.
+uint32_t FaultCauseArg(const VmFault& fault);
+// Human-readable name for a packed cause ("mpu-violation", "illegal-instruction", ...).
+const char* FaultCauseName(uint32_t cause_arg);
 
 struct TraceEvent {
   uint64_t cycle = 0;
@@ -234,10 +242,10 @@ class KernelTrace {
       Push(cycle, TraceEventKind::kSleep, kNoPid, arg);
     }
   }
-  void RecordProcessFault(uint64_t cycle, uint8_t pid) {
+  void RecordProcessFault(uint64_t cycle, uint8_t pid, uint32_t cause_arg) {
     if constexpr (kEnabled) {
       ++stats_.process_faults;
-      Push(cycle, TraceEventKind::kProcessFault, pid, 0);
+      Push(cycle, TraceEventKind::kProcessFault, pid, cause_arg);
     }
   }
   void RecordProcessRestart(uint64_t cycle, uint8_t pid) {

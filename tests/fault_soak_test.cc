@@ -1,0 +1,179 @@
+// Seeded fault-injection soak (§2.3, §2.4).
+//
+// Runs many two-app campaigns. Each campaign boots a victim and a peer, both
+// doing syscall work in a loop, gives the victim a Restart fault policy, and
+// injects a seed-derived schedule of CPU faults (MPU violations and illegal
+// instructions at random instruction counts). After EVERY injected fault the
+// four isolation invariants are asserted:
+//
+//   1. the peer keeps making syscall progress through the victim's death,
+//      backoff window, and revival;
+//   2. the victim's grant memory is fully reclaimed at death (grant_break back
+//      to the top of its quota) and the peer's grant bytes are untouched,
+//      byte for byte;
+//   3. the victim's upcall queue is scrubbed;
+//   4. the kernel's fault/restart counters exactly match the injector's audit
+//      counters — every injected fault is accounted for, nothing more.
+//
+// Everything is cycle-deterministic: a failing seed reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "board/sim_board.h"
+#include "kernel/fault_injector.h"
+#include "kernel/grant.h"
+
+namespace tock {
+namespace {
+
+// Both apps count iterations in RAM and make one yield-no-wait syscall per loop,
+// so syscall_count measures forward progress.
+const std::string kWorkerApp = R"(
+_start:
+    mv s0, a0
+loop:
+    lw t0, 0(s0)
+    addi t0, t0, 1
+    sw t0, 0(s0)
+    li a0, 0
+    li a4, 0
+    ecall
+    j loop
+)";
+
+constexpr int kCampaigns = 64;
+constexpr uint32_t kMaxRestarts = 16;
+constexpr uint32_t kBackoffBase = 500'000;   // large enough to observe the parked state
+constexpr uint32_t kBackoffCap = 4'000'000;
+constexpr uint64_t kRunSlice = 20'000;       // well under the backoff base
+
+struct PeerPattern {
+  uint8_t bytes[48];
+};
+
+void RunCampaign(uint64_t seed) {
+  SCOPED_TRACE("campaign seed " + std::to_string(seed));
+
+  BoardConfig config;
+  config.fault_injection_seed = seed;
+  SimBoard board(config);
+  AppSpec victim;
+  victim.name = "victim";
+  victim.source = kWorkerApp;
+  AppSpec peer;
+  peer.name = "peer";
+  peer.source = kWorkerApp;
+  ASSERT_NE(board.installer().Install(victim), 0u);
+  ASSERT_NE(board.installer().Install(peer), 0u);
+  ASSERT_EQ(board.Boot(), 2);
+
+  Process* v = board.kernel().process(0);
+  Process* p = board.kernel().process(1);
+  FaultInjector& injector = board.fault_injector();
+  const Kernel& kernel = board.kernel();
+
+  ASSERT_TRUE(board.kernel()
+                  .SetFaultPolicy(v->id,
+                                  FaultPolicy::Restart(kMaxRestarts, kBackoffBase, kBackoffCap),
+                                  board.pm_cap())
+                  .ok());
+
+  // Let both workers get going, then give each a grant allocation. The peer's is
+  // filled with a seed-derived pattern we hold the campaign accountable for.
+  board.Run(200'000);
+  ASSERT_GT(v->syscall_count, 0u);
+  ASSERT_GT(p->syscall_count, 0u);
+
+  CapabilityFactory factory;
+  auto mem_cap = factory.MintMemoryAllocation();
+  Grant<PeerPattern> grant(&board.kernel(), mem_cap);
+  uint8_t fill = static_cast<uint8_t>(injector.RandomInRange(1, 255));
+  ASSERT_TRUE(grant
+                  .Enter(p->id,
+                         [&](PeerPattern& pat) {
+                           for (size_t i = 0; i < sizeof(pat.bytes); ++i) {
+                             pat.bytes[i] = static_cast<uint8_t>(fill + i);
+                           }
+                         })
+                  .ok());
+  ASSERT_TRUE(grant.Enter(v->id, [](PeerPattern&) {}).ok());
+  ASSERT_LT(v->grant_break, v->ram_start + v->ram_size);  // victim really holds grant memory
+
+  std::vector<uint8_t> peer_grant_image(p->ram_start + p->ram_size - p->grant_break);
+  uint32_t peer_grant_base = p->grant_break;
+  ASSERT_TRUE(
+      board.mcu().bus().ReadBlock(peer_grant_base, peer_grant_image.data(), peer_grant_image.size()));
+
+  const uint64_t rounds = injector.RandomInRange(1, 3);
+  for (uint64_t round = 0; round < rounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+
+    VmFault::Kind kind = injector.NextRandom() % 2 == 0 ? VmFault::Kind::kBus
+                                                        : VmFault::Kind::kIllegalInstruction;
+    injector.ArmCpuFault(0, injector.RandomInRange(50, 5'000), kind);
+
+    // Run in slices until the fault fires. Slices are much smaller than the
+    // backoff, so we always observe the victim parked in kRestartPending.
+    uint64_t faults_before = kernel.stats().process_faults;
+    uint64_t peer_before = p->syscall_count;
+    int guard = 2'000;
+    while (kernel.stats().process_faults == faults_before && guard-- > 0) {
+      board.Run(kRunSlice);
+    }
+    ASSERT_EQ(kernel.stats().process_faults, faults_before + 1) << "injected fault never fired";
+
+    // Invariant 3 + the victim half of invariant 2: at death, all dynamic kernel
+    // state of the victim is reclaimed and the revival is scheduled, not done.
+    ASSERT_EQ(v->state, ProcessState::kRestartPending);
+    EXPECT_EQ(v->grant_break, v->ram_start + v->ram_size) << "grant bytes not fully reclaimed";
+    EXPECT_TRUE(v->upcall_queue.IsEmpty()) << "upcall queue not scrubbed";
+    EXPECT_EQ(v->fault_info.vm_fault.kind, kind);
+    ASSERT_GT(v->restart_due_cycle, board.mcu().CyclesNow());
+
+    // Invariant 1: the peer made progress while the victim died...
+    EXPECT_GT(p->syscall_count, peer_before) << "peer starved during victim fault";
+
+    // ...and keeps making progress across the whole backoff window and revival.
+    peer_before = p->syscall_count;
+    board.Run(v->restart_due_cycle - board.mcu().CyclesNow() + 100'000);
+    EXPECT_GT(p->syscall_count, peer_before) << "peer starved during backoff";
+    ASSERT_TRUE(v->IsAlive()) << "victim was not revived";
+
+    // The revived victim itself makes progress again.
+    uint64_t victim_before = v->syscall_count;
+    board.Run(200'000);
+    EXPECT_GT(v->syscall_count, victim_before) << "revived victim made no progress";
+
+    // Invariant 2, peer half: its grant memory is byte-for-byte unaffected.
+    std::vector<uint8_t> now_image(peer_grant_image.size());
+    ASSERT_TRUE(board.mcu().bus().ReadBlock(peer_grant_base, now_image.data(), now_image.size()));
+    EXPECT_EQ(std::memcmp(peer_grant_image.data(), now_image.data(), peer_grant_image.size()), 0)
+        << "peer grant memory changed across victim fault";
+
+    // Re-establish the victim's grant footprint for the next round (its id has a
+    // new generation after the restart).
+    ASSERT_TRUE(grant.Enter(v->id, [](PeerPattern&) {}).ok());
+  }
+
+  // Invariant 4: counters reconcile exactly against the injected schedule.
+  EXPECT_EQ(injector.cpu_faults_injected(), rounds);
+  EXPECT_EQ(kernel.stats().process_faults, rounds);
+  EXPECT_EQ(kernel.stats().process_restarts, rounds);
+  EXPECT_EQ(v->restart_count, rounds);
+  EXPECT_EQ(injector.armed_cpu_faults(), 0u);
+}
+
+TEST(FaultSoak, SixtyFourSeededCampaignsHoldAllIsolationInvariants) {
+  for (int seed = 1; seed <= kCampaigns; ++seed) {
+    RunCampaign(static_cast<uint64_t>(seed));
+    if (::testing::Test::HasFatalFailure()) {
+      return;  // the SCOPED_TRACE of the failing seed is already in the output
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tock

@@ -467,7 +467,7 @@ _start:
 
 TEST_F(KernelTest, RestartPolicyRestartsFaultingProcess) {
   BoardConfig config;
-  config.kernel.fault_response = FaultResponse::kRestart;
+  config.kernel.default_fault_policy = FaultPolicy::Restart();
   BootWith(R"(
 _start:
     mv s0, a0
