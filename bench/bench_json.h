@@ -1,0 +1,106 @@
+// Machine-readable bench results (the export half of the observability PR).
+//
+// Every experiment binary keeps printing its human-readable table, and *also*
+// records its headline numbers through a BenchReporter. With `--json <path>` on the
+// command line the reporter writes them as one JSON object per binary:
+//
+//   {"schema":"tock-bench-v1","bench":"tab_syscall_sequences",
+//    "metrics":[{"name":"...","value":12.5,"unit":"cycles"}, ...]}
+//
+// scripts/bench_collect.sh runs all twelve benches and merges the per-bench files
+// into BENCH_results.json. Without --json the reporter is inert — the benches stay
+// dependency-free table printers.
+//
+// The constructor *removes* --json/<path> from argv so harnesses that parse flags
+// afterwards (google-benchmark's Initialize) never see it; see bench_json_gbench.h
+// for the google-benchmark bridge.
+#ifndef TOCK_BENCH_BENCH_JSON_H_
+#define TOCK_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tock::bench {
+
+class BenchReporter {
+ public:
+  // `argc`/`argv` may be null (benches that take no flags still compile); when
+  // given, any `--json <path>` pair is consumed and stripped from the vector.
+  BenchReporter(const char* bench, int* argc = nullptr, char** argv = nullptr)
+      : bench_(bench) {
+    if (argc == nullptr || argv == nullptr) {
+      return;
+    }
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+        path_ = argv[i + 1];
+        ++i;
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    *argc = out;
+  }
+
+  ~BenchReporter() { Write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Record(const std::string& metric, double value, const char* unit) {
+    metrics_.push_back(Metric{metric, unit, value});
+  }
+
+  // Writes the JSON document if --json was given. Idempotent (the destructor calls
+  // it too, so a bench may flush early and exit however it likes).
+  bool Write() {
+    if (path_.empty() || written_) {
+      return true;
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"schema\":\"tock-bench-v1\",\"bench\":\"%s\",\"metrics\":[\n",
+                 bench_.c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f, "  {\"name\":\"%s\",\"value\":%.6g,\"unit\":\"%s\"}%s\n",
+                   Escaped(m.name).c_str(), m.value, m.unit.c_str(),
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    written_ = std::fclose(f) == 0;
+    return written_;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string unit;
+    double value;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Metric> metrics_;
+  bool written_ = false;
+};
+
+}  // namespace tock::bench
+
+#endif  // TOCK_BENCH_BENCH_JSON_H_

@@ -1,0 +1,42 @@
+// google-benchmark bridge for bench_json.h (kept separate so the plain
+// table-printing benches never include benchmark.h).
+//
+// Usage in a gbench binary's main:
+//   tock::bench::BenchReporter reporter("fig4_subslice", &argc, argv);  // eats --json
+//   benchmark::Initialize(&argc, argv);
+//   tock::bench::GBenchJsonReporter console(&reporter);
+//   benchmark::RunSpecifiedBenchmarks(&console);
+//
+// The console output is unchanged; each finished run is additionally recorded as a
+// metric named after the benchmark (real time, in gbench's reported time unit).
+#ifndef TOCK_BENCH_BENCH_JSON_GBENCH_H_
+#define TOCK_BENCH_BENCH_JSON_GBENCH_H_
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+
+namespace tock::bench {
+
+class GBenchJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit GBenchJsonReporter(BenchReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      out_->Record(run.benchmark_name(), run.GetAdjustedRealTime(),
+                   benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReporter* out_;
+};
+
+}  // namespace tock::bench
+
+#endif  // TOCK_BENCH_BENCH_JSON_GBENCH_H_

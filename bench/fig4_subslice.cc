@@ -11,6 +11,8 @@
 // arithmetic (which the property tests cover) at zero cost.
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.h"
+
 #include <array>
 #include <cstdint>
 #include <span>
@@ -88,4 +90,13 @@ BENCHMARK(BM_ManualTripleStack)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  tock::bench::BenchReporter reporter("fig4_subslice", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  tock::bench::GBenchJsonReporter console(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  return 0;
+}

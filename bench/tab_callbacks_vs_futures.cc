@@ -14,6 +14,8 @@
 // overhead that kept Futures out of the Tock kernel.
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.h"
+
 #include <coroutine>
 #include <cstdint>
 #include <vector>
@@ -155,4 +157,13 @@ BENCHMARK(BM_CoroutineChain)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  tock::bench::BenchReporter reporter("tab_callbacks_vs_futures", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  tock::bench::GBenchJsonReporter console(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  return 0;
+}

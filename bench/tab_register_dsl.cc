@@ -6,6 +6,8 @@
 // bit-twiddling compiles away completely, leaving only the datasheet-shaped source.
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.h"
+
 #include <cstdint>
 
 #include "util/registers.h"
@@ -64,4 +66,13 @@ static_assert(Ctrl::kWatermark.Val(32).mask == 0xFF00u);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  tock::bench::BenchReporter reporter("tab_register_dsl", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  tock::bench::GBenchJsonReporter console(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  return 0;
+}

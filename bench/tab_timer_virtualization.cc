@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.h"
 #include "capsule/virtual_alarm.h"
 #include "chip/chip_alarm.h"
 #include "hw/mcu.h"
@@ -92,7 +93,8 @@ MuxResult RunMux(unsigned n_clients, uint64_t horizon) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tock::bench::BenchReporter reporter("tab_timer_virtualization", &argc, argv);
   std::printf("==== E12 (Table, §5.4): virtual alarm mux under N periodic clients ====\n\n");
   std::printf("  clients | firings | hw irqs | firings/irq | host ns/firing | deadlines\n");
   std::printf("  --------+---------+---------+-------------+----------------+----------\n");
@@ -105,6 +107,15 @@ int main() {
                                            static_cast<double>(result.hw_interrupts)
                                      : 0.0,
                 result.host_ns_per_firing, result.all_deadlines_met ? "all met" : "MISSED");
+    char name[48];
+    std::snprintf(name, sizeof(name), "firings_per_irq/clients_%u", n);
+    reporter.Record(name,
+                    result.hw_interrupts ? static_cast<double>(result.total_firings) /
+                                               static_cast<double>(result.hw_interrupts)
+                                         : 0.0,
+                    "ratio");
+    std::snprintf(name, sizeof(name), "host_ns_per_firing/clients_%u", n);
+    reporter.Record(name, result.host_ns_per_firing, "ns");
   }
   std::printf("\nshape: one hardware compare register serves arbitrarily many clients;\n"
               "per-firing cost grows with N (the O(N) rearm scan, as in upstream Tock)\n"

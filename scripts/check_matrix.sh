@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Builds and tests the two supported profiling configurations:
+#   default   — TOCK_TRACE=ON  (counters, cycle attribution, histograms, export)
+#   trace-off — TOCK_TRACE=OFF (all of the above compiled out; the observability
+#               layer must impose zero cost and zero behavior change when absent)
+# Usage: scripts/check_matrix.sh [extra ctest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for preset in default trace-off; do
+  echo "==== preset: $preset ===="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$preset" "$@"
+done
+
+echo "==== matrix OK (default + trace-off) ===="

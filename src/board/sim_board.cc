@@ -5,6 +5,7 @@
 
 #include "capsule/driver_nums.h"
 #include "hw/memory_map.h"
+#include "tools/trace_export.h"
 
 namespace tock {
 
@@ -147,6 +148,16 @@ SimBoard::SimBoard(const BoardConfig& config)
   if (config_.medium != nullptr) {
     config_.medium->Attach(&radio_hw_);
   }
+}
+
+SimBoard::~SimBoard() {
+  if (!config_.trace_export_path.empty()) {
+    WriteChromeTrace(kernel_, config_.trace_export_path);
+  }
+}
+
+bool SimBoard::ExportTrace(const std::string& path) {
+  return WriteChromeTrace(kernel_, path);
 }
 
 int SimBoard::Boot() {

@@ -58,6 +58,10 @@ struct BoardConfig {
   // Seed for the board-owned fault injector (tests); the injector is always wired
   // but injects nothing until armed, so it costs one null-check per instruction.
   uint64_t fault_injection_seed = 0;
+  // When non-empty, the board writes a Chrome trace-event JSON file
+  // (tools/trace_export.h) here at destruction — a run artifact for
+  // chrome://tracing / Perfetto. ExportTrace() exports on demand instead.
+  std::string trace_export_path;
 };
 
 class SimBoard {
@@ -83,6 +87,11 @@ class SimBoard {
   static constexpr unsigned kButton1 = 9;
 
   explicit SimBoard(const BoardConfig& config = BoardConfig{});
+  ~SimBoard();
+
+  // Writes the Chrome trace-event export of everything recorded so far. Returns
+  // false on IO failure. Independent of the at-destruction export.
+  bool ExportTrace(const std::string& path);
 
   // --- Pre-boot: install app images (the tockloader step). ---
   AppInstaller& installer() { return installer_; }

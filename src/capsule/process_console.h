@@ -6,7 +6,9 @@
 //
 // Commands (newline-terminated): help | list | stop <idx> | start <idx> |
 // stats (kernel event counters, kernel/trace.h) | trace (last few trace events) |
-// faults (per-process fault policy, restart budget, and last recorded fault)
+// faults (per-process fault policy, restart budget, and last recorded fault) |
+// prof (per-process cycle attribution & high-water marks, kernel/cycle_accounting.h) |
+// hist (latency histogram summaries, util/log2_hist.h)
 #ifndef TOCK_CAPSULE_PROCESS_CONSOLE_H_
 #define TOCK_CAPSULE_PROCESS_CONSOLE_H_
 
@@ -93,7 +95,7 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
   void ExecuteLine() {
     char out[512];
     if (std::strcmp(line_.data(), "help") == 0) {
-      Emit("commands: help list stats trace faults stop <idx> start <idx>\n");
+      Emit("commands: help list stats trace faults prof hist stop <idx> start <idx>\n");
       return;
     }
     if (std::strcmp(line_.data(), "stats") == 0) {
@@ -176,6 +178,47 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
                             (unsigned long long)p->restart_due_cycle));
         }
         pos += static_cast<size_t>(std::snprintf(out + pos, sizeof(out) - pos, "\n"));
+      }
+      Emit(out);
+      return;
+    }
+    if (std::strcmp(line_.data(), "prof") == 0) {
+      size_t pos = static_cast<size_t>(std::snprintf(
+          out, sizeof(out), " idx name      user      service   sys    up   grant  qmax\n"));
+      for (size_t i = 0; i < Kernel::kMaxProcesses && pos < sizeof(out) - 80; ++i) {
+        Process* p = kernel_->process(i);
+        if (p == nullptr || !p->id.IsValid()) {
+          continue;
+        }
+        ProcStats ps = kernel_->GetProcStats(i);
+        pos += static_cast<size_t>(std::snprintf(
+            out + pos, sizeof(out) - pos,
+            " %3zu %-9s %-9llu %-9llu %-6llu %-4llu %-6llu %llu\n", i, p->name.c_str(),
+            (unsigned long long)ps.user_cycles, (unsigned long long)ps.service_cycles,
+            (unsigned long long)ps.syscalls, (unsigned long long)ps.upcalls,
+            (unsigned long long)ps.grant_high_water,
+            (unsigned long long)ps.upcall_queue_max));
+      }
+      Emit(out);
+      return;
+    }
+    if (std::strcmp(line_.data(), "hist") == 0) {
+      // Summary lines only: the full bucket breakdown is Kernel::trace().DumpHists(),
+      // which does not fit a 512-byte tx buffer.
+      const KernelTrace& t = kernel_->trace();
+      size_t pos = 0;
+      const struct {
+        const char* name;
+        const Log2Hist* hist;
+      } rows[] = {{"syscall", &t.syscall_hist()},
+                  {"irq2up", &t.irq_upcall_hist()},
+                  {"roundtrip", &t.command_roundtrip_hist()}};
+      for (const auto& row : rows) {
+        pos += static_cast<size_t>(std::snprintf(
+            out + pos, sizeof(out) - pos,
+            "%-9s n=%llu min=%llu max=%llu mean=%llu\n", row.name,
+            (unsigned long long)row.hist->count(), (unsigned long long)row.hist->min(),
+            (unsigned long long)row.hist->max(), (unsigned long long)row.hist->Mean()));
       }
       Emit(out);
       return;

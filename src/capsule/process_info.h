@@ -8,7 +8,12 @@
 //
 // Commands: 0 exists | 1 = live process count | 2 = own slot index |
 //           3 = own restart count | 4 = restart self (privileged) |
-//           5 = read kernel stat (arg1 = StatId, kernel/trace.h) -> Success2U32(lo, hi).
+//           5 = read kernel stat (arg1 = StatId, kernel/trace.h) -> Success2U32(lo, hi);
+//             an out-of-range id returns SuccessU32(kNumStats) so userspace can
+//             discover how many stats this kernel ships (the ABI is append-only) |
+//           6 = read own ProcStats field (arg1 = ProcStatField,
+//             kernel/cycle_accounting.h) -> Success2U32(lo, hi); out-of-range
+//             returns SuccessU32(kNumFields), same discovery idiom.
 #ifndef TOCK_CAPSULE_PROCESS_INFO_H_
 #define TOCK_CAPSULE_PROCESS_INFO_H_
 
@@ -47,10 +52,24 @@ class ProcessInfoDriver : public SyscallDriver {
       case 5: {
         // Read-only view of the kernel's event counters (kernel/trace.h). Not
         // privileged: counters are aggregate observability, not process control.
+        // Out-of-range ids answer with the stat count instead of failing, so a
+        // newer userspace on an older kernel can probe what exists.
         if (arg1 >= static_cast<uint32_t>(StatId::kNumStats)) {
-          return SyscallReturn::Failure(ErrorCode::kInvalid);
+          return SyscallReturn::SuccessU32(static_cast<uint32_t>(StatId::kNumStats));
         }
         uint64_t value = StatValue(kernel_->stats(), static_cast<StatId>(arg1));
+        return SyscallReturn::Success2U32(static_cast<uint32_t>(value),
+                                          static_cast<uint32_t>(value >> 32));
+      }
+      case 6: {
+        // The caller's own profiling row (kernel/cycle_accounting.h): cycle
+        // attribution, high-water marks, restarts. Same discovery idiom as 5.
+        if (arg1 >= static_cast<uint32_t>(ProcStatField::kNumFields)) {
+          return SyscallReturn::SuccessU32(
+              static_cast<uint32_t>(ProcStatField::kNumFields));
+        }
+        ProcStats stats = kernel_->GetProcStats(pid.index);
+        uint64_t value = ProcStatValue(stats, static_cast<ProcStatField>(arg1));
         return SyscallReturn::Success2U32(static_cast<uint32_t>(value),
                                           static_cast<uint32_t>(value >> 32));
       }

@@ -11,6 +11,39 @@ namespace tock {
 
 namespace {
 constexpr unsigned kSysTickIrqLine = MemoryMap::kSysTick;
+
+// RAII cycle-attribution scope (kernel/cycle_accounting.h). Construction switches
+// the open bucket; destruction restores whatever was open before, reading the clock
+// directly so nesting (a syscall scope inside a user scope) suspends and resumes the
+// outer bucket exactly. Compiles to nothing under -DTOCK_TRACE=OFF.
+class AcctScope {
+ public:
+  AcctScope(KernelTrace& trace, Mcu& mcu, CycleBucket bucket,
+            uint8_t pid = CycleAccounting::kNoPid)
+      : trace_(trace), mcu_(mcu) {
+    if constexpr (CycleAccounting::kEnabled) {
+      prev_bucket_ = trace_.accounting().current_bucket();
+      prev_pid_ = trace_.accounting().current_pid();
+      trace_.accounting().Switch(bucket, pid, mcu_.CyclesNow());
+    }
+  }
+  ~AcctScope() {
+    if constexpr (CycleAccounting::kEnabled) {
+      trace_.accounting().Switch(prev_bucket_, prev_pid_, mcu_.CyclesNow());
+    }
+  }
+  AcctScope(const AcctScope&) = delete;
+  AcctScope& operator=(const AcctScope&) = delete;
+
+ private:
+  KernelTrace& trace_;
+  Mcu& mcu_;
+  CycleBucket prev_bucket_ = CycleBucket::kKernel;
+  uint8_t prev_pid_ = CycleAccounting::kNoPid;
+};
+
+static_assert(CycleAccounting::kMaxProcs >= Kernel::kMaxProcesses,
+              "attribution tables must cover every process slot");
 }  // namespace
 
 Kernel::Kernel(Mcu* mcu, SysTick* systick, const KernelConfig& config)
@@ -113,6 +146,9 @@ Result<void> Kernel::RestartProcess(ProcessId pid, const ProcessManagementCapabi
     p->restart_event_id = 0;
   }
   ++p->restart_count;
+  trace_.RecordGrantFree(mcu_->CyclesNow(), p->id.index, p->grant_regions_live,
+                         p->grant_bytes_live);
+  trace_.ClearProcessProfile(p->id.index);
   p->ResetForRestart();
   p->SetBreak(p->initial_break);
   InitProcessContext(*p);
@@ -148,6 +184,25 @@ Process* Kernel::GetLiveProcess(ProcessId pid) {
 
 bool Kernel::IsAlive(ProcessId pid) const {
   return const_cast<Kernel*>(this)->GetLiveProcess(pid) != nullptr;
+}
+
+ProcStats Kernel::GetProcStats(size_t index) const {
+  ProcStats s;
+  if (index >= kMaxProcesses) {
+    return s;
+  }
+  const Process& p = processes_[index];
+  // Snap (not the raw getters) so the still-open attribution span is included:
+  // `prof` from inside a syscall sees service time up to this very cycle.
+  CycleAccounting::Snapshot snap = trace_.accounting().Snap(mcu_->CyclesNow());
+  s.user_cycles = snap.user[index];
+  s.service_cycles = snap.service[index];
+  s.syscalls = p.syscall_count;
+  s.upcalls = p.upcalls_delivered;
+  s.grant_high_water = trace_.grant_high_water(index);
+  s.upcall_queue_max = trace_.upcall_queue_max(index);
+  s.restarts = p.restart_count;
+  return s;
 }
 
 size_t Kernel::NumLiveProcesses() const {
@@ -195,7 +250,7 @@ void* Kernel::GrantEnterRaw(ProcessId pid, unsigned grant_id, uint32_t size, uin
       return nullptr;  // this process exhausted its own quota; nobody else affected
     }
     p->grant_ptrs[grant_id] = addr;
-    trace_.RecordGrantAlloc(mcu_->CyclesNow(), p->id.index, size);
+    trace_.RecordGrantAlloc(mcu_->CyclesNow(), p->id.index, size, p->grant_bytes_live);
     *first_time = true;
   } else {
     *first_time = false;
@@ -258,6 +313,9 @@ Result<void> Kernel::ScheduleUpcall(ProcessId pid, uint32_t driver, uint32_t sub
     return Result<void>(ErrorCode::kInvalid);
   }
   QueuedUpcall upcall{driver, sub, {arg0, arg1, arg2}};
+  // Latency origin: the IRQ being serviced when a hardware bottom half scheduled
+  // this, else the scheduling point itself (kernel/trace.h).
+  upcall.origin_cycle = trace_.UpcallOrigin(mcu_->CyclesNow());
 
   // A process parked in yield-wait-for (or a blocking command) consumes the upcall
   // directly: the values are written into its registers and no handler runs (§3.2).
@@ -285,6 +343,7 @@ Result<void> Kernel::ScheduleUpcall(ProcessId pid, uint32_t driver, uint32_t sub
     }
   }
   trace_.RecordUpcallQueued(mcu_->CyclesNow(), p->id.index, driver);
+  trace_.NoteUpcallQueueDepth(p->id.index, p->upcall_queue.Size());
   return Result<void>::Ok();
 }
 
@@ -319,7 +378,8 @@ void Kernel::InvokeUpcallHandler(Process& p, const QueuedUpcall& upcall, uint32_
   p.ctx.x[Reg::kRa] = Cpu::kUpcallReturnAddr;
   p.ctx.pc = fn;
   ++p.upcalls_delivered;
-  trace_.RecordUpcallDelivered(mcu_->CyclesNow(), p.id.index);
+  trace_.RecordUpcallDelivered(mcu_->CyclesNow(), p.id.index, upcall.driver,
+                               upcall.origin_cycle);
   mcu_->Tick(CycleCosts::kUpcallInvoke);
 }
 
@@ -327,7 +387,8 @@ void Kernel::DeliverDirectReturn(Process& p, const QueuedUpcall& upcall) {
   SyscallReturn::Success3U32(upcall.args[0], upcall.args[1], upcall.args[2]).WriteTo(p.ctx);
   p.blocking_command_wait = false;
   ++p.upcalls_delivered;
-  trace_.RecordUpcallDelivered(mcu_->CyclesNow(), p.id.index);
+  trace_.RecordUpcallDelivered(mcu_->CyclesNow(), p.id.index, upcall.driver,
+                               upcall.origin_cycle);
 }
 
 // ---- Scheduler --------------------------------------------------------------------------
@@ -416,6 +477,8 @@ void Kernel::FaultProcess(Process& p, const VmFault& fault) {
   // revival is deferred, so a crash loop pays its backoff out of its own time.
   ++p.restart_count;
   ProcessFaultInfo diagnostics = p.fault_info;
+  trace_.RecordGrantFree(now, p.id.index, p.grant_regions_live, p.grant_bytes_live);
+  trace_.ClearProcessProfile(p.id.index);
   p.ResetForRestart();            // bumps the generation: stale ProcessIds go dead
   p.fault_info = diagnostics;     // keep the cause visible while restart-pending
   p.state = ProcessState::kRestartPending;
@@ -452,10 +515,16 @@ void Kernel::ReviveProcess(ProcessId pid) {
 // ---- Process execution --------------------------------------------------------------
 
 void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
+  // Everything in here belongs to this process: its own instructions run under
+  // kUser; kernel work on its behalf (switch-in, upcall delivery, syscall service)
+  // runs under nested kService scopes.
+  AcctScope user_scope(trace_, *mcu_, CycleBucket::kUser, p.id.index);
+
   if (p.state == ProcessState::kUnstarted) {
     InitProcessContext(p);
     p.state = ProcessState::kRunnable;
   } else if (p.state == ProcessState::kYielded) {
+    AcctScope service_scope(trace_, *mcu_, CycleBucket::kService, p.id.index);
     if (!TryDeliverQueuedUpcall(p)) {
       return;  // every queued upcall had been scrubbed; stay yielded
     }
@@ -463,6 +532,7 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
   }
 
   if (mpu_configured_for_ != p.id.index) {
+    AcctScope service_scope(trace_, *mcu_, CycleBucket::kService, p.id.index);
     ConfigureMpuFor(p);
     mpu_configured_for_ = p.id.index;
     mcu_->Tick(CycleCosts::kContextSwitch);
@@ -498,10 +568,16 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
         continue;
       case StepResult::kEcall: {
         ++p.syscall_count;
-        trace_.RecordSyscall(mcu_->CyclesNow(), p.id.index, p.ctx.x[Reg::kA4]);
-        mcu_->Tick(CycleCosts::kSyscallEntry);
-        bool keep_running = HandleSyscall(p);
-        mcu_->Tick(CycleCosts::kSyscallExit);
+        uint64_t trap_entry = mcu_->CyclesNow();
+        trace_.RecordSyscall(trap_entry, p.id.index, p.ctx.x[Reg::kA4]);
+        bool keep_running;
+        {
+          AcctScope service_scope(trace_, *mcu_, CycleBucket::kService, p.id.index);
+          mcu_->Tick(CycleCosts::kSyscallEntry);
+          keep_running = HandleSyscall(p);
+          mcu_->Tick(CycleCosts::kSyscallExit);
+        }
+        trace_.RecordSyscallLatency(mcu_->CyclesNow() - trap_entry);
         if (!keep_running) {
           systick_->DisarmAndClear();
           return;
@@ -550,6 +626,7 @@ bool Kernel::HandleSyscall(Process& p) {
         return true;
       }
       uint32_t generation_before = p.id.generation;
+      trace_.NoteCommandIssued(p.id.index, call.args[0], mcu_->CyclesNow());
       SyscallReturn ret = driver->Command(p.id, call.args[1], call.args[2], call.args[3]);
       // A privileged driver may have stopped or restarted the caller mid-command; in
       // either case the old register context is gone and must not be written.
@@ -575,6 +652,9 @@ bool Kernel::HandleSyscall(Process& p) {
     case SyscallClass::kExit: {
       if (static_cast<ExitVariant>(call.args[0]) == ExitVariant::kRestart) {
         ++p.restart_count;
+        trace_.RecordGrantFree(mcu_->CyclesNow(), p.id.index, p.grant_regions_live,
+                               p.grant_bytes_live);
+        trace_.ClearProcessProfile(p.id.index);
         p.ResetForRestart();
         p.SetBreak(p.initial_break);
         InitProcessContext(p);
@@ -775,6 +855,7 @@ bool Kernel::HandleBlockingCommand(Process& p, const Syscall& call) {
     SyscallReturn::Failure(ErrorCode::kNoDevice).WriteTo(p.ctx);
     return true;
   }
+  trace_.NoteCommandIssued(p.id.index, driver_num, mcu_->CyclesNow());
   SyscallReturn started = driver->Command(p.id, call.args[1], call.args[2], 0);
   if (static_cast<uint32_t>(started.variant) < static_cast<uint32_t>(ReturnVariant::kSuccess)) {
     started.WriteTo(p.ctx);  // command failed synchronously
@@ -810,8 +891,20 @@ bool Kernel::MainLoopStep(const MainLoopCapability& cap, uint64_t deadline_cycle
   if (panicked_) {
     return false;  // a Panic-policy process faulted: the kernel has halted
   }
-  ServiceInterrupts();
-  bool deferred_ran = RunDeferredCalls();
+  // Attribution anchors at the first loop step (boot cost stays outside the
+  // conservation window); the ambient bucket between scopes is kKernel, so
+  // main-loop glue and inter-step board activity stay accounted for.
+  trace_.accounting().Begin(mcu_->CyclesNow());
+
+  {
+    AcctScope irq_scope(trace_, *mcu_, CycleBucket::kIrq);
+    ServiceInterrupts();
+  }
+  bool deferred_ran;
+  {
+    AcctScope capsule_scope(trace_, *mcu_, CycleBucket::kCapsule);
+    deferred_ran = RunDeferredCalls();
+  }
 
   if (Process* p = NextSchedulableProcess()) {
     ExecuteProcess(*p, deadline_cycles);
@@ -823,7 +916,11 @@ bool Kernel::MainLoopStep(const MainLoopCapability& cap, uint64_t deadline_cycle
 
   // Nothing to do: sleep until the next hardware event (§2.5), without overshooting
   // the caller's deadline.
-  uint64_t slept = mcu_->SleepUntilInterrupt(deadline_cycles);
+  uint64_t slept;
+  {
+    AcctScope idle_scope(trace_, *mcu_, CycleBucket::kIdle);
+    slept = mcu_->SleepUntilInterrupt(deadline_cycles);
+  }
   trace_.RecordSleep(mcu_->CyclesNow(), slept);
   return !mcu_->wedged();
 }

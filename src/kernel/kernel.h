@@ -148,6 +148,10 @@ class Kernel {
   // forward into it so existing callers keep working.
   const KernelStats& stats() const { return trace_.stats(); }
   const KernelTrace& trace() const { return trace_; }
+  // Assembles the per-process profiling row (kernel/cycle_accounting.h): attribution
+  // snapshot fields plus the PCB's own lifetime counters. All-zero for a bad index;
+  // with tracing compiled out only the PCB-backed fields are populated.
+  ProcStats GetProcStats(size_t index) const;
   uint64_t total_syscalls() const { return stats().SyscallsTotal(); }
   uint64_t total_context_switches() const { return stats().context_switches; }
   uint64_t total_upcalls() const { return stats().upcalls_queued; }

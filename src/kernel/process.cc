@@ -97,6 +97,8 @@ uint32_t Process::AllocateGrantMemory(uint32_t size, uint32_t align) {
   }
   grant_break = candidate;
   grant_bytes_allocated += size;
+  grant_bytes_live += size;
+  ++grant_regions_live;
   return candidate;
 }
 
@@ -139,6 +141,8 @@ void Process::ResetForRestart() {
   }
   upcall_queue.Clear();
   grant_ptrs.fill(0);
+  grant_bytes_live = 0;
+  grant_regions_live = 0;
   grant_break = ram_start + ram_size;
   app_break = ram_start;
   ++id.generation;

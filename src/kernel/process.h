@@ -73,6 +73,10 @@ struct QueuedUpcall {
   uint32_t driver = 0;
   uint32_t sub_num = 0;
   uint32_t args[3] = {0, 0, 0};
+  // Cycle stamp of the IRQ (or scheduling point) that caused this upcall; the
+  // profiling layer uses it for the IRQ-to-delivery latency histogram. 0 = unstamped
+  // (e.g. trace disabled).
+  uint64_t origin_cycle = 0;
 };
 
 struct ProcessFaultInfo {
@@ -134,7 +138,9 @@ class Process {
   uint64_t syscall_count = 0;
   uint64_t upcalls_delivered = 0;
   uint64_t timeslice_expirations = 0;
-  uint64_t grant_bytes_allocated = 0;
+  uint64_t grant_bytes_allocated = 0;   // lifetime total (monotonic across restarts)
+  uint64_t grant_bytes_live = 0;        // this incarnation's live grant bytes
+  uint32_t grant_regions_live = 0;      // how many grant_ptrs are allocated
 
   // A restart-pending process is *between lives*: its dynamic kernel state has been
   // reclaimed and its generation bumped, so capsules must treat it as dead until the

@@ -80,6 +80,12 @@ uint64_t StatValue(const KernelStats& stats, StatId id) {
       return stats.process_exits;
     case StatId::kSyscallsUnknown:
       return stats.syscalls_unknown;
+    case StatId::kGrantFrees:
+      return stats.grant_frees;
+    case StatId::kGrantBytesFreed:
+      return stats.grant_bytes_freed;
+    case StatId::kSleepArgSaturations:
+      return stats.sleep_arg_saturations;
     case StatId::kNumStats:
       break;
   }
@@ -138,6 +144,12 @@ const char* StatName(StatId id) {
       return "process.exits";
     case StatId::kSyscallsUnknown:
       return "syscalls.unknown";
+    case StatId::kGrantFrees:
+      return "grants.frees";
+    case StatId::kGrantBytesFreed:
+      return "grants.bytes_freed";
+    case StatId::kSleepArgSaturations:
+      return "sleep.arg_saturations";
     case StatId::kNumStats:
       break;
   }
@@ -208,6 +220,70 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "restart";
     case TraceEventKind::kProcessExit:
       return "exit";
+    case TraceEventKind::kGrantFree:
+      return "grantfree";
+  }
+  return "?";
+}
+
+const char* CycleBucketName(CycleBucket bucket) {
+  switch (bucket) {
+    case CycleBucket::kKernel:
+      return "kernel";
+    case CycleBucket::kUser:
+      return "user";
+    case CycleBucket::kService:
+      return "service";
+    case CycleBucket::kCapsule:
+      return "deferred";
+    case CycleBucket::kIrq:
+      return "irq";
+    case CycleBucket::kIdle:
+      return "idle";
+  }
+  return "?";
+}
+
+uint64_t ProcStatValue(const ProcStats& stats, ProcStatField field) {
+  switch (field) {
+    case ProcStatField::kUserCycles:
+      return stats.user_cycles;
+    case ProcStatField::kServiceCycles:
+      return stats.service_cycles;
+    case ProcStatField::kSyscalls:
+      return stats.syscalls;
+    case ProcStatField::kUpcalls:
+      return stats.upcalls;
+    case ProcStatField::kGrantHighWater:
+      return stats.grant_high_water;
+    case ProcStatField::kUpcallQueueMax:
+      return stats.upcall_queue_max;
+    case ProcStatField::kRestarts:
+      return stats.restarts;
+    case ProcStatField::kNumFields:
+      break;
+  }
+  return 0;
+}
+
+const char* ProcStatName(ProcStatField field) {
+  switch (field) {
+    case ProcStatField::kUserCycles:
+      return "user_cycles";
+    case ProcStatField::kServiceCycles:
+      return "service_cycles";
+    case ProcStatField::kSyscalls:
+      return "syscalls";
+    case ProcStatField::kUpcalls:
+      return "upcalls";
+    case ProcStatField::kGrantHighWater:
+      return "grant_high_water";
+    case ProcStatField::kUpcallQueueMax:
+      return "upcall_queue_max";
+    case ProcStatField::kRestarts:
+      return "restarts";
+    case ProcStatField::kNumFields:
+      break;
   }
   return "?";
 }
@@ -221,6 +297,37 @@ void KernelTrace::DumpStats(std::string& out) const {
                   StatValue(stats_, id));
     out += line;
   }
+}
+
+void DumpLog2Hist(const Log2Hist& hist, const char* name, std::string& out) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%-10s n=%" PRIu64 " min=%" PRIu64 " max=%" PRIu64
+                " mean=%" PRIu64 "\n",
+                name, hist.count(), hist.min(), hist.max(), hist.Mean());
+  out += buf;
+  if (hist.count() == 0) {
+    return;
+  }
+  for (size_t i = 0; i < Log2Hist::kBuckets; ++i) {
+    if (hist.bucket(i) == 0) {
+      continue;
+    }
+    if (i == Log2Hist::kBuckets - 1) {
+      std::snprintf(buf, sizeof(buf), "  [2^%zu,     inf) %" PRIu64 "\n", i,
+                    hist.bucket(i));
+    } else {
+      std::snprintf(buf, sizeof(buf), "  [2^%-2zu, 2^%-2zu) %" PRIu64 "\n", i, i + 1,
+                    hist.bucket(i));
+    }
+    out += buf;
+  }
+}
+
+void KernelTrace::DumpHists(std::string& out) const {
+  out += "==== latency histograms (cycles) ====\n";
+  DumpLog2Hist(hist_syscall_, "syscall", out);
+  DumpLog2Hist(hist_irq_upcall_, "irq2up", out);
+  DumpLog2Hist(hist_roundtrip_, "roundtrip", out);
 }
 
 void KernelTrace::DumpTrace(std::string& out) const {

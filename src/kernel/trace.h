@@ -19,12 +19,15 @@
 #ifndef TOCK_KERNEL_TRACE_H_
 #define TOCK_KERNEL_TRACE_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "kernel/config.h"
+#include "kernel/cycle_accounting.h"
 #include "kernel/syscall.h"
 #include "util/event_ring.h"
+#include "util/log2_hist.h"
 #include "vm/cpu.h"
 
 namespace tock {
@@ -58,14 +61,22 @@ struct KernelStats {
   uint64_t upcalls_scrubbed = 0;
   uint64_t upcalls_dropped = 0;
 
-  // Grant allocator (§2.4).
+  // Grant allocator (§2.4). allocs/bytes count first-time grant entries; frees count
+  // reclamation at process death or restart, so `grant_bytes - grant_bytes_freed`
+  // reconciles to the live usage summed over process control blocks instead of
+  // growing monotonically across restarts (asserted by tests/fault_soak_test.cc).
   uint64_t grant_allocs = 0;
   uint64_t grant_bytes = 0;
+  uint64_t grant_frees = 0;
+  uint64_t grant_bytes_freed = 0;
 
   // Sleep residency (§2.5): cycles the kernel spent in SleepUntilInterrupt and how
-  // many times it entered the sleep state.
+  // many times it entered the sleep state. A kSleep trace event stores the slept
+  // cycles in a 32-bit arg; sleeps too long to fit are counted here so consumers
+  // (tools/trace_export.cc) know to reconstruct durations from sleep_cycles deltas.
   uint64_t sleep_cycles = 0;
   uint64_t sleep_entries = 0;
+  uint64_t sleep_arg_saturations = 0;
 
   // Process lifecycle.
   uint64_t process_faults = 0;
@@ -109,7 +120,10 @@ enum class StatId : uint32_t {
   kProcessRestarts = 22,
   kProcessExits = 23,
   kSyscallsUnknown = 24,
-  kNumStats = 25,
+  kGrantFrees = 25,
+  kGrantBytesFreed = 26,
+  kSleepArgSaturations = 27,
+  kNumStats = 28,
 };
 
 // Returns the counter for `id`, or 0 for an out-of-range id.
@@ -133,6 +147,7 @@ enum class TraceEventKind : uint8_t {
   kProcessFault,  // arg = fault cause (FaultCauseArg encoding)
   kProcessRestart,
   kProcessExit,  // arg = completion code
+  kGrantFree,    // arg = bytes reclaimed at process death/restart
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -162,6 +177,27 @@ class KernelTrace {
   const KernelStats& stats() const { return stats_; }
   const EventRing<TraceEvent, kTraceDepth>& events() const { return ring_; }
 
+  // Per-process cycle attribution (kernel/cycle_accounting.h). The kernel drives
+  // Switch() from its main loop; everyone else reads.
+  CycleAccounting& accounting() { return accounting_; }
+  const CycleAccounting& accounting() const { return accounting_; }
+
+  // Latency histograms (util/log2_hist.h), all in simulated cycles:
+  //   syscall   — trap entry to trap return (or to the block, for yields)
+  //   irq       — IRQ bottom-half dispatch to the resulting upcall's delivery
+  //   roundtrip — split-phase Command syscall to the completion upcall's delivery
+  const Log2Hist& syscall_hist() const { return hist_syscall_; }
+  const Log2Hist& irq_upcall_hist() const { return hist_irq_upcall_; }
+  const Log2Hist& command_roundtrip_hist() const { return hist_roundtrip_; }
+
+  // Per-process high-water marks (the ProcStats fields the PCB does not keep).
+  uint64_t grant_high_water(size_t pid) const {
+    return pid < CycleAccounting::kMaxProcs ? grant_hwm_[pid] : 0;
+  }
+  uint64_t upcall_queue_max(size_t pid) const {
+    return pid < CycleAccounting::kMaxProcs ? queue_max_[pid] : 0;
+  }
+
   void RecordSyscall(uint64_t cycle, uint8_t pid, uint32_t klass_raw) {
     if constexpr (kEnabled) {
       if (klass_raw <= static_cast<uint32_t>(SyscallClass::kBlockingCommand)) {
@@ -187,6 +223,9 @@ class KernelTrace {
   void RecordIrqDispatch(uint64_t cycle, uint32_t line) {
     if constexpr (kEnabled) {
       ++stats_.irq_dispatches;
+      // Upcalls scheduled while servicing this dispatch (directly, or from the
+      // deferred call it triggers within the same loop step) are charged to it.
+      irq_origin_cycle_ = cycle;
       Push(cycle, TraceEventKind::kIrqDispatch, kNoPid, line);
     }
   }
@@ -202,10 +241,21 @@ class KernelTrace {
       Push(cycle, TraceEventKind::kUpcallQueued, pid, driver);
     }
   }
-  void RecordUpcallDelivered(uint64_t cycle, uint8_t pid) {
+  // `driver` identifies the delivering driver (for command round-trip matching);
+  // `origin_cycle` is the IRQ-dispatch stamp carried by the upcall (0 = none).
+  void RecordUpcallDelivered(uint64_t cycle, uint8_t pid, uint32_t driver,
+                             uint64_t origin_cycle) {
     if constexpr (kEnabled) {
       ++stats_.upcalls_delivered;
-      Push(cycle, TraceEventKind::kUpcallDelivered, pid, 0);
+      Push(cycle, TraceEventKind::kUpcallDelivered, pid, driver);
+      if (origin_cycle != 0 && cycle >= origin_cycle) {
+        hist_irq_upcall_.Record(cycle - origin_cycle);
+      }
+      if (pid < CycleAccounting::kMaxProcs && pending_cmd_[pid].valid &&
+          pending_cmd_[pid].driver == driver) {
+        hist_roundtrip_.Record(cycle - pending_cmd_[pid].cycle);
+        pending_cmd_[pid].valid = false;
+      }
     }
   }
   void RecordUpcallsScrubbed(uint64_t cycle, uint8_t pid, uint64_t count) {
@@ -223,11 +273,28 @@ class KernelTrace {
       Push(cycle, TraceEventKind::kUpcallDropped, pid, 0);
     }
   }
-  void RecordGrantAlloc(uint64_t cycle, uint8_t pid, uint32_t bytes) {
+  // `live_bytes` is the process's live grant usage after this allocation, for the
+  // high-water mark.
+  void RecordGrantAlloc(uint64_t cycle, uint8_t pid, uint32_t bytes, uint64_t live_bytes) {
     if constexpr (kEnabled) {
       ++stats_.grant_allocs;
       stats_.grant_bytes += bytes;
+      if (pid < CycleAccounting::kMaxProcs && live_bytes > grant_hwm_[pid]) {
+        grant_hwm_[pid] = live_bytes;
+      }
       Push(cycle, TraceEventKind::kGrantAlloc, pid, bytes);
+    }
+  }
+  // Reclamation at death/restart: `count` grant regions totalling `bytes` returned
+  // to the process's quota (satellite of the restart work in kernel.cc).
+  void RecordGrantFree(uint64_t cycle, uint8_t pid, uint64_t count, uint64_t bytes) {
+    if constexpr (kEnabled) {
+      if (count == 0) {
+        return;
+      }
+      stats_.grant_frees += count;
+      stats_.grant_bytes_freed += bytes;
+      Push(cycle, TraceEventKind::kGrantFree, pid, static_cast<uint32_t>(bytes));
     }
   }
   void RecordSleep(uint64_t cycle, uint64_t slept_cycles) {
@@ -237,8 +304,15 @@ class KernelTrace {
       }
       stats_.sleep_cycles += slept_cycles;
       ++stats_.sleep_entries;
-      uint32_t arg = slept_cycles > UINT32_MAX ? UINT32_MAX
-                                               : static_cast<uint32_t>(slept_cycles);
+      uint32_t arg;
+      if (slept_cycles > UINT32_MAX) {
+        // The 32-bit event arg cannot hold the duration; count the saturation so
+        // the exporter knows to fall back to sleep_cycles deltas.
+        ++stats_.sleep_arg_saturations;
+        arg = UINT32_MAX;
+      } else {
+        arg = static_cast<uint32_t>(slept_cycles);
+      }
       Push(cycle, TraceEventKind::kSleep, kNoPid, arg);
     }
   }
@@ -261,19 +335,86 @@ class KernelTrace {
     }
   }
 
+  // ---- Profiling hooks (cycle attribution & latency histograms) ------------------
+
+  // Syscall trap-entry to trap-return service time.
+  void RecordSyscallLatency(uint64_t cycles) {
+    if constexpr (kEnabled) {
+      hist_syscall_.Record(cycles);
+    }
+  }
+
+  // A Command syscall was dispatched; the next upcall delivered to `pid` from
+  // `driver` closes the split-phase round trip. One outstanding command per process
+  // (matching the one-outstanding-operation discipline of the TRD104 drivers).
+  void NoteCommandIssued(uint8_t pid, uint32_t driver, uint64_t cycle) {
+    if constexpr (kEnabled) {
+      if (pid < CycleAccounting::kMaxProcs) {
+        pending_cmd_[pid] = PendingCommand{cycle, driver, true};
+      }
+    }
+  }
+
+  // The IRQ-dispatch stamp a scheduled upcall should carry: the cycle of the IRQ
+  // being serviced when attribution sits in interrupt/deferred context, else `now`
+  // (capsule scheduled it synchronously from a syscall — the latency starts here).
+  uint64_t UpcallOrigin(uint64_t now) const {
+    if constexpr (kEnabled) {
+      return accounting_.InHardwareContext() && irq_origin_cycle_ != 0 ? irq_origin_cycle_
+                                                                      : now;
+    }
+    return 0;
+  }
+
+  void NoteUpcallQueueDepth(uint8_t pid, uint64_t depth) {
+    if constexpr (kEnabled) {
+      if (pid < CycleAccounting::kMaxProcs && depth > queue_max_[pid]) {
+        queue_max_[pid] = depth;
+      }
+    }
+  }
+
+  // A process slot is being reset for reuse/restart: its pending round-trip stamp
+  // must not match against the next incarnation's upcalls.
+  void ClearProcessProfile(uint8_t pid) {
+    if constexpr (kEnabled) {
+      if (pid < CycleAccounting::kMaxProcs) {
+        pending_cmd_[pid].valid = false;
+      }
+    }
+  }
+
   // Text dumps (host-side introspection only; the record path never allocates).
   // Deterministic: byte-identical across identical runs.
   void DumpStats(std::string& out) const;
   void DumpTrace(std::string& out) const;
+  void DumpHists(std::string& out) const;
 
  private:
+  struct PendingCommand {
+    uint64_t cycle = 0;
+    uint32_t driver = 0;
+    bool valid = false;
+  };
+
   void Push(uint64_t cycle, TraceEventKind kind, uint8_t pid, uint32_t arg) {
     ring_.Push(TraceEvent{cycle, kind, pid, arg});
   }
 
   KernelStats stats_;
   EventRing<TraceEvent, kTraceDepth> ring_;
+  CycleAccounting accounting_;
+  Log2Hist hist_syscall_;
+  Log2Hist hist_irq_upcall_;
+  Log2Hist hist_roundtrip_;
+  std::array<uint64_t, CycleAccounting::kMaxProcs> grant_hwm_{};
+  std::array<uint64_t, CycleAccounting::kMaxProcs> queue_max_{};
+  std::array<PendingCommand, CycleAccounting::kMaxProcs> pending_cmd_{};
+  uint64_t irq_origin_cycle_ = 0;
 };
+
+// Dumps one histogram as a single line: summary stats plus the nonzero buckets.
+void DumpLog2Hist(const Log2Hist& hist, const char* name, std::string& out);
 
 }  // namespace tock
 

@@ -1,0 +1,37 @@
+// ERA: 3
+// Chrome trace-event JSON exporter: turns the kernel's retained observability
+// state — the cycle-attribution span ring (kernel/cycle_accounting.h) and the
+// trace-event ring (kernel/trace.h) — into a document loadable by chrome://tracing
+// or Perfetto, so a simulated run can be inspected on a real timeline instead of
+// read as a text dump.
+//
+// Mapping: the whole board is one Chrome "process"; each attribution target gets a
+// Chrome "thread" (kernel / irq / deferred / idle rows, plus one row per process
+// slot carrying both its user and service spans — they never overlap, because
+// attribution is switch-based). CycleSpans become "ph":"X" duration events and
+// TraceEvents become "ph":"i" instants. Timestamps are simulated cycles written
+// into the microsecond field; the absolute numbers are what matter.
+//
+// The output is deterministic — fixed event order, integer timestamps, no locale —
+// so two identical runs export byte-identical files (tests/profiler_test.cc pins a
+// golden one). With the trace layer compiled out (-DTOCK_TRACE=OFF) the exporter
+// still emits a valid document; it is just empty of events.
+#ifndef TOCK_TOOLS_TRACE_EXPORT_H_
+#define TOCK_TOOLS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "kernel/kernel.h"
+
+namespace tock {
+
+// Renders the kernel's span ring, event ring, and latency histograms as a Chrome
+// trace-event JSON document. Process slot names label the per-process rows.
+std::string ExportChromeTrace(Kernel& kernel);
+
+// ExportChromeTrace to a file. Returns false when the file cannot be written.
+bool WriteChromeTrace(Kernel& kernel, const std::string& path);
+
+}  // namespace tock
+
+#endif  // TOCK_TOOLS_TRACE_EXPORT_H_

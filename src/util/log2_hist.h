@@ -1,0 +1,98 @@
+// ERA: 3
+// Fixed 32-bucket log2 latency histogram (heapless, like every kernel-side data
+// structure here, §2.4). Bucket i counts samples v with bit_width(v) == i+1, i.e.
+// v in [2^i, 2^(i+1)); bucket 0 additionally absorbs v == 0 and the top bucket
+// saturates (v >= 2^31 all land in bucket 31). Power-of-two buckets are the
+// standard embedded tradeoff: one CLZ per record, constant memory, and enough
+// resolution to tell a 40-cycle direct return from a 4000-cycle round trip.
+//
+// Used by the profiling layer (kernel/trace.h) for syscall service time, IRQ to
+// upcall delivery, and split-phase command round trips; Merge() lets host-side
+// tooling aggregate histograms across boards or campaigns.
+#ifndef TOCK_UTIL_LOG2_HIST_H_
+#define TOCK_UTIL_LOG2_HIST_H_
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace tock {
+
+class Log2Hist {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  // Bucket a sample falls into: 0 for v <= 1, otherwise floor(log2(v)), capped
+  // at the saturating top bucket.
+  static constexpr size_t BucketIndex(uint64_t v) {
+    if (v <= 1) {
+      return 0;
+    }
+    size_t b = static_cast<size_t>(std::bit_width(v)) - 1;
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+
+  // Inclusive lower bound of bucket i.
+  static constexpr uint64_t BucketLow(size_t i) {
+    return i == 0 ? 0 : (uint64_t{1} << i);
+  }
+  // Inclusive upper bound of bucket i (UINT64_MAX for the saturating top bucket).
+  static constexpr uint64_t BucketHigh(size_t i) {
+    return i >= kBuckets - 1 ? UINT64_MAX : (uint64_t{1} << (i + 1)) - 1;
+  }
+
+  constexpr void Record(uint64_t v) {
+    ++buckets_[BucketIndex(v)];
+    ++count_;
+    sum_ += v;
+    if (v < min_) {
+      min_ = v;
+    }
+    if (v > max_) {
+      max_ = v;
+    }
+  }
+
+  constexpr uint64_t count() const { return count_; }
+  constexpr uint64_t sum() const { return sum_; }
+  // min()/max() are only meaningful when count() > 0.
+  constexpr uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  constexpr uint64_t max() const { return max_; }
+  constexpr uint64_t bucket(size_t i) const { return i < kBuckets ? buckets_[i] : 0; }
+  constexpr const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  // Mean rounded down; 0 when empty.
+  constexpr uint64_t Mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+
+  // Aggregates another histogram into this one (multi-board / multi-campaign
+  // rollups). Bucket-exact: both sides bucketed identically before the merge.
+  constexpr void Merge(const Log2Hist& other) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+      if (other.min_ < min_) {
+        min_ = other.min_;
+      }
+      if (other.max_ > max_) {
+        max_ = other.max_;
+      }
+    }
+  }
+
+  constexpr void Clear() { *this = Log2Hist{}; }
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_LOG2_HIST_H_

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "board/sim_board.h"
+#include "capsule/process_info.h"
 
 namespace tock {
 namespace {
@@ -222,6 +223,49 @@ _start:
   board.Run(1'000'000);
   Process& p = *board.kernel().process(0);
   EXPECT_EQ(*board.mcu().bus().Read(p.ram_start, 4, Privilege::kPrivileged), 130u);
+}
+
+TEST(AbiDiscovery, ProcessInfoStatIdsAreProbeable) {
+  // The stat and proc-stat ABIs are append-only; instead of a version handshake,
+  // an out-of-range id answers with the table size. A newer userspace on an older
+  // kernel probes once and sizes its tables — no failure path to special-case.
+  SimBoard board;
+  AppSpec app;
+  app.name = "probe";
+  app.source = "_start:\nspin:\n    li a0, 10000\n    call sleep_ticks\n    j spin\n";
+  ASSERT_NE(board.installer().Install(app), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(1'000'000);
+  ProcessInfoDriver driver(&board.kernel(), board.pm_cap());
+  ProcessId pid = board.kernel().process(0)->id;
+
+  // Command 5 (kernel stats): every in-range id is a 64-bit read, the first
+  // out-of-range id is the count.
+  constexpr uint32_t kStatCount = static_cast<uint32_t>(StatId::kNumStats);
+  SyscallReturn probe = driver.Command(pid, 5, kStatCount, 0);
+  ASSERT_EQ(probe.variant, ReturnVariant::kSuccessU32);
+  EXPECT_EQ(probe.values[0], kStatCount);
+  probe = driver.Command(pid, 5, UINT32_MAX, 0);
+  ASSERT_EQ(probe.variant, ReturnVariant::kSuccessU32);
+  EXPECT_EQ(probe.values[0], kStatCount);
+  EXPECT_EQ(driver.Command(pid, 5, 0, 0).variant, ReturnVariant::kSuccess2U32);
+
+  // Command 6 (own ProcStats row): same idiom, separate table.
+  constexpr uint32_t kFieldCount = static_cast<uint32_t>(ProcStatField::kNumFields);
+  probe = driver.Command(pid, 6, kFieldCount, 0);
+  ASSERT_EQ(probe.variant, ReturnVariant::kSuccessU32);
+  EXPECT_EQ(probe.values[0], kFieldCount);
+  for (uint32_t field = 0; field < kFieldCount; ++field) {
+    SyscallReturn ret = driver.Command(pid, 6, field, 0);
+    ASSERT_EQ(ret.variant, ReturnVariant::kSuccess2U32) << "field " << field;
+  }
+  // Sanity of the row itself: the app made syscalls, and has never restarted.
+  SyscallReturn syscalls =
+      driver.Command(pid, 6, static_cast<uint32_t>(ProcStatField::kSyscalls), 0);
+  EXPECT_GE(syscalls.values[0], 1u);
+  SyscallReturn restarts =
+      driver.Command(pid, 6, static_cast<uint32_t>(ProcStatField::kRestarts), 0);
+  EXPECT_EQ(restarts.values[0], 0u);
 }
 
 }  // namespace

@@ -84,10 +84,15 @@ TEST(FaultInjection, InjectedMpuViolationFaultsOnlyTheTargetProcess) {
   EXPECT_EQ(v->fault_info.vm_fault.bus_fault.kind, BusFaultKind::kMpuViolation);
   EXPECT_TRUE(p->IsAlive());
   EXPECT_GT(p->syscall_count, 0u);
-  EXPECT_EQ(board.kernel().stats().process_faults, 1u);
+  if (KernelTrace::kEnabled) {
+    EXPECT_EQ(board.kernel().stats().process_faults, 1u);
+  }
 }
 
 TEST(FaultInjection, FaultCauseIsRecordedInTheTrace) {
+  if (!KernelTrace::kEnabled) {
+    GTEST_SKIP() << "trace layer compiled out (TOCK_TRACE=OFF)";
+  }
   SimBoard board;
   AppSpec app;
   app.name = "victim";
@@ -123,12 +128,13 @@ TEST(FaultPolicy, RestartIsDeferredWithExponentialBackoff) {
 
   board.fault_injector().ArmCpuFault(0, 300, VmFault::Kind::kBus);
   // Run in small slices until the fault fires, so we land inside the backoff.
+  // (The injector's audit counter is the guard; KernelStats may be compiled out.)
   Process* p = board.kernel().process(0);
   int guard = 1000;
-  while (board.kernel().stats().process_faults == 0 && guard-- > 0) {
+  while (board.fault_injector().armed_cpu_faults() > 0 && guard-- > 0) {
     board.Run(10'000);
   }
-  ASSERT_EQ(board.kernel().stats().process_faults, 1u);
+  ASSERT_EQ(board.fault_injector().cpu_faults_injected(), 1u);
 
   // The process is parked, its dynamic state reclaimed, and the revival scheduled
   // in the future — not performed inline in the fault handler.
@@ -137,7 +143,9 @@ TEST(FaultPolicy, RestartIsDeferredWithExponentialBackoff) {
   EXPECT_EQ(p->restart_count, 1u);
   EXPECT_EQ(p->grant_break, p->ram_start + p->ram_size);
   EXPECT_TRUE(p->upcall_queue.IsEmpty());
-  EXPECT_EQ(board.kernel().stats().process_restarts, 0u);  // not revived yet
+  if (KernelTrace::kEnabled) {
+    EXPECT_EQ(board.kernel().stats().process_restarts, 0u);  // not revived yet
+  }
   uint64_t first_delay = p->restart_due_cycle - p->fault_info.at_cycle;
   EXPECT_EQ(first_delay, 200'000u);
   ASSERT_GT(p->restart_due_cycle, board.mcu().CyclesNow());
@@ -145,15 +153,17 @@ TEST(FaultPolicy, RestartIsDeferredWithExponentialBackoff) {
   // Past the due cycle the process comes back and runs again.
   board.Run(p->restart_due_cycle - board.mcu().CyclesNow() + 100'000);
   EXPECT_TRUE(p->IsAlive());
-  EXPECT_EQ(board.kernel().stats().process_restarts, 1u);
+  if (KernelTrace::kEnabled) {
+    EXPECT_EQ(board.kernel().stats().process_restarts, 1u);
+  }
 
   // A second fault backs off twice as long.
   board.fault_injector().ArmCpuFault(0, 300, VmFault::Kind::kBus);
   guard = 1000;
-  while (board.kernel().stats().process_faults == 1 && guard-- > 0) {
+  while (board.fault_injector().armed_cpu_faults() > 0 && guard-- > 0) {
     board.Run(10'000);
   }
-  ASSERT_EQ(board.kernel().stats().process_faults, 2u);
+  ASSERT_EQ(board.fault_injector().cpu_faults_injected(), 2u);
   uint64_t second_delay = p->restart_due_cycle - p->fault_info.at_cycle;
   EXPECT_EQ(second_delay, 2 * first_delay);
 }
@@ -275,8 +285,10 @@ msg:
   // The crash loop burned its whole budget and ended terminally faulted.
   EXPECT_EQ(bad_p->restart_count, 4u);
   EXPECT_EQ(bad_p->state, ProcessState::kFaulted);
-  EXPECT_EQ(board.kernel().stats().process_faults, 5u);  // initial + 4 restarts
-  EXPECT_EQ(board.kernel().stats().process_restarts, 4u);
+  if (KernelTrace::kEnabled) {
+    EXPECT_EQ(board.kernel().stats().process_faults, 5u);  // initial + 4 restarts
+    EXPECT_EQ(board.kernel().stats().process_restarts, 4u);
+  }
 }
 
 TEST(FaultPolicy, PanicPolicyHaltsTheKernel) {
@@ -319,7 +331,7 @@ TEST(FaultPolicy, StopWhileRestartPendingCancelsTheRevival) {
   board.fault_injector().ArmCpuFault(0, 200, VmFault::Kind::kBus);
   Process* p = board.kernel().process(0);
   int guard = 1000;
-  while (board.kernel().stats().process_faults == 0 && guard-- > 0) {
+  while (board.fault_injector().armed_cpu_faults() > 0 && guard-- > 0) {
     board.Run(10'000);
   }
   ASSERT_EQ(p->state, ProcessState::kRestartPending);
@@ -330,7 +342,9 @@ TEST(FaultPolicy, StopWhileRestartPendingCancelsTheRevival) {
 
   board.Run(2'000'000);  // well past the would-be revival
   EXPECT_EQ(p->state, ProcessState::kTerminated);
-  EXPECT_EQ(board.kernel().stats().process_restarts, 0u);
+  if (KernelTrace::kEnabled) {
+    EXPECT_EQ(board.kernel().stats().process_restarts, 0u);
+  }
 }
 
 // ---- Grant-allocation pressure ----------------------------------------------------------
@@ -392,7 +406,9 @@ msg:
   board.Run(10'000'000);
 
   EXPECT_EQ(board.fault_injector().irqs_injected(), 50u);
-  EXPECT_GE(board.kernel().stats().irq_dispatches - dispatches_before, 50u);
+  if (KernelTrace::kEnabled) {
+    EXPECT_GE(board.kernel().stats().irq_dispatches - dispatches_before, 50u);
+  }
   EXPECT_EQ(board.kernel().process(0)->state, ProcessState::kTerminated);
   EXPECT_NE(board.uart_hw().output().find("ok"), std::string::npos);
 }

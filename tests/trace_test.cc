@@ -168,9 +168,11 @@ TEST(Trace, StatsSyscallMatchesKernelStats) {
     EXPECT_EQ(reported, StatValue(stats, static_cast<StatId>(id)))
         << StatName(static_cast<StatId>(id));
   }
-  // Out-of-range StatId is rejected, not misread.
+  // Out-of-range StatId answers with the stat count — the discovery idiom, so
+  // userspace can size its tables without a separate version handshake.
   SyscallReturn bad = driver.Command(pid, 5, static_cast<uint32_t>(StatId::kNumStats), 0);
-  EXPECT_EQ(bad.variant, ReturnVariant::kFailure);
+  EXPECT_EQ(bad.variant, ReturnVariant::kSuccessU32);
+  EXPECT_EQ(bad.values[0], static_cast<uint32_t>(StatId::kNumStats));
 }
 
 TEST(Trace, ProcessConsoleReportsStats) {

@@ -12,6 +12,7 @@
 #include "util/error.h"
 #include "util/event_ring.h"
 #include "util/intrusive_list.h"
+#include "util/log2_hist.h"
 #include "util/registers.h"
 #include "util/ring_buffer.h"
 #include "util/static_vec.h"
@@ -595,6 +596,77 @@ TEST(Registers, IsSetDetectsAnyFieldBit) {
   EXPECT_FALSE(reg.IsSet(TestReg::kMode));
   reg.Modify(TestReg::kMode.Val(0x4));
   EXPECT_TRUE(reg.IsSet(TestReg::kMode));
+}
+
+TEST(Log2Hist, BucketBoundariesAreExact) {
+  // Bucket i covers [2^i, 2^(i+1)); bucket 0 additionally absorbs 0 and 1. Probe
+  // every boundary: low edge, high edge, and one past the high edge.
+  EXPECT_EQ(Log2Hist::BucketIndex(0), 0u);
+  EXPECT_EQ(Log2Hist::BucketIndex(1), 0u);
+  EXPECT_EQ(Log2Hist::BucketIndex(2), 1u);
+  EXPECT_EQ(Log2Hist::BucketIndex(3), 1u);
+  EXPECT_EQ(Log2Hist::BucketIndex(4), 2u);
+  for (size_t i = 1; i < Log2Hist::kBuckets - 1; ++i) {
+    EXPECT_EQ(Log2Hist::BucketIndex(Log2Hist::BucketLow(i)), i);
+    EXPECT_EQ(Log2Hist::BucketIndex(Log2Hist::BucketHigh(i)), i);
+    EXPECT_EQ(Log2Hist::BucketIndex(Log2Hist::BucketHigh(i) + 1), i + 1);
+  }
+  Log2Hist h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 3u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 2u);
+  EXPECT_EQ(h.Mean(), 1u);
+}
+
+TEST(Log2Hist, TopBucketSaturates) {
+  // Everything from 2^31 up to UINT64_MAX lands in bucket 31 — no overflow, no
+  // out-of-bounds index, and the stats still carry the true extremes.
+  Log2Hist h;
+  h.Record(uint64_t{1} << 31);
+  h.Record(uint64_t{1} << 40);
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.bucket(Log2Hist::kBuckets - 1), 3u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_EQ(h.min(), uint64_t{1} << 31);
+  EXPECT_EQ(Log2Hist::BucketHigh(Log2Hist::kBuckets - 1), UINT64_MAX);
+}
+
+TEST(Log2Hist, MergeIsBucketExactAndTracksExtremes) {
+  Log2Hist a;
+  Log2Hist b;
+  a.Record(5);     // bucket 2
+  a.Record(1000);  // bucket 9
+  b.Record(6);     // bucket 2
+  b.Record(2);     // bucket 1
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 5u + 1000u + 6u + 2u);
+  EXPECT_EQ(a.bucket(1), 1u);
+  EXPECT_EQ(a.bucket(2), 2u);
+  EXPECT_EQ(a.bucket(9), 1u);
+  EXPECT_EQ(a.min(), 2u);
+  EXPECT_EQ(a.max(), 1000u);
+  // Merging an empty histogram is a no-op, including on min().
+  Log2Hist empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 2u);
+  // And merging *into* an empty one adopts the other's extremes.
+  Log2Hist c;
+  c.Merge(a);
+  EXPECT_EQ(c.min(), 2u);
+  EXPECT_EQ(c.max(), 1000u);
+  EXPECT_EQ(c.count(), 4u);
+  c.Clear();
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.min(), 0u);
 }
 
 }  // namespace
