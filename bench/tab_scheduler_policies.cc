@@ -1,0 +1,191 @@
+// Scheduler-policy experiment (kernel/scheduler.h, kernel/sched/).
+//
+// Two measurements across the four pluggable policies:
+//
+//   1. Dispatch overhead: host ns per Next() decision against a synthetic
+//      half-full process table. All four policies are O(kMaxProcesses) scans by
+//      design, so this is the constant factor a board buys with each policy —
+//      not a hot path (one decision per main-loop step), but worth pinning.
+//
+//   2. Fairness under interrupt pressure: two CPU-bound apps (yield-no-wait
+//      spin loops) run under a seeded IRQ storm, which forces scheduling
+//      decision points even for the cooperative policy (an interrupt ends the
+//      running process's turn without a SysTick). Reported: each app's share of
+//      attributed user cycles, context switches, and timeslice expirations.
+//      Round-robin and MLFQ split the CPU near 50/50; the priority policy —
+//      with app0 deliberately favored — demonstrates strict-priority starvation
+//      of the spinning loser.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_json.h"
+#include "board/sim_board.h"
+#include "hw/memory_map.h"
+#include "kernel/sched/cooperative.h"
+#include "kernel/sched/mlfq.h"
+#include "kernel/sched/priority.h"
+#include "kernel/sched/round_robin.h"
+#include "kernel/scheduler.h"
+
+namespace {
+
+using namespace tock;
+
+const SchedulerPolicy kPolicies[] = {
+    SchedulerPolicy::kRoundRobin,
+    SchedulerPolicy::kCooperative,
+    SchedulerPolicy::kPriority,
+    SchedulerPolicy::kMlfq,
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerPolicy policy,
+                                         std::span<Process> procs,
+                                         const KernelConfig& config) {
+  switch (policy) {
+    case SchedulerPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>(procs, config);
+    case SchedulerPolicy::kCooperative:
+      return std::make_unique<CooperativeScheduler>(procs, config);
+    case SchedulerPolicy::kPriority:
+      return std::make_unique<PriorityScheduler>(procs, config);
+    case SchedulerPolicy::kMlfq:
+      return std::make_unique<MlfqScheduler>(procs, config);
+  }
+  return nullptr;
+}
+
+double MeasureDispatchNs(SchedulerPolicy policy) {
+  KernelConfig config;
+  config.scheduler.policy = policy;
+  std::array<Process, Kernel::kMaxProcesses> procs;
+  // Half-full table, the realistic shape: slots 0/2/4/6 created and runnable,
+  // the rest never used.
+  for (size_t i = 0; i < procs.size(); i += 2) {
+    procs[i].id = ProcessId{static_cast<uint8_t>(i), 1};
+    procs[i].state = ProcessState::kRunnable;
+    procs[i].priority = static_cast<uint8_t>(i);
+  }
+  auto sched = MakeScheduler(policy, procs, config);
+
+  constexpr int kIters = 400'000;
+  uint64_t picked = 0;  // defeats dead-code elimination
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    SchedulingDecision d = sched->Next(static_cast<uint64_t>(i) * 10'000);
+    if (d.process != nullptr) {
+      picked += d.process->id.index;
+      // Alternate block/expire feedback so stateful policies pay their
+      // bookkeeping (MLFQ demotion) inside the measured loop.
+      sched->ExecutionComplete(*d.process,
+                               i % 2 == 0 ? StoppedReason::kBlocked
+                                          : StoppedReason::kTimesliceExpired,
+                               static_cast<uint64_t>(i) * 10'000);
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  if (picked == UINT64_MAX) {
+    std::printf("(impossible)\n");
+  }
+  double ns = std::chrono::duration<double, std::nano>(end - start).count();
+  return ns / kIters;
+}
+
+struct FairnessResult {
+  double share0 = 0.0;  // app0's fraction of attributed user cycles (0..1)
+  double share1 = 0.0;
+  uint64_t context_switches = 0;
+  uint64_t timeslice_expirations = 0;
+  uint64_t irqs = 0;
+};
+
+FairnessResult MeasureFairness(SchedulerPolicy policy) {
+  BoardConfig config;
+  config.kernel.scheduler.policy = policy;
+  SimBoard board(config);
+  // Two identical CPU-bound spinners: one yield-no-wait syscall per iteration,
+  // never blocking.
+  const char* spin = "_start:\nloop:\n    li a0, 0\n    li a4, 0\n    ecall\n    j loop\n";
+  for (const char* name : {"app0", "app1"}) {
+    AppSpec app;
+    app.name = name;
+    app.source = spin;
+    if (board.installer().Install(app) == 0) {
+      std::fprintf(stderr, "install failed: %s\n", board.installer().error().c_str());
+      return {};
+    }
+  }
+  if (board.Boot() != 2) {
+    return {};
+  }
+  if (policy == SchedulerPolicy::kPriority) {
+    // Favor app0 outright; the fairness table then shows what strict priority
+    // does to a spinning loser.
+    (void)board.kernel().SetPriority(board.kernel().process(0)->id, 1, board.pm_cap());
+    (void)board.kernel().SetPriority(board.kernel().process(1)->id, 6, board.pm_cap());
+  }
+
+  // A seeded IRQ storm covering the whole horizon: a pending interrupt ends the
+  // running app's turn even when no SysTick is armed (cooperative).
+  board.fault_injector().StartIrqStorm(&board.mcu(), MemoryMap::kGpio,
+                                       /*period_cycles=*/2'000, /*count=*/2'000);
+  board.Run(4'000'000);
+
+  FairnessResult r;
+  Process* p0 = board.kernel().process(0);
+  Process* p1 = board.kernel().process(1);
+  r.context_switches = p0->context_switches + p1->context_switches;
+  r.timeslice_expirations = p0->timeslice_expirations + p1->timeslice_expirations;
+  r.irqs = board.fault_injector().irqs_injected();
+  if (KernelTrace::kEnabled) {
+    ProcStats s0 = board.kernel().GetProcStats(0);
+    ProcStats s1 = board.kernel().GetProcStats(1);
+    uint64_t total = s0.user_cycles + s1.user_cycles;
+    if (total > 0) {
+      r.share0 = static_cast<double>(s0.user_cycles) / static_cast<double>(total);
+      r.share1 = static_cast<double>(s1.user_cycles) / static_cast<double>(total);
+    }
+  } else {
+    // Trace-off builds have no cycle attribution; syscall counts are the
+    // always-available progress measure.
+    uint64_t total = p0->syscall_count + p1->syscall_count;
+    if (total > 0) {
+      r.share0 = static_cast<double>(p0->syscall_count) / static_cast<double>(total);
+      r.share1 = static_cast<double>(p1->syscall_count) / static_cast<double>(total);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tock::bench::BenchReporter reporter("tab_scheduler_policies", &argc, argv);
+
+  std::printf("==== Scheduler policies: dispatch overhead & fairness under IRQ storm ====\n\n");
+  std::printf("  policy      | dispatch ns | app0 share | app1 share | ctxsw | tsexp | irqs\n");
+  std::printf("  ------------+-------------+------------+------------+-------+-------+------\n");
+  for (SchedulerPolicy policy : kPolicies) {
+    double ns = MeasureDispatchNs(policy);
+    FairnessResult f = MeasureFairness(policy);
+    std::printf("  %-11s | %11.1f | %9.1f%% | %9.1f%% | %5llu | %5llu | %llu\n",
+                SchedulerPolicyName(policy), ns, f.share0 * 100.0, f.share1 * 100.0,
+                (unsigned long long)f.context_switches,
+                (unsigned long long)f.timeslice_expirations,
+                (unsigned long long)f.irqs);
+    char name[64];
+    std::snprintf(name, sizeof(name), "dispatch_ns/%s", SchedulerPolicyName(policy));
+    reporter.Record(name, ns, "ns");
+    std::snprintf(name, sizeof(name), "user_share_app0/%s", SchedulerPolicyName(policy));
+    reporter.Record(name, f.share0 * 100.0, "percent");
+    std::snprintf(name, sizeof(name), "context_switches/%s", SchedulerPolicyName(policy));
+    reporter.Record(name, static_cast<double>(f.context_switches), "count");
+  }
+  std::printf(
+      "\nshape: all four policies decide in O(kMaxProcesses) with small constants;\n"
+      "round-robin and MLFQ split two spinners ~50/50 (MLFQ via its periodic boost),\n"
+      "cooperative only rotates when the storm forces a decision point, and strict\n"
+      "priority starves the disfavored spinner — the policy/fairness trade the\n"
+      "pluggable layer exists to let a board choose.\n");
+  return 0;
+}

@@ -2,6 +2,7 @@
 #include "board/sim_board.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "capsule/driver_nums.h"
 #include "hw/memory_map.h"
@@ -19,6 +20,22 @@ InterruptLine Line(Mcu& mcu, MemoryMap::Slot slot) {
   return InterruptLine(&mcu.irq(), static_cast<unsigned>(slot));
 }
 uint32_t Base(MemoryMap::Slot slot) { return MemoryMap::SlotBase(slot); }
+
+// TOCK_SCHED_POLICY=round-robin|cooperative|priority|mlfq re-points the scheduling
+// policy for the whole process, which is how scripts/check_matrix.sh sweeps the test
+// suite across policies without editing board code. An explicit non-default choice
+// made by the board wins over the environment; unknown names are ignored.
+BoardConfig ApplySchedulerEnv(BoardConfig config) {
+  if (config.kernel.scheduler.policy == SchedulerPolicy::kRoundRobin) {
+    if (const char* env = std::getenv("TOCK_SCHED_POLICY")) {
+      SchedulerPolicy policy;
+      if (SchedulerPolicyFromName(env, &policy)) {
+        config.kernel.scheduler.policy = policy;
+      }
+    }
+  }
+  return config;
+}
 }  // namespace
 
 SimBoard::BusWiring::BusWiring(SimBoard& board) {
@@ -38,7 +55,7 @@ SimBoard::BusWiring::BusWiring(SimBoard& board) {
 }
 
 SimBoard::SimBoard(const BoardConfig& config)
-    : config_(config),
+    : config_(ApplySchedulerEnv(config)),
       // Hardware peripherals, attached to the bus below.
       uart_hw_(&mcu_.clock(), &mcu_.bus(), Line(mcu_, MemoryMap::kUart0)),
       uart1_hw_(&mcu_.clock(), &mcu_.bus(), Line(mcu_, MemoryMap::kUart1)),
@@ -52,8 +69,9 @@ SimBoard::SimBoard(const BoardConfig& config)
       flash_hw_(&mcu_.clock(), &mcu_.bus(), Line(mcu_, MemoryMap::kFlashCtrl)),
       radio_hw_(&mcu_.clock(), &mcu_.bus(), Line(mcu_, MemoryMap::kRadio)),
       temp_hw_(&mcu_.clock(), Line(mcu_, MemoryMap::kTempSensor)),
-      // Kernel core.
-      kernel_(&mcu_, &systick_, config.kernel),
+      // Kernel core (config_ rather than config: the scheduler-policy environment
+      // override has been applied to config_).
+      kernel_(&mcu_, &systick_, config_.kernel),
       fault_injector_(config.fault_injection_seed),
       kram_(MemoryMap::kRamBase, Kernel::kKernelRamReserve),
       // Chip drivers over MMIO.

@@ -8,7 +8,9 @@
 // stats (kernel event counters, kernel/trace.h) | trace (last few trace events) |
 // faults (per-process fault policy, restart budget, and last recorded fault) |
 // prof (per-process cycle attribution & high-water marks, kernel/cycle_accounting.h) |
-// hist (latency histogram summaries, util/log2_hist.h)
+// hist (latency histogram summaries, util/log2_hist.h) |
+// sched (active policy, per-process priority/queue level/timeslice expirations/
+// context switches, kernel/scheduler.h)
 #ifndef TOCK_CAPSULE_PROCESS_CONSOLE_H_
 #define TOCK_CAPSULE_PROCESS_CONSOLE_H_
 
@@ -95,7 +97,7 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
   void ExecuteLine() {
     char out[512];
     if (std::strcmp(line_.data(), "help") == 0) {
-      Emit("commands: help list stats trace faults prof hist stop <idx> start <idx>\n");
+      Emit("commands: help list stats trace faults prof hist sched stop <idx> start <idx>\n");
       return;
     }
     if (std::strcmp(line_.data(), "stats") == 0) {
@@ -198,6 +200,25 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
             (unsigned long long)ps.syscalls, (unsigned long long)ps.upcalls,
             (unsigned long long)ps.grant_high_water,
             (unsigned long long)ps.upcall_queue_max));
+      }
+      Emit(out);
+      return;
+    }
+    if (std::strcmp(line_.data(), "sched") == 0) {
+      size_t pos = static_cast<size_t>(std::snprintf(
+          out, sizeof(out), "policy %s  ctxsw %llu\n idx name      pri lvl tsexp  ctxsw\n",
+          SchedulerPolicyName(kernel_->scheduler_policy()),
+          (unsigned long long)kernel_->stats().context_switches));
+      for (size_t i = 0; i < Kernel::kMaxProcesses && pos < sizeof(out) - 64; ++i) {
+        Process* p = kernel_->process(i);
+        if (p == nullptr || !p->id.IsValid()) {
+          continue;
+        }
+        pos += static_cast<size_t>(std::snprintf(
+            out + pos, sizeof(out) - pos, " %3zu %-9s %3u %3lu %-6llu %llu\n", i,
+            p->name.c_str(), static_cast<unsigned>(p->priority),
+            (unsigned long)p->queue_level, (unsigned long long)p->timeslice_expirations,
+            (unsigned long long)p->context_switches));
       }
       Emit(out);
       return;

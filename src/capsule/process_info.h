@@ -13,7 +13,10 @@
 //             discover how many stats this kernel ships (the ABI is append-only) |
 //           6 = read own ProcStats field (arg1 = ProcStatField,
 //             kernel/cycle_accounting.h) -> Success2U32(lo, hi); out-of-range
-//             returns SuccessU32(kNumFields), same discovery idiom.
+//             returns SuccessU32(kNumFields), same discovery idiom. The scheduler
+//             work appended fields 7-10 (context switches, timeslice expirations,
+//             priority, MLFQ queue level); old userspace keeps reading 0-6, new
+//             userspace probes kNumFields and finds the rest.
 #ifndef TOCK_CAPSULE_PROCESS_INFO_H_
 #define TOCK_CAPSULE_PROCESS_INFO_H_
 

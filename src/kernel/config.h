@@ -7,6 +7,8 @@
 #ifndef TOCK_KERNEL_CONFIG_H_
 #define TOCK_KERNEL_CONFIG_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 // Compile-time gate for the kernel trace/counters subsystem (kernel/trace.h). When
@@ -62,6 +64,38 @@ struct FaultPolicy {
 
 const char* FaultActionName(FaultAction action);
 
+// Which scheduling policy the board composes into the kernel (kernel/scheduler.h).
+// The Tock 2.0 redesign made this a board decision rather than a kernel constant;
+// every policy is heapless and cycle-deterministic, so golden traces stay valid as
+// long as the board keeps the default.
+enum class SchedulerPolicy : uint8_t {
+  kRoundRobin,   // seed behavior: cursor scan, fixed timeslice (the golden policy)
+  kCooperative,  // same rotation, but no SysTick preemption: processes run to yield
+  kPriority,     // strict priority (0 = highest), round-robin among equals
+  kMlfq,         // multi-level feedback queue with periodic priority boost
+};
+
+const char* SchedulerPolicyName(SchedulerPolicy policy);
+
+struct SchedulerConfig {
+  static constexpr size_t kMlfqLevels = 3;
+
+  SchedulerPolicy policy = SchedulerPolicy::kRoundRobin;
+
+  // Priority a process is born with under kPriority/kMlfq when its creator does not
+  // say otherwise (Kernel::SetPriority overrides per process). Mid-range so boards
+  // can both raise and lower without renumbering.
+  uint8_t default_priority = 4;
+
+  // MLFQ knobs. A process at level L runs for timeslice_cycles *
+  // mlfq_quantum_multiplier[L]; expiring the quantum demotes it one level. Every
+  // mlfq_boost_period_cycles of MCU time, all processes are boosted back to level 0
+  // so a demoted CPU-bound process cannot be starved forever (§2.3's guarantee that
+  // every process keeps running).
+  std::array<uint32_t, kMlfqLevels> mlfq_quantum_multiplier{1, 2, 4};
+  uint64_t mlfq_boost_period_cycles = 1'000'000;
+};
+
 struct KernelConfig {
   SyscallAbiVersion abi = SyscallAbiVersion::kV2;
   LoaderMode loader = LoaderMode::kSynchronous;
@@ -74,6 +108,9 @@ struct KernelConfig {
 
   // Process scheduling quantum in cycles (SysTick reload value).
   uint32_t timeslice_cycles = 10000;
+
+  // Scheduling policy and its per-policy knobs (kernel/scheduler.h).
+  SchedulerConfig scheduler;
 
   // RAM quota handed to each process (covers app-accessible memory + grants).
   uint32_t process_ram_quota = 12 * 1024;

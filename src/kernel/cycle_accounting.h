@@ -236,6 +236,11 @@ struct ProcStats {
   uint64_t grant_high_water = 0;   // field 4 (peak live grant bytes, any incarnation)
   uint64_t upcall_queue_max = 0;   // field 5 (peak queue depth)
   uint64_t restarts = 0;           // field 6
+  // Scheduler fields (kernel/scheduler.h), appended for the pluggable-policy work.
+  uint64_t context_switches = 0;       // field 7 (MPU switched onto this process)
+  uint64_t timeslice_expirations = 0;  // field 8 (this incarnation)
+  uint64_t priority = 0;               // field 9 (0 = highest)
+  uint64_t queue_level = 0;            // field 10 (MLFQ level; 0 under other policies)
 };
 
 enum class ProcStatField : uint32_t {
@@ -246,7 +251,11 @@ enum class ProcStatField : uint32_t {
   kGrantHighWater = 4,
   kUpcallQueueMax = 5,
   kRestarts = 6,
-  kNumFields = 7,
+  kContextSwitches = 7,
+  kTimesliceExpirations = 8,
+  kPriority = 9,
+  kQueueLevel = 10,
+  kNumFields = 11,
 };
 
 uint64_t ProcStatValue(const ProcStats& stats, ProcStatField field);

@@ -50,6 +50,22 @@ Kernel::Kernel(Mcu* mcu, SysTick* systick, const KernelConfig& config)
     : mcu_(mcu), systick_(systick), config_(config), cpu_(&mcu->bus()) {
   // The kernel owns the SysTick interrupt line for preemption.
   mcu_->irq().Enable(kSysTickIrqLine);
+  // Compose the board-selected scheduling policy (kernel/scheduler.h). All four
+  // live in the kernel as members; only the selected one is ever consulted.
+  switch (config_.scheduler.policy) {
+    case SchedulerPolicy::kRoundRobin:
+      scheduler_ = &sched_round_robin_;
+      break;
+    case SchedulerPolicy::kCooperative:
+      scheduler_ = &sched_cooperative_;
+      break;
+    case SchedulerPolicy::kPriority:
+      scheduler_ = &sched_priority_;
+      break;
+    case SchedulerPolicy::kMlfq:
+      scheduler_ = &sched_mlfq_;
+      break;
+  }
 }
 
 // ---- Board wiring ------------------------------------------------------------------
@@ -112,6 +128,9 @@ Process* Kernel::CreateProcess(const ProcessCreateInfo& info,
   p.initial_break = p.app_break;
   p.grant_break = ram_start + quota;
   p.fault_policy = info.fault_policy.value_or(config_.default_fault_policy);
+  p.priority = info.priority.value_or(config_.scheduler.default_priority);
+  p.queue_level = 0;
+  p.sched_stamp = 0;
   p.state = ProcessState::kUnstarted;
   return &p;
 }
@@ -171,6 +190,17 @@ Result<void> Kernel::SetFaultPolicy(ProcessId pid, const FaultPolicy& policy,
   return Result<void>::Ok();
 }
 
+Result<void> Kernel::SetPriority(ProcessId pid, uint8_t priority,
+                                 const ProcessManagementCapability& cap) {
+  (void)cap;
+  Process* p = (pid.index < kMaxProcesses) ? &processes_[pid.index] : nullptr;
+  if (p == nullptr || !p->id.IsValid() || p->id.generation != pid.generation) {
+    return Result<void>(ErrorCode::kInvalid);
+  }
+  p->priority = priority;
+  return Result<void>::Ok();
+}
+
 Process* Kernel::GetLiveProcess(ProcessId pid) {
   if (pid.index >= kMaxProcesses) {
     return nullptr;
@@ -202,6 +232,10 @@ ProcStats Kernel::GetProcStats(size_t index) const {
   s.grant_high_water = trace_.grant_high_water(index);
   s.upcall_queue_max = trace_.upcall_queue_max(index);
   s.restarts = p.restart_count;
+  s.context_switches = p.context_switches;
+  s.timeslice_expirations = p.timeslice_expirations;
+  s.priority = p.priority;
+  s.queue_level = p.queue_level;
   return s;
 }
 
@@ -393,27 +427,19 @@ void Kernel::DeliverDirectReturn(Process& p, const QueuedUpcall& upcall) {
 
 // ---- Scheduler --------------------------------------------------------------------------
 
-bool Kernel::HasDeliverableWork(const Process& p) const {
-  switch (p.state) {
-    case ProcessState::kUnstarted:
-    case ProcessState::kRunnable:
-      return true;
-    case ProcessState::kYielded:
-      return !p.upcall_queue.IsEmpty();
-    default:
-      return false;
+// Decide → run → report: the one place the kernel touches the policy layer. The
+// schedulability predicate (HasDeliverableWork) lives in kernel/scheduler.h now, as
+// part of the contract every policy must honor.
+bool Kernel::RunOneProcess(uint64_t deadline_cycles) {
+  SchedulingDecision decision = scheduler_->Next(mcu_->CyclesNow());
+  if (decision.process == nullptr) {
+    return false;
   }
-}
-
-Process* Kernel::NextSchedulableProcess() {
-  for (size_t i = 0; i < kMaxProcesses; ++i) {
-    Process& p = processes_[(schedule_cursor_ + i) % kMaxProcesses];
-    if (p.id.IsValid() && HasDeliverableWork(p)) {
-      schedule_cursor_ = (schedule_cursor_ + i + 1) % kMaxProcesses;
-      return &p;
-    }
-  }
-  return nullptr;
+  Process& p = *decision.process;
+  trace_.RecordScheduleDecision(p.id.index);
+  StoppedReason reason = ExecuteProcess(p, deadline_cycles, decision.timeslice_cycles);
+  scheduler_->ExecutionComplete(p, reason, mcu_->CyclesNow());
+  return true;
 }
 
 void Kernel::ConfigureMpuFor(const Process& p) {
@@ -514,7 +540,8 @@ void Kernel::ReviveProcess(ProcessId pid) {
 
 // ---- Process execution --------------------------------------------------------------
 
-void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
+StoppedReason Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles,
+                                     std::optional<uint32_t> timeslice_cycles) {
   // Everything in here belongs to this process: its own instructions run under
   // kUser; kernel work on its behalf (switch-in, upcall delivery, syscall service)
   // runs under nested kService scopes.
@@ -526,7 +553,7 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
   } else if (p.state == ProcessState::kYielded) {
     AcctScope service_scope(trace_, *mcu_, CycleBucket::kService, p.id.index);
     if (!TryDeliverQueuedUpcall(p)) {
-      return;  // every queued upcall had been scrubbed; stay yielded
+      return StoppedReason::kBlocked;  // every queued upcall had been scrubbed
     }
     p.state = ProcessState::kRunnable;
   }
@@ -536,27 +563,33 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
     ConfigureMpuFor(p);
     mpu_configured_for_ = p.id.index;
     mcu_->Tick(CycleCosts::kContextSwitch);
+    ++p.context_switches;
     trace_.RecordContextSwitch(mcu_->CyclesNow(), p.id.index);
   }
 
-  systick_->ArmCycles(config_.timeslice_cycles);
+  // An absent timeslice is the cooperative contract: ArmCycles(0) schedules
+  // nothing, so the process runs until it blocks or other hardware interrupts.
+  systick_->ArmCycles(timeslice_cycles.value_or(0));
 
   while (true) {
     if (mcu_->irq().AnyPending()) {
-      if (systick_->Expired()) {
+      bool expired = systick_->Expired();
+      if (expired) {
         ++p.timeslice_expirations;
       }
-      break;  // return to the kernel loop to service hardware
+      systick_->DisarmAndClear();
+      return expired ? StoppedReason::kTimesliceExpired : StoppedReason::kPreempted;
     }
     if (mcu_->CyclesNow() >= deadline_cycles) {
-      break;  // simulation deadline (only reachable with preemption disabled)
+      systick_->DisarmAndClear();
+      return StoppedReason::kDeadline;  // only reachable with preemption disabled
     }
 
     if (fault_injector_ != nullptr) {
       if (auto injected = fault_injector_->OnInstruction(p.id.index, p.ctx.pc)) {
         FaultProcess(p, *injected);
         systick_->DisarmAndClear();
-        return;
+        return StoppedReason::kExited;
       }
     }
 
@@ -580,7 +613,11 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
         trace_.RecordSyscallLatency(mcu_->CyclesNow() - trap_entry);
         if (!keep_running) {
           systick_->DisarmAndClear();
-          return;
+          // A yield-block (or an exit-restart that left the slot runnable again)
+          // gave the CPU up voluntarily; a terminal exit or a mid-command fault
+          // did not. MLFQ only demotes involuntary quantum burns, so the
+          // distinction matters.
+          return p.IsAlive() ? StoppedReason::kBlocked : StoppedReason::kExited;
         }
         continue;
       }
@@ -589,7 +626,7 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
           // Stray jump to the upcall-return magic address.
           FaultProcess(p, VmFault{});
           systick_->DisarmAndClear();
-          return;
+          return StoppedReason::kExited;
         }
         p.ctx = p.saved_contexts.PopBack();
         // The interrupted yield resumes reporting "an upcall ran".
@@ -600,11 +637,9 @@ void Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles) {
       case StepResult::kFault:
         FaultProcess(p, cpu_.fault());
         systick_->DisarmAndClear();
-        return;
+        return StoppedReason::kExited;
     }
   }
-
-  systick_->DisarmAndClear();
 }
 
 // ---- System call dispatch --------------------------------------------------------------
@@ -906,8 +941,7 @@ bool Kernel::MainLoopStep(const MainLoopCapability& cap, uint64_t deadline_cycle
     deferred_ran = RunDeferredCalls();
   }
 
-  if (Process* p = NextSchedulableProcess()) {
-    ExecuteProcess(*p, deadline_cycles);
+  if (RunOneProcess(deadline_cycles)) {
     return true;
   }
   if (deferred_ran || mcu_->irq().AnyPending()) {

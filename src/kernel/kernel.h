@@ -16,6 +16,11 @@
 #include "kernel/config.h"
 #include "kernel/driver.h"
 #include "kernel/process.h"
+#include "kernel/sched/cooperative.h"
+#include "kernel/sched/mlfq.h"
+#include "kernel/sched/priority.h"
+#include "kernel/sched/round_robin.h"
+#include "kernel/scheduler.h"
 #include "kernel/syscall.h"
 #include "kernel/trace.h"
 #include "util/error.h"
@@ -34,6 +39,8 @@ struct ProcessCreateInfo {
   uint32_t min_ram = 4096;  // initial app-accessible size (app break above ram_start)
   // Per-process fault policy; absent means the board-wide default applies.
   std::optional<FaultPolicy> fault_policy;
+  // Scheduling priority (0 = highest); absent means SchedulerConfig::default_priority.
+  std::optional<uint8_t> priority;
 };
 
 class Kernel {
@@ -66,6 +73,12 @@ class Kernel {
   // parked in kRestartPending); generation-checked like the other management calls.
   Result<void> SetFaultPolicy(ProcessId pid, const FaultPolicy& policy,
                               const ProcessManagementCapability& cap);
+  // Replaces the scheduling priority of a process (0 = highest; meaningful under
+  // the priority policy, advisory elsewhere). Same gating and generation check as
+  // SetFaultPolicy: priority is a management decision, not something a process can
+  // grant itself.
+  Result<void> SetPriority(ProcessId pid, uint8_t priority,
+                           const ProcessManagementCapability& cap);
 
   // Wires the deterministic fault-injection harness in (tests only; nullptr
   // disables). The kernel consults it before each retired instruction and on
@@ -148,6 +161,10 @@ class Kernel {
   // forward into it so existing callers keep working.
   const KernelStats& stats() const { return trace_.stats(); }
   const KernelTrace& trace() const { return trace_; }
+  // The active scheduling policy and the scheduler itself (tests assert
+  // policy-specific internals, e.g. the MLFQ boost counter).
+  SchedulerPolicy scheduler_policy() const { return scheduler_->policy(); }
+  const Scheduler& scheduler() const { return *scheduler_; }
   // Assembles the per-process profiling row (kernel/cycle_accounting.h): attribution
   // snapshot fields plus the PCB's own lifetime counters. All-zero for a bad index;
   // with tracing compiled out only the PCB-backed fields are populated.
@@ -173,14 +190,17 @@ class Kernel {
 
   SyscallDriver* LookupDriver(uint32_t driver_num);
 
-  // Scheduler: picks the next schedulable process (round-robin) or nullptr.
-  Process* NextSchedulableProcess();
-  bool HasDeliverableWork(const Process& p) const;
+  // One decide-run-report scheduling round through the active policy
+  // (kernel/scheduler.h). Returns false when no process was schedulable.
+  bool RunOneProcess(uint64_t deadline_cycles);
 
-  // Runs one process until it blocks, faults, exits, exhausts its timeslice, or the
-  // simulation deadline passes (a cooperative process with no pending hardware
-  // events would otherwise run unboundedly — fine on silicon, not in a simulator).
-  void ExecuteProcess(Process& p, uint64_t deadline_cycles);
+  // Runs one process until it blocks, faults, exits, exhausts its timeslice
+  // (absent = cooperative: SysTick stays disarmed), or the simulation deadline
+  // passes (a cooperative process with no pending hardware events would otherwise
+  // run unboundedly — fine on silicon, not in a simulator). The returned reason is
+  // the scheduler feedback (MLFQ demotes on kTimesliceExpired).
+  StoppedReason ExecuteProcess(Process& p, uint64_t deadline_cycles,
+                               std::optional<uint32_t> timeslice_cycles);
   void ConfigureMpuFor(const Process& p);
   void InitProcessContext(Process& p);
 
@@ -216,8 +236,16 @@ class Kernel {
 
   std::array<Process, kMaxProcesses> processes_;
   size_t num_created_processes_ = 0;
-  size_t schedule_cursor_ = 0;
   uint8_t mpu_configured_for_ = 0xFF;  // process index currently mapped by the MPU
+
+  // All four policies are board-composable; the kernel embeds them (heapless — no
+  // dynamic allocation) and points scheduler_ at the one the config selects.
+  // Declared after processes_: each holds a span over the table.
+  RoundRobinScheduler sched_round_robin_{processes_, config_};
+  CooperativeScheduler sched_cooperative_{processes_, config_};
+  PriorityScheduler sched_priority_{processes_, config_};
+  MlfqScheduler sched_mlfq_{processes_, config_};
+  Scheduler* scheduler_ = &sched_round_robin_;
 
   std::array<DriverEntry, kMaxDrivers> drivers_{};
   size_t num_drivers_ = 0;

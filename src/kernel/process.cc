@@ -133,6 +133,10 @@ void Process::ResetForRestart() {
   fault_info = ProcessFaultInfo{};
   timeslice_expirations = 0;
   restart_due_cycle = 0;
+  // Scheduler state is incarnation-local: a revived process re-enters the top MLFQ
+  // level with a fresh rotation stamp (priority itself is configuration and stays).
+  queue_level = 0;
+  sched_stamp = 0;
   for (AllowSlot& slot : allow_slots) {
     slot = AllowSlot{};
   }

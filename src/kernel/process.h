@@ -124,6 +124,18 @@ class Process {
   // Per-process fault disposition (§2.3). Seeded from the kernel config's default at
   // creation; the board or a privileged capsule may override it per process.
   FaultPolicy fault_policy;
+
+  // --- Scheduler state (kernel/scheduler.h) ---
+  // `priority` is configuration, like fault_policy: seeded from
+  // SchedulerConfig::default_priority at creation, overridden via the
+  // capability-gated Kernel::SetPriority, and deliberately NOT cleared by
+  // ResetForRestart — a restarted process keeps the importance its board assigned.
+  // queue_level and sched_stamp are incarnation-local policy state (MLFQ demotion
+  // level, last-dispatch stamp) and ARE cleared on restart: a revived process starts
+  // its next life undemoted, exactly like its fault diagnostics start clean.
+  uint8_t priority = 4;
+  uint32_t queue_level = 0;
+  uint64_t sched_stamp = 0;
   // While kRestartPending: the clock event that will revive us (0 = none) and when.
   uint64_t restart_event_id = 0;
   uint64_t restart_due_cycle = 0;
@@ -138,6 +150,7 @@ class Process {
   uint64_t syscall_count = 0;
   uint64_t upcalls_delivered = 0;
   uint64_t timeslice_expirations = 0;
+  uint64_t context_switches = 0;        // times the MPU was switched onto this process
   uint64_t grant_bytes_allocated = 0;   // lifetime total (monotonic across restarts)
   uint64_t grant_bytes_live = 0;        // this incarnation's live grant bytes
   uint32_t grant_regions_live = 0;      // how many grant_ptrs are allocated

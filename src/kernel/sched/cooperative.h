@@ -1,0 +1,40 @@
+// ERA: 2
+// Cooperative: round-robin rotation with preemption removed. The decision carries
+// no timeslice, so the kernel leaves the SysTick disarmed and a process runs until
+// it blocks, exits, or other hardware interrupts fire. This is upstream Tock's
+// cooperative scheduler: cheapest possible dispatch, and the right choice for
+// boards whose apps are trusted to yield (§3.2's run-to-completion agents) — a hog
+// WILL starve its neighbors, which tests/extension_test.cc demonstrates on purpose.
+#ifndef TOCK_KERNEL_SCHED_COOPERATIVE_H_
+#define TOCK_KERNEL_SCHED_COOPERATIVE_H_
+
+#include "kernel/scheduler.h"
+
+namespace tock {
+
+class CooperativeScheduler : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+
+  SchedulerPolicy policy() const override { return SchedulerPolicy::kCooperative; }
+
+  SchedulingDecision Next(uint64_t now) override {
+    (void)now;
+    const size_t n = processes_.size();
+    for (size_t i = 0; i < n; ++i) {
+      Process& p = processes_[(cursor_ + i) % n];
+      if (IsSchedulable(p)) {
+        cursor_ = (cursor_ + i + 1) % n;
+        return SchedulingDecision{&p, std::nullopt};
+      }
+    }
+    return SchedulingDecision{};
+  }
+
+ private:
+  size_t cursor_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_SCHED_COOPERATIVE_H_

@@ -1,0 +1,48 @@
+// ERA: 2
+// Strict priority: the schedulable process with the lowest priority number runs
+// (0 = highest). Equal-priority processes rotate round-robin via a monotonic
+// dispatch stamp — the least-recently-dispatched one wins, slot order breaking
+// exact ties — so peers at one level share the CPU instead of the lowest slot
+// monopolizing it. Priorities live on the PCB (Process::priority), seeded from
+// SchedulerConfig::default_priority and overridable through the capability-gated
+// Kernel::SetPriority. Strictness is real: a high-priority hog starves everything
+// below it, by design — boards that want starvation-freedom pick MLFQ.
+#ifndef TOCK_KERNEL_SCHED_PRIORITY_H_
+#define TOCK_KERNEL_SCHED_PRIORITY_H_
+
+#include "kernel/scheduler.h"
+
+namespace tock {
+
+class PriorityScheduler : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+
+  SchedulerPolicy policy() const override { return SchedulerPolicy::kPriority; }
+
+  SchedulingDecision Next(uint64_t now) override {
+    (void)now;
+    Process* best = nullptr;
+    for (Process& p : processes_) {
+      if (!IsSchedulable(p)) {
+        continue;
+      }
+      if (best == nullptr || p.priority < best->priority ||
+          (p.priority == best->priority && p.sched_stamp < best->sched_stamp)) {
+        best = &p;
+      }
+    }
+    if (best == nullptr) {
+      return SchedulingDecision{};
+    }
+    best->sched_stamp = ++stamp_;
+    return SchedulingDecision{best, config_->timeslice_cycles};
+  }
+
+ private:
+  uint64_t stamp_ = 0;  // monotonic dispatch counter for round-robin among equals
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_SCHED_PRIORITY_H_

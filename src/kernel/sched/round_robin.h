@@ -1,0 +1,40 @@
+// ERA: 2
+// Round-robin: the seed policy, extracted verbatim. A cursor walks the process
+// table; the first schedulable slot at-or-after the cursor runs for the fixed
+// configured timeslice, and the cursor advances past it. The scan order, cursor
+// arithmetic, and quantum are bit-for-bit the pre-refactor kernel loop — the
+// golden traces in tests/golden/ are recorded under this policy and must keep
+// passing unmodified.
+#ifndef TOCK_KERNEL_SCHED_ROUND_ROBIN_H_
+#define TOCK_KERNEL_SCHED_ROUND_ROBIN_H_
+
+#include "kernel/scheduler.h"
+
+namespace tock {
+
+class RoundRobinScheduler : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+
+  SchedulerPolicy policy() const override { return SchedulerPolicy::kRoundRobin; }
+
+  SchedulingDecision Next(uint64_t now) override {
+    (void)now;
+    const size_t n = processes_.size();
+    for (size_t i = 0; i < n; ++i) {
+      Process& p = processes_[(cursor_ + i) % n];
+      if (IsSchedulable(p)) {
+        cursor_ = (cursor_ + i + 1) % n;
+        return SchedulingDecision{&p, config_->timeslice_cycles};
+      }
+    }
+    return SchedulingDecision{};
+  }
+
+ private:
+  size_t cursor_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_KERNEL_SCHED_ROUND_ROBIN_H_

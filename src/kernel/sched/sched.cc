@@ -1,0 +1,52 @@
+// ERA: 2
+#include "kernel/scheduler.h"
+
+#include <cstring>
+
+namespace tock {
+
+const char* SchedulerPolicyName(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kRoundRobin:
+      return "round-robin";
+    case SchedulerPolicy::kCooperative:
+      return "cooperative";
+    case SchedulerPolicy::kPriority:
+      return "priority";
+    case SchedulerPolicy::kMlfq:
+      return "mlfq";
+  }
+  return "?";
+}
+
+const char* StoppedReasonName(StoppedReason reason) {
+  switch (reason) {
+    case StoppedReason::kBlocked:
+      return "blocked";
+    case StoppedReason::kExited:
+      return "exited";
+    case StoppedReason::kTimesliceExpired:
+      return "timeslice-expired";
+    case StoppedReason::kPreempted:
+      return "preempted";
+    case StoppedReason::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+bool SchedulerPolicyFromName(const char* name, SchedulerPolicy* out) {
+  if (name == nullptr || out == nullptr) {
+    return false;
+  }
+  for (SchedulerPolicy p : {SchedulerPolicy::kRoundRobin, SchedulerPolicy::kCooperative,
+                            SchedulerPolicy::kPriority, SchedulerPolicy::kMlfq}) {
+    if (std::strcmp(name, SchedulerPolicyName(p)) == 0) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tock

@@ -260,6 +260,14 @@ uint64_t ProcStatValue(const ProcStats& stats, ProcStatField field) {
       return stats.upcall_queue_max;
     case ProcStatField::kRestarts:
       return stats.restarts;
+    case ProcStatField::kContextSwitches:
+      return stats.context_switches;
+    case ProcStatField::kTimesliceExpirations:
+      return stats.timeslice_expirations;
+    case ProcStatField::kPriority:
+      return stats.priority;
+    case ProcStatField::kQueueLevel:
+      return stats.queue_level;
     case ProcStatField::kNumFields:
       break;
   }
@@ -282,6 +290,14 @@ const char* ProcStatName(ProcStatField field) {
       return "upcall_queue_max";
     case ProcStatField::kRestarts:
       return "restarts";
+    case ProcStatField::kContextSwitches:
+      return "context_switches";
+    case ProcStatField::kTimesliceExpirations:
+      return "timeslice_expirations";
+    case ProcStatField::kPriority:
+      return "priority";
+    case ProcStatField::kQueueLevel:
+      return "queue_level";
     case ProcStatField::kNumFields:
       break;
   }

@@ -198,6 +198,25 @@ class KernelTrace {
     return pid < CycleAccounting::kMaxProcs ? queue_max_[pid] : 0;
   }
 
+  // Per-process scheduler activity (kernel/scheduler.h): how often each slot was
+  // picked by the active policy, and how often the MPU was actually switched onto
+  // it. Counters only, by design — the event ring and the StatId table are
+  // golden-locked surfaces (tests/golden/), so scheduling observability lives in
+  // these side arrays the way the grant high-water marks do.
+  uint64_t sched_decisions(size_t pid) const {
+    return pid < CycleAccounting::kMaxProcs ? sched_decisions_[pid] : 0;
+  }
+  uint64_t proc_context_switches(size_t pid) const {
+    return pid < CycleAccounting::kMaxProcs ? ctxsw_per_proc_[pid] : 0;
+  }
+  void RecordScheduleDecision(uint8_t pid) {
+    if constexpr (kEnabled) {
+      if (pid < CycleAccounting::kMaxProcs) {
+        ++sched_decisions_[pid];
+      }
+    }
+  }
+
   void RecordSyscall(uint64_t cycle, uint8_t pid, uint32_t klass_raw) {
     if constexpr (kEnabled) {
       if (klass_raw <= static_cast<uint32_t>(SyscallClass::kBlockingCommand)) {
@@ -211,6 +230,9 @@ class KernelTrace {
   void RecordContextSwitch(uint64_t cycle, uint8_t pid) {
     if constexpr (kEnabled) {
       ++stats_.context_switches;
+      if (pid < CycleAccounting::kMaxProcs) {
+        ++ctxsw_per_proc_[pid];
+      }
       Push(cycle, TraceEventKind::kContextSwitch, pid, pid);
     }
   }
@@ -409,6 +431,8 @@ class KernelTrace {
   Log2Hist hist_roundtrip_;
   std::array<uint64_t, CycleAccounting::kMaxProcs> grant_hwm_{};
   std::array<uint64_t, CycleAccounting::kMaxProcs> queue_max_{};
+  std::array<uint64_t, CycleAccounting::kMaxProcs> sched_decisions_{};
+  std::array<uint64_t, CycleAccounting::kMaxProcs> ctxsw_per_proc_{};
   std::array<PendingCommand, CycleAccounting::kMaxProcs> pending_cmd_{};
   uint64_t irq_origin_cycle_ = 0;
 };

@@ -167,7 +167,32 @@ std::string ExportChromeTrace(Kernel& kernel) {
   AppendHist(out, "syscall", trace.syscall_hist(), false);
   AppendHist(out, "irq_upcall", trace.irq_upcall_hist(), false);
   AppendHist(out, "command_roundtrip", trace.command_roundtrip_hist(), true);
-  out += "}}\n";
+  out += "}";
+
+  // Scheduler sidecar (kernel/scheduler.h): the active policy and each process's
+  // decision/context-switch counters and policy state. Emitted only under
+  // non-default policies — the golden export (tests/golden/) is recorded under
+  // round-robin and must stay byte-identical.
+  if (kernel.scheduler_policy() != SchedulerPolicy::kRoundRobin) {
+    Append(out, ",\n\"tockSched\":{\"policy\":\"%s\",\"perProcess\":[\n",
+           SchedulerPolicyName(kernel.scheduler_policy()));
+    bool first = true;
+    for (size_t i = 0; i < Kernel::kMaxProcesses; ++i) {
+      Process* p = kernel.process(i);
+      if (p == nullptr || !p->id.IsValid()) {
+        continue;
+      }
+      Append(out,
+             "%s  {\"pid\":%zu,\"decisions\":%" PRIu64 ",\"contextSwitches\":%" PRIu64
+             ",\"timesliceExpirations\":%" PRIu64 ",\"priority\":%u,\"queueLevel\":%u}",
+             first ? "" : ",\n", i, trace.sched_decisions(i),
+             trace.proc_context_switches(i), p->timeslice_expirations,
+             static_cast<unsigned>(p->priority), static_cast<unsigned>(p->queue_level));
+      first = false;
+    }
+    out += "\n]}";
+  }
+  out += "}\n";
   return out;
 }
 

@@ -25,6 +25,8 @@
 #include "board/sim_board.h"
 #include "kernel/fault_injector.h"
 #include "kernel/grant.h"
+#include "kernel/sched/mlfq.h"
+#include "kernel/scheduler.h"
 
 namespace tock {
 namespace {
@@ -69,11 +71,18 @@ void ExpectGrantBytesReconcile(Kernel& kernel) {
       << "grant_bytes/grant_bytes_freed do not reconcile to live usage";
 }
 
-void RunCampaign(uint64_t seed) {
-  SCOPED_TRACE("campaign seed " + std::to_string(seed));
+void RunCampaign(uint64_t seed,
+                 SchedulerPolicy policy = SchedulerPolicy::kRoundRobin) {
+  SCOPED_TRACE(std::string("campaign seed ") + std::to_string(seed) + " policy " +
+               SchedulerPolicyName(policy));
 
   BoardConfig config;
   config.fault_injection_seed = seed;
+  config.kernel.scheduler.policy = policy;
+  // Both workers are CPU-bound (yield-no-wait never blocks), so under MLFQ both
+  // sink to the bottom level and only the periodic boost keeps the rotation
+  // honest. Shrink the period so every campaign exercises it.
+  config.kernel.scheduler.mlfq_boost_period_cycles = 250'000;
   SimBoard board(config);
   AppSpec victim;
   victim.name = "victim";
@@ -186,6 +195,13 @@ void RunCampaign(uint64_t seed) {
   }
   EXPECT_EQ(v->restart_count, rounds);
   EXPECT_EQ(injector.armed_cpu_faults(), 0u);
+
+  // Under MLFQ the anti-starvation boost must actually have fired — the peer
+  // progress asserted above was earned by the machinery, not by luck.
+  if (policy == SchedulerPolicy::kMlfq) {
+    const auto& mlfq = static_cast<const MlfqScheduler&>(board.kernel().scheduler());
+    EXPECT_GT(mlfq.boosts(), 0u) << "boost period never elapsed during the campaign";
+  }
 }
 
 TEST(FaultSoak, SixtyFourSeededCampaignsHoldAllIsolationInvariants) {
@@ -193,6 +209,28 @@ TEST(FaultSoak, SixtyFourSeededCampaignsHoldAllIsolationInvariants) {
     RunCampaign(static_cast<uint64_t>(seed));
     if (::testing::Test::HasFatalFailure()) {
       return;  // the SCOPED_TRACE of the failing seed is already in the output
+    }
+  }
+}
+
+// The isolation invariants are policy-independent: the same campaigns must hold
+// under the priority scheduler (equal priorities, so the dispatch-stamp rotation
+// is what keeps the peer fed) and under MLFQ (both workers sink to the bottom
+// level; the periodic boost is what prevents starvation — asserted directly).
+TEST(FaultSoak, SixteenCampaignsHoldInvariantsUnderPriorityPolicy) {
+  for (int seed = 1; seed <= 16; ++seed) {
+    RunCampaign(static_cast<uint64_t>(seed), SchedulerPolicy::kPriority);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(FaultSoak, SixteenCampaignsHoldInvariantsUnderMlfqPolicy) {
+  for (int seed = 1; seed <= 16; ++seed) {
+    RunCampaign(static_cast<uint64_t>(seed), SchedulerPolicy::kMlfq);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
     }
   }
 }

@@ -266,6 +266,56 @@ TEST(Profiler, BoardWritesTraceArtifactAtDestruction) {
   std::remove(path.c_str());
 }
 
+// The conservation law is a property of the attribution mechanism (AcctScope),
+// not of any particular scheduling order — so it must hold under every policy the
+// pluggable scheduler layer ships, including ones that reorder and re-quantize
+// execution (priority, MLFQ) or never preempt at all (cooperative).
+class ConservationEveryPolicy : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+TEST_P(ConservationEveryPolicy, CycleAttributionConservesEveryCycle) {
+  if (!KernelTrace::kEnabled) {
+    GTEST_SKIP() << "trace layer compiled out (TOCK_TRACE=OFF)";
+  }
+  BoardConfig config;
+  config.kernel.scheduler.policy = GetParam();
+  // Make MLFQ actually demote and boost inside the budget.
+  config.kernel.scheduler.mlfq_boost_period_cycles = 200'000;
+  SimBoard board(config);
+  if (std::getenv("TOCK_SCHED_POLICY") == nullptr) {
+    // The env override rewrites a default-policy config, so the round-robin leg
+    // legitimately runs another policy under scripts/check_matrix.sh's sweep.
+    ASSERT_EQ(board.kernel().scheduler_policy(), GetParam());
+  }
+  BootTwoApps(board);
+  board.Run(kCycleBudget);
+
+  const CycleAccounting& acct = board.kernel().trace().accounting();
+  ASSERT_TRUE(acct.begun());
+  CycleAccounting::Snapshot snap = acct.Snap(board.mcu().CyclesNow());
+  EXPECT_EQ(snap.Total(), snap.Elapsed())
+      << SchedulerPolicyName(GetParam()) << " leaked or double-charged cycles: "
+      << snap.Total() << " attributed vs " << snap.Elapsed() << " elapsed";
+  // Whatever the policy reordered, both apps must still have run and exited.
+  EXPECT_GT(snap.user[0], 0u);
+  EXPECT_GT(snap.user[1], 0u);
+  EXPECT_EQ(board.kernel().NumLiveProcesses(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ConservationEveryPolicy,
+                         ::testing::Values(SchedulerPolicy::kRoundRobin,
+                                           SchedulerPolicy::kCooperative,
+                                           SchedulerPolicy::kPriority,
+                                           SchedulerPolicy::kMlfq),
+                         [](const ::testing::TestParamInfo<SchedulerPolicy>& info) {
+                           std::string name = SchedulerPolicyName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
 TEST(Profiler, ConsoleProfAndHistCommands) {
   SimBoard board;
   AppSpec app;
