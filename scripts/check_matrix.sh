@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
 # Builds and tests the supported configuration matrix:
-#   default   — TOCK_TRACE=ON  (counters, cycle attribution, histograms, export)
-#   trace-off — TOCK_TRACE=OFF (all of the above compiled out; the observability
-#               layer must impose zero cost and zero behavior change when absent)
+#   default              — TOCK_TRACE=ON,  TOCK_DECODE_CACHE=ON
+#   trace-off            — TOCK_TRACE=OFF (observability compiled out; must impose
+#                          zero cost and zero behavior change when absent)
+#   decode-off           — TOCK_DECODE_CACHE=OFF (VM predecode cache compiled out;
+#                          the escape-hatch interpreter must be bit-identical)
+#   trace-off-decode-off — both hot-path subsystems compiled out together
 # and, for each preset, sweeps the scheduler dimension: the full suite under the
 # default round-robin policy, then again under the cooperative policy via the
 # TOCK_SCHED_POLICY override (board/sim_board.cc). The cooperative leg excludes
@@ -23,7 +26,7 @@ cd "$(dirname "$0")/.."
 
 COOP_EXCLUDE='KernelTest.InfiniteLoopCannotStarveNeighbor|AsyncLoader\.|LoaderCorruption.BitFlippedSignatureFailsTheAuthenticityStep|FaultPolicy.AppBreakResetsAndPeerGrantsSurviveRestart|Profiler.GoldenChromeTraceTwoApps|^fault_soak$'
 
-for preset in default trace-off; do
+for preset in default trace-off decode-off trace-off-decode-off; do
   echo "==== preset: $preset, policy: round-robin (default) ===="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
@@ -33,4 +36,4 @@ for preset in default trace-off; do
   TOCK_SCHED_POLICY=cooperative ctest --preset "$preset" -E "$COOP_EXCLUDE" "$@"
 done
 
-echo "==== matrix OK (default + trace-off, round-robin + cooperative) ===="
+echo "==== matrix OK (trace on/off x decode-cache on/off, round-robin + cooperative) ===="

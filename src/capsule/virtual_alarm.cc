@@ -10,21 +10,28 @@ void VirtualAlarm::SetAlarm(uint32_t reference, uint32_t dt) {
   dt_ = dt;
   armed_ = true;
   if (!mux_->in_firing_batch_) {
-    mux_->Rearm();
+    mux_->RearmAfterSet(this);
   }
   // During a firing batch the mux rearms once, after all callbacks — a client
-  // re-arming from inside AlarmFired must not trigger recursive rearms.
+  // re-arming from inside AlarmFired must not trigger recursive rearms. (The
+  // earliest-deadline cache is invalid for the whole batch, so no maintenance is
+  // needed here either; the post-batch rearm rescans.)
 }
 
 void VirtualAlarm::Disarm() {
   armed_ = false;
   if (!mux_->in_firing_batch_) {
-    mux_->Rearm();
+    mux_->RearmAfterClear(this);
   }
 }
 
 void VirtualAlarmMux::AlarmFired() {
   uint32_t now = hw_->Now();
+
+  // The firing batch rewrites the armed set wholesale; drop the earliest-deadline
+  // cache for the duration and rebuild it in the final rearm.
+  cache_valid_ = false;
+  earliest_ = nullptr;
 
   // Phase 1: collect. Mark every expired client and disarm it before running any
   // callback, so a callback that inspects or re-arms its own (or another) alarm sees
@@ -33,6 +40,7 @@ void VirtualAlarmMux::AlarmFired() {
     if (alarm->armed_ && hil::Alarm::Expired(now, alarm->reference_, alarm->dt_)) {
       alarm->armed_ = false;
       alarm->expired_pending_ = true;
+      ++pending_count_;
     }
   }
 
@@ -40,11 +48,11 @@ void VirtualAlarmMux::AlarmFired() {
   // freely; rearming is deferred. Holding an iterator across a callback is the §5.4
   // "subtle logic bug": a callback that unregisters itself (or any client) rewrites
   // the links the iterator is standing on. Instead, rescan from the head for the
-  // first still-pending client after every callback. Each callback clears one
-  // pending flag before running, so the loop terminates; clients removed mid-batch
-  // have their flag cleared by RemoveClient and are simply never found.
+  // first still-pending client after every callback. The pending count (maintained
+  // here and by RemoveClient) bounds the loop, and lets it stop without one last
+  // full scan that would only confirm nothing is left.
   in_firing_batch_ = true;
-  for (;;) {
+  while (pending_count_ > 0) {
     VirtualAlarm* pending = nullptr;
     for (VirtualAlarm* alarm : clients_) {
       if (alarm->expired_pending_) {
@@ -53,9 +61,11 @@ void VirtualAlarmMux::AlarmFired() {
       }
     }
     if (pending == nullptr) {
+      pending_count_ = 0;  // unreachable: the count tracks flags exactly
       break;
     }
     pending->expired_pending_ = false;
+    --pending_count_;
     ++fired_count_;
     if (pending->client_ != nullptr) {
       pending->client_->AlarmFired();
@@ -63,31 +73,77 @@ void VirtualAlarmMux::AlarmFired() {
   }
   in_firing_batch_ = false;
 
-  // Phase 3: one rearm for whatever is now the earliest deadline.
+  // Phase 3: one rearm for whatever is now the earliest deadline. The cache was
+  // invalidated above, so this is always a full scan — matching the old behavior
+  // exactly on the one path where the armed set really did change arbitrarily.
   Rearm();
 }
 
-void VirtualAlarmMux::Rearm() {
+void VirtualAlarmMux::RearmAfterSet(VirtualAlarm* changed) {
   uint32_t now = hw_->Now();
-  bool any = false;
-  uint32_t min_remaining = 0;
+  if (cache_valid_) {
+    if (earliest_ == nullptr) {
+      // Nothing was armed; the new arrival is trivially the minimum.
+      earliest_ = changed;
+    } else if (changed == earliest_) {
+      // The minimum itself moved. Earlier would keep it the minimum, later would
+      // promote an unknown runner-up; distinguishing them costs the scan either
+      // way, so just invalidate.
+      cache_valid_ = false;
+    } else if (Remaining(now, changed) < Remaining(now, earliest_)) {
+      earliest_ = changed;
+    }
+    // Ties keep the incumbent: the armed value is identical either way.
+  }
+  FinishRearm(now);
+}
 
-  for (VirtualAlarm* alarm : clients_) {
-    if (!alarm->armed_) {
-      continue;
+void VirtualAlarmMux::RearmAfterClear(VirtualAlarm* changed) {
+  if (cache_valid_ && changed == earliest_) {
+    cache_valid_ = false;  // the minimum left; the runner-up is unknown
+  }
+  // Disarming any other client cannot change the minimum. Note the hardware is
+  // still rearmed unconditionally (same MMIO sequence as always) — only the
+  // host-side scan is skipped.
+  FinishRearm(hw_->Now());
+}
+
+void VirtualAlarmMux::Rearm() { FinishRearm(hw_->Now()); }
+
+void VirtualAlarmMux::FinishRearm(uint32_t now) {
+  if (!cache_valid_) {
+    ++rearm_scans_;
+    earliest_ = nullptr;
+    uint32_t min_remaining = 0;
+    for (VirtualAlarm* alarm : clients_) {
+      if (!alarm->armed_) {
+        continue;
+      }
+      // Wrapping remaining time; an already-expired alarm has remaining 0 and must
+      // fire as soon as the hardware allows.
+      uint32_t remaining = Remaining(now, alarm);
+      if (earliest_ == nullptr || remaining < min_remaining) {
+        min_remaining = remaining;
+        earliest_ = alarm;
+      }
     }
-    // Wrapping remaining time; an already-expired alarm has remaining 0 and must
-    // fire as soon as the hardware allows.
-    uint32_t elapsed = now - alarm->reference_;
-    uint32_t remaining = elapsed >= alarm->dt_ ? 0 : alarm->dt_ - elapsed;
-    if (!any || remaining < min_remaining) {
-      min_remaining = remaining;
-      any = true;
-    }
+    cache_valid_ = true;
+  } else {
+    ++rearm_fast_;
   }
 
-  if (any) {
-    hw_->SetAlarm(now, min_remaining);
+  if (earliest_ != nullptr) {
+    uint32_t remaining = Remaining(now, earliest_);
+    hw_->SetAlarm(now, remaining);
+    if (remaining == 0) {
+      // An already-due (or future-referenced, §"near-past" hazard) minimum is the
+      // one case where a client's remaining time can *grow* as the clock advances,
+      // which would let the cached argmin go stale. The hardware fires within
+      // kMinDt of this arming; until its AlarmFired rebuilds the cache, fall back
+      // to full scans. While every deadline is strictly in the future — the common
+      // case — remaining times shrink in lockstep and the cache stays sound.
+      cache_valid_ = false;
+    }
   } else if (hw_->IsArmed()) {
     hw_->Disarm();
   }

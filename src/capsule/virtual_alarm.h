@@ -60,9 +60,12 @@ class VirtualAlarmMux : public hil::AlarmClient {
   void RemoveClient(VirtualAlarm* alarm) {
     clients_.Remove(alarm);
     alarm->armed_ = false;
-    alarm->expired_pending_ = false;
+    if (alarm->expired_pending_) {
+      alarm->expired_pending_ = false;
+      --pending_count_;
+    }
     if (!in_firing_batch_) {
-      Rearm();
+      RearmAfterClear(alarm);
     }
   }
 
@@ -71,18 +74,54 @@ class VirtualAlarmMux : public hil::AlarmClient {
   // hil::AlarmClient (from the hardware alarm).
   void AlarmFired() override;
 
-  // Recomputes and arms the hardware alarm for the earliest pending expiration.
+  // Recomputes and arms the hardware alarm for the earliest pending expiration,
+  // using the cached earliest client when it is known to still be the minimum.
   void Rearm();
 
   uint64_t fired_count() const { return fired_count_; }
 
+  // Host-side instrumentation for the earliest-deadline cache: how many rearms had
+  // to rescan every client vs. reused the cached minimum. Tests assert the fast
+  // path actually engages; the simulated hardware-call sequence (and thus cycle
+  // accounting) is identical on both paths.
+  uint64_t rearm_scans() const { return rearm_scans_; }
+  uint64_t rearm_fast() const { return rearm_fast_; }
+
  private:
   friend class VirtualAlarm;
+
+  // Wrapping time-to-expiry at `now`; 0 for an already-expired alarm.
+  static uint32_t Remaining(uint32_t now, const VirtualAlarm* alarm) {
+    uint32_t elapsed = now - alarm->reference_;
+    return elapsed >= alarm->dt_ ? 0 : alarm->dt_ - elapsed;
+  }
+
+  // Cache-maintaining rearm entry points. Both read hw_->Now() exactly once, like
+  // Rearm() always did — the MMIO tick sequence must not change.
+  void RearmAfterSet(VirtualAlarm* changed);    // `changed` was just (re)armed
+  void RearmAfterClear(VirtualAlarm* changed);  // `changed` was disarmed/removed
+  // Arms the hardware for the earliest deadline, rescanning only when the cache is
+  // invalid.
+  void FinishRearm(uint32_t now);
 
   hil::Alarm* hw_;
   IntrusiveList<VirtualAlarm> clients_;
   uint64_t fired_count_ = 0;
   bool in_firing_batch_ = false;
+
+  // Earliest-deadline cache. Invariant while `cache_valid_`: the armed set has not
+  // changed in a way that could dethrone `earliest_` since the last full scan —
+  // every armed client's remaining time shrinks by the same wall amount (clamping
+  // at zero preserves order), so the argmin is stable until an arm/disarm/firing
+  // batch touches it. `earliest_ == nullptr` means "no client armed". The pointer
+  // is only ever dereferenced while the cache is valid.
+  VirtualAlarm* earliest_ = nullptr;
+  bool cache_valid_ = false;
+  // Clients marked expired in the current firing batch and not yet called back:
+  // lets the batch loop stop without a final full rescan that finds nothing.
+  size_t pending_count_ = 0;
+  uint64_t rearm_scans_ = 0;
+  uint64_t rearm_fast_ = 0;
 };
 
 }  // namespace tock

@@ -122,6 +122,9 @@ bool MemoryBus::ProgramFlash(uint32_t addr, const uint8_t* data, uint32_t len) {
     return false;
   }
   std::memcpy(&flash_[addr - MemoryMap::kFlashBase], data, len);
+  if (flash_observer_ != nullptr) {
+    flash_observer_->OnFlashProgrammed(addr, len);
+  }
   return true;
 }
 

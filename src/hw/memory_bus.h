@@ -28,6 +28,15 @@ class MmioDevice {
 
 enum class Privilege { kPrivileged, kUnprivileged };
 
+// Notified after any successful ProgramFlash — the single modeled flash-write path
+// (flash controller, app installer, fault-injected bit flips). The kernel uses it to
+// invalidate predecoded-instruction caches covering the programmed range.
+class FlashWriteObserver {
+ public:
+  virtual ~FlashWriteObserver() = default;
+  virtual void OnFlashProgrammed(uint32_t addr, uint32_t len) = 0;
+};
+
 enum class BusFaultKind {
   kNone,
   kUnmapped,       // no memory or device at this address
@@ -73,6 +82,9 @@ class MemoryBus {
   bool ProgramFlash(uint32_t addr, const uint8_t* data, uint32_t len);
   // TRUSTED-END
 
+  // At most one observer (the kernel); nullptr detaches.
+  void set_flash_observer(FlashWriteObserver* observer) { flash_observer_ = observer; }
+
   const BusFault& last_fault() const { return last_fault_; }
   void ClearFault() { last_fault_ = BusFault{}; }
 
@@ -105,6 +117,7 @@ class MemoryBus {
   std::vector<uint8_t> flash_;
   std::vector<uint8_t> ram_;
   MmioDevice* devices_[MemoryMap::kNumSlots] = {};
+  FlashWriteObserver* flash_observer_ = nullptr;
   BusFault last_fault_;
   uint64_t mmio_accesses_ = 0;
 };

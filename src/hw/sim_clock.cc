@@ -7,8 +7,12 @@ namespace tock {
 
 uint64_t SimClock::ScheduleAt(uint64_t at, EventFn fn) {
   uint64_t id = next_id_++;
-  queue_.push(Event{std::max(at, now_), next_seq_++, id, std::move(fn)});
+  uint64_t due = std::max(at, now_);
+  queue_.push(Event{due, next_seq_++, id, std::move(fn)});
   ++live_events_;
+  if (due < next_due_) {
+    next_due_ = due;
+  }
   return id;
 }
 
@@ -27,8 +31,7 @@ bool SimClock::Cancel(uint64_t id) {
   return true;
 }
 
-void SimClock::Advance(uint64_t cycles) {
-  uint64_t target = now_ + cycles;
+void SimClock::AdvanceSlow(uint64_t target) {
   while (!queue_.empty() && queue_.top().at <= target) {
     Event ev = queue_.top();
     queue_.pop();
@@ -42,6 +45,7 @@ void SimClock::Advance(uint64_t cycles) {
     ev.fn();
   }
   now_ = target;
+  next_due_ = queue_.empty() ? UINT64_MAX : queue_.top().at;
 }
 
 uint64_t SimClock::NextEventAt() const {

@@ -34,7 +34,19 @@ class SimClock {
 
   // Advances the clock by `cycles`, firing every event whose deadline is reached, in
   // deadline order. Events scheduled by fired events within the window also fire.
-  void Advance(uint64_t cycles);
+  //
+  // The common case by far is the kernel ticking one cycle per VM instruction with
+  // no event due; `next_due_` caches the earliest queued deadline so that case is a
+  // single compare instead of a priority-queue inspection (hot-path work — see
+  // DESIGN.md "Hot-path architecture"; simulated time is unaffected).
+  void Advance(uint64_t cycles) {
+    uint64_t target = now_ + cycles;
+    if (target < next_due_) {
+      now_ = target;
+      return;
+    }
+    AdvanceSlow(target);
+  }
 
   // Cycle time of the earliest pending event, or UINT64_MAX when none.
   uint64_t NextEventAt() const;
@@ -52,10 +64,17 @@ class SimClock {
     }
   };
 
+  void AdvanceSlow(uint64_t target);
+
   uint64_t now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t next_id_ = 1;
   uint64_t live_events_ = 0;
+  // Earliest deadline present in queue_ (cancelled entries included — lazily
+  // cancelled events still occupy their slot, so this is a conservative lower
+  // bound: Advance may take the slow path and find only dead entries, never the
+  // reverse). UINT64_MAX when the queue is empty.
+  uint64_t next_due_ = UINT64_MAX;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::vector<uint64_t> cancelled_;  // ids whose events should be dropped when popped
 };

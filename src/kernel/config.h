@@ -19,6 +19,15 @@
 #define TOCK_TRACE_ENABLED 1
 #endif
 
+// Compile-time gate for the VM's predecoded instruction cache (vm/decode.h). When
+// defined to 0 (CMake: -DTOCK_DECODE_CACHE=OFF) the kernel never sizes or binds a
+// cache and the interpreter runs the original fetch/decode path — the escape hatch
+// if a decode-cache bug is ever suspected. Simulated behavior is identical either
+// way; only host throughput differs.
+#ifndef TOCK_DECODE_CACHE_ENABLED
+#define TOCK_DECODE_CACHE_ENABLED 1
+#endif
+
 namespace tock {
 
 enum class SyscallAbiVersion {
@@ -124,6 +133,13 @@ struct KernelConfig {
   // (kernel/trace.h). Resolved at compile time so a false value removes the record
   // calls from every hot path rather than testing a flag on each one.
   static constexpr bool trace_enabled = TOCK_TRACE_ENABLED != 0;
+
+  // Whether processes execute through the predecoded instruction cache. Runtime so
+  // one binary can compare both engines (bench/tab_hotpath_throughput.cc); defaults
+  // to the compile-time gate, and the kernel clamps it to false in a
+  // -DTOCK_DECODE_CACHE=OFF build — the flag cannot resurrect compiled-out code.
+  static constexpr bool decode_cache_compiled = TOCK_DECODE_CACHE_ENABLED != 0;
+  bool enable_decode_cache = decode_cache_compiled;
 };
 
 }  // namespace tock

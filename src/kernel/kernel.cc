@@ -50,6 +50,13 @@ Kernel::Kernel(Mcu* mcu, SysTick* systick, const KernelConfig& config)
     : mcu_(mcu), systick_(systick), config_(config), cpu_(&mcu->bus()) {
   // The kernel owns the SysTick interrupt line for preemption.
   mcu_->irq().Enable(kSysTickIrqLine);
+  // The runtime decode-cache switch exists so one binary can compare both engines
+  // (the hotpath bench); it cannot resurrect a compiled-out cache.
+  config_.enable_decode_cache =
+      config_.enable_decode_cache && KernelConfig::decode_cache_compiled;
+  // Watch the one modeled flash-write path so reprogrammed code can never execute
+  // from a stale predecoded record (vm/decode.h).
+  mcu_->bus().set_flash_observer(this);
   // Compose the board-selected scheduling policy (kernel/scheduler.h). All four
   // live in the kernel as members; only the selected one is ever consulted.
   switch (config_.scheduler.policy) {
@@ -68,11 +75,25 @@ Kernel::Kernel(Mcu* mcu, SysTick* systick, const KernelConfig& config)
   }
 }
 
+Kernel::~Kernel() {
+  mcu_->bus().set_flash_observer(nullptr);
+}
+
 // ---- Board wiring ------------------------------------------------------------------
 
-void Kernel::RegisterDriver(uint32_t driver_num, SyscallDriver* driver) {
+bool Kernel::RegisterDriver(uint32_t driver_num, SyscallDriver* driver) {
+  assert(driver != nullptr);
   assert(num_drivers_ < kMaxDrivers);
-  drivers_[num_drivers_++] = DriverEntry{driver_num, driver};
+  size_t slot = DriverSlot(driver_num);
+  while (drivers_[slot].driver != nullptr) {
+    if (drivers_[slot].num == driver_num) {
+      return false;  // duplicate: the first registration stands
+    }
+    slot = (slot + 1) & (kDriverTableSize - 1);
+  }
+  drivers_[slot] = DriverEntry{driver_num, driver};
+  ++num_drivers_;
+  return true;
 }
 
 void Kernel::RegisterIrqHandler(unsigned line, InterruptService* service) {
@@ -88,12 +109,25 @@ unsigned Kernel::AllocateGrantId(const MemoryAllocationCapability& cap) {
 }
 
 SyscallDriver* Kernel::LookupDriver(uint32_t driver_num) {
-  for (size_t i = 0; i < num_drivers_; ++i) {
-    if (drivers_[i].num == driver_num) {
-      return drivers_[i].driver;
-    }
+  if (last_driver_ != nullptr && last_driver_num_ == driver_num) {
+    return last_driver_;
   }
-  return nullptr;
+  size_t slot = DriverSlot(driver_num);
+  while (drivers_[slot].driver != nullptr) {
+    if (drivers_[slot].num == driver_num) {
+      last_driver_num_ = driver_num;
+      last_driver_ = drivers_[slot].driver;
+      return last_driver_;
+    }
+    slot = (slot + 1) & (kDriverTableSize - 1);
+  }
+  return nullptr;  // hit an empty slot: the number was never registered
+}
+
+void Kernel::OnFlashProgrammed(uint32_t addr, uint32_t len) {
+  for (size_t i = 0; i < num_created_processes_; ++i) {
+    processes_[i].decode_cache.InvalidateRange(addr, len);
+  }
 }
 
 // ---- Process management --------------------------------------------------------------
@@ -131,6 +165,11 @@ Process* Kernel::CreateProcess(const ProcessCreateInfo& info,
   p.priority = info.priority.value_or(config_.scheduler.default_priority);
   p.queue_level = 0;
   p.sched_stamp = 0;
+  if (config_.enable_decode_cache) {
+    // Sized to the flash window now; a dynamic reload into the same window goes
+    // through ProgramFlash and is caught by OnFlashProgrammed.
+    p.decode_cache.Configure(p.flash_start, p.flash_size);
+  }
   p.state = ProcessState::kUnstarted;
   return &p;
 }
@@ -567,12 +606,24 @@ StoppedReason Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles,
     trace_.RecordContextSwitch(mcu_->CyclesNow(), p.id.index);
   }
 
+  // Safe to bind the predecoded cache only now: MPU region 0 maps exactly this
+  // process's flash window read+execute (ConfigureMpuFor), which is the fast path's
+  // license to skip the per-fetch execute check (vm/decode.h).
+  cpu_.set_decode_cache(config_.enable_decode_cache ? &p.decode_cache : nullptr);
+
   // An absent timeslice is the cooperative contract: ArmCycles(0) schedules
   // nothing, so the process runs until it blocks or other hardware interrupts.
   systick_->ArmCycles(timeslice_cycles.value_or(0));
 
+  // Hoisted out of the per-instruction loop: at -O0 (the default Debug presets)
+  // each accessor chain is a real call sequence, and this loop runs once per
+  // simulated instruction. Same checks, same order — only the host-side lookup
+  // cost moves.
+  const InterruptController& irq = mcu_->irq();
+  const SimClock& clock = mcu_->clock();
+
   while (true) {
-    if (mcu_->irq().AnyPending()) {
+    if (irq.AnyPending()) {
       bool expired = systick_->Expired();
       if (expired) {
         ++p.timeslice_expirations;
@@ -580,7 +631,7 @@ StoppedReason Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles,
       systick_->DisarmAndClear();
       return expired ? StoppedReason::kTimesliceExpired : StoppedReason::kPreempted;
     }
-    if (mcu_->CyclesNow() >= deadline_cycles) {
+    if (clock.Now() >= deadline_cycles) {
       systick_->DisarmAndClear();
       return StoppedReason::kDeadline;  // only reachable with preemption disabled
     }
@@ -855,19 +906,13 @@ bool Kernel::HandleYield(Process& p, const Syscall& call) {
     case YieldVariant::kWaitFor: {
       uint32_t driver = call.args[1];
       uint32_t sub = call.args[2];
-      // Consume a matching queued upcall if one already arrived.
-      QueuedUpcall matched;
-      bool found = false;
-      p.upcall_queue.RemoveIf([&](const QueuedUpcall& u) {
-        if (!found && u.driver == driver && u.sub_num == sub) {
-          matched = u;
-          found = true;
-          return true;
-        }
-        return false;
-      });
-      if (found) {
-        DeliverDirectReturn(p, matched);
+      // Consume a matching queued upcall if one already arrived. RemoveFirstIf stops
+      // at the first hit instead of compacting the whole queue, and an empty queue
+      // (the common case: the completion has not fired yet) costs nothing.
+      if (auto matched = p.upcall_queue.RemoveFirstIf([&](const QueuedUpcall& u) {
+            return u.driver == driver && u.sub_num == sub;
+          })) {
+        DeliverDirectReturn(p, *matched);
         return true;
       }
       p.state = ProcessState::kYieldedFor;
@@ -897,19 +942,15 @@ bool Kernel::HandleBlockingCommand(Process& p, const Syscall& call) {
     return true;
   }
 
+  // Nearly every blocking command parks: the completion upcall arrives later, via
+  // ScheduleUpcall's direct-return path. The old code still walked and recompacted
+  // the entire upcall queue here on every command; RemoveFirstIf makes the no-match
+  // case (usually an empty queue) free and stops at the first hit otherwise.
   uint32_t sub = call.args[3];
-  QueuedUpcall matched;
-  bool found = false;
-  p.upcall_queue.RemoveIf([&](const QueuedUpcall& u) {
-    if (!found && u.driver == driver_num && u.sub_num == sub) {
-      matched = u;
-      found = true;
-      return true;
-    }
-    return false;
-  });
-  if (found) {
-    DeliverDirectReturn(p, matched);
+  if (auto matched = p.upcall_queue.RemoveFirstIf([&](const QueuedUpcall& u) {
+        return u.driver == driver_num && u.sub_num == sub;
+      })) {
+    DeliverDirectReturn(p, *matched);
     return true;
   }
   p.state = ProcessState::kYieldedFor;

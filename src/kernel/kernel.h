@@ -43,7 +43,7 @@ struct ProcessCreateInfo {
   std::optional<uint8_t> priority;
 };
 
-class Kernel {
+class Kernel : public FlashWriteObserver {
  public:
   static constexpr size_t kMaxProcesses = 8;
   static constexpr size_t kMaxDrivers = 24;
@@ -54,12 +54,16 @@ class Kernel {
   static constexpr uint32_t kKernelRamReserve = 32 * 1024;
 
   Kernel(Mcu* mcu, SysTick* systick, const KernelConfig& config);
+  ~Kernel() override;
 
   const KernelConfig& config() const { return config_; }
   Mcu* mcu() { return mcu_; }
 
   // ---- Board wiring (trusted initialization) -------------------------------------
-  void RegisterDriver(uint32_t driver_num, SyscallDriver* driver);
+  // Registers a syscall driver under `driver_num`. Returns false (registering
+  // nothing) on a duplicate number: the old linear table silently shadowed the later
+  // registration via scan order, which hid board-wiring bugs.
+  bool RegisterDriver(uint32_t driver_num, SyscallDriver* driver);
   void RegisterIrqHandler(unsigned line, InterruptService* service);
   // Allocates one of the per-process grant slots. Requires the memory-allocation
   // capability: only board init may shape the grant layout (§4.4).
@@ -88,6 +92,10 @@ class Kernel {
   // True once a process with a Panic fault policy has faulted: the main loop halts,
   // mirroring a kernel panic on hardware.
   bool panicked() const { return panicked_; }
+
+  // FlashWriteObserver: invalidates any per-process decode cache overlapping a
+  // programmed flash range (vm/decode.h). Registered on the MCU bus at construction.
+  void OnFlashProgrammed(uint32_t addr, uint32_t len) override;
 
   // ---- Main loop -----------------------------------------------------------------
   // Runs until `deadline_cycles` of simulated time pass, or the system wedges
@@ -169,6 +177,9 @@ class Kernel {
   // snapshot fields plus the PCB's own lifetime counters. All-zero for a bad index;
   // with tracing compiled out only the PCB-backed fields are populated.
   ProcStats GetProcStats(size_t index) const;
+  // Simulated instructions retired by the VM across all processes — the numerator
+  // of the hot-path throughput bench (host wall time is the denominator).
+  uint64_t instructions_retired() const { return cpu_.instructions_retired(); }
   uint64_t total_syscalls() const { return stats().SyscallsTotal(); }
   uint64_t total_context_switches() const { return stats().context_switches; }
   uint64_t total_upcalls() const { return stats().upcalls_queued; }
@@ -187,6 +198,23 @@ class Kernel {
     uint32_t num = 0;
     SyscallDriver* driver = nullptr;
   };
+
+  // Open-addressed flat map over driver numbers (linear probing, power-of-two
+  // table). Driver numbers are sparse 32-bit values (0x0 .. 0xA0001), so the old
+  // linear scan cost O(registered drivers) on every command/subscribe/allow trap.
+  // The table is sized ~2.7x kMaxDrivers, mappings are immutable once registered
+  // (duplicates are rejected), and `driver == nullptr` marks an empty slot — driver
+  // number 0 is real (kAlarm). Immutability is also what makes the one-entry
+  // last-driver cache in LookupDriver safe: a cached hit can never go stale.
+  static constexpr size_t kDriverTableSize = 64;
+  static_assert((kDriverTableSize & (kDriverTableSize - 1)) == 0,
+                "probe wraparound relies on a power-of-two table");
+  static_assert(kDriverTableSize > kMaxDrivers,
+                "a full table would turn lookup misses into infinite probes");
+  static size_t DriverSlot(uint32_t driver_num) {
+    // Knuth multiplicative hash; top bits index the 64-entry table.
+    return (driver_num * 2654435761u) >> 26;
+  }
 
   SyscallDriver* LookupDriver(uint32_t driver_num);
 
@@ -247,8 +275,12 @@ class Kernel {
   MlfqScheduler sched_mlfq_{processes_, config_};
   Scheduler* scheduler_ = &sched_round_robin_;
 
-  std::array<DriverEntry, kMaxDrivers> drivers_{};
+  std::array<DriverEntry, kDriverTableSize> drivers_{};
   size_t num_drivers_ = 0;
+  // One-entry lookup cache: syscall-heavy apps overwhelmingly hit one driver
+  // repeatedly (the command/yield loop shape of §3.2).
+  uint32_t last_driver_num_ = 0;
+  SyscallDriver* last_driver_ = nullptr;
 
   std::array<InterruptService*, InterruptController::kNumLines> irq_handlers_{};
 

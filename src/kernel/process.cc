@@ -123,6 +123,10 @@ bool Process::InOwnFlash(uint32_t addr, uint32_t len) const {
 void Process::ResetForRestart() {
   ctx = CpuContext{};
   saved_contexts.Clear();
+  // Every cached decode is suspect across a restart: the same flash window may have
+  // been reprogrammed (dynamic reload) between lives, and a revived process must
+  // never replay a decode of bytes that are no longer there.
+  decode_cache.Invalidate();
   wait_driver = 0;
   wait_sub = 0;
   blocking_command_wait = false;

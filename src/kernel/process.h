@@ -18,6 +18,7 @@
 #include "util/ring_buffer.h"
 #include "util/static_vec.h"
 #include "vm/cpu.h"
+#include "vm/decode.h"
 
 namespace tock {
 
@@ -107,6 +108,10 @@ class Process {
   // --- Execution state ---
   ProcessState state = ProcessState::kTerminated;
   CpuContext ctx;
+  // Predecoded instructions for this process's flash window (vm/decode.h). Sized by
+  // the kernel at creation when the decode cache is enabled, left empty otherwise;
+  // invalidated on restart and on flash reprogramming that overlaps the window.
+  DecodeCache decode_cache;
   StaticVec<CpuContext, kMaxUpcallNesting> saved_contexts;  // upcall nesting stack
   // For kYieldedFor: which upcall unblocks us.
   uint32_t wait_driver = 0;

@@ -82,6 +82,30 @@ class RingBuffer {
     return removed;
   }
 
+  // Removes and returns the *oldest* element matching `pred`, or nullopt if none.
+  // Unlike RemoveIf this stops scanning at the first hit, touches no storage at all
+  // when the buffer is empty, and shifts only the elements behind the hit — the
+  // shape the kernel's wait-for paths need (consume one matching upcall, usually
+  // from an empty or near-empty queue).
+  template <typename Pred>
+  constexpr std::optional<T> RemoveFirstIf(Pred&& pred) {
+    for (size_t i = 0; i < count_; ++i) {
+      size_t src = (head_ + i) % N;
+      if (!pred(storage_[src])) {
+        continue;
+      }
+      T out = std::move(storage_[src]);
+      for (size_t j = i + 1; j < count_; ++j) {
+        storage_[(head_ + j - 1) % N] = std::move(storage_[(head_ + j) % N]);
+      }
+      // Scrub the vacated tail slot, for the same §3.3.2 hygiene as RemoveIf.
+      storage_[(head_ + count_ - 1) % N] = T{};
+      --count_;
+      return out;
+    }
+    return std::nullopt;
+  }
+
  private:
   std::array<T, N> storage_{};
   size_t head_ = 0;

@@ -9,23 +9,6 @@ inline int32_t SignExtend(uint32_t value, unsigned bits) {
   return static_cast<int32_t>(value << shift) >> shift;
 }
 
-// Immediate decoders for the RV32 instruction formats.
-inline int32_t ImmI(uint32_t insn) { return SignExtend(insn >> 20, 12); }
-inline int32_t ImmS(uint32_t insn) {
-  return SignExtend(((insn >> 25) << 5) | ((insn >> 7) & 0x1F), 12);
-}
-inline int32_t ImmB(uint32_t insn) {
-  uint32_t imm = (((insn >> 31) & 1) << 12) | (((insn >> 7) & 1) << 11) |
-                 (((insn >> 25) & 0x3F) << 5) | (((insn >> 8) & 0xF) << 1);
-  return SignExtend(imm, 13);
-}
-inline int32_t ImmU(uint32_t insn) { return static_cast<int32_t>(insn & 0xFFFFF000); }
-inline int32_t ImmJ(uint32_t insn) {
-  uint32_t imm = (((insn >> 31) & 1) << 20) | (((insn >> 12) & 0xFF) << 12) |
-                 (((insn >> 20) & 1) << 11) | (((insn >> 21) & 0x3FF) << 1);
-  return SignExtend(imm, 21);
-}
-
 }  // namespace
 
 StepResult Cpu::RaiseBusFault(CpuContext& ctx, uint32_t addr) {
@@ -43,12 +26,32 @@ StepResult Cpu::Step(CpuContext& ctx) {
     return StepResult::kUpcallReturn;
   }
 
+  // Fast path: replay a predecoded record. A kNotDecoded slot fills through the
+  // ordinary checked fetch, so the first execution of every word still pays (and
+  // passes) the MPU execute check; only verified-once words are ever replayed.
+  if (cache_ != nullptr) {
+    if (DecodedInsn* d = cache_->Lookup(ctx.pc)) {
+      if (d->h == OpHandler::kNotDecoded) {
+        auto fetched = bus_->Fetch(ctx.pc, Privilege::kUnprivileged);
+        if (!fetched.has_value()) {
+          return RaiseBusFault(ctx, ctx.pc);
+        }
+        *d = Decode(*fetched);
+        cache_->NoteFill();
+      }
+      return Execute(ctx, *d);
+    }
+  }
+
   auto fetched = bus_->Fetch(ctx.pc, Privilege::kUnprivileged);
   if (!fetched.has_value()) {
     return RaiseBusFault(ctx, ctx.pc);
   }
-  uint32_t insn = *fetched;
+  DecodedInsn d = Decode(*fetched);
+  return Execute(ctx, d);
+}
 
+StepResult Cpu::Execute(CpuContext& ctx, const DecodedInsn& d) {
   auto& x = ctx.x;
   auto wr = [&x](unsigned rd, uint32_t value) {
     if (rd != 0) {
@@ -56,259 +59,194 @@ StepResult Cpu::Step(CpuContext& ctx) {
     }
   };
 
-  unsigned opcode = insn & 0x7F;
-  unsigned rd = (insn >> 7) & 0x1F;
-  unsigned funct3 = (insn >> 12) & 0x7;
-  unsigned rs1 = (insn >> 15) & 0x1F;
-  unsigned rs2 = (insn >> 20) & 0x1F;
-  unsigned funct7 = insn >> 25;
-
   uint32_t next_pc = ctx.pc + 4;
 
-  switch (opcode) {
-    case 0x37:  // LUI
-      wr(rd, static_cast<uint32_t>(ImmU(insn)));
+  switch (d.h) {
+    case OpHandler::kLui:
+      wr(d.rd, d.imm);
       break;
-    case 0x17:  // AUIPC
-      wr(rd, ctx.pc + static_cast<uint32_t>(ImmU(insn)));
+    case OpHandler::kAuipc:
+      wr(d.rd, ctx.pc + d.imm);
       break;
-    case 0x6F: {  // JAL
-      uint32_t target = ctx.pc + static_cast<uint32_t>(ImmJ(insn));
-      wr(rd, ctx.pc + 4);
+    case OpHandler::kJal: {
+      uint32_t target = ctx.pc + d.imm;
+      wr(d.rd, ctx.pc + 4);
       next_pc = target;
       break;
     }
-    case 0x67: {  // JALR
-      if (funct3 != 0) {
-        return RaiseIllegal(ctx, insn);
-      }
-      uint32_t target = (x[rs1] + static_cast<uint32_t>(ImmI(insn))) & ~1u;
-      wr(rd, ctx.pc + 4);
+    case OpHandler::kJalr: {
+      uint32_t target = (x[d.rs1] + d.imm) & ~1u;
+      wr(d.rd, ctx.pc + 4);
       next_pc = target;
       break;
     }
-    case 0x63: {  // branches
-      bool taken;
-      switch (funct3) {
-        case 0:
-          taken = x[rs1] == x[rs2];
-          break;
-        case 1:
-          taken = x[rs1] != x[rs2];
-          break;
-        case 4:
-          taken = static_cast<int32_t>(x[rs1]) < static_cast<int32_t>(x[rs2]);
-          break;
-        case 5:
-          taken = static_cast<int32_t>(x[rs1]) >= static_cast<int32_t>(x[rs2]);
-          break;
-        case 6:
-          taken = x[rs1] < x[rs2];
-          break;
-        case 7:
-          taken = x[rs1] >= x[rs2];
-          break;
-        default:
-          return RaiseIllegal(ctx, insn);
-      }
-      if (taken) {
-        next_pc = ctx.pc + static_cast<uint32_t>(ImmB(insn));
+    case OpHandler::kBeq:
+      if (x[d.rs1] == x[d.rs2]) {
+        next_pc = ctx.pc + d.imm;
       }
       break;
-    }
-    case 0x03: {  // loads
-      uint32_t addr = x[rs1] + static_cast<uint32_t>(ImmI(insn));
-      unsigned size;
-      switch (funct3) {
-        case 0:
-        case 4:
-          size = 1;
-          break;
-        case 1:
-        case 5:
-          size = 2;
-          break;
-        case 2:
-          size = 4;
-          break;
-        default:
-          return RaiseIllegal(ctx, insn);
+    case OpHandler::kBne:
+      if (x[d.rs1] != x[d.rs2]) {
+        next_pc = ctx.pc + d.imm;
       }
+      break;
+    case OpHandler::kBlt:
+      if (static_cast<int32_t>(x[d.rs1]) < static_cast<int32_t>(x[d.rs2])) {
+        next_pc = ctx.pc + d.imm;
+      }
+      break;
+    case OpHandler::kBge:
+      if (static_cast<int32_t>(x[d.rs1]) >= static_cast<int32_t>(x[d.rs2])) {
+        next_pc = ctx.pc + d.imm;
+      }
+      break;
+    case OpHandler::kBltu:
+      if (x[d.rs1] < x[d.rs2]) {
+        next_pc = ctx.pc + d.imm;
+      }
+      break;
+    case OpHandler::kBgeu:
+      if (x[d.rs1] >= x[d.rs2]) {
+        next_pc = ctx.pc + d.imm;
+      }
+      break;
+    case OpHandler::kLb:
+    case OpHandler::kLh:
+    case OpHandler::kLw:
+    case OpHandler::kLbu:
+    case OpHandler::kLhu: {
+      uint32_t addr = x[d.rs1] + d.imm;
+      unsigned size =
+          (d.h == OpHandler::kLb || d.h == OpHandler::kLbu)   ? 1
+          : (d.h == OpHandler::kLh || d.h == OpHandler::kLhu) ? 2
+                                                              : 4;
       auto loaded = bus_->Read(addr, size, Privilege::kUnprivileged);
       if (!loaded.has_value()) {
         return RaiseBusFault(ctx, addr);
       }
       uint32_t value = *loaded;
-      switch (funct3) {
-        case 0:  // LB
-          value = static_cast<uint32_t>(SignExtend(value, 8));
-          break;
-        case 1:  // LH
-          value = static_cast<uint32_t>(SignExtend(value, 16));
-          break;
-        default:  // LW, LBU, LHU already zero-extended
-          break;
+      if (d.h == OpHandler::kLb) {
+        value = static_cast<uint32_t>(SignExtend(value, 8));
+      } else if (d.h == OpHandler::kLh) {
+        value = static_cast<uint32_t>(SignExtend(value, 16));
       }
-      wr(rd, value);
+      wr(d.rd, value);
       break;
     }
-    case 0x23: {  // stores
-      uint32_t addr = x[rs1] + static_cast<uint32_t>(ImmS(insn));
-      unsigned size;
-      switch (funct3) {
-        case 0:
-          size = 1;
-          break;
-        case 1:
-          size = 2;
-          break;
-        case 2:
-          size = 4;
-          break;
-        default:
-          return RaiseIllegal(ctx, insn);
-      }
-      if (!bus_->Write(addr, x[rs2], size, Privilege::kUnprivileged)) {
+    case OpHandler::kSb:
+    case OpHandler::kSh:
+    case OpHandler::kSw: {
+      uint32_t addr = x[d.rs1] + d.imm;
+      unsigned size = d.h == OpHandler::kSb ? 1 : d.h == OpHandler::kSh ? 2 : 4;
+      if (!bus_->Write(addr, x[d.rs2], size, Privilege::kUnprivileged)) {
         return RaiseBusFault(ctx, addr);
       }
       break;
     }
-    case 0x13: {  // ALU immediate
-      int32_t imm = ImmI(insn);
-      uint32_t uimm = static_cast<uint32_t>(imm);
-      unsigned shamt = rs2;  // shift amount lives in the rs2 field
-      switch (funct3) {
-        case 0:
-          wr(rd, x[rs1] + uimm);
-          break;
-        case 1:
-          if (funct7 != 0) {
-            return RaiseIllegal(ctx, insn);
-          }
-          wr(rd, x[rs1] << shamt);
-          break;
-        case 2:
-          wr(rd, static_cast<int32_t>(x[rs1]) < imm ? 1 : 0);
-          break;
-        case 3:
-          wr(rd, x[rs1] < uimm ? 1 : 0);
-          break;
-        case 4:
-          wr(rd, x[rs1] ^ uimm);
-          break;
-        case 5:
-          if (funct7 == 0x00) {
-            wr(rd, x[rs1] >> shamt);
-          } else if (funct7 == 0x20) {
-            wr(rd, static_cast<uint32_t>(static_cast<int32_t>(x[rs1]) >> shamt));
-          } else {
-            return RaiseIllegal(ctx, insn);
-          }
-          break;
-        case 6:
-          wr(rd, x[rs1] | uimm);
-          break;
-        case 7:
-          wr(rd, x[rs1] & uimm);
-          break;
-      }
+    case OpHandler::kAddi:
+      wr(d.rd, x[d.rs1] + d.imm);
+      break;
+    case OpHandler::kSlli:
+      wr(d.rd, x[d.rs1] << d.imm);
+      break;
+    case OpHandler::kSlti:
+      wr(d.rd, static_cast<int32_t>(x[d.rs1]) < static_cast<int32_t>(d.imm) ? 1 : 0);
+      break;
+    case OpHandler::kSltiu:
+      wr(d.rd, x[d.rs1] < d.imm ? 1 : 0);
+      break;
+    case OpHandler::kXori:
+      wr(d.rd, x[d.rs1] ^ d.imm);
+      break;
+    case OpHandler::kSrli:
+      wr(d.rd, x[d.rs1] >> d.imm);
+      break;
+    case OpHandler::kSrai:
+      wr(d.rd, static_cast<uint32_t>(static_cast<int32_t>(x[d.rs1]) >> d.imm));
+      break;
+    case OpHandler::kOri:
+      wr(d.rd, x[d.rs1] | d.imm);
+      break;
+    case OpHandler::kAndi:
+      wr(d.rd, x[d.rs1] & d.imm);
+      break;
+    case OpHandler::kAdd:
+      wr(d.rd, x[d.rs1] + x[d.rs2]);
+      break;
+    case OpHandler::kSub:
+      wr(d.rd, x[d.rs1] - x[d.rs2]);
+      break;
+    case OpHandler::kSll:
+      wr(d.rd, x[d.rs1] << (x[d.rs2] & 0x1F));
+      break;
+    case OpHandler::kSlt:
+      wr(d.rd, static_cast<int32_t>(x[d.rs1]) < static_cast<int32_t>(x[d.rs2]) ? 1 : 0);
+      break;
+    case OpHandler::kSltu:
+      wr(d.rd, x[d.rs1] < x[d.rs2] ? 1 : 0);
+      break;
+    case OpHandler::kXor:
+      wr(d.rd, x[d.rs1] ^ x[d.rs2]);
+      break;
+    case OpHandler::kSrl:
+      wr(d.rd, x[d.rs1] >> (x[d.rs2] & 0x1F));
+      break;
+    case OpHandler::kSra:
+      wr(d.rd, static_cast<uint32_t>(static_cast<int32_t>(x[d.rs1]) >> (x[d.rs2] & 0x1F)));
+      break;
+    case OpHandler::kOr:
+      wr(d.rd, x[d.rs1] | x[d.rs2]);
+      break;
+    case OpHandler::kAnd:
+      wr(d.rd, x[d.rs1] & x[d.rs2]);
+      break;
+    case OpHandler::kMul:
+      wr(d.rd, x[d.rs1] * x[d.rs2]);
+      break;
+    case OpHandler::kMulh: {
+      int64_t prod = static_cast<int64_t>(static_cast<int32_t>(x[d.rs1])) *
+                     static_cast<int64_t>(static_cast<int32_t>(x[d.rs2]));
+      wr(d.rd, static_cast<uint32_t>(prod >> 32));
       break;
     }
-    case 0x33: {  // ALU register
-      if (funct7 == 0x01) {  // M extension
-        switch (funct3) {
-          case 0:
-            wr(rd, x[rs1] * x[rs2]);
-            break;
-          case 1: {  // MULH
-            int64_t prod = static_cast<int64_t>(static_cast<int32_t>(x[rs1])) *
-                           static_cast<int64_t>(static_cast<int32_t>(x[rs2]));
-            wr(rd, static_cast<uint32_t>(prod >> 32));
-            break;
-          }
-          case 3: {  // MULHU
-            uint64_t prod = static_cast<uint64_t>(x[rs1]) * static_cast<uint64_t>(x[rs2]);
-            wr(rd, static_cast<uint32_t>(prod >> 32));
-            break;
-          }
-          case 4: {  // DIV
-            int32_t a = static_cast<int32_t>(x[rs1]);
-            int32_t b = static_cast<int32_t>(x[rs2]);
-            int32_t q = b == 0 ? -1 : (a == INT32_MIN && b == -1 ? a : a / b);
-            wr(rd, static_cast<uint32_t>(q));
-            break;
-          }
-          case 5:  // DIVU
-            wr(rd, x[rs2] == 0 ? UINT32_MAX : x[rs1] / x[rs2]);
-            break;
-          case 6: {  // REM
-            int32_t a = static_cast<int32_t>(x[rs1]);
-            int32_t b = static_cast<int32_t>(x[rs2]);
-            int32_t r = b == 0 ? a : (a == INT32_MIN && b == -1 ? 0 : a % b);
-            wr(rd, static_cast<uint32_t>(r));
-            break;
-          }
-          case 7:  // REMU
-            wr(rd, x[rs2] == 0 ? x[rs1] : x[rs1] % x[rs2]);
-            break;
-          default:
-            return RaiseIllegal(ctx, insn);
-        }
-        break;
-      }
-      switch (funct3) {
-        case 0:
-          if (funct7 == 0x00) {
-            wr(rd, x[rs1] + x[rs2]);
-          } else if (funct7 == 0x20) {
-            wr(rd, x[rs1] - x[rs2]);
-          } else {
-            return RaiseIllegal(ctx, insn);
-          }
-          break;
-        case 1:
-          wr(rd, x[rs1] << (x[rs2] & 0x1F));
-          break;
-        case 2:
-          wr(rd, static_cast<int32_t>(x[rs1]) < static_cast<int32_t>(x[rs2]) ? 1 : 0);
-          break;
-        case 3:
-          wr(rd, x[rs1] < x[rs2] ? 1 : 0);
-          break;
-        case 4:
-          wr(rd, x[rs1] ^ x[rs2]);
-          break;
-        case 5:
-          if (funct7 == 0x00) {
-            wr(rd, x[rs1] >> (x[rs2] & 0x1F));
-          } else if (funct7 == 0x20) {
-            wr(rd, static_cast<uint32_t>(static_cast<int32_t>(x[rs1]) >> (x[rs2] & 0x1F)));
-          } else {
-            return RaiseIllegal(ctx, insn);
-          }
-          break;
-        case 6:
-          wr(rd, x[rs1] | x[rs2]);
-          break;
-        case 7:
-          wr(rd, x[rs1] & x[rs2]);
-          break;
-      }
+    case OpHandler::kMulhu: {
+      uint64_t prod = static_cast<uint64_t>(x[d.rs1]) * static_cast<uint64_t>(x[d.rs2]);
+      wr(d.rd, static_cast<uint32_t>(prod >> 32));
       break;
     }
-    case 0x73: {  // SYSTEM
-      uint32_t imm = insn >> 20;
-      if (funct3 == 0 && rd == 0 && rs1 == 0) {
-        ++instructions_retired_;
-        ctx.pc = next_pc;  // syscalls resume after the trap instruction
-        return imm == 0 ? StepResult::kEcall : StepResult::kEbreak;
-      }
-      return RaiseIllegal(ctx, insn);
-    }
-    case 0x0F:  // FENCE: no-op in this memory model
+    case OpHandler::kDiv: {
+      int32_t a = static_cast<int32_t>(x[d.rs1]);
+      int32_t b = static_cast<int32_t>(x[d.rs2]);
+      int32_t q = b == 0 ? -1 : (a == INT32_MIN && b == -1 ? a : a / b);
+      wr(d.rd, static_cast<uint32_t>(q));
       break;
-    default:
-      return RaiseIllegal(ctx, insn);
+    }
+    case OpHandler::kDivu:
+      wr(d.rd, x[d.rs2] == 0 ? UINT32_MAX : x[d.rs1] / x[d.rs2]);
+      break;
+    case OpHandler::kRem: {
+      int32_t a = static_cast<int32_t>(x[d.rs1]);
+      int32_t b = static_cast<int32_t>(x[d.rs2]);
+      int32_t r = b == 0 ? a : (a == INT32_MIN && b == -1 ? 0 : a % b);
+      wr(d.rd, static_cast<uint32_t>(r));
+      break;
+    }
+    case OpHandler::kRemu:
+      wr(d.rd, x[d.rs2] == 0 ? x[d.rs1] : x[d.rs1] % x[d.rs2]);
+      break;
+    case OpHandler::kFence:
+      break;
+    case OpHandler::kEcall:
+      ++instructions_retired_;
+      ctx.pc = next_pc;  // syscalls resume after the trap instruction
+      return StepResult::kEcall;
+    case OpHandler::kEbreak:
+      ++instructions_retired_;
+      ctx.pc = next_pc;
+      return StepResult::kEbreak;
+    case OpHandler::kIllegal:
+    case OpHandler::kNotDecoded:  // unreachable: Step fills before executing
+      return RaiseIllegal(ctx, d.imm);
   }
 
   ++instructions_retired_;

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "hw/memory_bus.h"
+#include "vm/decode.h"
 
 namespace tock {
 
@@ -66,17 +67,29 @@ class Cpu {
 
   // Executes one instruction in unprivileged mode. On kFault the context pc is left
   // at the faulting instruction for diagnosis.
+  //
+  // With a decode cache bound, in-window pcs execute predecoded records and skip the
+  // per-step bus fetch; the caller (the kernel) guarantees the MPU currently maps
+  // the cache's window read+execute (see vm/decode.h for the safety contract).
+  // Without one — or for any pc the cache does not cover — the ordinary checked
+  // fetch-decode path runs, so behavior is identical either way.
   StepResult Step(CpuContext& ctx);
+
+  // Binds the running process's predecoded-instruction cache (nullptr = none). The
+  // kernel rebinds on every process dispatch; unit tests drive it directly.
+  void set_decode_cache(DecodeCache* cache) { cache_ = cache; }
 
   const VmFault& fault() const { return fault_; }
 
   uint64_t instructions_retired() const { return instructions_retired_; }
 
  private:
+  StepResult Execute(CpuContext& ctx, const DecodedInsn& d);
   StepResult RaiseBusFault(CpuContext& ctx, uint32_t addr);
   StepResult RaiseIllegal(CpuContext& ctx, uint32_t instruction);
 
   MemoryBus* bus_;
+  DecodeCache* cache_ = nullptr;
   VmFault fault_;
   uint64_t instructions_retired_ = 0;
 };

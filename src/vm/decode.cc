@@ -1,0 +1,258 @@
+// ERA: 1
+#include "vm/decode.h"
+
+namespace tock {
+namespace {
+
+inline int32_t SignExtend(uint32_t value, unsigned bits) {
+  uint32_t shift = 32 - bits;
+  return static_cast<int32_t>(value << shift) >> shift;
+}
+
+// Immediate decoders for the RV32 instruction formats (identical to the ones the
+// interpreter used per-step; they now run once per flash word).
+inline int32_t ImmI(uint32_t insn) { return SignExtend(insn >> 20, 12); }
+inline int32_t ImmS(uint32_t insn) {
+  return SignExtend(((insn >> 25) << 5) | ((insn >> 7) & 0x1F), 12);
+}
+inline int32_t ImmB(uint32_t insn) {
+  uint32_t imm = (((insn >> 31) & 1) << 12) | (((insn >> 7) & 1) << 11) |
+                 (((insn >> 25) & 0x3F) << 5) | (((insn >> 8) & 0xF) << 1);
+  return SignExtend(imm, 13);
+}
+inline int32_t ImmU(uint32_t insn) { return static_cast<int32_t>(insn & 0xFFFFF000); }
+inline int32_t ImmJ(uint32_t insn) {
+  uint32_t imm = (((insn >> 31) & 1) << 20) | (((insn >> 12) & 0xFF) << 12) |
+                 (((insn >> 20) & 1) << 11) | (((insn >> 21) & 0x3FF) << 1);
+  return SignExtend(imm, 21);
+}
+
+// kIllegal records the raw word so the fault path can report the offending
+// encoding (VmFault::detail), exactly as the fetch-decode interpreter did.
+inline DecodedInsn Illegal(uint32_t insn) {
+  return DecodedInsn{OpHandler::kIllegal, 0, 0, 0, insn};
+}
+
+}  // namespace
+
+DecodedInsn Decode(uint32_t insn) {
+  DecodedInsn d;
+  d.rd = static_cast<uint8_t>((insn >> 7) & 0x1F);
+  d.rs1 = static_cast<uint8_t>((insn >> 15) & 0x1F);
+  d.rs2 = static_cast<uint8_t>((insn >> 20) & 0x1F);
+  unsigned funct3 = (insn >> 12) & 0x7;
+  unsigned funct7 = insn >> 25;
+
+  switch (insn & 0x7F) {
+    case 0x37:
+      d.h = OpHandler::kLui;
+      d.imm = static_cast<uint32_t>(ImmU(insn));
+      return d;
+    case 0x17:
+      d.h = OpHandler::kAuipc;
+      d.imm = static_cast<uint32_t>(ImmU(insn));
+      return d;
+    case 0x6F:
+      d.h = OpHandler::kJal;
+      d.imm = static_cast<uint32_t>(ImmJ(insn));
+      return d;
+    case 0x67:
+      if (funct3 != 0) {
+        return Illegal(insn);
+      }
+      d.h = OpHandler::kJalr;
+      d.imm = static_cast<uint32_t>(ImmI(insn));
+      return d;
+    case 0x63: {
+      switch (funct3) {
+        case 0:
+          d.h = OpHandler::kBeq;
+          break;
+        case 1:
+          d.h = OpHandler::kBne;
+          break;
+        case 4:
+          d.h = OpHandler::kBlt;
+          break;
+        case 5:
+          d.h = OpHandler::kBge;
+          break;
+        case 6:
+          d.h = OpHandler::kBltu;
+          break;
+        case 7:
+          d.h = OpHandler::kBgeu;
+          break;
+        default:
+          return Illegal(insn);
+      }
+      d.imm = static_cast<uint32_t>(ImmB(insn));
+      return d;
+    }
+    case 0x03: {
+      switch (funct3) {
+        case 0:
+          d.h = OpHandler::kLb;
+          break;
+        case 1:
+          d.h = OpHandler::kLh;
+          break;
+        case 2:
+          d.h = OpHandler::kLw;
+          break;
+        case 4:
+          d.h = OpHandler::kLbu;
+          break;
+        case 5:
+          d.h = OpHandler::kLhu;
+          break;
+        default:
+          return Illegal(insn);
+      }
+      d.imm = static_cast<uint32_t>(ImmI(insn));
+      return d;
+    }
+    case 0x23: {
+      switch (funct3) {
+        case 0:
+          d.h = OpHandler::kSb;
+          break;
+        case 1:
+          d.h = OpHandler::kSh;
+          break;
+        case 2:
+          d.h = OpHandler::kSw;
+          break;
+        default:
+          return Illegal(insn);
+      }
+      d.imm = static_cast<uint32_t>(ImmS(insn));
+      return d;
+    }
+    case 0x13: {
+      d.imm = static_cast<uint32_t>(ImmI(insn));
+      switch (funct3) {
+        case 0:
+          d.h = OpHandler::kAddi;
+          return d;
+        case 1:
+          if (funct7 != 0) {
+            return Illegal(insn);
+          }
+          d.h = OpHandler::kSlli;
+          d.imm = d.rs2;  // shift amount lives in the rs2 field
+          return d;
+        case 2:
+          d.h = OpHandler::kSlti;
+          return d;
+        case 3:
+          d.h = OpHandler::kSltiu;
+          return d;
+        case 4:
+          d.h = OpHandler::kXori;
+          return d;
+        case 5:
+          if (funct7 == 0x00) {
+            d.h = OpHandler::kSrli;
+          } else if (funct7 == 0x20) {
+            d.h = OpHandler::kSrai;
+          } else {
+            return Illegal(insn);
+          }
+          d.imm = d.rs2;
+          return d;
+        case 6:
+          d.h = OpHandler::kOri;
+          return d;
+        case 7:
+          d.h = OpHandler::kAndi;
+          return d;
+      }
+      return Illegal(insn);
+    }
+    case 0x33: {
+      if (funct7 == 0x01) {  // M extension (no MULHSU in this subset: funct3==2 traps)
+        switch (funct3) {
+          case 0:
+            d.h = OpHandler::kMul;
+            return d;
+          case 1:
+            d.h = OpHandler::kMulh;
+            return d;
+          case 3:
+            d.h = OpHandler::kMulhu;
+            return d;
+          case 4:
+            d.h = OpHandler::kDiv;
+            return d;
+          case 5:
+            d.h = OpHandler::kDivu;
+            return d;
+          case 6:
+            d.h = OpHandler::kRem;
+            return d;
+          case 7:
+            d.h = OpHandler::kRemu;
+            return d;
+          default:
+            return Illegal(insn);
+        }
+      }
+      switch (funct3) {
+        case 0:
+          if (funct7 == 0x00) {
+            d.h = OpHandler::kAdd;
+          } else if (funct7 == 0x20) {
+            d.h = OpHandler::kSub;
+          } else {
+            return Illegal(insn);
+          }
+          return d;
+        case 1:  // funct7 ignored outside {0,5}, matching the interpreter
+          d.h = OpHandler::kSll;
+          return d;
+        case 2:
+          d.h = OpHandler::kSlt;
+          return d;
+        case 3:
+          d.h = OpHandler::kSltu;
+          return d;
+        case 4:
+          d.h = OpHandler::kXor;
+          return d;
+        case 5:
+          if (funct7 == 0x00) {
+            d.h = OpHandler::kSrl;
+          } else if (funct7 == 0x20) {
+            d.h = OpHandler::kSra;
+          } else {
+            return Illegal(insn);
+          }
+          return d;
+        case 6:
+          d.h = OpHandler::kOr;
+          return d;
+        case 7:
+          d.h = OpHandler::kAnd;
+          return d;
+      }
+      return Illegal(insn);
+    }
+    case 0x73:
+      // ecall/ebreak only; any other SYSTEM encoding (CSR ops, or WFI-style
+      // immediates with nonzero rd/rs1/funct3) is illegal — and any nonzero
+      // immediate with the zero fields is an ebreak-class trap, as before.
+      if (funct3 == 0 && d.rd == 0 && d.rs1 == 0) {
+        d.h = (insn >> 20) == 0 ? OpHandler::kEcall : OpHandler::kEbreak;
+        return d;
+      }
+      return Illegal(insn);
+    case 0x0F:  // FENCE: no-op in this memory model, whatever the funct3
+      d.h = OpHandler::kFence;
+      return d;
+    default:
+      return Illegal(insn);
+  }
+}
+
+}  // namespace tock

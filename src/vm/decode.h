@@ -1,0 +1,191 @@
+// ERA: 1
+// Predecoded instruction cache for the RV32IM interpreter (the ROADMAP "make a hot
+// path measurably faster" step).
+//
+// The interpreter originally paid a full bus fetch (MPU execute check + routing) and
+// a nested opcode/funct3/funct7 switch for every retired instruction. Flash is
+// immutable outside the flash-controller programming path, so that work is
+// decode-once/execute-many territory — the shape QEMU-style predecoded interpreters
+// use: each 4-byte flash word decodes once into a compact DecodedInsn record
+// {handler id, rd, rs1, rs2, imm}, and execution replays records straight from the
+// cache.
+//
+// Everything here is host-side only. The simulated machine is unchanged: cycle
+// accounting, fault semantics, and architectural state transitions are bit-identical
+// with the cache on or off (golden traces in tests/golden/ hold either way), because
+//   * MemoryBus::Fetch never ticks simulated cycles and never routes to MMIO, and
+//   * Mpu::CheckAccess is a pure predicate — skipping a check that is known to pass
+//     is unobservable.
+// The known-to-pass argument is the cache's safety contract: the kernel binds a
+// process's cache to the Cpu only while MPU region 0 maps exactly that process's
+// flash window read+execute, and Lookup() only serves 4-aligned pcs whose full word
+// lies inside the window. Every other pc — including the first execution of each
+// word, which fills the cache — takes the ordinary checked bus path.
+//
+// Invalidation: ResetForRestart() invalidates the whole cache (restart), and the
+// kernel observes MemoryBus::ProgramFlash — the single modeled flash-write path
+// (flash controller, app installer, fault-injected bit flips) — to invalidate any
+// overlapping range. -DTOCK_DECODE_CACHE=OFF compiles the escape hatch: the kernel
+// never binds a cache and the interpreter runs exactly as before.
+#ifndef TOCK_VM_DECODE_H_
+#define TOCK_VM_DECODE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace tock {
+
+// Handler ids for the execute switch. kNotDecoded doubles as the empty-slot
+// sentinel: no instruction word decodes to it (anything unrecognized decodes to
+// kIllegal), so a zero-filled cache is simply "all misses".
+enum class OpHandler : uint8_t {
+  kNotDecoded = 0,
+  kLui,
+  kAuipc,
+  kJal,
+  kJalr,
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBltu,
+  kBgeu,
+  kLb,
+  kLh,
+  kLw,
+  kLbu,
+  kLhu,
+  kSb,
+  kSh,
+  kSw,
+  kAddi,
+  kSlli,
+  kSlti,
+  kSltiu,
+  kXori,
+  kSrli,
+  kSrai,
+  kOri,
+  kAndi,
+  kAdd,
+  kSub,
+  kSll,
+  kSlt,
+  kSltu,
+  kXor,
+  kSrl,
+  kSra,
+  kOr,
+  kAnd,
+  kMul,
+  kMulh,
+  kMulhu,
+  kDiv,
+  kDivu,
+  kRem,
+  kRemu,
+  kFence,   // no-op in this memory model, any funct3
+  kEcall,
+  kEbreak,  // any SYSTEM with funct3==0, rd==0, rs1==0 and imm != 0 (incl. WFI)
+  kIllegal,
+};
+
+// One predecoded instruction. 8 bytes: handler id + register fields + the one
+// immediate the handler needs. `imm` holds the sign-extended immediate for I/S/B/U/J
+// formats, the shift amount for immediate shifts, and the raw instruction word for
+// kIllegal (the fault records the offending encoding in VmFault::detail).
+struct DecodedInsn {
+  OpHandler h = OpHandler::kNotDecoded;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  uint32_t imm = 0;
+};
+static_assert(sizeof(DecodedInsn) == 8, "decoded records should stay compact");
+
+// Decodes one instruction word. Total: every word maps to some handler (kIllegal for
+// unrecognized encodings), mirroring the interpreter's fault behavior exactly.
+DecodedInsn Decode(uint32_t word);
+
+// Per-process cache of decoded flash words, indexed by (pc - base) / 4. Owned by the
+// process control block; sized to the process's flash window at load time.
+class DecodeCache {
+ public:
+  // (Re)binds the cache to a flash window and drops all cached decodes.
+  void Configure(uint32_t base, uint32_t size) {
+    base_ = base;
+    entries_.assign(size / 4, DecodedInsn{});
+    data_ = entries_.data();
+    limit_ = static_cast<uint32_t>(entries_.size());
+  }
+
+  bool IsConfigured() const { return !entries_.empty(); }
+
+  // Drops every cached decode (process restart / slot reuse).
+  void Invalidate() {
+    if (!entries_.empty()) {
+      std::fill(entries_.begin(), entries_.end(), DecodedInsn{});
+      ++invalidations_;
+    }
+  }
+
+  // Drops cached decodes overlapping [addr, addr+len) — called when flash inside the
+  // window is reprogrammed. A write to byte B stales the 4-aligned word containing B.
+  void InvalidateRange(uint32_t addr, uint32_t len) {
+    if (entries_.empty() || len == 0) {
+      return;
+    }
+    uint64_t lo = addr > base_ ? addr - base_ : 0;
+    uint64_t hi = static_cast<uint64_t>(addr) + len;
+    uint64_t window_end = static_cast<uint64_t>(base_) + entries_.size() * 4;
+    if (addr >= window_end || hi <= base_) {
+      return;
+    }
+    hi -= base_;
+    size_t first = static_cast<size_t>(lo / 4);
+    size_t last = static_cast<size_t>((hi + 3) / 4);
+    if (last > entries_.size()) {
+      last = entries_.size();
+    }
+    for (size_t i = first; i < last; ++i) {
+      entries_[i] = DecodedInsn{};
+    }
+    ++invalidations_;
+  }
+
+  // The cache slot for `pc`, or nullptr when `pc` is outside the window (misaligned,
+  // below base, or its word not fully inside) — those take the checked bus path.
+  DecodedInsn* Lookup(uint32_t pc) {
+    uint32_t off = pc - base_;  // wraps huge for pc < base_, failing the index check
+    if ((off & 3u) != 0) {
+      return nullptr;
+    }
+    uint32_t idx = off >> 2;
+    // data_/limit_ mirror entries_ (set in Configure) so this per-instruction path
+    // is raw pointer arithmetic rather than std::vector accessor calls — at -O0,
+    // the Debug presets' default, those are real calls.
+    if (idx >= limit_) {
+      return nullptr;
+    }
+    return data_ + idx;
+  }
+
+  void NoteFill() { ++fills_; }
+
+  // Host-side instrumentation (tests prove caching/invalidation through these).
+  uint64_t fills() const { return fills_; }
+  uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  uint32_t base_ = 0;
+  std::vector<DecodedInsn> entries_;
+  DecodedInsn* data_ = nullptr;  // == entries_.data(); see Lookup
+  uint32_t limit_ = 0;           // == entries_.size()
+  uint64_t fills_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_VM_DECODE_H_

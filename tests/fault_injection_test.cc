@@ -464,5 +464,40 @@ TEST(LoaderCorruption, BitFlippedSignatureFailsTheAuthenticityStep) {
   EXPECT_STRNE(LoadErrorName(LoadError::kStructural), LoadErrorName(LoadError::kAuthenticity));
 }
 
+// ---- Decode-cache coherence under flash corruption (vm/decode.h) -------------------------
+
+// Mid-run reprogramming of a process's code — the fault-injection analogue of a TBF
+// bit-flip landing in flash — must never leave the process executing stale decodes.
+// ProgramFlash is the single modeled flash-write path; the kernel observes it
+// (Kernel::OnFlashProgrammed) and invalidates the overlapping decode-cache words,
+// so the next execution of the corrupted word refetches, decodes the garbage, and
+// faults. Without that hook the predecoded loop body would keep running the *old*
+// instructions forever and this test would time out un-faulted.
+TEST(FaultInjection, MidRunFlashCorruptionIsExecutedFreshNotFromStaleDecodes) {
+  SimBoard board;
+  AppSpec worker;
+  worker.name = "worker";
+  worker.source = kWorkerApp;
+  ASSERT_NE(board.installer().Install(worker), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+
+  // Warm the decode cache: the loop body has executed many times.
+  board.Run(100'000);
+  Process* p = board.kernel().process(0);
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(p->IsAlive());
+  ASSERT_GT(p->syscall_count, 0u);
+
+  // Clobber the first loop instruction (entry + 4, after `mv s0, a0`) with an
+  // all-zero word — not a valid RV32 encoding.
+  const uint8_t zeros[4] = {0, 0, 0, 0};
+  ASSERT_TRUE(board.mcu().bus().ProgramFlash(p->entry_point + 4, zeros, 4));
+
+  board.Run(1'000'000);
+  EXPECT_EQ(p->state, ProcessState::kFaulted);
+  EXPECT_EQ(p->fault_info.vm_fault.kind, VmFault::Kind::kIllegalInstruction);
+  EXPECT_EQ(p->fault_info.vm_fault.pc, p->entry_point + 4);
+}
+
 }  // namespace
 }  // namespace tock

@@ -670,6 +670,71 @@ TEST(KernelDirect, StopAndRestartRequireOnlyTheToken) {
   EXPECT_FALSE(board.kernel().IsAlive(pid));
 }
 
+// A registry is only trustworthy if double-registration is an error, not a silent
+// shadow: with the open-addressed driver map, a second driver under an existing
+// number would otherwise occupy a probe slot and win or lose dispatch by hash
+// accident. First registration wins; the duplicate is refused.
+TEST(KernelDirect, RegisterDriverRejectsDuplicateNumbers) {
+  class NullDriver : public SyscallDriver {
+   public:
+    SyscallReturn Command(ProcessId, uint32_t, uint32_t, uint32_t) override {
+      return SyscallReturn::Success();
+    }
+  };
+  SimBoard board;  // the board has already registered the standard driver set
+  NullDriver dup;
+  NullDriver fresh;
+  EXPECT_FALSE(board.kernel().RegisterDriver(DriverNum::kLed, &dup));
+  EXPECT_FALSE(board.kernel().RegisterDriver(DriverNum::kAlarm, &dup));  // num 0 occupied too
+  EXPECT_TRUE(board.kernel().RegisterDriver(0x7F000, &fresh));
+  EXPECT_FALSE(board.kernel().RegisterDriver(0x7F000, &dup));
+}
+
+// Process restart must drop predecoded instructions from the previous incarnation.
+// The rewrite below pokes the flash backing store directly — deliberately bypassing
+// ProgramFlash and therefore the kernel's flash-write observer — so the *only*
+// thing that can make the new code visible is ResetForRestart's cache invalidation.
+TEST(KernelDirect, RestartDoesNotExecuteStaleDecodesFromThePreviousIncarnation) {
+  SimBoard board;
+  AppSpec a;
+  a.name = "a";
+  a.source = R"(
+_start:
+    mv s0, a0
+    li t0, 11
+    sw t0, 0(s0)
+spin:
+    j spin
+)";
+  ASSERT_NE(board.installer().Install(a), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+  board.Run(50'000);
+
+  Process* p = board.kernel().process(0);
+  ASSERT_NE(p, nullptr);
+  uint32_t result_addr = p->ram_start;
+  uint8_t word[4];
+  ASSERT_TRUE(board.mcu().bus().ReadBlock(result_addr, word, 4));
+  EXPECT_EQ(word[0], 11u);  // first incarnation ran (and its decodes are cached)
+
+  // `li t0, 11` expands to `lui t0, 0` (entry+4) + `addi t0, t0, 11` (entry+8).
+  // Patch the addi to `addi t0, x0, 22` in the raw flash vector, and scrub the RAM
+  // result so a stale re-run is distinguishable.
+  uint32_t insn_addr = p->entry_point + 8;
+  uint32_t patched = (22u << 20) | (5u << 7) | 0x13u;  // addi t0, x0, 22
+  std::vector<uint8_t>& flash = board.mcu().bus().flash();
+  for (int i = 0; i < 4; ++i) {
+    flash[insn_addr + i] = static_cast<uint8_t>(patched >> (8 * i));
+  }
+  const uint8_t zeros[4] = {0, 0, 0, 0};
+  ASSERT_TRUE(board.mcu().bus().WriteBlock(result_addr, zeros, 4));
+
+  ASSERT_TRUE(board.kernel().RestartProcess(p->id, board.pm_cap()).ok());
+  board.Run(50'000);
+  ASSERT_TRUE(board.mcu().bus().ReadBlock(result_addr, word, 4));
+  EXPECT_EQ(word[0], 22u);  // fresh decode; 11 here means a stale cached insn ran
+}
+
 TEST(KernelDirect, StaleProcessIdCannotReachNewIncarnation) {
   SimBoard board;
   AppSpec a;

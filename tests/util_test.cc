@@ -378,6 +378,60 @@ TEST(RingBuffer, RemoveIfScrubsVacatedSlotsAcrossWraparound) {
   EXPECT_EQ(**rb.Pop(), 3);
 }
 
+// RemoveFirstIf is the upcall-queue fast path (HandleYield wait-for / blocking
+// command): it must take only the *first* match, hand it back, shift survivors,
+// and scrub exactly the one vacated slot — the same hygiene contract as RemoveIf.
+TEST(RingBuffer, RemoveFirstIfTakesOnlyTheFirstMatchInFifoOrder) {
+  RingBuffer<int, 8> rb;
+  for (int v : {10, 21, 32, 41, 52}) {
+    rb.Push(v);
+  }
+  std::optional<int> taken = rb.RemoveFirstIf([](int v) { return v % 2 == 1; });
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(*taken, 21);  // not 41: first match wins
+  EXPECT_EQ(rb.Size(), 4u);
+  EXPECT_EQ(*rb.Pop(), 10);
+  EXPECT_EQ(*rb.Pop(), 32);
+  EXPECT_EQ(*rb.Pop(), 41);
+  EXPECT_EQ(*rb.Pop(), 52);
+
+  EXPECT_FALSE(rb.RemoveFirstIf([](int) { return true; }).has_value());  // now empty
+}
+
+TEST(RingBuffer, RemoveFirstIfReturnsNulloptWhenNothingMatches) {
+  RingBuffer<int, 4> rb;
+  rb.Push(2);
+  rb.Push(4);
+  EXPECT_FALSE(rb.RemoveFirstIf([](int v) { return v > 100; }).has_value());
+  EXPECT_EQ(rb.Size(), 2u);
+  EXPECT_EQ(*rb.Front(), 2);  // untouched
+}
+
+TEST(RingBuffer, RemoveFirstIfScrubsTheVacatedSlotAcrossWraparound) {
+  RingBuffer<std::shared_ptr<int>, 4> rb;
+  rb.Push(std::make_shared<int>(0));
+  rb.Push(std::make_shared<int>(0));
+  rb.Pop();
+  rb.Pop();  // head at slot 2: pushed elements wrap
+  std::array<std::shared_ptr<int>, 3> tracked;
+  for (int i = 0; i < 3; ++i) {
+    tracked[i] = std::make_shared<int>(i);
+    rb.Push(tracked[i]);
+  }
+  std::optional<std::shared_ptr<int>> taken =
+      rb.RemoveFirstIf([](const std::shared_ptr<int>& p) { return *p == 1; });
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(**taken, 1);
+  taken.reset();
+  // The buffer holds no residue of the removed element; survivors keep order.
+  EXPECT_EQ(tracked[1].use_count(), 1);
+  EXPECT_EQ(tracked[0].use_count(), 2);
+  EXPECT_EQ(tracked[2].use_count(), 2);
+  EXPECT_EQ(**rb.Pop(), 0);
+  EXPECT_EQ(**rb.Pop(), 2);
+  EXPECT_TRUE(rb.IsEmpty());
+}
+
 TEST(RingBuffer, ClearResets) {
   RingBuffer<int, 2> rb;
   rb.Push(1);

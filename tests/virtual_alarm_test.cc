@@ -374,5 +374,88 @@ INSTANTIATE_TEST_SUITE_P(Schedules, VirtualAlarmFuzz,
                                            FuzzParams{7, 3}, FuzzParams{8, 5},
                                            FuzzParams{9, 7}, FuzzParams{10, 64}));
 
+// ---- Earliest-deadline cache (host-side rearm cost) --------------------------------------
+
+// The mux caches the argmin of the armed set so rearms triggered by non-earliest
+// clients don't rescan every client. The counters are host-side instrumentation;
+// the firing behavior (asserted throughout this file) is identical on both paths.
+TEST_F(VirtualAlarmTest, RearmReusesCachedMinimumForNonEarliestChanges) {
+  VirtualAlarm a(&mux_);
+  VirtualAlarm b(&mux_);
+  mux_.AddClient(&a);
+  mux_.AddClient(&b);
+  uint32_t now = static_cast<uint32_t>(mcu_.CyclesNow());
+
+  a.SetAlarm(now, 500);  // first arm: cache cold, full scan
+  EXPECT_EQ(mux_.rearm_scans(), 1u);
+  EXPECT_EQ(mux_.rearm_fast(), 0u);
+
+  b.SetAlarm(now, 2000);  // later than a: cached minimum still valid
+  b.SetAlarm(now, 1000);  // re-arm of a non-earliest client: still no scan
+  b.Disarm();             // disarming a non-earliest client: still no scan
+  EXPECT_EQ(mux_.rearm_scans(), 1u);
+  EXPECT_EQ(mux_.rearm_fast(), 3u);
+
+  b.SetAlarm(now, 50);  // undercuts a: the cache adopts b without a scan
+  EXPECT_EQ(mux_.rearm_scans(), 1u);
+  EXPECT_EQ(mux_.rearm_fast(), 4u);
+
+  // ...and the adopted minimum is the one that fires first. (The rearms above
+  // tick MMIO cycles, so leave generous room below a's 500-cycle deadline.)
+  RecordingClient rc(&mcu_);
+  a.SetClient(&rc);
+  RecordingClient rb_client(&mcu_);
+  b.SetClient(&rb_client);
+  RunFor(200);
+  EXPECT_EQ(rb_client.firings.size(), 1u);
+  EXPECT_TRUE(rc.firings.empty());
+}
+
+TEST_F(VirtualAlarmTest, DisarmingTheEarliestForcesARescan) {
+  VirtualAlarm a(&mux_);
+  VirtualAlarm b(&mux_);
+  mux_.AddClient(&a);
+  mux_.AddClient(&b);
+  uint32_t now = static_cast<uint32_t>(mcu_.CyclesNow());
+
+  a.SetAlarm(now, 100);
+  b.SetAlarm(now, 1000);
+  uint64_t scans = mux_.rearm_scans();
+
+  a.Disarm();  // the minimum left: the runner-up is unknown without a scan
+  EXPECT_EQ(mux_.rearm_scans(), scans + 1);
+
+  // b (the survivor) still fires at its own deadline.
+  RecordingClient rb_client(&mcu_);
+  b.SetClient(&rb_client);
+  RunFor(1100);
+  EXPECT_EQ(rb_client.firings.size(), 1u);
+}
+
+TEST_F(VirtualAlarmTest, RearmingTheEarliestItselfForcesARescan) {
+  VirtualAlarm a(&mux_);
+  VirtualAlarm b(&mux_);
+  mux_.AddClient(&a);
+  mux_.AddClient(&b);
+  uint32_t now = static_cast<uint32_t>(mcu_.CyclesNow());
+
+  a.SetAlarm(now, 100);
+  b.SetAlarm(now, 300);
+  uint64_t scans = mux_.rearm_scans();
+
+  a.SetAlarm(now, 600);  // the minimum moved later: b must be rediscovered
+  EXPECT_EQ(mux_.rearm_scans(), scans + 1);
+
+  RecordingClient ra(&mcu_);
+  RecordingClient rb_client(&mcu_);
+  a.SetClient(&ra);
+  b.SetClient(&rb_client);
+  RunFor(400);
+  EXPECT_EQ(rb_client.firings.size(), 1u);  // b fires first at +300
+  EXPECT_TRUE(ra.firings.empty());
+  RunFor(300);
+  EXPECT_EQ(ra.firings.size(), 1u);  // a fires at +600
+}
+
 }  // namespace
 }  // namespace tock

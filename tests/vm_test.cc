@@ -37,10 +37,16 @@ class VmTest : public ::testing::Test {
   // Steps until ecall/ebreak/fault or `max` instructions.
   StepResult Run(int max = 10000) {
     Cpu cpu(&mcu_.bus());
+    return Run(&cpu, max);
+  }
+
+  // Same, on a caller-owned Cpu (so tests can attach a DecodeCache and keep state
+  // across several runs).
+  StepResult Run(Cpu* cpu, int max = 10000) {
     for (int i = 0; i < max; ++i) {
-      StepResult r = cpu.Step(ctx_);
+      StepResult r = cpu->Step(ctx_);
       if (r != StepResult::kOk) {
-        last_fault_ = cpu.fault();
+        last_fault_ = cpu->fault();
         return r;
       }
     }
@@ -336,6 +342,151 @@ done:
 )");
   ASSERT_EQ(Run(), StepResult::kEcall);
   EXPECT_EQ(ctx_.x[Reg::kA0], 55u);  // fib(10)
+}
+
+// ---- Predecoded instruction cache (vm/decode.h) ------------------------------------------
+
+// A program touching every structural corner the cache must get right: ALU ops,
+// taken/untaken branches, loads/stores through the MPU, and a function call.
+const char* kMixedProgram = R"(
+_start:
+    li s0, 0
+    li s1, 7
+    li t3, 0x20000000
+loop:
+    add s0, s0, s1
+    xori s2, s0, 0x55
+    sw s2, 0(t3)
+    lw s3, 0(t3)
+    blt s0, s1, never
+    jal ra, bump
+    addi s1, s1, -1
+    bnez s1, loop
+    mv a0, s0
+    ecall
+never:
+    li a0, 999
+    ecall
+bump:
+    addi s0, s0, 1
+    jr ra
+)";
+
+TEST_F(VmTest, DecodeCacheMatchesUncachedExecution) {
+  Load(kMixedProgram);
+  Cpu uncached(&mcu_.bus());
+  while (uncached.Step(ctx_) == StepResult::kOk) {
+  }
+  CpuContext uncached_ctx = ctx_;
+  uint64_t uncached_retired = uncached.instructions_retired();
+
+  Load(kMixedProgram);  // reset context and re-program flash
+  DecodeCache cache;
+  cache.Configure(kCodeBase, 4096);
+  Cpu cached(&mcu_.bus());
+  cached.set_decode_cache(&cache);
+  while (cached.Step(ctx_) == StepResult::kOk) {
+  }
+
+  // Architecturally invisible: same final registers, same pc, same retire count.
+  EXPECT_EQ(ctx_.pc, uncached_ctx.pc);
+  for (int r = 0; r < 32; ++r) {
+    EXPECT_EQ(ctx_.x[r], uncached_ctx.x[r]) << "x" << r;
+  }
+  EXPECT_EQ(cached.instructions_retired(), uncached_retired);
+  EXPECT_GT(cache.fills(), 0u);
+}
+
+TEST_F(VmTest, DecodeCacheDecodesEachWordOnceNotPerExecution) {
+  // 4-instruction loop body + prologue/epilogue; 50 iterations.
+  Load(R"(
+_start:
+    li s1, 50
+loop:
+    addi s0, s0, 3
+    addi s1, s1, -1
+    bnez s1, loop
+    ecall
+)");
+  DecodeCache cache;
+  cache.Configure(kCodeBase, 4096);
+  Cpu cpu(&mcu_.bus());
+  cpu.set_decode_cache(&cache);
+  while (cpu.Step(ctx_) == StepResult::kOk) {
+  }
+  EXPECT_EQ(ctx_.x[8], 150u);  // s0
+  // 6 distinct words executed (li expands to two instructions); ~150 retired.
+  // Decode-once/execute-many: the fill count tracks distinct words, not executions.
+  EXPECT_EQ(cache.fills(), 6u);
+  EXPECT_GT(cpu.instructions_retired(), 100u);
+
+  // Re-running the same code fills nothing further.
+  ctx_.pc = kCodeBase;
+  while (cpu.Step(ctx_) == StepResult::kOk) {
+  }
+  EXPECT_EQ(cache.fills(), 6u);
+}
+
+TEST_F(VmTest, DecodeCacheServesStaleDecodesUntilInvalidated) {
+  const char* v1 = "_start:\n    li a0, 1\n    ecall\n";
+  const char* v2 = "_start:\n    li a0, 2\n    ecall\n";
+  Load(v1);
+  DecodeCache cache;
+  cache.Configure(kCodeBase, 4096);
+  Cpu cpu(&mcu_.bus());
+  cpu.set_decode_cache(&cache);
+  ASSERT_EQ(Run(&cpu), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 1u);
+
+  // Reprogram the first word without telling the cache (no observer at this
+  // level): the stale decode keeps executing. This is exactly why the kernel's
+  // invalidation hooks are load-bearing, not belt-and-braces.
+  AssembledImage image;
+  ASSERT_TRUE(assembler_.Assemble(v2, kCodeBase, &image));
+  ASSERT_TRUE(mcu_.bus().ProgramFlash(kCodeBase, image.bytes.data(),
+                                      static_cast<uint32_t>(image.bytes.size())));
+  ctx_.pc = kCodeBase;
+  ASSERT_EQ(Run(&cpu), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 1u);  // stale: the old decode of word 0
+
+  // Invalidating the rewritten range restores freshness (li expands to two words,
+  // so the range covers both — exactly what the kernel's observer does for a
+  // ProgramFlash of this length).
+  cache.InvalidateRange(kCodeBase, static_cast<uint32_t>(image.bytes.size()));
+  EXPECT_EQ(cache.invalidations(), 1u);
+  ctx_.pc = kCodeBase;
+  ASSERT_EQ(Run(&cpu), StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 2u);
+}
+
+TEST_F(VmTest, DecodeCacheOutOfWindowPcFallsBackToCheckedPath) {
+  Load(kMixedProgram);
+  // Window deliberately elsewhere: every pc misses and takes the ordinary
+  // fetch/decode path, with no fills and unchanged results.
+  DecodeCache cache;
+  cache.Configure(kCodeBase + 0x10000, 4096);
+  Cpu cpu(&mcu_.bus());
+  cpu.set_decode_cache(&cache);
+  ASSERT_EQ(Run(&cpu), StepResult::kEcall);
+  EXPECT_EQ(cache.fills(), 0u);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 35u);  // 7+6+...+1 additions plus 7 bump calls
+}
+
+TEST_F(VmTest, DecodeCacheFaultsMatchUncachedFaults) {
+  const char* bad = "_start:\n    nop\n    .word 0xFFFFFFFF\n";
+  Load(bad);
+  ASSERT_EQ(Run(), StepResult::kFault);
+  VmFault uncached_fault = last_fault_;
+
+  Load(bad);
+  DecodeCache cache;
+  cache.Configure(kCodeBase, 4096);
+  Cpu cpu(&mcu_.bus());
+  cpu.set_decode_cache(&cache);
+  ASSERT_EQ(Run(&cpu), StepResult::kFault);
+  EXPECT_EQ(last_fault_.kind, uncached_fault.kind);
+  EXPECT_EQ(last_fault_.detail, uncached_fault.detail);
+  EXPECT_EQ(last_fault_.pc, uncached_fault.pc);
 }
 
 }  // namespace
