@@ -36,4 +36,13 @@ for preset in default trace-off decode-off trace-off-decode-off; do
   TOCK_SCHED_POLICY=cooperative ctest --preset "$preset" -E "$COOP_EXCLUDE" "$@"
 done
 
-echo "==== matrix OK (trace on/off x decode-cache on/off, round-robin + cooperative) ===="
+echo "==== fleet smoke: sharded multi-board run via the CLI driver ===="
+./build/src/tools/fleet --boards=4 --threads=2 --cycles=200000 >/dev/null
+./build/src/tools/fleet --boards=4 --threads=1 --cycles=200000 --radio=off >/dev/null
+
+echo "==== preset: tsan — fleet sharding + radio mailbox under ThreadSanitizer ===="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan -R 'Fleet|RadioHw' "$@"
+
+echo "==== matrix OK (trace on/off x decode-cache on/off, round-robin + cooperative, fleet + tsan) ===="

@@ -1,0 +1,192 @@
+// ERA: 2
+#include "board/fleet.h"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+namespace tock {
+
+void Fleet::AlignClocks() {
+  uint64_t max_now = 0;
+  for (SimBoard* board : boards_) {
+    max_now = std::max(max_now, board->mcu().CyclesNow());
+  }
+  for (SimBoard* board : boards_) {
+    uint64_t now = board->mcu().CyclesNow();
+    if (now < max_now) {
+      // Alignment happens before the measured run: the skipped cycles pass
+      // outside the active/sleep energy accounting, firing any boot-scheduled
+      // events on the way.
+      board->mcu().clock().Advance(max_now - now);
+    }
+  }
+}
+
+uint64_t Fleet::EffectiveSlice() const {
+  uint64_t slice = config_.slice == 0 ? 1 : config_.slice;
+  if (medium_->attached_count() > 0) {
+    // Conservative-parallel stepping: an epoch may never outrun the earliest
+    // possible radio arrival, or a receiver could simulate past a frame still
+    // sitting in its mailbox.
+    slice = std::min(slice, RadioMedium::Lookahead());
+  }
+  return slice;
+}
+
+void Fleet::StepBoard(size_t i, uint64_t epoch_end) {
+  SimBoard* board = boards_[i];
+  // Drain frames peers sent during earlier epochs onto this board's own clock.
+  board->radio_hw().PumpInbox();
+  uint64_t target = std::min(epoch_end, targets_[i]);
+  if (board->mcu().CyclesNow() >= target) {
+    return;
+  }
+  board->kernel().MainLoop(target, board->main_cap());
+  // A wedged (or panicked) board stalls short of the target; peers may still
+  // address radio frames to it, so force the clock forward to preserve lockstep.
+  if (board->mcu().CyclesNow() < target) {
+    board->mcu().clock().Advance(target - board->mcu().CyclesNow());
+  }
+}
+
+void Fleet::Supervise(size_t i) {
+  SimBoard* board = boards_[i];
+  BoardHealth& health = health_[i];
+  if (!board->mcu().wedged()) {
+    health.wedged = false;
+    health.consecutive_wedged = 0;
+    return;
+  }
+  health.wedged = true;
+  ++health.wedge_events;
+  ++health.consecutive_wedged;
+  if (!config_.restart_wedged || health.consecutive_wedged < config_.wedge_grace_epochs) {
+    return;
+  }
+  // Check-alive failed for `wedge_grace_epochs` consecutive barriers (the grace
+  // period covers a board that merely idles while a frame sits un-pumped in its
+  // mailbox). Sustain the board by reviving its dead processes through the
+  // capability-gated restart path — the board-local analog of a fleet process
+  // supervisor relaunching a crashed worker.
+  Kernel& kernel = board->kernel();
+  for (size_t p = 0; p < Kernel::kMaxProcesses; ++p) {
+    Process* proc = kernel.process(p);
+    if (proc == nullptr || !proc->id.IsValid()) {
+      continue;
+    }
+    if (proc->state == ProcessState::kTerminated || proc->state == ProcessState::kFaulted) {
+      if (kernel.RestartProcess(proc->id, board->pm_cap()).ok()) {
+        ++health.supervised_restarts;
+      }
+    }
+  }
+  health.consecutive_wedged = 0;
+  board->mcu().ClearWedged();
+}
+
+void Fleet::Run(uint64_t cycles) {
+  if (boards_.empty() || cycles == 0) {
+    return;
+  }
+  uint64_t slice = EffectiveSlice();
+  targets_.resize(boards_.size());
+  uint64_t start = UINT64_MAX;
+  uint64_t end = 0;
+  for (size_t i = 0; i < boards_.size(); ++i) {
+    uint64_t now = boards_[i]->mcu().CyclesNow();
+    targets_[i] = now + cycles;
+    start = std::min(start, now);
+    end = std::max(end, targets_[i]);
+  }
+
+  unsigned threads = std::max(1u, config_.threads);
+  threads = static_cast<unsigned>(
+      std::min<size_t>(threads, boards_.size()));
+
+  if (threads == 1) {
+    for (uint64_t t = start; t < end;) {
+      uint64_t epoch_end = std::min(t + slice, end);
+      for (size_t i = 0; i < boards_.size(); ++i) {
+        StepBoard(i, epoch_end);
+      }
+      for (size_t i = 0; i < boards_.size(); ++i) {
+        Supervise(i);
+      }
+      t = epoch_end;
+    }
+    return;
+  }
+
+  // Sharded run. Static board→thread assignment (board i belongs to thread
+  // i % threads) and two barriers per epoch: `gate` publishes the epoch plan to
+  // the workers, `done` hands the quiesced boards back to the coordinator for
+  // supervision. The barriers are also the happens-before edges that make the
+  // mailbox handoff race-free: every Enqueue in epoch k is ordered before every
+  // PumpInbox in epoch k+1.
+  uint64_t epoch_end = 0;
+  bool stop = false;
+  std::barrier gate(static_cast<std::ptrdiff_t>(threads));
+  std::barrier done(static_cast<std::ptrdiff_t>(threads));
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (unsigned w = 1; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      while (true) {
+        gate.arrive_and_wait();
+        if (stop) {
+          return;
+        }
+        for (size_t i = w; i < boards_.size(); i += threads) {
+          StepBoard(i, epoch_end);
+        }
+        done.arrive_and_wait();
+      }
+    });
+  }
+
+  for (uint64_t t = start; t < end;) {
+    epoch_end = std::min(t + slice, end);
+    gate.arrive_and_wait();
+    for (size_t i = 0; i < boards_.size(); i += threads) {
+      StepBoard(i, epoch_end);
+    }
+    done.arrive_and_wait();
+    // Single-threaded at the barrier: supervision decisions are made on quiesced
+    // boards, so they are a pure function of simulated state.
+    for (size_t i = 0; i < boards_.size(); ++i) {
+      Supervise(i);
+    }
+    t = epoch_end;
+  }
+  stop = true;
+  gate.arrive_and_wait();
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+}
+
+FleetStats Fleet::Stats() const {
+  FleetStats stats;
+  stats.boards = boards_.size();
+  for (size_t i = 0; i < boards_.size(); ++i) {
+    SimBoard* board = boards_[i];
+    stats.aggregate.Accumulate(board->kernel().stats());
+    stats.instructions += board->kernel().instructions_retired();
+    stats.active_cycles += board->mcu().active_cycles();
+    stats.sleep_cycles += board->mcu().sleep_cycles();
+    stats.packets_sent += board->radio_hw().packets_sent();
+    stats.packets_received += board->radio_hw().packets_received();
+    stats.rx_overruns += board->radio_hw().rx_overruns();
+    if (board->kernel().NumLiveProcesses() > 0 ||
+        board->mcu().clock().HasPendingEvents()) {
+      ++stats.boards_live;
+    }
+    stats.wedge_events += health_[i].wedge_events;
+    stats.supervised_restarts += health_[i].supervised_restarts;
+  }
+  return stats;
+}
+
+}  // namespace tock

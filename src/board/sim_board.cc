@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "board/fleet.h"
+
 #include "capsule/driver_nums.h"
 #include "hw/memory_map.h"
 #include "tools/trace_export.h"
@@ -24,9 +26,13 @@ uint32_t Base(MemoryMap::Slot slot) { return MemoryMap::SlotBase(slot); }
 // TOCK_SCHED_POLICY=round-robin|cooperative|priority|mlfq re-points the scheduling
 // policy for the whole process, which is how scripts/check_matrix.sh sweeps the test
 // suite across policies without editing board code. An explicit non-default choice
-// made by the board wins over the environment; unknown names are ignored.
+// made by the board wins over the environment; unknown names are ignored. A policy
+// equal to the default (round-robin) is indistinguishable from "took the default"
+// here, so boards that *explicitly* choose round-robin — e.g. one slot of a
+// heterogeneous fleet — opt out via BoardConfig::allow_scheduler_env = false.
 BoardConfig ApplySchedulerEnv(BoardConfig config) {
-  if (config.kernel.scheduler.policy == SchedulerPolicy::kRoundRobin) {
+  if (config.allow_scheduler_env &&
+      config.kernel.scheduler.policy == SchedulerPolicy::kRoundRobin) {
     if (const char* env = std::getenv("TOCK_SCHED_POLICY")) {
       SchedulerPolicy policy;
       if (SchedulerPolicyFromName(env, &policy)) {
@@ -197,34 +203,23 @@ int SimBoard::Boot() {
   return loader_.created_count();
 }
 
+World::World() {
+  // Deferred mailbox mode even single-threaded: arrival times then come from the
+  // sender's timeline, so delivery traces do not depend on the Run slice or on
+  // the order boards were added.
+  medium_.SetMode(RadioMedium::Mode::kDeferred);
+}
+
 void World::Run(uint64_t cycles, uint64_t slice) {
-  if (boards_.empty()) {
-    return;
-  }
-  std::vector<uint64_t> targets;
+  FleetConfig config;
+  config.threads = 1;
+  config.medium = &medium_;
+  config.slice = slice;
+  Fleet fleet(config);
   for (SimBoard* board : boards_) {
-    targets.push_back(board->mcu().CyclesNow() + cycles);
+    fleet.AddBoard(board);
   }
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (size_t i = 0; i < boards_.size(); ++i) {
-      SimBoard* board = boards_[i];
-      uint64_t now = board->mcu().CyclesNow();
-      if (now >= targets[i]) {
-        continue;
-      }
-      uint64_t step_target = std::min(now + slice, targets[i]);
-      board->kernel().MainLoop(step_target, board->main_cap());
-      // A wedged board stalls at `now`; if nothing new arrives it stops making
-      // progress, but peers may still schedule radio deliveries for it. Force the
-      // clock forward so lockstep is preserved either way.
-      if (board->mcu().CyclesNow() < step_target) {
-        board->mcu().clock().Advance(step_target - board->mcu().CyclesNow());
-      }
-      progress = true;
-    }
-  }
+  fleet.Run(cycles);
 }
 
 }  // namespace tock

@@ -55,6 +55,11 @@ struct BoardConfig {
   uint32_t rng_seed = 0xC0FFEE;
   uint16_t radio_addr = 1;
   RadioMedium* medium = nullptr;  // attach to a shared radio medium (multi-board)
+  // Whether the TOCK_SCHED_POLICY environment override (the check_matrix.sh test
+  // sweep) may re-point this board's scheduling policy. Heterogeneous fleets set
+  // this false on boards whose policy is an explicit choice — the env hook cannot
+  // otherwise tell "explicitly chose round-robin" from "took the default".
+  bool allow_scheduler_env = true;
   // Seed for the board-owned fault injector (tests); the injector is always wired
   // but injects nothing until armed, so it costs one null-check per instruction.
   uint64_t fault_injection_seed = 0;
@@ -207,15 +212,19 @@ class SimBoard {
 };
 
 // A set of boards stepped in bounded slices against a shared radio medium — the
-// Signpost-style deployment substrate (§2).
+// Signpost-style deployment substrate (§2). Thin single-threaded wrapper over the
+// fleet epoch engine (board/fleet.h): the medium runs in deferred (mailbox) mode,
+// so cross-board arrival times are computed on the shared timeline and the result
+// is independent of the `slice` parameter and of board registration order.
 class World {
  public:
+  World();
+
   RadioMedium& medium() { return medium_; }
 
   void AddBoard(SimBoard* board) { boards_.push_back(board); }
 
-  // Advances every board to (its own) now + cycles, in slices, so cross-board radio
-  // traffic interleaves deterministically.
+  // Advances every board to (its own) now + cycles, in lookahead-bounded epochs.
   void Run(uint64_t cycles, uint64_t slice = 20'000);
 
  private:

@@ -59,11 +59,20 @@ class ChipRadio : public hil::PacketRadio, public InterruptService {
     return static_cast<uint16_t>(regs_.Read(RadioRegs::kNodeAddr));
   }
 
+  // Dropped-on-arrival frames observed via the status register (hw keeps its own
+  // count too; this one is what the kernel side saw and acknowledged).
+  uint64_t rx_overruns() const { return rx_overruns_; }
+
   void HandleInterrupt(unsigned line) override {
     (void)line;
     uint32_t status = regs_.Read(RadioRegs::kStatus);
     regs_.Write(RadioRegs::kIntClr,
-                (RadioRegs::Status::kTxDone.Set() + RadioRegs::Status::kRxDone.Set()).value);
+                (RadioRegs::Status::kTxDone.Set() + RadioRegs::Status::kRxDone.Set() +
+                 RadioRegs::Status::kRxOverrun.Set())
+                    .value);
+    if (RadioRegs::Status::kRxOverrun.IsSetIn(status)) {
+      ++rx_overruns_;  // a frame was dropped while the RX buffer held unread data
+    }
 
     if (RadioRegs::Status::kTxDone.IsSetIn(status)) {
       if (auto buffer = tx_buffer_.Take()) {
@@ -94,6 +103,7 @@ class ChipRadio : public hil::PacketRadio, public InterruptService {
   uint32_t tx_staging_;
   uint32_t rx_staging_;
   hil::RadioClient* client_ = nullptr;
+  uint64_t rx_overruns_ = 0;
   OptionalCell<SubSliceMut> tx_buffer_;
   OptionalCell<SubSliceMut> rx_buffer_;
 };

@@ -1,6 +1,9 @@
 // ERA: 1
 #include "hw/radio.h"
 
+#include <algorithm>
+#include <tuple>
+
 namespace tock {
 
 uint32_t Radio::MmioRead(uint32_t offset) {
@@ -73,8 +76,60 @@ void Radio::StartTx(uint32_t len) {
   });
 }
 
+void Radio::Enqueue(RadioFrame frame) {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  inbox_.push_back(std::move(frame));
+}
+
+namespace {
+bool FrameOrder(const RadioFrame& a, const RadioFrame& b) {
+  return std::tie(a.deliver_at, a.sender, a.seq) < std::tie(b.deliver_at, b.sender, b.seq);
+}
+}  // namespace
+
+void Radio::PumpInbox() {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    if (inbox_.empty()) {
+      return;
+    }
+    pending_.insert(pending_.end(), std::make_move_iterator(inbox_.begin()),
+                    std::make_move_iterator(inbox_.end()));
+    inbox_.clear();
+  }
+  // Re-establish the total (deliver_at, sender, seq) order: frames from several
+  // sender threads land in the mailbox in host-race order, but the sort key is a
+  // pure function of the frames, so the delivery order is not.
+  std::sort(pending_.begin(), pending_.end(), FrameOrder);
+  ArmDelivery();
+}
+
+void Radio::ArmDelivery() {
+  if (pending_.empty()) {
+    return;
+  }
+  uint64_t at = pending_.front().deliver_at;
+  if (at >= armed_at_) {
+    return;  // an event at an earlier-or-equal cycle will sweep this frame too
+  }
+  armed_at_ = at;
+  clock_->ScheduleAt(at, [this] { DeliverPending(); });
+}
+
+void Radio::DeliverPending() {
+  armed_at_ = UINT64_MAX;
+  uint64_t now = clock_->Now();
+  size_t consumed = 0;
+  while (consumed < pending_.size() && pending_[consumed].deliver_at <= now) {
+    const RadioFrame& frame = pending_[consumed];
+    Deliver(frame.src, frame.dst, frame.payload);
+    ++consumed;
+  }
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<long>(consumed));
+  ArmDelivery();
+}
+
 void Radio::Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payload) {
-  (void)src;
   if (!ctrl_.IsSet(RadioRegs::Ctrl::kEnable) || !ctrl_.IsSet(RadioRegs::Ctrl::kRxEnable)) {
     return;  // radio off: packet lost, as on air
   }
@@ -88,11 +143,56 @@ void Radio::Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payl
   if (len > rx_max_len_) {
     len = rx_max_len_;  // truncate oversized packets
   }
+  if (status_.IsSet(RadioRegs::Status::kRxDone)) {
+    // The previous frame is still unconsumed: real receivers have one RX FIFO
+    // slot, so the new packet is dropped on the floor — it must not overwrite the
+    // buffer the driver is about to read.
+    ++rx_overruns_;
+    status_.HwModify(RadioRegs::Status::kRxOverrun.Set());
+    if (log_deliveries_) {
+      uint32_t sum = 0;
+      for (uint32_t i = 0; i < len; ++i) {
+        sum = sum * 31 + payload[i];
+      }
+      delivery_log_.push_back(
+          RadioDeliveryRecord{clock_->Now(), src, dst, len, sum, /*overrun=*/true});
+    }
+    return;
+  }
   bus_->WriteBlock(rx_addr_, payload.data(), len);
   rx_len_ = len;
   ++packets_received_;
   status_.HwModify(RadioRegs::Status::kRxDone.Set());
+  if (log_deliveries_) {
+    uint32_t sum = 0;
+    for (uint32_t i = 0; i < len; ++i) {
+      sum = sum * 31 + payload[i];
+    }
+    delivery_log_.push_back(
+        RadioDeliveryRecord{clock_->Now(), src, dst, len, sum, /*overrun=*/false});
+  }
   irq_.Raise();
+}
+
+void RadioMedium::Transmit(Radio* sender, uint16_t src, uint16_t dst,
+                           std::vector<uint8_t> payload) {
+  // Arrival time lives on the shared timeline: the sender's clock at transmit
+  // time plus the on-air latency. Using the receiver's clock here (as the old
+  // implementation did) made arrival depend on which board happened to have
+  // stepped further — a stepping-order hazard single-threaded and a data race
+  // sharded.
+  uint64_t latency = CycleCosts::kRadioCyclesPerByte * (payload.size() + 8);
+  uint64_t deliver_at = sender->clock()->Now() + latency;
+  uint64_t seq = sender->packets_sent();
+  for (Radio* r : radios_) {
+    if (r == sender) {
+      continue;
+    }
+    r->Enqueue(RadioFrame{deliver_at, sender->attach_index(), seq, src, dst, payload});
+    if (mode_ == Mode::kImmediate) {
+      r->PumpInbox();
+    }
+  }
 }
 
 }  // namespace tock

@@ -3,10 +3,20 @@
 // deployments Tock was designed for (§2). Transmissions broadcast to every other
 // radio attached to the same RadioMedium, arriving after an on-air latency
 // proportional to packet size.
+//
+// Cross-board delivery is mailbox-based: the sender computes the absolute arrival
+// cycle on the shared timeline (its own clock at transmit time plus the on-air
+// latency) and enqueues the frame into each receiver's inbound mailbox. The thread
+// that owns the receiving board drains the mailbox at epoch boundaries
+// (board/fleet.h) and the frame is delivered by the receiver's own clock when it
+// reaches the arrival cycle. Nothing ever touches another board's clock, so boards
+// can be stepped from different host threads, and arrival times depend only on the
+// transmit time — not on which board stepped first or on the stepping slice.
 #ifndef TOCK_HW_RADIO_H_
 #define TOCK_HW_RADIO_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "hw/costs.h"
@@ -39,7 +49,36 @@ struct RadioRegs {
     static constexpr Field<uint32_t> kTxDone{0, 1};
     static constexpr Field<uint32_t> kRxDone{1, 1};
     static constexpr Field<uint32_t> kTxBusy{2, 1};
+    // A packet arrived while kRxDone was still set (unconsumed frame in the RX
+    // buffer). The new packet was dropped; the buffer is untouched.
+    static constexpr Field<uint32_t> kRxOverrun{3, 1};
   };
+};
+
+// A packet in flight: the absolute arrival cycle on the shared timeline plus a
+// (sender, sequence) key that totally orders same-cycle arrivals no matter which
+// host thread enqueued them first.
+struct RadioFrame {
+  uint64_t deliver_at = 0;
+  uint32_t sender = 0;  // attach index of the transmitting radio (wiring order)
+  uint64_t seq = 0;     // sender-local packet sequence number
+  uint16_t src = 0;
+  uint16_t dst = 0;
+  std::vector<uint8_t> payload;
+};
+
+// One accepted (or overrun-dropped) delivery, for determinism regression tests:
+// two runs of the same fleet must produce byte-identical logs regardless of host
+// thread count, stepping slice, or board step order.
+struct RadioDeliveryRecord {
+  uint64_t cycle = 0;
+  uint16_t src = 0;
+  uint16_t dst = 0;
+  uint32_t len = 0;
+  uint32_t payload_sum = 0;  // order-sensitive checksum of the payload bytes
+  bool overrun = false;
+
+  bool operator==(const RadioDeliveryRecord&) const = default;
 };
 
 class Radio : public MmioDevice {
@@ -52,24 +91,51 @@ class Radio : public MmioDevice {
   uint32_t MmioRead(uint32_t offset) override;
   void MmioWrite(uint32_t offset, uint32_t value) override;
 
-  // Medium side: delivers a packet addressed to this node (or broadcast).
+  // Medium side: delivers a packet addressed to this node (or broadcast) right
+  // now. Drops it (counting an overrun) if an unconsumed frame still occupies the
+  // RX buffer.
   void Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payload);
+
+  // Medium side: enqueues a frame into the inbound mailbox. The only radio entry
+  // point that may be called from a foreign (sender-board) thread.
+  void Enqueue(RadioFrame frame);
+
+  // Owner side: drains the mailbox into the time-sorted pending set and arms the
+  // delivery event on this board's own clock. Called by the board's owning thread
+  // at epoch boundaries (board/fleet.cc), or synchronously by the medium in
+  // single-threaded immediate mode.
+  void PumpInbox();
 
   uint16_t node_addr() const { return static_cast<uint16_t>(node_addr_); }
   SimClock* clock() { return clock_; }
 
-  void set_medium(RadioMedium* medium) { medium_ = medium; }
+  void set_medium(RadioMedium* medium, uint32_t attach_index) {
+    medium_ = medium;
+    attach_index_ = attach_index;
+  }
+  uint32_t attach_index() const { return attach_index_; }
 
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_received() const { return packets_received_; }
+  uint64_t rx_overruns() const { return rx_overruns_; }
+
+  // Delivery logging for determinism tests; off by default (fleet soaks would
+  // otherwise accumulate unbounded host memory).
+  void EnableDeliveryLog() { log_deliveries_ = true; }
+  const std::vector<RadioDeliveryRecord>& delivery_log() const { return delivery_log_; }
 
  private:
   void StartTx(uint32_t len);
+  // Clock-event callback: delivers every pending frame whose arrival cycle has
+  // been reached, in (deliver_at, sender, seq) order, then re-arms.
+  void DeliverPending();
+  void ArmDelivery();
 
   SimClock* clock_;
   MemoryBus* bus_;
   InterruptLine irq_;
   RadioMedium* medium_ = nullptr;
+  uint32_t attach_index_ = 0;
 
   ReadWriteReg<uint32_t> ctrl_;
   ReadOnlyReg<uint32_t> status_;
@@ -81,32 +147,55 @@ class Radio : public MmioDevice {
   uint32_t dst_addr_ = 0xFFFF;
   uint64_t packets_sent_ = 0;
   uint64_t packets_received_ = 0;
+  uint64_t rx_overruns_ = 0;
+
+  // Inbound mailbox: written by sender threads under the mutex, drained by the
+  // owning thread. Everything below it is owner-thread-only.
+  std::mutex inbox_mutex_;
+  std::vector<RadioFrame> inbox_;
+  std::vector<RadioFrame> pending_;   // sorted by (deliver_at, sender, seq)
+  uint64_t armed_at_ = UINT64_MAX;    // earliest outstanding delivery event
+
+  bool log_deliveries_ = false;
+  std::vector<RadioDeliveryRecord> delivery_log_;
 };
 
-// The shared channel connecting all radios in a simulated deployment. Each radio has
-// its own MCU and clock; delivery is scheduled on the *receiver's* clock, so
-// multi-board simulations stay deterministic as long as boards are stepped in
-// bounded slices (see board/world.h).
+// The shared channel connecting all radios in a simulated deployment. Each radio
+// has its own MCU and clock; a transmission stamps its arrival cycle from the
+// *sender's* clock and lands in each receiver's mailbox.
+//
+// Two drain modes:
+//   * kImmediate (default): Transmit pumps the receiver's mailbox synchronously,
+//     scheduling the delivery on the receiver's clock right away. Correct only
+//     when all boards are stepped from one host thread (unit tests, ad-hoc use).
+//   * kDeferred: Transmit only enqueues; the thread that owns each receiving
+//     board pumps at epoch boundaries. As long as the epoch length is at most
+//     Lookahead() — the minimum possible on-air latency — every frame is pumped
+//     before its receiver simulates past the arrival cycle, so delivery traces
+//     are bit-identical for any host thread count and any stepping slice.
 class RadioMedium {
  public:
+  enum class Mode { kImmediate, kDeferred };
+
+  // Minimum on-air latency of any transmission (1 payload byte + 8 bytes of
+  // preamble/framing): the conservative lookahead bound for epoch-based stepping.
+  static constexpr uint64_t kLookahead = CycleCosts::kRadioCyclesPerByte * 9;
+  static constexpr uint64_t Lookahead() { return kLookahead; }
+
   void Attach(Radio* radio) {
+    radio->set_medium(this, static_cast<uint32_t>(radios_.size()));
     radios_.push_back(radio);
-    radio->set_medium(this);
   }
+
+  void SetMode(Mode mode) { mode_ = mode; }
+  Mode mode() const { return mode_; }
+  size_t attached_count() const { return radios_.size(); }
 
   // Broadcasts from `sender` to every other attached radio.
-  void Transmit(Radio* sender, uint16_t src, uint16_t dst, std::vector<uint8_t> payload) {
-    for (Radio* r : radios_) {
-      if (r == sender) {
-        continue;
-      }
-      uint64_t latency = CycleCosts::kRadioCyclesPerByte * (payload.size() + 8);
-      r->clock()->ScheduleAfter(latency,
-                                [r, src, dst, payload] { r->Deliver(src, dst, payload); });
-    }
-  }
+  void Transmit(Radio* sender, uint16_t src, uint16_t dst, std::vector<uint8_t> payload);
 
  private:
+  Mode mode_ = Mode::kImmediate;
   std::vector<Radio*> radios_;
 };
 

@@ -28,6 +28,39 @@ uint64_t& KernelStats::SyscallSlot(SyscallClass klass) {
   return syscalls_command;  // unreachable for decoded syscalls
 }
 
+void KernelStats::Accumulate(const KernelStats& other) {
+  // Every StatId-visible counter, in declaration order. Iterating over StatValue
+  // would miss none either, but several ids (SyscallsTotal) are derived — sum the
+  // raw fields instead.
+  syscalls_yield += other.syscalls_yield;
+  syscalls_subscribe += other.syscalls_subscribe;
+  syscalls_command += other.syscalls_command;
+  syscalls_rw_allow += other.syscalls_rw_allow;
+  syscalls_ro_allow += other.syscalls_ro_allow;
+  syscalls_memop += other.syscalls_memop;
+  syscalls_exit += other.syscalls_exit;
+  syscalls_blocking_command += other.syscalls_blocking_command;
+  syscalls_unknown += other.syscalls_unknown;
+  context_switches += other.context_switches;
+  mpu_reprograms += other.mpu_reprograms;
+  irq_dispatches += other.irq_dispatches;
+  deferred_calls_run += other.deferred_calls_run;
+  upcalls_queued += other.upcalls_queued;
+  upcalls_delivered += other.upcalls_delivered;
+  upcalls_scrubbed += other.upcalls_scrubbed;
+  upcalls_dropped += other.upcalls_dropped;
+  grant_allocs += other.grant_allocs;
+  grant_bytes += other.grant_bytes;
+  grant_frees += other.grant_frees;
+  grant_bytes_freed += other.grant_bytes_freed;
+  sleep_cycles += other.sleep_cycles;
+  sleep_entries += other.sleep_entries;
+  sleep_arg_saturations += other.sleep_arg_saturations;
+  process_faults += other.process_faults;
+  process_restarts += other.process_restarts;
+  process_exits += other.process_exits;
+}
+
 uint64_t StatValue(const KernelStats& stats, StatId id) {
   switch (id) {
     case StatId::kSyscallsTotal:

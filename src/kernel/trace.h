@@ -90,6 +90,10 @@ struct KernelStats {
   }
 
   uint64_t& SyscallSlot(SyscallClass klass);
+
+  // Adds every counter of `other` into this one — fleet-wide aggregation
+  // (board/fleet.h) over per-board kernels.
+  void Accumulate(const KernelStats& other);
 };
 
 // Stable numbering for the read-only stats syscall (ProcessInfoDriver command 5).

@@ -1,0 +1,295 @@
+// ERA: 2
+// fleet: drive N simulated boards as one deployment — the "10 million computers"
+// half of the paper's title as a command-line experiment. Boards get per-board
+// seeds and heterogeneous scheduler policies, beacon telemetry to each other over
+// the shared radio medium, and are stepped in lockstep epochs sharded across host
+// threads (board/fleet.h). The run is bit-identical for any --threads value.
+//
+//   $ ./build/src/tools/fleet --boards=8 --threads=4 --cycles=2000000
+//   $ ./build/src/tools/fleet --boards=8 --radio=off   # compute-only, big epochs
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "board/fleet.h"
+#include "board/sim_board.h"
+
+namespace {
+
+// Telemetry beacon: broadcast [node, seq] every interval, staggered per node so
+// the fleet's transmissions interleave rather than collide on the same cycle.
+std::string BeaconApp(int node_id) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), R"(
+_start:
+    mv s0, a0              # ram base: packet staging area
+    li s1, 0               # beacon sequence number
+    li a0, %d
+    call sleep_ticks
+loop:
+    li t0, %d
+    sb t0, 0(s0)
+    sb s1, 1(s0)
+    # allow_ro(radio, 0, packet, 2)
+    li a0, 0x30001
+    li a1, 0
+    mv a2, s0
+    li a3, 2
+    li a4, 4
+    ecall
+    # command(radio, 1 = tx, dst=0xFFFF broadcast, len=2)
+    li a0, 0x30001
+    li a1, 1
+    li a2, 0xFFFF
+    li a3, 2
+    li a4, 2
+    ecall
+    # yield-wait-for(radio, 0 = tx done)
+    li a0, 2
+    li a1, 0x30001
+    li a2, 0
+    li a4, 0
+    ecall
+    addi s1, s1, 1
+    andi s1, s1, 255
+    li a0, 200000
+    call sleep_ticks
+    j loop
+)",
+                node_id * 10000, node_id);
+  return buf;
+}
+
+// Telemetry sink: listen for peer beacons and keep a tally at ram+32.
+const char* kListenerApp = R"(
+_start:
+    mv s0, a0
+    # allow_rw(radio, 1 = rx sink, ram+64, 8)
+    li a0, 0x30001
+    li a1, 1
+    addi a2, s0, 64
+    li a3, 8
+    li a4, 3
+    ecall
+    # command(radio, 2 = listen)
+    li a0, 0x30001
+    li a1, 2
+    li a2, 0
+    li a3, 0
+    li a4, 2
+    ecall
+loop:
+    # yield-wait-for(radio, 1 = packet received)
+    li a0, 2
+    li a1, 0x30001
+    li a2, 1
+    li a4, 0
+    ecall
+    lw t0, 32(s0)
+    addi t0, t0, 1
+    sw t0, 32(s0)
+    j loop
+)";
+
+// CPU-bound filler: keeps the scheduler busy between radio upcalls so the
+// per-policy differences (priority, MLFQ demotion) actually matter.
+const char* kComputeApp = R"(
+_start:
+    li s0, 0
+    li s1, 1
+    li s2, 0x1234
+loop:
+    add s0, s0, s1
+    xor s3, s0, s2
+    slli s4, s3, 3
+    srli s5, s3, 5
+    or s6, s4, s5
+    sub s7, s6, s0
+    sltu s8, s0, s7
+    andi s9, s7, 255
+    add s2, s2, s8
+    j loop
+)";
+
+struct Options {
+  size_t boards = 8;
+  unsigned threads = 1;
+  uint64_t cycles = 2'000'000;
+  uint64_t slice = 20'000;
+  bool radio = true;
+  uint32_t seed = 0xC0FFEE;
+  bool restart_wedged = true;
+};
+
+bool ParseUint(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseOptions(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* eq = std::strchr(arg, '=');
+    std::string key = eq != nullptr ? std::string(arg, eq - arg) : std::string(arg);
+    const char* value = eq != nullptr ? eq + 1 : "";
+    uint64_t n = 0;
+    if (key == "--boards" && ParseUint(value, &n) && n > 0) {
+      opts->boards = static_cast<size_t>(n);
+    } else if (key == "--threads" && ParseUint(value, &n) && n > 0) {
+      opts->threads = static_cast<unsigned>(n);
+    } else if (key == "--cycles" && ParseUint(value, &n)) {
+      opts->cycles = n;
+    } else if (key == "--slice" && ParseUint(value, &n) && n > 0) {
+      opts->slice = n;
+    } else if (key == "--seed" && ParseUint(value, &n)) {
+      opts->seed = static_cast<uint32_t>(n);
+    } else if (key == "--radio") {
+      opts->radio = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
+    } else if (key == "--restart-wedged") {
+      opts->restart_wedged = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
+    } else {
+      std::fprintf(stderr,
+                   "unknown or malformed flag: %s\n"
+                   "usage: fleet [--boards=N] [--threads=N] [--cycles=N] [--slice=N]\n"
+                   "             [--radio=on|off] [--seed=N] [--restart-wedged=on|off]\n",
+                   arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseOptions(argc, argv, &opts)) {
+    return 2;
+  }
+
+  tock::FleetConfig fleet_config;
+  fleet_config.threads = opts.threads;
+  fleet_config.slice = opts.slice;
+  fleet_config.restart_wedged = opts.restart_wedged;
+  tock::Fleet fleet(fleet_config);
+
+  // Heterogeneous deployment: rotate the scheduling policy across the fleet. The
+  // explicit-policy boards opt out of the TOCK_SCHED_POLICY env override — their
+  // policy is a deliberate per-board choice, not a default the test matrix may
+  // re-point (BoardConfig::allow_scheduler_env).
+  static constexpr tock::SchedulerPolicy kPolicyRotation[] = {
+      tock::SchedulerPolicy::kRoundRobin,
+      tock::SchedulerPolicy::kPriority,
+      tock::SchedulerPolicy::kMlfq,
+  };
+
+  std::vector<std::unique_ptr<tock::SimBoard>> boards;
+  boards.reserve(opts.boards);
+  for (size_t i = 0; i < opts.boards; ++i) {
+    tock::BoardConfig config;
+    config.rng_seed = opts.seed + static_cast<uint32_t>(i);
+    config.radio_addr = static_cast<uint16_t>(i + 1);
+    if (opts.radio) {
+      config.medium = &fleet.medium();
+    }
+    config.kernel.scheduler.policy = kPolicyRotation[i % 3];
+    config.allow_scheduler_env = config.kernel.scheduler.policy ==
+                                 tock::SchedulerPolicy::kRoundRobin;
+    auto board = std::make_unique<tock::SimBoard>(config);
+
+    tock::AppSpec compute;
+    compute.name = "compute";
+    compute.source = kComputeApp;
+    compute.include_runtime = false;
+    int expected = 1;
+    if (board->installer().Install(compute) == 0) {
+      std::fprintf(stderr, "board %zu: install failed: %s\n", i,
+                   board->installer().error().c_str());
+      return 1;
+    }
+    if (opts.radio) {
+      tock::AppSpec beacon;
+      beacon.name = "beacon";
+      beacon.source = BeaconApp(static_cast<int>(i + 1));
+      tock::AppSpec listener;
+      listener.name = "listener";
+      listener.source = kListenerApp;
+      if (board->installer().Install(beacon) == 0 ||
+          board->installer().Install(listener) == 0) {
+        std::fprintf(stderr, "board %zu: install failed: %s\n", i,
+                     board->installer().error().c_str());
+        return 1;
+      }
+      expected += 2;
+    }
+    if (board->Boot() != expected) {
+      std::fprintf(stderr, "board %zu: boot loaded fewer than %d processes\n", i,
+                   expected);
+      return 1;
+    }
+    fleet.AddBoard(board.get());
+    boards.push_back(std::move(board));
+  }
+  fleet.AlignClocks();
+
+  auto wall_start = std::chrono::steady_clock::now();
+  fleet.Run(opts.cycles);
+  auto wall_end = std::chrono::steady_clock::now();
+  double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(wall_end - wall_start)
+          .count();
+
+  std::printf("board  policy      cycles       insns        syscalls  tx     rx     ovr  wedged restarts\n");
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    tock::SimBoard* board = fleet.board(i);
+    const tock::KernelStats& stats = board->kernel().stats();
+    uint64_t syscalls = stats.syscalls_yield + stats.syscalls_subscribe +
+                        stats.syscalls_command + stats.syscalls_rw_allow +
+                        stats.syscalls_ro_allow + stats.syscalls_memop +
+                        stats.syscalls_exit + stats.syscalls_blocking_command;
+    std::printf("%-6zu %-11s %-12llu %-12llu %-9llu %-6llu %-6llu %-4llu %-6llu %llu\n",
+                i, tock::SchedulerPolicyName(board->kernel().scheduler_policy()),
+                static_cast<unsigned long long>(board->mcu().CyclesNow()),
+                static_cast<unsigned long long>(board->kernel().instructions_retired()),
+                static_cast<unsigned long long>(syscalls),
+                static_cast<unsigned long long>(board->radio_hw().packets_sent()),
+                static_cast<unsigned long long>(board->radio_hw().packets_received()),
+                static_cast<unsigned long long>(board->radio_hw().rx_overruns()),
+                static_cast<unsigned long long>(fleet.health(i).wedge_events),
+                static_cast<unsigned long long>(fleet.health(i).supervised_restarts));
+  }
+
+  tock::FleetStats totals = fleet.Stats();
+  std::printf("\nfleet: %zu boards (%zu live), %u threads, epoch %llu cycles\n",
+              totals.boards, totals.boards_live, opts.threads,
+              static_cast<unsigned long long>(fleet.EffectiveSlice()));
+  std::printf("  instructions     %llu\n",
+              static_cast<unsigned long long>(totals.instructions));
+  std::printf("  active cycles    %llu\n",
+              static_cast<unsigned long long>(totals.active_cycles));
+  std::printf("  sleep cycles     %llu\n",
+              static_cast<unsigned long long>(totals.sleep_cycles));
+  std::printf("  context switches %llu\n",
+              static_cast<unsigned long long>(totals.aggregate.context_switches));
+  std::printf("  packets tx/rx    %llu/%llu (%llu rx overruns)\n",
+              static_cast<unsigned long long>(totals.packets_sent),
+              static_cast<unsigned long long>(totals.packets_received),
+              static_cast<unsigned long long>(totals.rx_overruns));
+  std::printf("  wedge events     %llu (%llu supervised restarts)\n",
+              static_cast<unsigned long long>(totals.wedge_events),
+              static_cast<unsigned long long>(totals.supervised_restarts));
+  std::printf("  wall time        %.3f s (%.1f M sim-insn/s aggregate)\n", wall_s,
+              wall_s > 0 ? static_cast<double>(totals.instructions) / wall_s / 1e6
+                         : 0.0);
+  return 0;
+}

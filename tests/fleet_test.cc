@@ -1,0 +1,306 @@
+// Fleet runtime tests (board/fleet.h): the sharded epoch engine must produce
+// bit-identical per-board results for any host thread count, the mailbox radio
+// must produce identical delivery traces for any stepping slice and board step
+// order, and the supervisor must revive wedged boards.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "board/fleet.h"
+#include "board/sim_board.h"
+
+namespace tock {
+namespace {
+
+// Telemetry beacon: broadcast [node, seq] on a duty cycle, staggered per node.
+std::string BeaconApp(int node_id) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), R"(
+_start:
+    mv s0, a0
+    li s1, 0
+    li a0, %d
+    call sleep_ticks
+loop:
+    li t0, %d
+    sb t0, 0(s0)
+    sb s1, 1(s0)
+    li a0, 0x30001
+    li a1, 0
+    mv a2, s0
+    li a3, 2
+    li a4, 4
+    ecall
+    # command(radio, 1 = tx, dst=broadcast, len=2)
+    li a0, 0x30001
+    li a1, 1
+    li a2, 0xFFFF
+    li a3, 2
+    li a4, 2
+    ecall
+    # yield-wait-for(radio, 0 = tx done)
+    li a0, 2
+    li a1, 0x30001
+    li a2, 0
+    li a4, 0
+    ecall
+    addi s1, s1, 1
+    li a0, 60000
+    call sleep_ticks
+    j loop
+)",
+                node_id * 7000, node_id);
+  return buf;
+}
+
+// Telemetry sink: listen forever, tally packets at ram+32.
+const char* kListenerApp = R"(
+_start:
+    mv s0, a0
+    li a0, 0x30001
+    li a1, 1
+    addi a2, s0, 64
+    li a3, 8
+    li a4, 3
+    ecall
+    # command(radio, 2 = listen)
+    li a0, 0x30001
+    li a1, 2
+    li a2, 0
+    li a3, 0
+    li a4, 2
+    ecall
+loop:
+    li a0, 2
+    li a1, 0x30001
+    li a2, 1
+    li a4, 0
+    ecall
+    lw t0, 32(s0)
+    addi t0, t0, 1
+    sw t0, 32(s0)
+    j loop
+)";
+
+// An 8-board deployment with heterogeneous seeds, addresses, and scheduler
+// policies, every board beaconing to and listening for all the others.
+struct TestFleet {
+  explicit TestFleet(unsigned threads, uint64_t slice = 20'000) {
+    FleetConfig config;
+    config.threads = threads;
+    config.slice = slice;
+    fleet = std::make_unique<Fleet>(config);
+    static constexpr SchedulerPolicy kRotation[] = {
+        SchedulerPolicy::kRoundRobin, SchedulerPolicy::kPriority, SchedulerPolicy::kMlfq};
+    for (size_t i = 0; i < 8; ++i) {
+      BoardConfig bc;
+      bc.rng_seed = 0xBEEF + static_cast<uint32_t>(i);
+      bc.radio_addr = static_cast<uint16_t>(i + 1);
+      bc.medium = &fleet->medium();
+      bc.kernel.scheduler.policy = kRotation[i % 3];
+      bc.allow_scheduler_env = false;
+      auto board = std::make_unique<SimBoard>(bc);
+      board->radio_hw().EnableDeliveryLog();
+      AppSpec beacon;
+      beacon.name = "beacon";
+      beacon.source = BeaconApp(static_cast<int>(i + 1));
+      AppSpec listener;
+      listener.name = "listener";
+      listener.source = kListenerApp;
+      EXPECT_NE(board->installer().Install(beacon), 0u) << board->installer().error();
+      EXPECT_NE(board->installer().Install(listener), 0u) << board->installer().error();
+      EXPECT_EQ(board->Boot(), 2);
+      fleet->AddBoard(board.get());
+      boards.push_back(std::move(board));
+    }
+    fleet->AlignClocks();
+  }
+
+  // Everything observable about one board, as one comparable string.
+  std::string Fingerprint(size_t i) {
+    SimBoard& board = *boards[i];
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line), "cycles=%llu insns=%llu tx=%llu rx=%llu ovr=%llu\n",
+                  static_cast<unsigned long long>(board.mcu().CyclesNow()),
+                  static_cast<unsigned long long>(board.kernel().instructions_retired()),
+                  static_cast<unsigned long long>(board.radio_hw().packets_sent()),
+                  static_cast<unsigned long long>(board.radio_hw().packets_received()),
+                  static_cast<unsigned long long>(board.radio_hw().rx_overruns()));
+    out += line;
+    board.kernel().trace().DumpStats(out);
+    board.kernel().trace().DumpTrace(out);
+    for (const RadioDeliveryRecord& r : board.radio_hw().delivery_log()) {
+      std::snprintf(line, sizeof(line), "deliver cycle=%llu src=%u dst=%u len=%u sum=%u ovr=%d\n",
+                    static_cast<unsigned long long>(r.cycle), r.src, r.dst, r.len,
+                    r.payload_sum, r.overrun ? 1 : 0);
+      out += line;
+    }
+    return out;
+  }
+
+  std::unique_ptr<Fleet> fleet;
+  std::vector<std::unique_ptr<SimBoard>> boards;
+};
+
+// The tentpole guarantee: an 8-board fleet stepped by 1 host thread and by 4 host
+// threads produces bit-identical per-board kernel stats, trace rings, and radio
+// delivery logs. (Acceptance criterion: parallelism must not leak into results.)
+TEST(FleetDeterminism, ThreadCountInvariant) {
+  TestFleet solo(1);
+  TestFleet quad(4);
+  solo.fleet->Run(600'000);
+  quad.fleet->Run(600'000);
+
+  uint64_t total_rx = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(solo.Fingerprint(i), quad.Fingerprint(i)) << "board " << i;
+    total_rx += solo.boards[i]->radio_hw().packets_received();
+  }
+  // The run must actually exercise cross-board delivery to prove anything.
+  EXPECT_GT(total_rx, 0u);
+
+  FleetStats a = solo.fleet->Stats();
+  FleetStats b = quad.fleet->Stats();
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.packets_received, b.packets_received);
+  EXPECT_EQ(a.aggregate.context_switches, b.aggregate.context_switches);
+  EXPECT_EQ(a.boards_live, 8u);
+}
+
+// Radio arrival times are computed on the shared timeline at transmit time, so
+// the delivery trace cannot depend on the stepping slice: a 1k-cycle slice and a
+// 20k-cycle slice (both clamped to the medium lookahead) must land every frame
+// at the same cycle with the same payload.
+TEST(FleetDeterminism, DeliveryTraceSliceInvariant) {
+  TestFleet fine(1, /*slice=*/1'000);
+  TestFleet coarse(1, /*slice=*/20'000);
+  fine.fleet->Run(600'000);
+  coarse.fleet->Run(600'000);
+
+  uint64_t total = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(fine.boards[i]->radio_hw().delivery_log(),
+              coarse.boards[i]->radio_hw().delivery_log())
+        << "board " << i;
+    total += fine.boards[i]->radio_hw().delivery_log().size();
+  }
+  EXPECT_GT(total, 0u);
+}
+
+// Nor may the order boards are stepped within an epoch matter: registering the
+// boards with the fleet in reverse order changes the step order but not one
+// delivered byte. (Construction order — and so radio attach order — stays fixed;
+// only the step schedule moves.)
+TEST(FleetDeterminism, DeliveryTraceStepOrderInvariant) {
+  TestFleet forward(1);
+  forward.fleet->Run(600'000);
+
+  // Same deployment, boards handed to the fleet back-to-front.
+  TestFleet shuffled(1);
+  Fleet reordered(FleetConfig{.threads = 1, .medium = &shuffled.fleet->medium()});
+  for (size_t i = shuffled.boards.size(); i-- > 0;) {
+    reordered.AddBoard(shuffled.boards[i].get());
+  }
+  reordered.AlignClocks();
+  reordered.Run(600'000);
+
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(forward.boards[i]->radio_hw().delivery_log(),
+              shuffled.boards[i]->radio_hw().delivery_log())
+        << "board " << i;
+  }
+}
+
+// Supervision: a board whose only process exits is wedged (no runnable process,
+// no future event). With restart_wedged set, the fleet revives it through the
+// capability-gated restart path after the grace period — repeatedly.
+TEST(FleetSupervision, RestartsWedgedBoard) {
+  FleetConfig config;
+  config.restart_wedged = true;
+  config.wedge_grace_epochs = 2;
+  Fleet fleet(config);
+
+  BoardConfig bc;
+  SimBoard board(bc);
+  AppSpec app;
+  app.name = "mayfly";
+  app.source = R"(
+_start:
+    li a0, 500
+    call sleep_ticks
+    li a0, 0
+    call tock_exit_terminate
+)";
+  ASSERT_NE(board.installer().Install(app), 0u) << board.installer().error();
+  ASSERT_EQ(board.Boot(), 1);
+  fleet.AddBoard(&board);
+  fleet.Run(400'000);
+
+  EXPECT_GT(fleet.health(0).wedge_events, 0u);
+  EXPECT_GT(fleet.health(0).supervised_restarts, 1u);
+  FleetStats stats = fleet.Stats();
+  EXPECT_EQ(stats.supervised_restarts, fleet.health(0).supervised_restarts);
+  // Every revival re-runs the app from _start: the restart count shows up as
+  // repeated process work, not just a counter. (Kernel counters are compiled
+  // out under -DTOCK_TRACE=OFF; the fleet-side ledger above is always live.)
+  if (KernelConfig::trace_enabled) {
+    EXPECT_GT(stats.aggregate.process_restarts, 0u);
+  }
+}
+
+// Without supervision the board stays wedged and merely coasts to the target.
+TEST(FleetSupervision, WedgedBoardWithoutRestartStaysDown) {
+  Fleet fleet;
+  BoardConfig bc;
+  SimBoard board(bc);
+  AppSpec app;
+  app.name = "mayfly";
+  app.source = R"(
+_start:
+    li a0, 0
+    call tock_exit_terminate
+)";
+  ASSERT_NE(board.installer().Install(app), 0u) << board.installer().error();
+  ASSERT_EQ(board.Boot(), 1);
+  fleet.AddBoard(&board);
+  fleet.Run(100'000);
+
+  EXPECT_GT(fleet.health(0).wedge_events, 0u);
+  EXPECT_EQ(fleet.health(0).supervised_restarts, 0u);
+  FleetStats stats = fleet.Stats();
+  EXPECT_EQ(stats.boards_live, 0u);
+}
+
+// BoardConfig::allow_scheduler_env: the TOCK_SCHED_POLICY override applies only
+// to boards that did not make an explicit policy choice.
+TEST(FleetConfigTest, SchedulerEnvOptOut) {
+  // Save the ambient override (scripts/check_matrix.sh runs the whole suite with
+  // TOCK_SCHED_POLICY=cooperative) so later tests still see it.
+  const char* ambient = std::getenv("TOCK_SCHED_POLICY");
+  std::string saved = ambient != nullptr ? ambient : "";
+  ASSERT_EQ(setenv("TOCK_SCHED_POLICY", "mlfq", /*overwrite=*/1), 0);
+
+  BoardConfig defaulted;  // allow_scheduler_env = true
+  SimBoard follower(defaulted);
+  EXPECT_EQ(follower.kernel().scheduler_policy(), SchedulerPolicy::kMlfq);
+
+  BoardConfig explicit_choice;
+  explicit_choice.kernel.scheduler.policy = SchedulerPolicy::kPriority;
+  explicit_choice.allow_scheduler_env = false;
+  SimBoard holdout(explicit_choice);
+  EXPECT_EQ(holdout.kernel().scheduler_policy(), SchedulerPolicy::kPriority);
+
+  if (ambient != nullptr) {
+    setenv("TOCK_SCHED_POLICY", saved.c_str(), /*overwrite=*/1);
+  } else {
+    unsetenv("TOCK_SCHED_POLICY");
+  }
+}
+
+}  // namespace
+}  // namespace tock

@@ -597,6 +597,118 @@ TEST(RadioHw, UnicastIgnoredByWrongAddress) {
   EXPECT_EQ(radio_b.packets_received(), 0u);
 }
 
+TEST(RadioHw, RxOverrunDropsPacketAndLatchesStatus) {
+  Mcu a, b;
+  Radio radio_a(&a.clock(), &a.bus(), InterruptLine(&a.irq(), 8));
+  Radio radio_b(&b.clock(), &b.bus(), InterruptLine(&b.irq(), 8));
+  a.bus().AttachDevice(MemoryMap::kRadio, &radio_a);
+  b.bus().AttachDevice(MemoryMap::kRadio, &radio_b);
+  RadioMedium medium;
+  medium.Attach(&radio_a);
+  medium.Attach(&radio_b);
+
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kRadio);
+  b.bus().Write(base + RadioRegs::kNodeAddr, 2, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kCtrl, 0x3, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kRxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kRxMaxLen, 64, 4, Privilege::kPrivileged);
+
+  a.bus().Write(base + RadioRegs::kNodeAddr, 1, 4, Privilege::kPrivileged);
+  a.bus().Write(base + RadioRegs::kCtrl, 0x1, 4, Privilege::kPrivileged);
+  a.bus().Write(base + RadioRegs::kDstAddr, 2, 4, Privilege::kPrivileged);
+  a.bus().Write(base + RadioRegs::kTxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+
+  // First packet lands normally. (Tick the sender too so its TxBusy clears and
+  // its clock tracks the shared timeline.)
+  a.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>("first"), 5);
+  a.bus().Write(base + RadioRegs::kTxLen, 5, 4, Privilege::kPrivileged);
+  a.Tick(CycleCosts::kRadioCyclesPerByte * 13 + 10);
+  b.Tick(CycleCosts::kRadioCyclesPerByte * 13 + 10);
+  ASSERT_EQ(radio_b.packets_received(), 1u);
+
+  // Second packet arrives while kRxDone is still set (receiver never consumed the
+  // first): it must be dropped whole — the RX buffer keeps the first payload — and
+  // the overrun latched in status + counter. This is the bug this test pins: the
+  // old model overwrote the unconsumed frame in place.
+  a.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>("wrong"), 5);
+  a.bus().Write(base + RadioRegs::kTxLen, 5, 4, Privilege::kPrivileged);
+  a.Tick(CycleCosts::kRadioCyclesPerByte * 13 + 10);
+  b.Tick(CycleCosts::kRadioCyclesPerByte * 13 + 10);
+  EXPECT_EQ(radio_b.packets_received(), 1u);
+  EXPECT_EQ(radio_b.rx_overruns(), 1u);
+  uint32_t status = *b.bus().Read(base + RadioRegs::kStatus, 4, Privilege::kPrivileged);
+  EXPECT_TRUE(RadioRegs::Status::kRxDone.IsSetIn(status));
+  EXPECT_TRUE(RadioRegs::Status::kRxOverrun.IsSetIn(status));
+  uint8_t kept[5];
+  b.bus().ReadBlock(MemoryMap::kRamBase, kept, 5);
+  EXPECT_EQ(std::memcmp(kept, "first", 5), 0);
+
+  // Acknowledging (IntClr) frees the buffer: the next packet is accepted again.
+  b.bus().Write(base + RadioRegs::kIntClr,
+                RadioRegs::Status::kRxDone.Set().value |
+                    RadioRegs::Status::kRxOverrun.Set().value,
+                4, Privilege::kPrivileged);
+  status = *b.bus().Read(base + RadioRegs::kStatus, 4, Privilege::kPrivileged);
+  EXPECT_FALSE(RadioRegs::Status::kRxOverrun.IsSetIn(status));
+  a.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>("third"), 5);
+  a.bus().Write(base + RadioRegs::kTxLen, 5, 4, Privilege::kPrivileged);
+  a.Tick(CycleCosts::kRadioCyclesPerByte * 13 + 10);
+  b.Tick(CycleCosts::kRadioCyclesPerByte * 13 + 10);
+  EXPECT_EQ(radio_b.packets_received(), 2u);
+  EXPECT_EQ(radio_b.rx_overruns(), 1u);
+  b.bus().ReadBlock(MemoryMap::kRamBase, kept, 5);
+  EXPECT_EQ(std::memcmp(kept, "third", 5), 0);
+}
+
+TEST(RadioHw, SameCycleArrivalsDeliverInAttachOrder) {
+  // Two senders transmit equal-length packets at the same shared-timeline cycle.
+  // The total order is (deliver_at, attach index, seq): the radio attached first
+  // must win the RX buffer regardless of which Transmit ran first.
+  Mcu a, b, c;
+  Radio radio_a(&a.clock(), &a.bus(), InterruptLine(&a.irq(), 8));
+  Radio radio_b(&b.clock(), &b.bus(), InterruptLine(&b.irq(), 8));
+  Radio radio_c(&c.clock(), &c.bus(), InterruptLine(&c.irq(), 8));
+  a.bus().AttachDevice(MemoryMap::kRadio, &radio_a);
+  b.bus().AttachDevice(MemoryMap::kRadio, &radio_b);
+  c.bus().AttachDevice(MemoryMap::kRadio, &radio_c);
+  RadioMedium medium;
+  medium.Attach(&radio_a);  // attach index 0
+  medium.Attach(&radio_b);  // attach index 1
+  medium.Attach(&radio_c);  // attach index 2
+  radio_b.EnableDeliveryLog();
+
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kRadio);
+  b.bus().Write(base + RadioRegs::kNodeAddr, 2, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kCtrl, 0x3, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kRxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  b.bus().Write(base + RadioRegs::kRxMaxLen, 64, 4, Privilege::kPrivileged);
+
+  for (Mcu* m : {&a, &c}) {
+    m->bus().Write(base + RadioRegs::kCtrl, 0x1, 4, Privilege::kPrivileged);
+    m->bus().Write(base + RadioRegs::kDstAddr, 2, 4, Privilege::kPrivileged);
+    m->bus().Write(base + RadioRegs::kTxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  }
+  a.bus().Write(base + RadioRegs::kNodeAddr, 1, 4, Privilege::kPrivileged);
+  c.bus().Write(base + RadioRegs::kNodeAddr, 3, 4, Privilege::kPrivileged);
+  a.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>("AA"), 2);
+  c.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>("CC"), 2);
+
+  // Both clocks sit at cycle 0, so both frames arrive at the same cycle. Fire the
+  // later-attached sender FIRST: enqueue order must not leak into delivery order.
+  c.bus().Write(base + RadioRegs::kTxLen, 2, 4, Privilege::kPrivileged);
+  a.bus().Write(base + RadioRegs::kTxLen, 2, 4, Privilege::kPrivileged);
+  b.Tick(CycleCosts::kRadioCyclesPerByte * 10 + 10);
+
+  ASSERT_EQ(radio_b.delivery_log().size(), 2u);
+  EXPECT_EQ(radio_b.delivery_log()[0].src, 1u);  // attach index 0 delivered first
+  EXPECT_FALSE(radio_b.delivery_log()[0].overrun);
+  EXPECT_EQ(radio_b.delivery_log()[1].src, 3u);  // loser dropped as an overrun
+  EXPECT_TRUE(radio_b.delivery_log()[1].overrun);
+  uint8_t kept[2];
+  b.bus().ReadBlock(MemoryMap::kRamBase, kept, 2);
+  EXPECT_EQ(std::memcmp(kept, "AA", 2), 0);
+}
+
 // ---- SPI -----------------------------------------------------------------------------
 
 class EchoSlave : public SpiSlaveModel {
