@@ -40,9 +40,15 @@ echo "==== fleet smoke: sharded multi-board run via the CLI driver ===="
 ./build/src/tools/fleet --boards=4 --threads=2 --cycles=200000 >/dev/null
 ./build/src/tools/fleet --boards=4 --threads=1 --cycles=200000 --radio=off >/dev/null
 
-echo "==== preset: tsan — fleet sharding + radio mailbox under ThreadSanitizer ===="
+echo "==== OTA smoke: lossy multi-threaded signed-app push must converge ===="
+# Exit code reflects convergence: the driver returns 1 unless every subscriber
+# runs the verified update despite 10% drop + duplication + corruption.
+./build/src/tools/fleet --ota --boards=9 --threads=4 --cycles=120000000 \
+  --drop=100 --dup=20 --corrupt=10 >/dev/null
+
+echo "==== preset: tsan — fleet sharding + radio mailbox + lossy OTA under ThreadSanitizer ===="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --preset tsan -R 'Fleet|RadioHw' "$@"
+ctest --preset tsan -R 'Fleet|RadioHw|RadioFaults|Ota' "$@"
 
-echo "==== matrix OK (trace on/off x decode-cache on/off, round-robin + cooperative, fleet + tsan) ===="
+echo "==== matrix OK (trace on/off x decode-cache on/off, round-robin + cooperative, fleet + OTA + tsan) ===="

@@ -179,6 +179,11 @@ FleetStats Fleet::Stats() const {
     stats.packets_sent += board->radio_hw().packets_sent();
     stats.packets_received += board->radio_hw().packets_received();
     stats.rx_overruns += board->radio_hw().rx_overruns();
+    LinkFaultCounters faults = board->radio_hw().fault_counters();
+    stats.frames_dropped += faults.dropped;
+    stats.frames_duplicated += faults.duplicated;
+    stats.frames_reordered += faults.reordered;
+    stats.frames_corrupted += faults.corrupted;
     if (board->kernel().NumLiveProcesses() > 0 ||
         board->mcu().clock().HasPendingEvents()) {
       ++stats.boards_live;

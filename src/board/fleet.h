@@ -45,6 +45,11 @@ struct FleetConfig {
   // least `wedge_grace_epochs` consecutive epochs.
   bool restart_wedged = false;
   uint64_t wedge_grace_epochs = 2;
+  // Seeded per-link fault model installed on the medium when Enabled(). Left
+  // alone when all rates are zero, so a Fleet wrapping an externally owned
+  // medium (World does this per Run) never clobbers faults installed directly
+  // via RadioMedium::SetLinkFaults.
+  LinkFaultConfig link_faults;
 };
 
 // Per-board supervision ledger.
@@ -64,6 +69,13 @@ struct FleetStats {
   uint64_t packets_sent = 0;
   uint64_t packets_received = 0;
   uint64_t rx_overruns = 0;
+  // Link-fault totals, summed over every board's receive side. Deterministic:
+  // faults are drawn per (seed, link, seq), so the totals are bit-identical for
+  // any host thread count.
+  uint64_t frames_dropped = 0;
+  uint64_t frames_duplicated = 0;
+  uint64_t frames_reordered = 0;
+  uint64_t frames_corrupted = 0;
   size_t boards = 0;
   size_t boards_live = 0;  // boards with a live process or a pending hw event
   uint64_t wedge_events = 0;
@@ -76,6 +88,9 @@ class Fleet {
       : config_(config),
         medium_(config.medium != nullptr ? config.medium : &owned_medium_) {
     medium_->SetMode(RadioMedium::Mode::kDeferred);
+    if (config_.link_faults.Enabled()) {
+      medium_->SetLinkFaults(config_.link_faults);
+    }
   }
 
   // The shared radio channel. Point BoardConfig::medium here before constructing

@@ -123,7 +123,9 @@ SimBoard::SimBoard(const BoardConfig& config)
                        SubSliceMut(pconsole_rx_storage_.data(), pconsole_rx_storage_.size()),
                        pm_cap_),
       loader_(&kernel_, kAppFlashBase, kAppFlashEnd, pm_cap_, load_cap_),
-      installer_(&mcu_, kAppFlashBase, kAppFlashEnd) {
+      installer_(&mcu_, kAppFlashBase, kAppFlashEnd),
+      ota_gateway_(&chip_radio_, &valarm_mux_),
+      ota_subscriber_(&chip_radio_, &chip_flash_, &loader_, &valarm_mux_) {
   // Chip bring-up (bus attachment happened in BusWiring, before chips constructed).
   chip_uart_.Init();
   chip_uart1_.Init();
@@ -168,6 +170,7 @@ SimBoard::SimBoard(const BoardConfig& config)
   loader_.SetDigestEngine(&chip_digest_);
   loader_.SetDeviceKey(kDeviceKey);
   installer_.SetDeviceKey(kDeviceKey);
+  process_console_.SetLoader(&loader_);
 
   if (config_.medium != nullptr) {
     config_.medium->Attach(&radio_hw_);
@@ -185,22 +188,35 @@ bool SimBoard::ExportTrace(const std::string& path) {
 }
 
 int SimBoard::Boot() {
+  int created = 0;
   if (config_.kernel.loader == LoaderMode::kSynchronous) {
-    return loader_.LoadAllSync();
-  }
-  Result<void> started = loader_.StartAsyncLoad();
-  if (!started.ok()) {
-    return 0;
-  }
-  // Drive the kernel until the verification state machine settles. Generous bound:
-  // signature checks are tens of thousands of cycles per app.
-  uint64_t deadline = mcu_.CyclesNow() + 50'000'000;
-  while (!loader_.Done() && mcu_.CyclesNow() < deadline) {
-    if (!kernel_.MainLoopStep(main_cap_)) {
-      break;
+    created = loader_.LoadAllSync();
+  } else if (loader_.StartAsyncLoad().ok()) {
+    // Drive the kernel until the verification state machine settles. Generous
+    // bound: signature checks are tens of thousands of cycles per app.
+    uint64_t deadline = mcu_.CyclesNow() + 50'000'000;
+    while (!loader_.Done() && mcu_.CyclesNow() < deadline) {
+      if (!kernel_.MainLoopStep(main_cap_)) {
+        break;
+      }
     }
+    created = loader_.created_count();
   }
-  return loader_.created_count();
+
+  // OTA roles come alive only after boot: a subscriber's default staging address
+  // is the first free app slot, which is known only once the baseline apps are
+  // installed and the boot scan has run. Activation steals the radio (and, for
+  // subscribers, flash) client slots from the syscall capsules — OTA boards give
+  // those peripherals to the update plane.
+  if (config_.ota.role == OtaRole::kGateway) {
+    ota_gateway_.Activate();
+  } else if (config_.ota.role == OtaRole::kSubscriber) {
+    uint32_t staging =
+        config_.ota.staging_addr != 0 ? config_.ota.staging_addr : installer_.next_addr();
+    ota_staging_addr_ = staging;
+    ota_subscriber_.Activate(staging, staging < kAppFlashEnd ? kAppFlashEnd - staging : 0);
+  }
+  return created;
 }
 
 World::World() {

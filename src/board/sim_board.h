@@ -16,6 +16,8 @@
 #include "capsule/crypto_drivers.h"
 #include "capsule/led_button_gpio.h"
 #include "capsule/nonvolatile_storage.h"
+#include "capsule/ota_gateway.h"
+#include "capsule/ota_subscriber.h"
 #include "capsule/process_console.h"
 #include "capsule/process_info.h"
 #include "capsule/radio_driver.h"
@@ -50,6 +52,21 @@
 
 namespace tock {
 
+// Role a board plays in the OTA signed-app distribution scenario (DESIGN.md §12).
+// Both OTA capsules are always constructed (they are plain members) but stay
+// inert — no client slots stolen, no alarms armed — unless a role is configured.
+enum class OtaRole : uint8_t { kNone, kGateway, kSubscriber };
+
+struct OtaBoardConfig {
+  OtaRole role = OtaRole::kNone;
+  // Subscriber: flash address the pushed image is staged at and loaded from.
+  // 0 = the first free app slot at Boot() time (installer().next_addr()), which
+  // every subscriber with the same baseline apps resolves identically — TBF
+  // images are position-dependent, so the gateway builds one image for this
+  // shared address.
+  uint32_t staging_addr = 0;
+};
+
 struct BoardConfig {
   KernelConfig kernel;
   uint32_t rng_seed = 0xC0FFEE;
@@ -67,6 +84,8 @@ struct BoardConfig {
   // (tools/trace_export.h) here at destruction — a run artifact for
   // chrome://tracing / Perfetto. ExportTrace() exports on demand instead.
   std::string trace_export_path;
+  // OTA distribution role (activated at the end of Boot()).
+  OtaBoardConfig ota;
 };
 
 class SimBoard {
@@ -120,6 +139,10 @@ class SimBoard {
   ChipDigest& chip_digest() { return chip_digest_; }
   FaultInjector& fault_injector() { return fault_injector_; }
   VirtualAlarmMux& valarm_mux() { return valarm_mux_; }
+  OtaGateway& ota_gateway() { return ota_gateway_; }
+  OtaSubscriber& ota_subscriber() { return ota_subscriber_; }
+  // Resolved OTA staging address (valid on subscriber boards after Boot()).
+  uint32_t ota_staging_addr() const { return ota_staging_addr_; }
   const MainLoopCapability& main_cap() { return main_cap_; }
   const ProcessManagementCapability& pm_cap() { return pm_cap_; }
 
@@ -209,6 +232,11 @@ class SimBoard {
   // ---- Loading ----
   ProcessLoader loader_;
   AppInstaller installer_;
+
+  // ---- OTA distribution (inert unless config_.ota.role is set; see Boot()) ----
+  OtaGateway ota_gateway_;
+  OtaSubscriber ota_subscriber_;
+  uint32_t ota_staging_addr_ = 0;
 };
 
 // A set of boards stepped in bounded slices against a shared radio medium — the

@@ -1,0 +1,101 @@
+// ERA: 2
+// Wire format of the OTA signed-app distribution protocol (§3.4 deployment
+// story): a gateway board chunks a signed TBF image into radio frames; each
+// subscriber reassembles into a flash staging region, verifies a whole-image
+// CRC, and hands the region to ProcessLoader::LoadOneAsync.
+//
+// All integers little-endian. Every frame starts with
+//   [0] frame type (OtaFrameType)
+//   [1] transfer id — bumped by the gateway on every (re)push, so stale frames
+//       from an abandoned transfer are recognised and ignored.
+//
+// Frame bodies:
+//   kAnnounce  [2..3] total_chunks  [4..7] image_size  [8..11] image_crc
+//              [12..13] gateway addr                                  (14 B)
+//   kData      [2..3] chunk index   [4..5] data len    [6..9] chunk crc
+//              [10..] data (kChunkData max)                     (10+len B)
+//   kAck       [2..3] subscriber addr  [4..5] next expected chunk
+//              [6..9] selective bitmap (chunks next+1 .. next+32)     (10 B)
+//   kStatus    [2..3] subscriber addr  [4] status code                 (5 B)
+//   kPoll      (header only — gateway asks a subscriber to re-send kStatus)
+//
+// Every frame additionally ends in a 4-byte CRC32 over everything before it —
+// the frame check sequence. A corrupted frame (any byte, header or payload) is
+// indistinguishable from a dropped one at the receiver, so the retry/backoff
+// plane that recovers losses recovers corruption too. Without it a flipped bit
+// in a control frame is catastrophic: a kStatus(ok) whose code byte corrupts
+// into a rejection makes the gateway re-push a converged subscriber, loading
+// the update twice. The per-chunk CRC in kData stays as the end-to-end check on
+// the staged bytes themselves.
+//
+// kAck/kStatus carry the subscriber address explicitly because the capsule-level
+// receive path sees only the payload, not the radio header.
+#ifndef TOCK_CAPSULE_OTA_PROTOCOL_H_
+#define TOCK_CAPSULE_OTA_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/crc32.h"
+
+namespace tock {
+
+enum class OtaFrameType : uint8_t {
+  kAnnounce = 1,
+  kData = 2,
+  kAck = 3,
+  kStatus = 4,
+  kPoll = 5,
+};
+
+struct OtaWire {
+  // Payload bytes per kData frame. 128 keeps the whole frame (138 B) well under
+  // Radio::kMaxPacket while amortising the 8-byte on-air framing overhead.
+  static constexpr size_t kChunkData = 128;
+
+  // Body sizes, excluding the kCrcTrailer every frame ends with.
+  static constexpr size_t kAnnounceSize = 14;
+  static constexpr size_t kDataHeaderSize = 10;
+  static constexpr size_t kAckSize = 10;
+  static constexpr size_t kStatusSize = 5;
+  static constexpr size_t kPollSize = 2;
+  static constexpr size_t kCrcTrailer = 4;
+
+  // kStatus codes. Values below 0xF0 are a ProcessLoader LoadError cast to
+  // uint8_t (0 == LoadError::kNone == signed update loaded and running).
+  static constexpr uint8_t kStatusOk = 0;
+  static constexpr uint8_t kStatusImageCrc = 0xFE;  // reassembled image CRC mismatch
+
+  static void Put16(uint8_t* p, uint16_t v) {
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+  }
+  static uint16_t Get16(const uint8_t* p) {
+    return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+  }
+  static void Put32(uint8_t* p, uint32_t v) {
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+  }
+  static uint32_t Get32(const uint8_t* p) {
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  }
+
+  // Appends the frame check sequence over `body` bytes; returns the on-air size.
+  static size_t Seal(uint8_t* f, size_t body) {
+    Put32(f + body, Crc32::Compute(f, body));
+    return body + kCrcTrailer;
+  }
+  // Verifies the trailer; a frame that fails is treated exactly like a drop.
+  static bool SealIntact(const uint8_t* f, uint32_t len) {
+    return len > kCrcTrailer &&
+           Crc32::Compute(f, len - kCrcTrailer) == Get32(f + len - kCrcTrailer);
+  }
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_OTA_PROTOCOL_H_

@@ -1,0 +1,419 @@
+// ERA: 2
+// OTA subscriber capsule: reassembles a signed TBF image pushed by the gateway
+// (capsule/ota_gateway.h) into a flash staging region, verifies the whole-image
+// CRC, and hands the region to ProcessLoader::LoadOneAsync — the §3.4 pipeline
+// (integrity → authenticity → runnability) running while the board's existing
+// apps keep executing. Degradation is graceful at every stage:
+//   * chunk CRC failure → frame silently dropped; the gateway's selective
+//     retransmit recovers it;
+//   * flash busy on arrival → frame dropped; retransmit recovers it;
+//   * reassembled image fails its CRC → kStatus(kStatusImageCrc), gateway
+//     re-pushes under a new transfer id;
+//   * image fails integrity/authenticity in the loader → kStatus(LoadError),
+//     counted and re-pushed up to the gateway's budget;
+//   * a new announce at any point restarts reassembly cleanly.
+// The periodic tick alarm is always armed once activated, so an OTA board always
+// has a future event — it can degrade, but never wedge.
+#ifndef TOCK_CAPSULE_OTA_SUBSCRIBER_H_
+#define TOCK_CAPSULE_OTA_SUBSCRIBER_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "capsule/ota_protocol.h"
+#include "capsule/virtual_alarm.h"
+#include "hw/radio.h"
+#include "kernel/hil.h"
+#include "kernel/process_loader.h"
+#include "util/crc32.h"
+
+namespace tock {
+
+struct OtaSubscriberStats {
+  uint64_t announces = 0;        // transfers started (new xfer ids seen)
+  uint64_t chunks_received = 0;  // accepted, CRC-clean, flashed chunks
+  uint64_t frame_crc_failures = 0;  // frames failing the FCS trailer (any type)
+  uint64_t chunk_crc_failures = 0;
+  uint64_t duplicate_chunks = 0;
+  uint64_t flash_busy_drops = 0;
+  uint64_t image_crc_failures = 0;
+  uint64_t load_attempts = 0;
+  uint64_t loads_rejected = 0;  // typed LoadError outcomes reported upstream
+  uint64_t acks_sent = 0;
+  uint64_t statuses_sent = 0;
+};
+
+class OtaSubscriber : public hil::RadioClient,
+                      public hil::AlarmClient,
+                      public hil::FlashClient {
+ public:
+  static constexpr uint32_t kTickInterval = 50'000;  // loader poll / pump period
+
+  enum class State : uint8_t {
+    kIdle,       // no transfer announced yet
+    kReceiving,  // reassembling chunks into the staging region
+    kLoading,    // LoadOneAsync in flight (or waiting to start it)
+    kDone,       // outcome determined; re-reports status on kPoll
+  };
+
+  OtaSubscriber(hil::PacketRadio* radio, hil::FlashStorage* flash, ProcessLoader* loader,
+                VirtualAlarmMux* mux)
+      : radio_(radio), flash_(flash), loader_(loader), mux_(mux), alarm_(mux) {}
+
+  // Board-init wiring: takes over the radio *and* flash client slots (the
+  // nonvolatile-storage capsule loses its flash callbacks on OTA subscriber
+  // boards — an explicit deployment trade documented in DESIGN.md §12) and
+  // starts the always-on tick.
+  void Activate(uint32_t staging_addr, uint32_t staging_limit) {
+    active_ = true;
+    staging_addr_ = staging_addr;
+    staging_limit_ = staging_limit;
+    radio_->SetRadioClient(this);
+    flash_->SetFlashClient(this);
+    mux_->AddClient(&alarm_);
+    alarm_.SetClient(this);
+    ArmRx();
+    alarm_.SetAlarm(alarm_.Now(), kTickInterval);
+  }
+
+  State state() const { return state_; }
+  uint8_t last_status() const { return last_status_; }
+  const OtaSubscriberStats& stats() const { return stats_; }
+  bool Converged() const {
+    return state_ == State::kDone && last_status_ == OtaWire::kStatusOk;
+  }
+
+  // --- hil::RadioClient ---
+  void TransmitDone(SubSliceMut buffer, Result<void> result) override {
+    (void)buffer;
+    (void)result;
+    tx_busy_ = false;
+    Pump();
+  }
+
+  void PacketReceived(SubSliceMut buffer, uint32_t len) override {
+    HandleFrame(buffer.Active().data(), len);
+    ArmRx();
+    Pump();
+  }
+
+  // --- hil::FlashClient ---
+  void WriteComplete(SubSliceMut buffer, Result<void> result) override {
+    (void)buffer;
+    flash_busy_ = false;
+    if (write_chunk_ >= 0) {
+      if (result.ok()) {
+        MarkReceived(static_cast<uint16_t>(write_chunk_));
+        ++stats_.chunks_received;
+        ack_pending_ = true;  // ack only what is durably staged
+      }
+      write_chunk_ = -1;
+    }
+    MaybeFinishImage();
+    Pump();
+  }
+
+  void EraseComplete(Result<void> result) override { (void)result; }
+
+  // --- hil::AlarmClient ---
+  void AlarmFired() override {
+    PollLoader();
+    Pump();
+    alarm_.SetAlarm(alarm_.Now(), kTickInterval);
+  }
+
+ private:
+  void ArmRx() {
+    SubSliceMut rx(rx_buf_.data(), rx_buf_.size());
+    radio_->StartReceive(rx);
+  }
+
+  bool SendFrame(size_t len) {
+    SubSliceMut tx(tx_buf_.data(), tx_buf_.size());
+    tx.SliceTo(len);
+    if (radio_->TransmitPacket(gw_addr_, tx).has_value()) {
+      return false;
+    }
+    tx_busy_ = true;
+    return true;
+  }
+
+  // One TX at a time: status reports take precedence over acks.
+  void Pump() {
+    if (!active_ || tx_busy_) {
+      return;
+    }
+    if (status_pending_) {
+      uint8_t* f = tx_buf_.data();
+      f[0] = static_cast<uint8_t>(OtaFrameType::kStatus);
+      f[1] = xfer_;
+      OtaWire::Put16(f + 2, radio_->LocalAddress());
+      f[4] = last_status_;
+      if (SendFrame(OtaWire::Seal(f, OtaWire::kStatusSize))) {
+        status_pending_ = false;
+        ++stats_.statuses_sent;
+      }
+      return;
+    }
+    if (ack_pending_) {
+      uint16_t next = NextExpected();
+      uint32_t bits = 0;
+      for (uint32_t i = 0; i < 32; ++i) {
+        uint32_t c = static_cast<uint32_t>(next) + 1 + i;
+        if (c < received_.size() && received_[c] != 0) {
+          bits |= 1u << i;
+        }
+      }
+      uint8_t* f = tx_buf_.data();
+      f[0] = static_cast<uint8_t>(OtaFrameType::kAck);
+      f[1] = xfer_;
+      OtaWire::Put16(f + 2, radio_->LocalAddress());
+      OtaWire::Put16(f + 4, next);
+      OtaWire::Put32(f + 6, bits);
+      if (SendFrame(OtaWire::Seal(f, OtaWire::kAckSize))) {
+        ack_pending_ = false;
+        ++stats_.acks_sent;
+      }
+      return;
+    }
+  }
+
+  uint16_t NextExpected() const {
+    for (size_t i = 0; i < received_.size(); ++i) {
+      if (received_[i] == 0) {
+        return static_cast<uint16_t>(i);
+      }
+    }
+    return static_cast<uint16_t>(received_.size());
+  }
+
+  void MarkReceived(uint16_t chunk) {
+    if (chunk < received_.size()) {
+      received_[chunk] = 1;
+    }
+  }
+
+  bool AllReceived() const {
+    return !received_.empty() && NextExpected() == received_.size();
+  }
+
+  void HandleFrame(const uint8_t* f, uint32_t len) {
+    if (!active_) {
+      return;
+    }
+    if (!OtaWire::SealIntact(f, len)) {
+      // Corruption degrades to a drop; the gateway's retry/backoff recovers it.
+      ++stats_.frame_crc_failures;
+      return;
+    }
+    len -= OtaWire::kCrcTrailer;
+    if (len < 2) {
+      return;
+    }
+    switch (static_cast<OtaFrameType>(f[0])) {
+      case OtaFrameType::kAnnounce:
+        if (len >= OtaWire::kAnnounceSize) {
+          HandleAnnounce(f);
+        }
+        return;
+      case OtaFrameType::kData:
+        if (len >= OtaWire::kDataHeaderSize) {
+          HandleData(f, len);
+        }
+        return;
+      case OtaFrameType::kPoll:
+        if (f[1] == xfer_ && state_ == State::kDone) {
+          status_pending_ = true;  // re-report; the gateway's poll was its timeout
+        }
+        return;
+      default:
+        return;  // subscribers ignore ack/status
+    }
+  }
+
+  void HandleAnnounce(const uint8_t* f) {
+    uint16_t total = OtaWire::Get16(f + 2);
+    uint32_t size = OtaWire::Get32(f + 4);
+    if (f[1] == xfer_ && state_ != State::kIdle) {
+      // Re-announce of the transfer we are already tracking (our first ack was
+      // lost): just re-ack current progress.
+      if (state_ == State::kReceiving) {
+        ack_pending_ = true;
+      } else if (state_ == State::kDone) {
+        status_pending_ = true;
+      }
+      return;
+    }
+    // New transfer: validate and restart reassembly from scratch. A transfer that
+    // cannot fit the staging region is ignored outright (a corrupted announce
+    // must not wedge or overflow anything; the gateway will re-announce).
+    if (total == 0 || size == 0 || size > staging_limit_ ||
+        size > static_cast<uint32_t>(total) * OtaWire::kChunkData ||
+        size + staging_addr_ < staging_addr_) {
+      return;
+    }
+    xfer_ = f[1];
+    image_size_ = size;
+    image_crc_ = OtaWire::Get32(f + 8);
+    gw_addr_ = OtaWire::Get16(f + 12);
+    received_.assign(total, 0);
+    write_chunk_ = -1;
+    state_ = State::kReceiving;
+    last_status_ = 0xFF;
+    load_started_ = false;
+    ++stats_.announces;
+    ack_pending_ = true;  // tell the gateway we are listening
+  }
+
+  void HandleData(const uint8_t* f, uint32_t len) {
+    if (f[1] != xfer_) {
+      return;  // stale transfer
+    }
+    if (state_ != State::kReceiving) {
+      // We already hold the whole image (loading/reporting): a retransmitted
+      // chunk means our final ack was lost — re-ack progress so the gateway's
+      // window converges instead of burning its chunk-retry budget.
+      if (state_ == State::kLoading || state_ == State::kDone) {
+        ack_pending_ = true;
+      }
+      return;
+    }
+    uint16_t chunk = OtaWire::Get16(f + 2);
+    uint16_t dlen = OtaWire::Get16(f + 4);
+    uint32_t crc = OtaWire::Get32(f + 6);
+    if (chunk >= received_.size() || dlen == 0 || dlen > OtaWire::kChunkData ||
+        OtaWire::kDataHeaderSize + dlen > len) {
+      return;  // malformed (possibly corrupted header bytes)
+    }
+    if (Crc32::Compute(f + OtaWire::kDataHeaderSize, dlen) != crc) {
+      // Payload corrupted on the air: drop; the gateway's retransmit timer is
+      // the recovery path (selective retransmit of exactly this chunk).
+      ++stats_.chunk_crc_failures;
+      return;
+    }
+    if (received_[chunk] != 0) {
+      ++stats_.duplicate_chunks;
+      ack_pending_ = true;  // our earlier ack was probably lost — re-ack
+      return;
+    }
+    if (flash_busy_) {
+      ++stats_.flash_busy_drops;
+      return;  // retransmit recovers
+    }
+    std::memcpy(chunk_buf_.data(), f + OtaWire::kDataHeaderSize, dlen);
+    SubSliceMut buf(chunk_buf_.data(), chunk_buf_.size());
+    buf.SliceTo(dlen);
+    uint32_t addr = staging_addr_ + static_cast<uint32_t>(chunk) * OtaWire::kChunkData;
+    if (flash_->WriteFlash(addr, buf).has_value()) {
+      ++stats_.flash_busy_drops;
+      return;
+    }
+    flash_busy_ = true;
+    write_chunk_ = chunk;
+  }
+
+  // All chunks staged: whole-image CRC (synchronous flash reads), then the
+  // async §3.4 pipeline.
+  void MaybeFinishImage() {
+    if (state_ != State::kReceiving || flash_busy_ || !AllReceived()) {
+      return;
+    }
+    uint32_t crc_state = Crc32::kInit;
+    uint32_t remaining = image_size_;
+    uint32_t addr = staging_addr_;
+    while (remaining > 0) {
+      uint32_t n = remaining < chunk_buf_.size() ? remaining
+                                                 : static_cast<uint32_t>(chunk_buf_.size());
+      SubSliceMut buf(chunk_buf_.data(), chunk_buf_.size());
+      buf.SliceTo(n);
+      if (!flash_->ReadFlash(addr, buf).ok()) {
+        break;
+      }
+      crc_state = Crc32::Update(crc_state, chunk_buf_.data(), n);
+      addr += n;
+      remaining -= n;
+    }
+    if (remaining != 0 || Crc32::Finish(crc_state) != image_crc_) {
+      // Reassembled bytes are wrong despite per-chunk CRCs (or unreadable):
+      // report and let the gateway re-push the whole image.
+      ++stats_.image_crc_failures;
+      last_status_ = OtaWire::kStatusImageCrc;
+      state_ = State::kDone;
+      status_pending_ = true;
+      return;
+    }
+    state_ = State::kLoading;
+    load_started_ = false;
+    StartLoad();
+  }
+
+  void StartLoad() {
+    if (load_started_) {
+      return;
+    }
+    if (!loader_->LoadOneAsync(staging_addr_).ok()) {
+      return;  // loader busy (boot scan still running): retried from the tick
+    }
+    load_started_ = true;
+    ++stats_.load_attempts;
+  }
+
+  void PollLoader() {
+    if (state_ != State::kLoading) {
+      return;
+    }
+    if (!load_started_) {
+      StartLoad();
+      return;
+    }
+    if (!loader_->Done()) {
+      return;  // digest still in flight
+    }
+    const ProcessLoader::LoadRecord* record = loader_->RecordFor(staging_addr_);
+    if (record == nullptr) {
+      return;  // should not happen; keep polling rather than wedge
+    }
+    if (record->created) {
+      last_status_ = OtaWire::kStatusOk;  // signed update verified and running
+    } else {
+      last_status_ = static_cast<uint8_t>(record->error);
+      ++stats_.loads_rejected;
+    }
+    state_ = State::kDone;
+    status_pending_ = true;
+  }
+
+  hil::PacketRadio* radio_;
+  hil::FlashStorage* flash_;
+  ProcessLoader* loader_;
+  VirtualAlarmMux* mux_;
+  VirtualAlarm alarm_;
+
+  bool active_ = false;
+  bool tx_busy_ = false;
+  bool flash_busy_ = false;
+  bool ack_pending_ = false;
+  bool status_pending_ = false;
+  bool load_started_ = false;
+  State state_ = State::kIdle;
+  uint8_t xfer_ = 0;
+  uint8_t last_status_ = 0xFF;
+  uint16_t gw_addr_ = 0xFFFF;
+  uint32_t staging_addr_ = 0;
+  uint32_t staging_limit_ = 0;
+  uint32_t image_size_ = 0;
+  uint32_t image_crc_ = 0;
+  int32_t write_chunk_ = -1;  // chunk index of the in-flight flash write
+  std::vector<uint8_t> received_;
+  OtaSubscriberStats stats_;
+
+  std::array<uint8_t, Radio::kMaxPacket> tx_buf_{};
+  std::array<uint8_t, Radio::kMaxPacket> rx_buf_{};
+  std::array<uint8_t, OtaWire::kChunkData> chunk_buf_{};
+};
+
+}  // namespace tock
+
+#endif  // TOCK_CAPSULE_OTA_SUBSCRIBER_H_

@@ -10,7 +10,9 @@
 // prof (per-process cycle attribution & high-water marks, kernel/cycle_accounting.h) |
 // hist (latency histogram summaries, util/log2_hist.h) |
 // sched (active policy, per-process priority/queue level/timeslice expirations/
-// context switches, kernel/scheduler.h)
+// context switches, kernel/scheduler.h) |
+// loads (ProcessLoader ledger: per-image §3.4 outcome with LoadErrorName — the
+// field-debug view of OTA updates that were rejected and why)
 #ifndef TOCK_CAPSULE_PROCESS_CONSOLE_H_
 #define TOCK_CAPSULE_PROCESS_CONSOLE_H_
 
@@ -21,6 +23,7 @@
 #include "kernel/capability.h"
 #include "kernel/hil.h"
 #include "kernel/kernel.h"
+#include "kernel/process_loader.h"
 #include "util/cells.h"
 
 namespace tock {
@@ -38,6 +41,9 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
 
   // Board init: begins listening (byte at a time, as upstream does).
   void Start() { ArmReceive(); }
+
+  // Board init: wires the loader ledger behind the `loads` command.
+  void SetLoader(ProcessLoader* loader) { loader_ = loader; }
 
   // hil::UartReceiveClient ---------------------------------------------------------
   void ReceiveComplete(SubSliceMut buffer, uint32_t received, Result<void> result) override {
@@ -97,7 +103,31 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
   void ExecuteLine() {
     char out[512];
     if (std::strcmp(line_.data(), "help") == 0) {
-      Emit("commands: help list stats trace faults prof hist sched stop <idx> start <idx>\n");
+      Emit("commands: help list loads stats trace faults prof hist sched stop <idx> "
+           "start <idx>\n");
+      return;
+    }
+    if (std::strcmp(line_.data(), "loads") == 0) {
+      if (loader_ == nullptr) {
+        Emit("no loader wired\n");
+        return;
+      }
+      size_t pos = static_cast<size_t>(std::snprintf(
+          out, sizeof(out), "created %d rejected %d\n addr     name      outcome\n",
+          loader_->created_count(), loader_->rejected_count()));
+      for (const ProcessLoader::LoadRecord& r : loader_->records()) {
+        if (pos >= sizeof(out) - 96) {
+          break;
+        }
+        pos += static_cast<size_t>(std::snprintf(
+            out + pos, sizeof(out) - pos, " %08lx %-9s %s%s%s%s%s\n",
+            (unsigned long)r.flash_addr, r.name.c_str(),
+            r.created ? "created" : LoadErrorName(r.error), r.verified ? " verified" : "",
+            r.reject_reason != nullptr ? " (" : "",
+            r.reject_reason != nullptr ? r.reject_reason : "",
+            r.reject_reason != nullptr ? ")" : ""));
+      }
+      Emit(out);
       return;
     }
     if (std::strcmp(line_.data(), "stats") == 0) {
@@ -266,6 +296,7 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
   }
 
   Kernel* kernel_;
+  ProcessLoader* loader_ = nullptr;
   hil::UartTransmit* tx_;
   hil::UartReceive* rx_;
   OptionalCell<SubSliceMut> tx_buffer_;

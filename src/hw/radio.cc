@@ -78,12 +78,39 @@ void Radio::StartTx(uint32_t len) {
 
 void Radio::Enqueue(RadioFrame frame) {
   std::lock_guard<std::mutex> lock(inbox_mutex_);
+  // The duplicate copy counts once as a duplication; corruption/reordering of
+  // the original frame are tallied on the original only, so each injected fault
+  // event increments exactly one counter cell.
+  if ((frame.fault_bits & kFaultDuplicated) != 0) {
+    ++fault_counters_.duplicated;
+  } else {
+    if ((frame.fault_bits & kFaultCorrupted) != 0) {
+      ++fault_counters_.corrupted;
+    }
+    if ((frame.fault_bits & kFaultReordered) != 0) {
+      ++fault_counters_.reordered;
+    }
+  }
   inbox_.push_back(std::move(frame));
+}
+
+void Radio::CountDroppedFrame() {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  ++fault_counters_.dropped;
+}
+
+LinkFaultCounters Radio::fault_counters() {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  return fault_counters_;
 }
 
 namespace {
 bool FrameOrder(const RadioFrame& a, const RadioFrame& b) {
-  return std::tie(a.deliver_at, a.sender, a.seq) < std::tie(b.deliver_at, b.sender, b.seq);
+  // fault_bits breaks the tie between a frame and its duplicate when the
+  // configured duplicate delay collapses to zero — the order must never fall to
+  // std::sort's whim.
+  return std::tie(a.deliver_at, a.sender, a.seq, a.fault_bits) <
+         std::tie(b.deliver_at, b.sender, b.seq, b.fault_bits);
 }
 }  // namespace
 
@@ -122,14 +149,15 @@ void Radio::DeliverPending() {
   size_t consumed = 0;
   while (consumed < pending_.size() && pending_[consumed].deliver_at <= now) {
     const RadioFrame& frame = pending_[consumed];
-    Deliver(frame.src, frame.dst, frame.payload);
+    Deliver(frame.src, frame.dst, frame.payload, frame.fault_bits);
     ++consumed;
   }
   pending_.erase(pending_.begin(), pending_.begin() + static_cast<long>(consumed));
   ArmDelivery();
 }
 
-void Radio::Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payload) {
+void Radio::Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payload,
+                    uint8_t fault_bits) {
   if (!ctrl_.IsSet(RadioRegs::Ctrl::kEnable) || !ctrl_.IsSet(RadioRegs::Ctrl::kRxEnable)) {
     return;  // radio off: packet lost, as on air
   }
@@ -155,7 +183,7 @@ void Radio::Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payl
         sum = sum * 31 + payload[i];
       }
       delivery_log_.push_back(
-          RadioDeliveryRecord{clock_->Now(), src, dst, len, sum, /*overrun=*/true});
+          RadioDeliveryRecord{clock_->Now(), src, dst, len, sum, fault_bits, /*overrun=*/true});
     }
     return;
   }
@@ -169,10 +197,36 @@ void Radio::Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payl
       sum = sum * 31 + payload[i];
     }
     delivery_log_.push_back(
-        RadioDeliveryRecord{clock_->Now(), src, dst, len, sum, /*overrun=*/false});
+        RadioDeliveryRecord{clock_->Now(), src, dst, len, sum, fault_bits, /*overrun=*/false});
   }
   irq_.Raise();
 }
+
+namespace {
+
+// SplitMix64 finalizer: the per-link fault source. Chained over (seed, sender,
+// receiver, seq, draw index) it gives each fault decision an independent,
+// uniformly distributed 64-bit draw that is a pure function of frame identity —
+// no shared RNG state, so sender threads never race and replays are exact.
+uint64_t MixFault(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t FaultDraw(const LinkFaultConfig& faults, uint32_t sender, uint32_t receiver,
+                   uint64_t seq, uint32_t draw) {
+  uint64_t h = MixFault(faults.seed ^ 0x4F54414C494E4Bull);  // "OTALINK"
+  h = MixFault(h ^ sender);
+  h = MixFault(h ^ receiver);
+  h = MixFault(h ^ seq);
+  return MixFault(h ^ draw);
+}
+
+bool FaultHits(uint64_t draw, uint32_t permille) { return draw % 1000 < permille; }
+
+}  // namespace
 
 void RadioMedium::Transmit(Radio* sender, uint16_t src, uint16_t dst,
                            std::vector<uint8_t> payload) {
@@ -184,11 +238,43 @@ void RadioMedium::Transmit(Radio* sender, uint16_t src, uint16_t dst,
   uint64_t latency = CycleCosts::kRadioCyclesPerByte * (payload.size() + 8);
   uint64_t deliver_at = sender->clock()->Now() + latency;
   uint64_t seq = sender->packets_sent();
+  const uint32_t sender_idx = sender->attach_index();
+  const bool faulty = faults_.Enabled();
   for (Radio* r : radios_) {
     if (r == sender) {
       continue;
     }
-    r->Enqueue(RadioFrame{deliver_at, sender->attach_index(), seq, src, dst, payload});
+    RadioFrame frame{deliver_at, sender_idx, seq, src, dst, /*fault_bits=*/0, payload};
+    bool duplicate = false;
+    if (faulty) {
+      const uint32_t recv_idx = r->attach_index();
+      if (FaultHits(FaultDraw(faults_, sender_idx, recv_idx, seq, 0), faults_.drop_permille)) {
+        r->CountDroppedFrame();
+        continue;
+      }
+      uint64_t corrupt_draw = FaultDraw(faults_, sender_idx, recv_idx, seq, 1);
+      if (!payload.empty() && FaultHits(corrupt_draw, faults_.corrupt_permille)) {
+        // Flip one seeded bit in this receiver's private copy of the payload.
+        uint64_t bit = (corrupt_draw / 1000) % (frame.payload.size() * 8);
+        frame.payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        frame.fault_bits |= kFaultCorrupted;
+      }
+      if (FaultHits(FaultDraw(faults_, sender_idx, recv_idx, seq, 2), faults_.reorder_permille)) {
+        // Push the arrival back far enough to land behind later transmissions.
+        // Delay only ever increases, so the lookahead bound stays valid.
+        frame.deliver_at += faults_.reorder_delay;
+        frame.fault_bits |= kFaultReordered;
+      }
+      duplicate =
+          FaultHits(FaultDraw(faults_, sender_idx, recv_idx, seq, 3), faults_.duplicate_permille);
+    }
+    if (duplicate) {
+      RadioFrame copy = frame;
+      copy.deliver_at += faults_.duplicate_delay;
+      copy.fault_bits |= kFaultDuplicated;
+      r->Enqueue(std::move(copy));
+    }
+    r->Enqueue(std::move(frame));
     if (mode_ == Mode::kImmediate) {
       r->PumpInbox();
     }

@@ -55,6 +55,44 @@ struct RadioRegs {
   };
 };
 
+// Fault-injection marks carried by a frame (and surfaced in the delivery log so
+// determinism tests can assert fault injection itself is reproducible).
+inline constexpr uint8_t kFaultCorrupted = 0x01;   // a payload bit was flipped
+inline constexpr uint8_t kFaultReordered = 0x02;   // arrival delayed past later frames
+inline constexpr uint8_t kFaultDuplicated = 0x04;  // this frame is the extra copy
+
+// Per-link fault model, drawn per (sender, receiver, seq) from a counter-mode
+// hash of the seed — a pure function of frame identity, so the exact same frames
+// are dropped/duplicated/reordered/corrupted regardless of host thread count,
+// stepping slice, or board step order. Faults only ever ADD latency (reorder and
+// duplicate delays are positive), so the medium's lookahead bound — the minimum
+// on-air latency — still holds and the epoch-stepping determinism argument is
+// untouched.
+struct LinkFaultConfig {
+  uint64_t seed = 0;
+  uint32_t drop_permille = 0;       // frame silently lost (per receiver)
+  uint32_t duplicate_permille = 0;  // second copy arrives duplicate_delay later
+  uint32_t reorder_permille = 0;    // arrival pushed back by reorder_delay
+  uint32_t corrupt_permille = 0;    // one payload bit flipped (position seeded too)
+  uint64_t reorder_delay = CycleCosts::kRadioCyclesPerByte * 9 * 3;
+  uint64_t duplicate_delay = CycleCosts::kRadioCyclesPerByte * 9;
+
+  bool Enabled() const {
+    return (drop_permille | duplicate_permille | reorder_permille | corrupt_permille) != 0;
+  }
+};
+
+// Receiver-side tally of injected link faults, guarded by the radio's inbox
+// mutex (fault draws happen on the sender's thread).
+struct LinkFaultCounters {
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t corrupted = 0;
+
+  bool operator==(const LinkFaultCounters&) const = default;
+};
+
 // A packet in flight: the absolute arrival cycle on the shared timeline plus a
 // (sender, sequence) key that totally orders same-cycle arrivals no matter which
 // host thread enqueued them first.
@@ -64,6 +102,7 @@ struct RadioFrame {
   uint64_t seq = 0;     // sender-local packet sequence number
   uint16_t src = 0;
   uint16_t dst = 0;
+  uint8_t fault_bits = 0;  // kFault* marks applied by the medium's fault layer
   std::vector<uint8_t> payload;
 };
 
@@ -76,6 +115,7 @@ struct RadioDeliveryRecord {
   uint16_t dst = 0;
   uint32_t len = 0;
   uint32_t payload_sum = 0;  // order-sensitive checksum of the payload bytes
+  uint8_t fault_bits = 0;    // kFault* marks the medium stamped on the frame
   bool overrun = false;
 
   bool operator==(const RadioDeliveryRecord&) const = default;
@@ -94,7 +134,8 @@ class Radio : public MmioDevice {
   // Medium side: delivers a packet addressed to this node (or broadcast) right
   // now. Drops it (counting an overrun) if an unconsumed frame still occupies the
   // RX buffer.
-  void Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payload);
+  void Deliver(uint16_t src, uint16_t dst, const std::vector<uint8_t>& payload,
+               uint8_t fault_bits = 0);
 
   // Medium side: enqueues a frame into the inbound mailbox. The only radio entry
   // point that may be called from a foreign (sender-board) thread.
@@ -118,6 +159,12 @@ class Radio : public MmioDevice {
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_received() const { return packets_received_; }
   uint64_t rx_overruns() const { return rx_overruns_; }
+
+  // Medium side: records a frame the fault layer dropped on this link. May be
+  // called from a foreign (sender-board) thread, like Enqueue.
+  void CountDroppedFrame();
+  // Snapshot of the injected-fault tally for this receiver.
+  LinkFaultCounters fault_counters();
 
   // Delivery logging for determinism tests; off by default (fleet soaks would
   // otherwise accumulate unbounded host memory).
@@ -150,9 +197,12 @@ class Radio : public MmioDevice {
   uint64_t rx_overruns_ = 0;
 
   // Inbound mailbox: written by sender threads under the mutex, drained by the
-  // owning thread. Everything below it is owner-thread-only.
+  // owning thread. fault_counters_ is also written by sender threads (the fault
+  // draws happen at transmit time) and so lives under the same mutex. Everything
+  // below them is owner-thread-only.
   std::mutex inbox_mutex_;
   std::vector<RadioFrame> inbox_;
+  LinkFaultCounters fault_counters_;
   std::vector<RadioFrame> pending_;   // sorted by (deliver_at, sender, seq)
   uint64_t armed_at_ = UINT64_MAX;    // earliest outstanding delivery event
 
@@ -191,11 +241,19 @@ class RadioMedium {
   Mode mode() const { return mode_; }
   size_t attached_count() const { return radios_.size(); }
 
+  // Installs (or clears, with a default-constructed config) the per-link fault
+  // model. Call before traffic starts; the draws are keyed off each frame's
+  // (sender, receiver, seq) identity, so installing the same config reproduces
+  // the same faults in any execution.
+  void SetLinkFaults(const LinkFaultConfig& faults) { faults_ = faults; }
+  const LinkFaultConfig& link_faults() const { return faults_; }
+
   // Broadcasts from `sender` to every other attached radio.
   void Transmit(Radio* sender, uint16_t src, uint16_t dst, std::vector<uint8_t> payload);
 
  private:
   Mode mode_ = Mode::kImmediate;
+  LinkFaultConfig faults_;
   std::vector<Radio*> radios_;
 };
 

@@ -129,6 +129,14 @@ Result<void> ProcessLoader::LoadOneAsync(uint32_t flash_addr) {
   if (state_ == State::kScanning || state_ == State::kVerifying) {
     return Result<void>(ErrorCode::kBusy);
   }
+  // Retrying a failed slot: drop the stale failure record(s) for this address so
+  // the ledger holds one row per slot, not one per attempt. Records of *created*
+  // processes are live state and are never cleared this way.
+  for (size_t i = records_.size(); i-- > 0;) {
+    if (records_[i].flash_addr == flash_addr && !records_[i].created) {
+      records_.erase(records_.begin() + static_cast<long>(i));
+    }
+  }
   Result<void> keyed = digester_->SetHmacKey(SubSlice(device_key_, sizeof(device_key_)));
   if (!keyed.ok()) {
     return keyed;
@@ -138,6 +146,15 @@ Result<void> ProcessLoader::LoadOneAsync(uint32_t flash_addr) {
   state_ = State::kScanning;
   ProcessCurrentCandidate();
   return Result<void>::Ok();
+}
+
+const ProcessLoader::LoadRecord* ProcessLoader::RecordFor(uint32_t flash_addr) const {
+  for (size_t i = records_.size(); i-- > 0;) {
+    if (records_[i].flash_addr == flash_addr) {
+      return &records_[i];
+    }
+  }
+  return nullptr;
 }
 
 void ProcessLoader::ProcessCurrentCandidate() {

@@ -83,7 +83,11 @@ class ProcessLoader {
   Result<void> StartAsyncLoad();
 
   // Dynamically loads (and verifies) a single image that was placed at `flash_addr`
-  // at runtime — §3.4's "major benefit".
+  // at runtime — §3.4's "major benefit". A slot whose previous attempt *failed* may
+  // be retried: the stale failure record for `flash_addr` is cleared first, so the
+  // ledger reflects the slot's current state instead of accumulating duplicates
+  // (the OTA retry path re-pushes rejected images repeatedly). The cumulative
+  // created/rejected counters still count every attempt.
   Result<void> LoadOneAsync(uint32_t flash_addr);
 
   bool Done() const { return state_ == State::kDone; }
@@ -91,6 +95,8 @@ class ProcessLoader {
   int created_count() const { return created_count_; }
   int rejected_count() const { return rejected_count_; }
   const std::vector<LoadRecord>& records() const { return records_; }
+  // Most recent record for the image at `flash_addr`, or nullptr.
+  const LoadRecord* RecordFor(uint32_t flash_addr) const;
 
  private:
   bool ReadHeader(uint32_t flash_addr, TbfHeader* out) const;

@@ -135,30 +135,30 @@ void AppInstaller::SetDeviceKey(const uint8_t key[32]) {
   std::memcpy(device_key_, key, sizeof(device_key_));
 }
 
-uint32_t AppInstaller::Install(const AppSpec& spec) {
-  error_.clear();
+std::vector<uint8_t> BuildAppImage(const AppSpec& spec, uint32_t flash_addr,
+                                   const uint8_t device_key[32], std::string* error) {
   std::string source = spec.source;
   if (spec.include_runtime) {
     source += "\n";
     source += LibTockRuntimeAsm();
   }
 
-  uint32_t code_base = next_addr_ + TbfHeader::kHeaderSize;
+  uint32_t code_base = flash_addr + TbfHeader::kHeaderSize;
   Assembler assembler;
   AssembledImage assembled;
   if (!assembler.Assemble(source, code_base, &assembled)) {
-    error_ = "assembly failed for '" + spec.name + "': " + assembler.error();
-    return 0;
+    *error = "assembly failed for '" + spec.name + "': " + assembler.error();
+    return {};
   }
   auto start = assembled.symbols.find("_start");
   if (start == assembled.symbols.end()) {
-    error_ = "app '" + spec.name + "' does not define _start";
-    return 0;
+    *error = "app '" + spec.name + "' does not define _start";
+    return {};
   }
 
   std::vector<uint8_t> image =
       BuildTbfImage(spec.name, assembled.bytes, start->second - code_base, spec.min_ram,
-                    spec.sign, device_key_);
+                    spec.sign, device_key);
 
   if (!spec.enabled || spec.corrupt_signature) {
     TbfHeader header;
@@ -171,6 +171,15 @@ uint32_t AppInstaller::Install(const AppSpec& spec) {
     if (spec.corrupt_signature && header.IsSigned()) {
       image[TbfHeader::kHeaderSize + header.binary_size] ^= 0x01;
     }
+  }
+  return image;
+}
+
+uint32_t AppInstaller::Install(const AppSpec& spec) {
+  error_.clear();
+  std::vector<uint8_t> image = BuildAppImage(spec, next_addr_, device_key_, &error_);
+  if (image.empty()) {
+    return 0;
   }
 
   if (next_addr_ + image.size() > end_) {

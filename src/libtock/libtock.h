@@ -53,6 +53,16 @@ struct AppSpec {
   bool corrupt_signature = false;  // test hook: flip a bit in the signature
 };
 
+// Assembles `spec` into a (optionally signed) TBF image laid out for `flash_addr`.
+// TBF images are position-dependent — code is assembled against
+// flash_addr + TbfHeader::kHeaderSize — so an image built here runs only when
+// placed at exactly `flash_addr`. Returns an empty vector on failure and sets
+// *error. This is the build step the OTA gateway uses to produce an image for the
+// subscribers' shared staging address; AppInstaller::Install composes it with the
+// flash-programming step.
+std::vector<uint8_t> BuildAppImage(const AppSpec& spec, uint32_t flash_addr,
+                                   const uint8_t device_key[32], std::string* error);
+
 // Installs applications back-to-back into the app flash region of an MCU before (or
 // after, for dynamic-loading experiments) boot.
 class AppInstaller {

@@ -124,6 +124,16 @@ struct Options {
   bool radio = true;
   uint32_t seed = 0xC0FFEE;
   bool restart_wedged = true;
+  // OTA scenario: board 0 becomes a gateway pushing a signed app update to every
+  // other board over the (optionally lossy) medium. --cycles is the soak budget;
+  // exit status reflects convergence, so this doubles as a CI smoke leg.
+  bool ota = false;
+  // Link-fault rates in permille (0..1000), drawn from --fault-seed.
+  uint64_t drop = 0;
+  uint64_t dup = 0;
+  uint64_t reorder = 0;
+  uint64_t corrupt = 0;
+  uint64_t fault_seed = 0x70CC;
 };
 
 bool ParseUint(const char* text, uint64_t* out) {
@@ -157,11 +167,25 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
       opts->radio = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
     } else if (key == "--restart-wedged") {
       opts->restart_wedged = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
+    } else if (key == "--ota") {
+      opts->ota = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
+    } else if (key == "--drop" && ParseUint(value, &n) && n <= 1000) {
+      opts->drop = n;
+    } else if (key == "--dup" && ParseUint(value, &n) && n <= 1000) {
+      opts->dup = n;
+    } else if (key == "--reorder" && ParseUint(value, &n) && n <= 1000) {
+      opts->reorder = n;
+    } else if (key == "--corrupt" && ParseUint(value, &n) && n <= 1000) {
+      opts->corrupt = n;
+    } else if (key == "--fault-seed" && ParseUint(value, &n)) {
+      opts->fault_seed = n;
     } else {
       std::fprintf(stderr,
                    "unknown or malformed flag: %s\n"
                    "usage: fleet [--boards=N] [--threads=N] [--cycles=N] [--slice=N]\n"
-                   "             [--radio=on|off] [--seed=N] [--restart-wedged=on|off]\n",
+                   "             [--radio=on|off] [--seed=N] [--restart-wedged=on|off]\n"
+                   "             [--ota] [--drop=permille] [--dup=permille]\n"
+                   "             [--reorder=permille] [--corrupt=permille] [--fault-seed=N]\n",
                    arg);
       return false;
     }
@@ -181,7 +205,15 @@ int main(int argc, char** argv) {
   fleet_config.threads = opts.threads;
   fleet_config.slice = opts.slice;
   fleet_config.restart_wedged = opts.restart_wedged;
+  fleet_config.link_faults.seed = opts.fault_seed;
+  fleet_config.link_faults.drop_permille = static_cast<uint32_t>(opts.drop);
+  fleet_config.link_faults.duplicate_permille = static_cast<uint32_t>(opts.dup);
+  fleet_config.link_faults.reorder_permille = static_cast<uint32_t>(opts.reorder);
+  fleet_config.link_faults.corrupt_permille = static_cast<uint32_t>(opts.corrupt);
   tock::Fleet fleet(fleet_config);
+  if (opts.ota) {
+    opts.radio = true;  // the update plane is the radio
+  }
 
   // Heterogeneous deployment: rotate the scheduling policy across the fleet. The
   // explicit-policy boards opt out of the TOCK_SCHED_POLICY env override — their
@@ -205,19 +237,27 @@ int main(int argc, char** argv) {
     config.kernel.scheduler.policy = kPolicyRotation[i % 3];
     config.allow_scheduler_env = config.kernel.scheduler.policy ==
                                  tock::SchedulerPolicy::kRoundRobin;
+    if (opts.ota) {
+      config.ota.role = i == 0 ? tock::OtaRole::kGateway : tock::OtaRole::kSubscriber;
+    }
     auto board = std::make_unique<tock::SimBoard>(config);
 
-    tock::AppSpec compute;
-    compute.name = "compute";
-    compute.source = kComputeApp;
-    compute.include_runtime = false;
-    int expected = 1;
-    if (board->installer().Install(compute) == 0) {
-      std::fprintf(stderr, "board %zu: install failed: %s\n", i,
-                   board->installer().error().c_str());
-      return 1;
+    int expected = 0;
+    if (!opts.ota || i != 0) {
+      // Baseline workload; on OTA subscribers these are the apps that keep
+      // running while the update streams in.
+      tock::AppSpec compute;
+      compute.name = "compute";
+      compute.source = kComputeApp;
+      compute.include_runtime = false;
+      expected += 1;
+      if (board->installer().Install(compute) == 0) {
+        std::fprintf(stderr, "board %zu: install failed: %s\n", i,
+                     board->installer().error().c_str());
+        return 1;
+      }
     }
-    if (opts.radio) {
+    if (opts.radio && !opts.ota) {
       tock::AppSpec beacon;
       beacon.name = "beacon";
       beacon.source = BeaconApp(static_cast<int>(i + 1));
@@ -242,14 +282,55 @@ int main(int argc, char** argv) {
   }
   fleet.AlignClocks();
 
+  if (opts.ota) {
+    if (opts.boards < 2) {
+      std::fprintf(stderr, "--ota needs at least 2 boards (gateway + subscriber)\n");
+      return 2;
+    }
+    // All subscribers carry the same baseline apps, so they resolve the same
+    // staging address; the gateway builds the (position-dependent) signed image
+    // for exactly that address.
+    uint32_t staging = boards[1]->ota_staging_addr();
+    tock::AppSpec update;
+    update.name = "update";
+    update.source =
+        "_start:\nloop:\n    li a0, 100000\n    call sleep_ticks\n    j loop\n";
+    update.sign = true;
+    std::string error;
+    std::vector<uint8_t> image =
+        tock::BuildAppImage(update, staging, tock::SimBoard::kDeviceKey, &error);
+    if (image.empty()) {
+      std::fprintf(stderr, "ota image build failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::vector<uint16_t> subscribers;
+    for (size_t i = 1; i < opts.boards; ++i) {
+      subscribers.push_back(static_cast<uint16_t>(i + 1));
+    }
+    boards[0]->ota_gateway().Configure(std::move(image), subscribers);
+    boards[0]->ota_gateway().StartPush();
+  }
+
   auto wall_start = std::chrono::steady_clock::now();
-  fleet.Run(opts.cycles);
+  if (opts.ota) {
+    // --cycles is a budget, not a fixed run length: stop stepping as soon as the
+    // gateway resolved every subscriber so a quick convergence exits quickly.
+    constexpr uint64_t kOtaStep = 1'000'000;
+    uint64_t ran = 0;
+    while (ran < opts.cycles && !boards[0]->ota_gateway().Done()) {
+      uint64_t step = opts.cycles - ran < kOtaStep ? opts.cycles - ran : kOtaStep;
+      fleet.Run(step);
+      ran += step;
+    }
+  } else {
+    fleet.Run(opts.cycles);
+  }
   auto wall_end = std::chrono::steady_clock::now();
   double wall_s =
       std::chrono::duration_cast<std::chrono::duration<double>>(wall_end - wall_start)
           .count();
 
-  std::printf("board  policy      cycles       insns        syscalls  tx     rx     ovr  wedged restarts\n");
+  std::printf("board  policy      cycles       insns        syscalls  tx     rx     ovr  drop   dup  reo  cor  wedged restarts\n");
   for (size_t i = 0; i < fleet.size(); ++i) {
     tock::SimBoard* board = fleet.board(i);
     const tock::KernelStats& stats = board->kernel().stats();
@@ -257,16 +338,22 @@ int main(int argc, char** argv) {
                         stats.syscalls_command + stats.syscalls_rw_allow +
                         stats.syscalls_ro_allow + stats.syscalls_memop +
                         stats.syscalls_exit + stats.syscalls_blocking_command;
-    std::printf("%-6zu %-11s %-12llu %-12llu %-9llu %-6llu %-6llu %-4llu %-6llu %llu\n",
-                i, tock::SchedulerPolicyName(board->kernel().scheduler_policy()),
-                static_cast<unsigned long long>(board->mcu().CyclesNow()),
-                static_cast<unsigned long long>(board->kernel().instructions_retired()),
-                static_cast<unsigned long long>(syscalls),
-                static_cast<unsigned long long>(board->radio_hw().packets_sent()),
-                static_cast<unsigned long long>(board->radio_hw().packets_received()),
-                static_cast<unsigned long long>(board->radio_hw().rx_overruns()),
-                static_cast<unsigned long long>(fleet.health(i).wedge_events),
-                static_cast<unsigned long long>(fleet.health(i).supervised_restarts));
+    tock::LinkFaultCounters faults = board->radio_hw().fault_counters();
+    std::printf(
+        "%-6zu %-11s %-12llu %-12llu %-9llu %-6llu %-6llu %-4llu %-6llu %-4llu %-4llu %-4llu %-6llu %llu\n",
+        i, tock::SchedulerPolicyName(board->kernel().scheduler_policy()),
+        static_cast<unsigned long long>(board->mcu().CyclesNow()),
+        static_cast<unsigned long long>(board->kernel().instructions_retired()),
+        static_cast<unsigned long long>(syscalls),
+        static_cast<unsigned long long>(board->radio_hw().packets_sent()),
+        static_cast<unsigned long long>(board->radio_hw().packets_received()),
+        static_cast<unsigned long long>(board->radio_hw().rx_overruns()),
+        static_cast<unsigned long long>(faults.dropped),
+        static_cast<unsigned long long>(faults.duplicated),
+        static_cast<unsigned long long>(faults.reordered),
+        static_cast<unsigned long long>(faults.corrupted),
+        static_cast<unsigned long long>(fleet.health(i).wedge_events),
+        static_cast<unsigned long long>(fleet.health(i).supervised_restarts));
   }
 
   tock::FleetStats totals = fleet.Stats();
@@ -288,8 +375,47 @@ int main(int argc, char** argv) {
   std::printf("  wedge events     %llu (%llu supervised restarts)\n",
               static_cast<unsigned long long>(totals.wedge_events),
               static_cast<unsigned long long>(totals.supervised_restarts));
+  std::printf("  link faults      %llu dropped, %llu duplicated, %llu reordered, %llu corrupted\n",
+              static_cast<unsigned long long>(totals.frames_dropped),
+              static_cast<unsigned long long>(totals.frames_duplicated),
+              static_cast<unsigned long long>(totals.frames_reordered),
+              static_cast<unsigned long long>(totals.frames_corrupted));
   std::printf("  wall time        %.3f s (%.1f M sim-insn/s aggregate)\n", wall_s,
               wall_s > 0 ? static_cast<double>(totals.instructions) / wall_s / 1e6
                          : 0.0);
+
+  if (opts.ota) {
+    const tock::OtaGatewayStats& gw = boards[0]->ota_gateway().stats();
+    std::printf("\nota: %zu subscribers, loss %llu/%llu/%llu/%llu permille (drop/dup/reorder/corrupt)\n",
+                opts.boards - 1, static_cast<unsigned long long>(opts.drop),
+                static_cast<unsigned long long>(opts.dup),
+                static_cast<unsigned long long>(opts.reorder),
+                static_cast<unsigned long long>(opts.corrupt));
+    std::printf("  frames sent      %llu (%llu retransmits, %llu image re-pushes)\n",
+                static_cast<unsigned long long>(gw.frames_sent),
+                static_cast<unsigned long long>(gw.retransmits),
+                static_cast<unsigned long long>(gw.image_repushes));
+    std::printf("  converged        %llu/%zu (%llu failed)\n",
+                static_cast<unsigned long long>(gw.converged), opts.boards - 1,
+                static_cast<unsigned long long>(gw.failed));
+    size_t running = 0;
+    for (size_t i = 1; i < opts.boards; ++i) {
+      const tock::OtaSubscriberStats& sub = boards[i]->ota_subscriber().stats();
+      std::printf("  board %-3zu %-9s chunks %-4llu crc-drops %-3llu dup %-3llu load attempts %llu\n",
+                  i, boards[i]->ota_subscriber().Converged() ? "converged" : "pending",
+                  static_cast<unsigned long long>(sub.chunks_received),
+                  static_cast<unsigned long long>(sub.chunk_crc_failures),
+                  static_cast<unsigned long long>(sub.duplicate_chunks),
+                  static_cast<unsigned long long>(sub.load_attempts));
+      if (boards[i]->ota_subscriber().Converged()) {
+        ++running;
+      }
+    }
+    if (running != opts.boards - 1) {
+      std::fprintf(stderr, "ota: only %zu/%zu subscribers converged\n", running,
+                   opts.boards - 1);
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,56 @@
+// ERA: 2
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-chunk and
+// whole-image integrity check of the OTA distribution protocol (capsule/ota_*).
+// Table-driven, table built once at static-init time; no dependencies.
+#ifndef TOCK_UTIL_CRC32_H_
+#define TOCK_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tock {
+
+class Crc32 {
+ public:
+  // One-shot CRC over a buffer.
+  static uint32_t Compute(const uint8_t* data, size_t len) {
+    return Finish(Update(kInit, data, len));
+  }
+
+  // Incremental interface for data that arrives in pieces (flash readback loops):
+  //   uint32_t s = Crc32::kInit;
+  //   s = Crc32::Update(s, chunk, n); ...
+  //   uint32_t crc = Crc32::Finish(s);
+  static constexpr uint32_t kInit = 0xFFFFFFFFu;
+
+  static uint32_t Update(uint32_t state, const uint8_t* data, size_t len) {
+    const std::array<uint32_t, 256>& table = Table();
+    for (size_t i = 0; i < len; ++i) {
+      state = table[(state ^ data[i]) & 0xFF] ^ (state >> 8);
+    }
+    return state;
+  }
+
+  static constexpr uint32_t Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+ private:
+  static const std::array<uint32_t, 256>& Table() {
+    static const std::array<uint32_t, 256> table = [] {
+      std::array<uint32_t, 256> t{};
+      for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit) {
+          c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        t[i] = c;
+      }
+      return t;
+    }();
+    return table;
+  }
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_CRC32_H_

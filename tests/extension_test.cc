@@ -242,6 +242,31 @@ TEST(ProcessConsoleShell, UnknownCommandIsReported) {
   EXPECT_NE(board.uart1_hw().output().find("unknown command"), std::string::npos);
 }
 
+TEST(ProcessConsoleShell, LoadsShowsLoaderLedgerWithTypedErrors) {
+  BoardConfig config;
+  config.kernel.loader = LoaderMode::kAsynchronous;
+  SimBoard board(config);
+  AppSpec good;
+  good.name = "good";
+  good.source = "_start:\nspin:\n    li a0, 10000\n    call sleep_ticks\n    j spin\n";
+  good.sign = true;
+  AppSpec evil = good;
+  evil.name = "evil";
+  evil.corrupt_signature = true;
+  ASSERT_NE(board.installer().Install(good), 0u);
+  ASSERT_NE(board.installer().Install(evil), 0u);
+  ASSERT_EQ(board.Boot(), 1);
+
+  board.uart1_hw().InjectRx("loads\n");
+  board.Run(30'000'000);
+  const std::string& out = board.uart1_hw().output();
+  EXPECT_NE(out.find("created 1 rejected 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("good"), std::string::npos) << out;
+  EXPECT_NE(out.find("created verified"), std::string::npos) << out;
+  // The rejected image shows its typed §3.4 stage, straight from LoadErrorName.
+  EXPECT_NE(out.find("authenticity"), std::string::npos) << out;
+}
+
 // ---- Cooperative scheduling (timeslice = 0 disables preemption) ---------------------------
 
 TEST(Scheduling, CooperativeModeLetsAHogStarveNeighbors) {

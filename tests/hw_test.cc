@@ -709,6 +709,180 @@ TEST(RadioHw, SameCycleArrivalsDeliverInAttachOrder) {
   EXPECT_EQ(std::memcmp(kept, "AA", 2), 0);
 }
 
+// ---- Link-fault layer -----------------------------------------------------------------------
+
+// Two-node bench for the medium's seeded fault injection: node 1 transmits
+// unicast frames to node 2; the test controls the LinkFaultConfig and inspects
+// the receiver's buffer, counters, and delivery log.
+struct FaultBench {
+  FaultBench() {
+    a.bus().AttachDevice(MemoryMap::kRadio, &radio_a);
+    b.bus().AttachDevice(MemoryMap::kRadio, &radio_b);
+    medium.Attach(&radio_a);
+    medium.Attach(&radio_b);
+    radio_b.EnableDeliveryLog();
+    uint32_t base = MemoryMap::SlotBase(MemoryMap::kRadio);
+    b.bus().Write(base + RadioRegs::kNodeAddr, 2, 4, Privilege::kPrivileged);
+    b.bus().Write(base + RadioRegs::kCtrl, 0x3, 4, Privilege::kPrivileged);
+    b.bus().Write(base + RadioRegs::kRxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+    b.bus().Write(base + RadioRegs::kRxMaxLen, 64, 4, Privilege::kPrivileged);
+    a.bus().Write(base + RadioRegs::kNodeAddr, 1, 4, Privilege::kPrivileged);
+    a.bus().Write(base + RadioRegs::kCtrl, 0x1, 4, Privilege::kPrivileged);
+    a.bus().Write(base + RadioRegs::kDstAddr, 2, 4, Privilege::kPrivileged);
+    a.bus().Write(base + RadioRegs::kTxAddr, MemoryMap::kRamBase, 4, Privilege::kPrivileged);
+  }
+
+  // Transmits `payload` and advances both clocks through its air time plus any
+  // configured fault delays.
+  void Send(const std::vector<uint8_t>& payload) {
+    uint32_t base = MemoryMap::SlotBase(MemoryMap::kRadio);
+    a.bus().WriteBlock(MemoryMap::kRamBase, payload.data(),
+                       static_cast<uint32_t>(payload.size()));
+    a.bus().Write(base + RadioRegs::kTxLen, static_cast<uint32_t>(payload.size()), 4,
+                  Privilege::kPrivileged);
+    uint64_t air = CycleCosts::kRadioCyclesPerByte * (payload.size() + 8) + 10 +
+                   medium.link_faults().reorder_delay + medium.link_faults().duplicate_delay;
+    a.Tick(air);
+    b.Tick(air);
+  }
+
+  // Consumes the received frame (clears kRxDone) so the next one is accepted.
+  void Consume() {
+    uint32_t base = MemoryMap::SlotBase(MemoryMap::kRadio);
+    b.bus().Write(base + RadioRegs::kIntClr,
+                  RadioRegs::Status::kRxDone.Set().value |
+                      RadioRegs::Status::kRxOverrun.Set().value,
+                  4, Privilege::kPrivileged);
+  }
+
+  Mcu a, b;
+  Radio radio_a{&a.clock(), &a.bus(), InterruptLine(&a.irq(), 8)};
+  Radio radio_b{&b.clock(), &b.bus(), InterruptLine(&b.irq(), 8)};
+  RadioMedium medium;
+};
+
+TEST(RadioFaults, DropAllLosesEveryFrameAndCountsIt) {
+  FaultBench bench;
+  LinkFaultConfig faults;
+  faults.seed = 1;
+  faults.drop_permille = 1000;
+  bench.medium.SetLinkFaults(faults);
+
+  for (int i = 0; i < 5; ++i) {
+    bench.Send({1, 2, 3});
+  }
+  EXPECT_EQ(bench.radio_b.packets_received(), 0u);
+  EXPECT_EQ(bench.radio_b.fault_counters().dropped, 5u);
+  EXPECT_EQ(bench.radio_a.packets_sent(), 5u);  // the sender never knows
+}
+
+TEST(RadioFaults, CorruptFlipsExactlyOneSeededBit) {
+  FaultBench bench;
+  LinkFaultConfig faults;
+  faults.seed = 2;
+  faults.corrupt_permille = 1000;
+  bench.medium.SetLinkFaults(faults);
+
+  std::vector<uint8_t> sent = {0x55, 0xAA, 0x0F, 0xF0, 0x00};
+  bench.Send(sent);
+  ASSERT_EQ(bench.radio_b.packets_received(), 1u);
+  uint8_t got[5];
+  bench.b.bus().ReadBlock(MemoryMap::kRamBase, got, 5);
+  int bits_flipped = 0;
+  for (size_t i = 0; i < sent.size(); ++i) {
+    uint8_t diff = static_cast<uint8_t>(got[i] ^ sent[i]);
+    while (diff != 0) {
+      bits_flipped += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(bits_flipped, 1);
+  EXPECT_EQ(bench.radio_b.fault_counters().corrupted, 1u);
+  ASSERT_EQ(bench.radio_b.delivery_log().size(), 1u);
+  EXPECT_EQ(bench.radio_b.delivery_log()[0].fault_bits, kFaultCorrupted);
+}
+
+TEST(RadioFaults, DuplicateDeliversASecondMarkedCopy) {
+  FaultBench bench;
+  LinkFaultConfig faults;
+  faults.seed = 3;
+  faults.duplicate_permille = 1000;
+  bench.medium.SetLinkFaults(faults);
+
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kRadio);
+  bench.a.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>("dup"), 3);
+  bench.a.bus().Write(base + RadioRegs::kTxLen, 3, 4, Privilege::kPrivileged);
+  // Original arrives after the air time; consume it so the duplicate (one
+  // duplicate_delay later) lands in the freed buffer instead of overrunning.
+  uint64_t air = CycleCosts::kRadioCyclesPerByte * (3 + 8) + 10;
+  bench.a.Tick(air);
+  bench.b.Tick(air);
+  ASSERT_EQ(bench.radio_b.packets_received(), 1u);
+  bench.Consume();
+  bench.a.Tick(faults.duplicate_delay);
+  bench.b.Tick(faults.duplicate_delay);
+
+  EXPECT_EQ(bench.radio_b.packets_received(), 2u);
+  EXPECT_EQ(bench.radio_b.fault_counters().duplicated, 1u);
+  ASSERT_EQ(bench.radio_b.delivery_log().size(), 2u);
+  EXPECT_EQ(bench.radio_b.delivery_log()[0].fault_bits, 0u);
+  EXPECT_EQ(bench.radio_b.delivery_log()[1].fault_bits, kFaultDuplicated);
+  EXPECT_EQ(bench.radio_b.delivery_log()[0].payload_sum,
+            bench.radio_b.delivery_log()[1].payload_sum);
+}
+
+TEST(RadioFaults, ReorderDelaysArrivalPastLaterTraffic) {
+  FaultBench bench;
+  LinkFaultConfig faults;
+  faults.seed = 4;
+  faults.reorder_permille = 1000;
+  bench.medium.SetLinkFaults(faults);
+
+  uint32_t base = MemoryMap::SlotBase(MemoryMap::kRadio);
+  bench.a.bus().WriteBlock(MemoryMap::kRamBase, reinterpret_cast<const uint8_t*>("late"), 4);
+  bench.a.bus().Write(base + RadioRegs::kTxLen, 4, 4, Privilege::kPrivileged);
+  uint64_t air = CycleCosts::kRadioCyclesPerByte * (4 + 8) + 10;
+  bench.a.Tick(air);
+  bench.b.Tick(air);
+  // On-time arrival cycle: nothing yet — the frame was pushed back.
+  EXPECT_EQ(bench.radio_b.packets_received(), 0u);
+  bench.a.Tick(faults.reorder_delay);
+  bench.b.Tick(faults.reorder_delay);
+  EXPECT_EQ(bench.radio_b.packets_received(), 1u);
+  EXPECT_EQ(bench.radio_b.fault_counters().reordered, 1u);
+  ASSERT_EQ(bench.radio_b.delivery_log().size(), 1u);
+  EXPECT_EQ(bench.radio_b.delivery_log()[0].fault_bits, kFaultReordered);
+}
+
+TEST(RadioFaults, SameSeedReproducesIdenticalFaultPattern) {
+  // Two independent benches under the same seed and rates must drop the exact
+  // same frames — the foundation of the fleet determinism guarantee. A third
+  // bench under another seed shows the pattern is seed-driven, not positional.
+  auto run = [](uint64_t seed) {
+    FaultBench bench;
+    LinkFaultConfig faults;
+    faults.seed = seed;
+    faults.drop_permille = 300;
+    bench.medium.SetLinkFaults(faults);
+    std::string pattern;
+    for (int i = 0; i < 40; ++i) {
+      uint64_t before = bench.radio_b.packets_received();
+      bench.Send({static_cast<uint8_t>(i)});
+      pattern += bench.radio_b.packets_received() > before ? 'R' : '.';
+      bench.Consume();
+    }
+    // Statistical sanity: with p=0.3 over 40 frames, both outcomes occur.
+    EXPECT_GT(bench.radio_b.packets_received(), 0u);
+    EXPECT_GT(bench.radio_b.fault_counters().dropped, 0u);
+    return pattern;
+  };
+  std::string first = run(0xFEED);
+  std::string second = run(0xFEED);
+  std::string other = run(0xFACE);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, other);
+}
+
 // ---- SPI -----------------------------------------------------------------------------
 
 class EchoSlave : public SpiSlaveModel {

@@ -218,6 +218,68 @@ TEST(AsyncLoader, RequiresDigestEngineAndKey) {
   EXPECT_FALSE(bare.StartAsyncLoad().ok());
 }
 
+// ---- Retrying a failed slot (the OTA re-push path) ------------------------------------------
+
+TEST(AsyncLoader, RetryAfterRejectionClearsStaleRecord) {
+  // A slot whose image was rejected must be loadable again once better bytes
+  // arrive: LoadOneAsync clears the stale failure record so the ledger keeps one
+  // row per slot, and the retry is judged on the slot's current contents.
+  SimBoard board;
+  ASSERT_EQ(board.Boot(), 0);  // empty flash; the image arrives "over the air"
+  uint32_t addr = SimBoard::kAppFlashBase;
+  AppSpec tampered;
+  tampered.name = "app";
+  tampered.source = kSpinApp;
+  tampered.sign = true;
+  tampered.corrupt_signature = true;
+  {
+    std::string error;
+    std::vector<uint8_t> image = BuildAppImage(tampered, addr, SimBoard::kDeviceKey, &error);
+    ASSERT_FALSE(image.empty()) << error;
+    ASSERT_TRUE(board.mcu().bus().ProgramFlash(addr, image.data(),
+                                               static_cast<uint32_t>(image.size())));
+  }
+
+  // First attempt: rejected at the authenticity stage.
+  ASSERT_TRUE(board.loader().LoadOneAsync(addr).ok());
+  board.Run(10'000'000);
+  ASSERT_TRUE(board.loader().Done());
+  const ProcessLoader::LoadRecord* rec = board.loader().RecordFor(addr);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->created);
+  EXPECT_EQ(rec->error, LoadError::kAuthenticity);
+  size_t after_first = board.loader().records().size();
+
+  // Second attempt against the same bad bytes: the stale record is replaced,
+  // not accumulated.
+  ASSERT_TRUE(board.loader().LoadOneAsync(addr).ok());
+  board.Run(10'000'000);
+  EXPECT_EQ(board.loader().records().size(), after_first);
+  EXPECT_EQ(board.loader().RecordFor(addr)->error, LoadError::kAuthenticity);
+
+  // "Better bytes arrive": reprogram the slot with a correctly signed image.
+  AppSpec good = tampered;
+  good.corrupt_signature = false;
+  std::string error;
+  std::vector<uint8_t> image = BuildAppImage(good, addr, SimBoard::kDeviceKey, &error);
+  ASSERT_FALSE(image.empty()) << error;
+  ASSERT_TRUE(board.mcu().bus().ProgramFlash(addr, image.data(),
+                                             static_cast<uint32_t>(image.size())));
+  ASSERT_TRUE(board.loader().LoadOneAsync(addr).ok());
+  board.Run(10'000'000);
+  rec = board.loader().RecordFor(addr);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->created);
+  EXPECT_TRUE(rec->verified);
+  EXPECT_EQ(board.kernel().NumLiveProcesses(), 1u);
+  // Still one row for the slot: created records replace the failure history.
+  size_t rows = 0;
+  for (const ProcessLoader::LoadRecord& r : board.loader().records()) {
+    rows += r.flash_addr == addr ? 1 : 0;
+  }
+  EXPECT_EQ(rows, 1u);
+}
+
 // ---- Installer diagnostics ----------------------------------------------------------------------
 
 TEST(Installer, ReportsAssemblyErrors) {
