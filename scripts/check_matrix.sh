@@ -6,6 +6,8 @@
 #   decode-off           — TOCK_DECODE_CACHE=OFF (VM predecode cache compiled out;
 #                          the escape-hatch interpreter must be bit-identical)
 #   trace-off-decode-off — both hot-path subsystems compiled out together
+#   telemetry-off        — TOCK_TELEMETRY=OFF (live shm transport compiled out;
+#                          boards must behave identically without it)
 # and, for each preset, sweeps the scheduler dimension: the full suite under the
 # default round-robin policy, then again under the cooperative policy via the
 # TOCK_SCHED_POLICY override (board/sim_board.cc). The cooperative leg excludes
@@ -26,7 +28,7 @@ cd "$(dirname "$0")/.."
 
 COOP_EXCLUDE='KernelTest.InfiniteLoopCannotStarveNeighbor|AsyncLoader\.|LoaderCorruption.BitFlippedSignatureFailsTheAuthenticityStep|FaultPolicy.AppBreakResetsAndPeerGrantsSurviveRestart|Profiler.GoldenChromeTraceTwoApps|^fault_soak$'
 
-for preset in default trace-off decode-off trace-off-decode-off; do
+for preset in default trace-off decode-off trace-off-decode-off telemetry-off; do
   echo "==== preset: $preset, policy: round-robin (default) ===="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
@@ -40,15 +42,25 @@ echo "==== fleet smoke: sharded multi-board run via the CLI driver ===="
 ./build/src/tools/fleet --boards=4 --threads=2 --cycles=200000 >/dev/null
 ./build/src/tools/fleet --boards=4 --threads=1 --cycles=200000 --radio=off >/dev/null
 
+echo "==== telemetry smoke: fleet publishes to shm, tap attaches post-mortem ===="
+# --telemetry-keep leaves the region behind so the tap can attach after the
+# run, exactly like inspecting a crashed fleet. The tap must exit 0 and see
+# every board's event stream.
+TELEM_NAME="tock-matrix-$$"
+./build/src/tools/fleet --boards=4 --threads=2 --cycles=2000000 \
+  --telemetry="$TELEM_NAME" --telemetry-keep >/dev/null
+./build/src/tools/tap --shm="$TELEM_NAME" --max-events=2 >/dev/null
+rm -f "/dev/shm/$TELEM_NAME"
+
 echo "==== OTA smoke: lossy multi-threaded signed-app push must converge ===="
 # Exit code reflects convergence: the driver returns 1 unless every subscriber
 # runs the verified update despite 10% drop + duplication + corruption.
 ./build/src/tools/fleet --ota --boards=9 --threads=4 --cycles=120000000 \
   --drop=100 --dup=20 --corrupt=10 >/dev/null
 
-echo "==== preset: tsan — fleet sharding + radio mailbox + lossy OTA under ThreadSanitizer ===="
+echo "==== preset: tsan — fleet sharding + radio mailbox + lossy OTA + live telemetry under ThreadSanitizer ===="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --preset tsan -R 'Fleet|RadioHw|RadioFaults|Ota' "$@"
+ctest --preset tsan -R 'Fleet|RadioHw|RadioFaults|Ota|Telemetry|SpscRing' "$@"
 
-echo "==== matrix OK (trace on/off x decode-cache on/off, round-robin + cooperative, fleet + OTA + tsan) ===="
+echo "==== matrix OK (trace on/off x decode-cache on/off x telemetry on/off, round-robin + cooperative, fleet + OTA + telemetry + tsan) ===="

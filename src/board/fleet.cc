@@ -48,6 +48,10 @@ void Fleet::StepBoard(size_t i, uint64_t epoch_end) {
   if (board->mcu().CyclesNow() < target) {
     board->mcu().clock().Advance(target - board->mcu().CyclesNow());
   }
+  // Host-side observability only (telemetry snapshot, trace-artifact flush):
+  // runs on the board's owning thread while the board is quiesced, and never
+  // touches simulated state — fleet fingerprints are invariant to it.
+  board->OnEpochBarrier();
 }
 
 void Fleet::Supervise(size_t i) {

@@ -2,12 +2,14 @@
 #include "board/sim_board.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "board/fleet.h"
 
 #include "capsule/driver_nums.h"
 #include "hw/memory_map.h"
+#include "kernel/telemetry.h"
 #include "tools/trace_export.h"
 
 namespace tock {
@@ -175,11 +177,68 @@ SimBoard::SimBoard(const BoardConfig& config)
   if (config_.medium != nullptr) {
     config_.medium->Attach(&radio_hw_);
   }
+
+  // Live telemetry: hand the publisher this kernel and splice it into the
+  // trace hook. Pure observation — the sink never blocks or arms events.
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->AttachKernel(&kernel_);
+    kernel_.SetTelemetrySink(config_.telemetry);
+  }
 }
 
 SimBoard::~SimBoard() {
+  // Final snapshot so taps attached after the run see the end-state counters.
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->PublishSnapshot(mcu_.CyclesNow());
+    kernel_.SetTelemetrySink(nullptr);
+    config_.telemetry->AttachKernel(nullptr);
+  }
   if (!config_.trace_export_path.empty()) {
     WriteChromeTrace(kernel_, config_.trace_export_path);
+  }
+}
+
+void SimBoard::Run(uint64_t cycles) {
+  if (config_.trace_export_flush_cycles == 0) {
+    kernel_.MainLoop(mcu_.CyclesNow() + cycles, main_cap_);
+    return;
+  }
+  // Chunked so the trace artifact on disk is never more than one flush period
+  // stale. Chunk deadlines bound sleep fast-forwards, so a sleep spanning a
+  // boundary records as two kSleep events — documented at the config knob.
+  const uint64_t deadline = mcu_.CyclesNow() + cycles;
+  while (mcu_.CyclesNow() < deadline) {
+    const uint64_t remaining = deadline - mcu_.CyclesNow();
+    const uint64_t chunk = std::min(remaining, config_.trace_export_flush_cycles);
+    const uint64_t chunk_end = mcu_.CyclesNow() + chunk;
+    kernel_.MainLoop(chunk_end, main_cap_);
+    FlushTraceArtifact();
+    if (mcu_.CyclesNow() < chunk_end) {
+      break;  // wedged: MainLoop gave up before the deadline
+    }
+  }
+}
+
+void SimBoard::OnEpochBarrier() {
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->MaybePublishSnapshot(mcu_.CyclesNow());
+  }
+  if (config_.trace_export_flush_cycles != 0 &&
+      mcu_.CyclesNow() >= next_trace_flush_cycle_) {
+    FlushTraceArtifact();
+    next_trace_flush_cycle_ = mcu_.CyclesNow() + config_.trace_export_flush_cycles;
+  }
+}
+
+void SimBoard::FlushTraceArtifact() {
+  if (config_.trace_export_path.empty()) {
+    return;
+  }
+  // Write-complete-then-rename: an observer (or a kill between flushes) always
+  // finds a fully closed JSON document, never a truncated array.
+  const std::string tmp = config_.trace_export_path + ".tmp";
+  if (WriteChromeTrace(kernel_, tmp)) {
+    std::rename(tmp.c_str(), config_.trace_export_path.c_str());
   }
 }
 

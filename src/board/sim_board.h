@@ -52,6 +52,8 @@
 
 namespace tock {
 
+class BoardTelemetry;  // kernel/telemetry.h
+
 // Role a board plays in the OTA signed-app distribution scenario (DESIGN.md §12).
 // Both OTA capsules are always constructed (they are plain members) but stay
 // inert — no client slots stolen, no alarms armed — unless a role is configured.
@@ -84,6 +86,17 @@ struct BoardConfig {
   // (tools/trace_export.h) here at destruction — a run artifact for
   // chrome://tracing / Perfetto. ExportTrace() exports on demand instead.
   std::string trace_export_path;
+  // When nonzero, the trace export is also rewritten (atomically, via a tmp
+  // file + rename) at least every this many simulated cycles while the board
+  // runs, so a killed or wedged run still leaves a valid JSON artifact.
+  // Applies to Run() (which then steps in flush-sized chunks — note a sleep
+  // spanning a chunk boundary records as two kSleep events, so golden-trace
+  // runs leave this 0) and to fleet epoch barriers (which never chunk).
+  uint64_t trace_export_flush_cycles = 0;
+  // Live telemetry publisher for this board (one block of a TelemetryRegion,
+  // kernel/telemetry.h). The board attaches its kernel to it and feeds it from
+  // the trace hook; publishing never perturbs simulated behavior.
+  BoardTelemetry* telemetry = nullptr;
   // OTA distribution role (activated at the end of Boot()).
   OtaBoardConfig ota;
 };
@@ -124,8 +137,18 @@ class SimBoard {
   // state machine driven to completion). Returns processes created.
   int Boot();
 
-  // Runs the kernel main loop for `cycles` of simulated time.
-  void Run(uint64_t cycles) { kernel_.MainLoop(mcu_.CyclesNow() + cycles, main_cap_); }
+  // Runs the kernel main loop for `cycles` of simulated time. With
+  // trace_export_flush_cycles set, runs in flush-sized chunks and rewrites the
+  // trace artifact between chunks; otherwise a single MainLoop call (the
+  // golden-trace path).
+  void Run(uint64_t cycles);
+
+  // Fleet hook, called by Fleet::StepBoard after each epoch slice: publishes a
+  // telemetry snapshot (period-gated) and flushes the trace artifact when due.
+  // Host-side work only — never touches simulated state.
+  void OnEpochBarrier();
+
+  BoardTelemetry* telemetry() { return config_.telemetry; }
 
   // --- Introspection for tests, examples, experiments ---
   Mcu& mcu() { return mcu_; }
@@ -237,6 +260,11 @@ class SimBoard {
   OtaGateway ota_gateway_;
   OtaSubscriber ota_subscriber_;
   uint32_t ota_staging_addr_ = 0;
+
+  // Rewrites the trace artifact via tmp + rename so an observer never reads a
+  // half-written file. No-op when trace_export_path is empty.
+  void FlushTraceArtifact();
+  uint64_t next_trace_flush_cycle_ = 0;
 };
 
 // A set of boards stepped in bounded slices against a shared radio medium — the

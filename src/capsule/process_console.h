@@ -136,7 +136,8 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
       std::snprintf(out, sizeof(out),
                     "syscalls %llu  ctxsw %llu  mpu %llu  irq %llu  deferred %llu\n"
                     "upcalls q %llu d %llu s %llu x %llu  grants %llu/%lluB\n"
-                    "sleep %llu cycles in %llu entries\n",
+                    "sleep %llu cycles in %llu entries\n"
+                    "telemetry %llu emitted %llu dropped %llu suppressed\n",
                     (unsigned long long)s.SyscallsTotal(),
                     (unsigned long long)s.context_switches,
                     (unsigned long long)s.mpu_reprograms,
@@ -148,7 +149,10 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
                     (unsigned long long)s.upcalls_dropped,
                     (unsigned long long)s.grant_allocs, (unsigned long long)s.grant_bytes,
                     (unsigned long long)s.sleep_cycles,
-                    (unsigned long long)s.sleep_entries);
+                    (unsigned long long)s.sleep_entries,
+                    (unsigned long long)s.telemetry_events_emitted,
+                    (unsigned long long)s.telemetry_events_dropped,
+                    (unsigned long long)s.telemetry_suppressed);
       Emit(out);
       return;
     }

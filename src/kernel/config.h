@@ -28,6 +28,14 @@
 #define TOCK_DECODE_CACHE_ENABLED 1
 #endif
 
+// Compile-time gate for the live telemetry transport (kernel/telemetry.h). When
+// defined to 0 (CMake: -DTOCK_TELEMETRY=OFF) the trace hook carries no sink and
+// the shm publishing layer compiles away, mirroring the TOCK_TRACE idiom.
+// Simulated behavior is identical either way — telemetry is host-side only.
+#ifndef TOCK_TELEMETRY_ENABLED
+#define TOCK_TELEMETRY_ENABLED 1
+#endif
+
 namespace tock {
 
 enum class SyscallAbiVersion {
@@ -105,6 +113,25 @@ struct SchedulerConfig {
   uint64_t mlfq_boost_period_cycles = 1'000'000;
 };
 
+// Knobs for the per-board live telemetry publisher (kernel/telemetry.h). All
+// periods are in *simulated* cycles so publishing decisions are deterministic;
+// publishing itself is pure host-side work and never arms clock events or
+// changes cycle accounting.
+struct TelemetryConfig {
+  // How often (at most) a ProcStats/KernelStats snapshot is published into the
+  // shm region. Snapshots piggyback on trace events and epoch barriers — no
+  // timer is armed for them. 0 = only the final snapshot at board teardown.
+  uint64_t snapshot_period_cycles = 100'000;
+
+  // Storm suppressor (util/rate_limiter.h): at most `storm_burst` events
+  // back-to-back, refilled `storm_tokens_per_interval` per
+  // `storm_interval_cycles` of simulated time. Any knob 0 = unlimited
+  // (the default — suppression is opt-in).
+  uint32_t storm_burst = 0;
+  uint32_t storm_tokens_per_interval = 0;
+  uint64_t storm_interval_cycles = 0;
+};
+
 struct KernelConfig {
   SyscallAbiVersion abi = SyscallAbiVersion::kV2;
   LoaderMode loader = LoaderMode::kSynchronous;
@@ -140,6 +167,14 @@ struct KernelConfig {
   // -DTOCK_DECODE_CACHE=OFF build — the flag cannot resurrect compiled-out code.
   static constexpr bool decode_cache_compiled = TOCK_DECODE_CACHE_ENABLED != 0;
   bool enable_decode_cache = decode_cache_compiled;
+
+  // Whether the live telemetry transport is compiled in (kernel/telemetry.h).
+  // A board still has to attach a sink (BoardConfig::telemetry) for anything to
+  // be published; with the gate off the sink hook itself compiles away.
+  static constexpr bool telemetry_compiled = TOCK_TELEMETRY_ENABLED != 0;
+
+  // Publisher knobs, consumed by the board-attached sink.
+  TelemetryConfig telemetry;
 };
 
 }  // namespace tock

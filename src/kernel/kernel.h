@@ -161,6 +161,9 @@ class Kernel : public FlashWriteObserver {
   Process* process(size_t index) {
     return index < kMaxProcesses ? &processes_[index] : nullptr;
   }
+  const Process* process(size_t index) const {
+    return index < kMaxProcesses ? &processes_[index] : nullptr;
+  }
   Process* GetLiveProcess(ProcessId pid);
   size_t NumLiveProcesses() const;
 
@@ -169,6 +172,9 @@ class Kernel : public FlashWriteObserver {
   // forward into it so existing callers keep working.
   const KernelStats& stats() const { return trace_.stats(); }
   const KernelTrace& trace() const { return trace_; }
+  // Attaches the live telemetry publisher (kernel/telemetry.h) to the trace
+  // hook. Board wiring only; a no-op under -DTOCK_TELEMETRY=OFF.
+  void SetTelemetrySink(TelemetrySink* sink) { trace_.SetTelemetrySink(sink); }
   // The active scheduling policy and the scheduler itself (tests assert
   // policy-specific internals, e.g. the MLFQ boost counter).
   SchedulerPolicy scheduler_policy() const { return scheduler_->policy(); }

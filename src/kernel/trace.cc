@@ -59,6 +59,9 @@ void KernelStats::Accumulate(const KernelStats& other) {
   process_faults += other.process_faults;
   process_restarts += other.process_restarts;
   process_exits += other.process_exits;
+  telemetry_events_emitted += other.telemetry_events_emitted;
+  telemetry_events_dropped += other.telemetry_events_dropped;
+  telemetry_suppressed += other.telemetry_suppressed;
 }
 
 uint64_t StatValue(const KernelStats& stats, StatId id) {
@@ -119,6 +122,12 @@ uint64_t StatValue(const KernelStats& stats, StatId id) {
       return stats.grant_bytes_freed;
     case StatId::kSleepArgSaturations:
       return stats.sleep_arg_saturations;
+    case StatId::kTelemetryEventsEmitted:
+      return stats.telemetry_events_emitted;
+    case StatId::kTelemetryEventsDropped:
+      return stats.telemetry_events_dropped;
+    case StatId::kTelemetrySuppressed:
+      return stats.telemetry_suppressed;
     case StatId::kNumStats:
       break;
   }
@@ -183,10 +192,27 @@ const char* StatName(StatId id) {
       return "grants.bytes_freed";
     case StatId::kSleepArgSaturations:
       return "sleep.arg_saturations";
+    case StatId::kTelemetryEventsEmitted:
+      return "telemetry.events_emitted";
+    case StatId::kTelemetryEventsDropped:
+      return "telemetry.events_dropped";
+    case StatId::kTelemetrySuppressed:
+      return "telemetry.suppressed";
     case StatId::kNumStats:
       break;
   }
   return "?";
+}
+
+bool StatIsTelemetryTransport(StatId id) {
+  switch (id) {
+    case StatId::kTelemetryEventsEmitted:
+    case StatId::kTelemetryEventsDropped:
+    case StatId::kTelemetrySuppressed:
+      return true;
+    default:
+      return false;
+  }
 }
 
 uint32_t FaultCauseArg(const VmFault& fault) {
@@ -342,6 +368,10 @@ void KernelTrace::DumpStats(std::string& out) const {
   out += "==== kernel stats ====\n";
   for (uint32_t i = 0; i < static_cast<uint32_t>(StatId::kNumStats); ++i) {
     StatId id = static_cast<StatId>(i);
+    if (StatIsTelemetryTransport(id)) {
+      continue;  // host-side transport bookkeeping; keeps the dump golden-
+                 // identical whether or not a board publishes telemetry
+    }
     std::snprintf(line, sizeof(line), "%-26s %" PRIu64 "\n", StatName(id),
                   StatValue(stats_, id));
     out += line;

@@ -83,6 +83,17 @@ struct KernelStats {
   uint64_t process_restarts = 0;
   uint64_t process_exits = 0;
 
+  // Live telemetry transport (kernel/telemetry.h): records offered to the
+  // per-board shm ring (emitted), overwritten in the ring before any reader
+  // could still reach them (dropped — writer-side, exact), and rejected by the
+  // storm suppressor (suppressed). Transport bookkeeping, not kernel events:
+  // excluded from DumpStats and the exporter sidecar so golden traces and
+  // fleet fingerprints are bit-identical with telemetry on or off
+  // (StatIsTelemetryTransport); read them via StatValue / the stats syscall.
+  uint64_t telemetry_events_emitted = 0;
+  uint64_t telemetry_events_dropped = 0;
+  uint64_t telemetry_suppressed = 0;
+
   uint64_t SyscallsTotal() const {
     return syscalls_yield + syscalls_subscribe + syscalls_command + syscalls_rw_allow +
            syscalls_ro_allow + syscalls_memop + syscalls_exit + syscalls_blocking_command +
@@ -127,12 +138,22 @@ enum class StatId : uint32_t {
   kGrantFrees = 25,
   kGrantBytesFreed = 26,
   kSleepArgSaturations = 27,
-  kNumStats = 28,
+  kTelemetryEventsEmitted = 28,
+  kTelemetryEventsDropped = 29,
+  kTelemetrySuppressed = 30,
+  kNumStats = 31,
 };
 
 // Returns the counter for `id`, or 0 for an out-of-range id.
 uint64_t StatValue(const KernelStats& stats, StatId id);
 const char* StatName(StatId id);
+
+// True for the transport-bookkeeping counters (telemetry_*): they count host-
+// side publishing work, not simulated kernel events, so the golden-locked text
+// dump and the exporter's tockStats sidecar skip them — attaching a tap must
+// not change a byte of any golden artifact. They remain readable through the
+// stats syscall (append-only StatIds) and the fleet aggregate table.
+bool StatIsTelemetryTransport(StatId id);
 
 // One recorded kernel event. `pid` is the process slot the event concerns (0xFF =
 // none/kernel); `arg` is event-specific (syscall class, IRQ line, grant size, ...).
@@ -170,6 +191,18 @@ struct TraceEvent {
   uint32_t arg = 0;
 };
 
+// Where trace events go when a board opts into live telemetry
+// (kernel/telemetry.h implements this over a lossy shm ring). The sink is
+// handed the kernel's own stats block so its transport counters
+// (telemetry_events_*) accumulate alongside the kernel counters and roll up
+// through KernelStats::Accumulate into FleetStats. Implementations must never
+// block and must not touch simulated state — they observe, only.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void OnTraceEvent(const TraceEvent& event, KernelStats& stats) = 0;
+};
+
 // The kernel-owned recorder. The kernel calls the record methods from its dispatch
 // points, passing the current cycle; everything is an increment plus a ring store.
 class KernelTrace {
@@ -177,6 +210,15 @@ class KernelTrace {
   static constexpr size_t kTraceDepth = 256;
   static constexpr uint8_t kNoPid = 0xFF;
   static constexpr bool kEnabled = KernelConfig::trace_enabled;
+  static constexpr bool kTelemetryCompiled = KernelConfig::telemetry_compiled;
+
+  // Attaches (or detaches, with nullptr) the live telemetry sink. Board-side
+  // wiring only; with -DTOCK_TELEMETRY=OFF the pointer is never consulted.
+  void SetTelemetrySink(TelemetrySink* sink) {
+    if constexpr (kTelemetryCompiled) {
+      telemetry_ = sink;
+    }
+  }
 
   const KernelStats& stats() const { return stats_; }
   const EventRing<TraceEvent, kTraceDepth>& events() const { return ring_; }
@@ -424,7 +466,13 @@ class KernelTrace {
   };
 
   void Push(uint64_t cycle, TraceEventKind kind, uint8_t pid, uint32_t arg) {
-    ring_.Push(TraceEvent{cycle, kind, pid, arg});
+    const TraceEvent event{cycle, kind, pid, arg};
+    ring_.Push(event);
+    if constexpr (kTelemetryCompiled) {
+      if (telemetry_ != nullptr) {
+        telemetry_->OnTraceEvent(event, stats_);
+      }
+    }
   }
 
   KernelStats stats_;
@@ -439,6 +487,7 @@ class KernelTrace {
   std::array<uint64_t, CycleAccounting::kMaxProcs> ctxsw_per_proc_{};
   std::array<PendingCommand, CycleAccounting::kMaxProcs> pending_cmd_{};
   uint64_t irq_origin_cycle_ = 0;
+  TelemetrySink* telemetry_ = nullptr;
 };
 
 // Dumps one histogram as a single line: summary stats plus the nonzero buckets.

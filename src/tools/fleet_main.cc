@@ -18,6 +18,7 @@
 
 #include "board/fleet.h"
 #include "board/sim_board.h"
+#include "kernel/telemetry.h"
 
 namespace {
 
@@ -134,6 +135,13 @@ struct Options {
   uint64_t reorder = 0;
   uint64_t corrupt = 0;
   uint64_t fault_seed = 0x70CC;
+  // Live telemetry (kernel/telemetry.h): publish per-board event rings and
+  // stats snapshots into this shm region so `tap --shm=<name>` can watch the
+  // run from another process. Zero-perturbation: results are bit-identical
+  // with or without it.
+  std::string telemetry;        // shm name (or path); empty = off
+  uint64_t telemetry_cap = 4096;  // ring capacity per board (power of two)
+  bool telemetry_keep = false;  // leave the region file behind after the run
 };
 
 bool ParseUint(const char* text, uint64_t* out) {
@@ -179,13 +187,23 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
       opts->corrupt = n;
     } else if (key == "--fault-seed" && ParseUint(value, &n)) {
       opts->fault_seed = n;
+    } else if (key == "--telemetry") {
+      opts->telemetry = value;
+    } else if (key == "--telemetry-cap" && ParseUint(value, &n) && n > 0 &&
+               (n & (n - 1)) == 0) {
+      opts->telemetry_cap = n;
+    } else if (key == "--telemetry-keep") {
+      opts->telemetry_keep =
+          std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
     } else {
       std::fprintf(stderr,
                    "unknown or malformed flag: %s\n"
                    "usage: fleet [--boards=N] [--threads=N] [--cycles=N] [--slice=N]\n"
                    "             [--radio=on|off] [--seed=N] [--restart-wedged=on|off]\n"
                    "             [--ota] [--drop=permille] [--dup=permille]\n"
-                   "             [--reorder=permille] [--corrupt=permille] [--fault-seed=N]\n",
+                   "             [--reorder=permille] [--corrupt=permille] [--fault-seed=N]\n"
+                   "             [--telemetry=<shm name>] [--telemetry-cap=pow2]\n"
+                   "             [--telemetry-keep]\n",
                    arg);
       return false;
     }
@@ -215,6 +233,28 @@ int main(int argc, char** argv) {
     opts.radio = true;  // the update plane is the radio
   }
 
+  // Telemetry region: one block per board, created before the boards so each
+  // BoardConfig can point at its publisher. Outlives the boards (destroyed
+  // after them), which is the order the final-snapshot teardown needs.
+  tock::TelemetryRegion telemetry_region;
+  if (!opts.telemetry.empty()) {
+    tock::TelemetryRegion::Options region_opts;
+    region_opts.name = opts.telemetry;
+    region_opts.board_count = opts.boards;
+    region_opts.ring_capacity = opts.telemetry_cap;
+    std::string error;
+    if (!telemetry_region.Create(region_opts, tock::TelemetryConfig{}, &error)) {
+      std::fprintf(stderr, "telemetry: cannot create region %s: %s\n",
+                   opts.telemetry.c_str(), error.c_str());
+      return 2;
+    }
+    if (opts.telemetry_keep) {
+      telemetry_region.KeepOnClose();
+    }
+    std::printf("telemetry: publishing to %s (attach: tap --shm=%s --follow)\n",
+                telemetry_region.path().c_str(), opts.telemetry.c_str());
+  }
+
   // Heterogeneous deployment: rotate the scheduling policy across the fleet. The
   // explicit-policy boards opt out of the TOCK_SCHED_POLICY env override — their
   // policy is a deliberate per-board choice, not a default the test matrix may
@@ -239,6 +279,9 @@ int main(int argc, char** argv) {
                                  tock::SchedulerPolicy::kRoundRobin;
     if (opts.ota) {
       config.ota.role = i == 0 ? tock::OtaRole::kGateway : tock::OtaRole::kSubscriber;
+    }
+    if (!opts.telemetry.empty()) {
+      config.telemetry = telemetry_region.board(i);
     }
     auto board = std::make_unique<tock::SimBoard>(config);
 
@@ -380,6 +423,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(totals.frames_duplicated),
               static_cast<unsigned long long>(totals.frames_reordered),
               static_cast<unsigned long long>(totals.frames_corrupted));
+  if (!opts.telemetry.empty()) {
+    std::printf("  telemetry        %llu emitted, %llu dropped, %llu suppressed\n",
+                static_cast<unsigned long long>(
+                    totals.aggregate.telemetry_events_emitted),
+                static_cast<unsigned long long>(
+                    totals.aggregate.telemetry_events_dropped),
+                static_cast<unsigned long long>(
+                    totals.aggregate.telemetry_suppressed));
+  }
   std::printf("  wall time        %.3f s (%.1f M sim-insn/s aggregate)\n", wall_s,
               wall_s > 0 ? static_cast<double>(totals.instructions) / wall_s / 1e6
                          : 0.0);

@@ -158,10 +158,21 @@ std::string ExportChromeTrace(Kernel& kernel) {
   // Non-standard sidecar (Chrome ignores unknown top-level keys): the aggregate
   // counters and latency histograms, for scripted consumers of the same file.
   out += "\"tockStats\":{\n";
+  // Transport-bookkeeping counters (telemetry_*) are skipped: the sidecar is
+  // golden-locked, and attaching a tap must not change a byte of the artifact.
+  uint32_t last_emitted = 0;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(StatId::kNumStats); ++i) {
+    if (!StatIsTelemetryTransport(static_cast<StatId>(i))) {
+      last_emitted = i;
+    }
+  }
   for (uint32_t i = 0; i < static_cast<uint32_t>(StatId::kNumStats); ++i) {
     StatId id = static_cast<StatId>(i);
+    if (StatIsTelemetryTransport(id)) {
+      continue;
+    }
     Append(out, "  \"%s\":%" PRIu64 "%s\n", StatName(id), StatValue(stats, id),
-           i + 1 < static_cast<uint32_t>(StatId::kNumStats) ? "," : "");
+           i < last_emitted ? "," : "");
   }
   out += "},\n\"tockHists\":{\n";
   AppendHist(out, "syscall", trace.syscall_hist(), false);

@@ -1,0 +1,93 @@
+// ERA: 8
+// Deterministic token-bucket rate limiter, driven by *simulated* cycles.
+//
+// Guards the telemetry ring against IRQ-storm event floods: a wedged driver
+// re-arming an interrupt every few cycles would otherwise evict every useful
+// record from the ring before a tap could read it. Because refill is computed
+// from the simulated clock (never wall time), admission decisions are a pure
+// function of the event cycle sequence — the same run admits and suppresses
+// the same events regardless of host speed, thread count, or attached
+// readers, which is what lets tests reconcile the suppressed count exactly.
+#ifndef TOCK_UTIL_RATE_LIMITER_H_
+#define TOCK_UTIL_RATE_LIMITER_H_
+
+#include <cstdint>
+
+namespace tock {
+
+class RateLimiter {
+ public:
+  struct Config {
+    // Bucket depth: how many events may burst back-to-back.
+    uint32_t burst = 0;
+    // Refill rate: `tokens_per_interval` tokens every `interval_cycles`
+    // simulated cycles. interval_cycles == 0 disables limiting entirely
+    // (every event admitted) — the default, so telemetry users opt in.
+    uint32_t tokens_per_interval = 0;
+    uint64_t interval_cycles = 0;
+  };
+
+  RateLimiter() = default;
+  explicit RateLimiter(const Config& config) { Configure(config); }
+
+  void Configure(const Config& config) {
+    config_ = config;
+    tokens_ = config.burst;
+    primed_ = false;
+    admitted_ = 0;
+    suppressed_ = 0;
+  }
+
+  bool unlimited() const {
+    return config_.interval_cycles == 0 || config_.tokens_per_interval == 0 ||
+           config_.burst == 0;
+  }
+
+  // Returns true if the event at simulated time `cycle` is admitted.
+  // `cycle` must be non-decreasing across calls (simulated time is).
+  bool Admit(uint64_t cycle) {
+    if (unlimited()) {
+      ++admitted_;
+      return true;
+    }
+    if (!primed_) {
+      // The bucket starts full at the first event; refill intervals are
+      // anchored to that cycle so the schedule is run-deterministic.
+      primed_ = true;
+      last_refill_cycle_ = cycle;
+    } else if (cycle > last_refill_cycle_) {
+      const uint64_t intervals =
+          (cycle - last_refill_cycle_) / config_.interval_cycles;
+      if (intervals > 0) {
+        const uint64_t refill = intervals * config_.tokens_per_interval;
+        tokens_ = refill >= config_.burst - tokens_
+                      ? config_.burst
+                      : tokens_ + static_cast<uint32_t>(refill);
+        last_refill_cycle_ += intervals * config_.interval_cycles;
+      }
+    }
+    if (tokens_ > 0) {
+      --tokens_;
+      ++admitted_;
+      return true;
+    }
+    ++suppressed_;
+    return false;
+  }
+
+  uint64_t admitted() const { return admitted_; }
+  uint64_t suppressed() const { return suppressed_; }
+  uint32_t tokens() const { return tokens_; }
+
+ private:
+  Config config_;
+  uint32_t tokens_ = 0;
+  bool primed_ = false;
+  uint64_t last_refill_cycle_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t suppressed_ = 0;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_RATE_LIMITER_H_

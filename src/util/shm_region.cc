@@ -1,0 +1,125 @@
+// ERA: 8
+#include "util/shm_region.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tock {
+
+namespace {
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+}  // namespace
+
+std::string ShmRegion::ResolvePath(const std::string& name) {
+  if (name.find('/') != std::string::npos) {
+    return name;
+  }
+  return "/dev/shm/" + name;
+}
+
+ShmRegion::~ShmRegion() { Close(); }
+
+void ShmRegion::MoveFrom(ShmRegion& other) noexcept {
+  base_ = std::exchange(other.base_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  fd_ = std::exchange(other.fd_, -1);
+  owner_ = std::exchange(other.owner_, false);
+  path_ = std::move(other.path_);
+  other.path_.clear();
+}
+
+ShmRegion::ShmRegion(ShmRegion&& other) noexcept { MoveFrom(other); }
+
+ShmRegion& ShmRegion::operator=(ShmRegion&& other) noexcept {
+  if (this != &other) {
+    Close();
+    MoveFrom(other);
+  }
+  return *this;
+}
+
+bool ShmRegion::CreateOrReplace(const std::string& name, size_t bytes,
+                                std::string* error) {
+  Close();
+  path_ = ResolvePath(name);
+  // Replace rather than reuse: a stale region from a killed run may have the
+  // wrong geometry, and readers key off the header we are about to write.
+  ::unlink(path_.c_str());
+  int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("open");
+    return false;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    if (error != nullptr) *error = Errno("ftruncate");
+    ::close(fd);
+    ::unlink(path_.c_str());
+    return false;
+  }
+  void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    if (error != nullptr) *error = Errno("mmap");
+    ::close(fd);
+    ::unlink(path_.c_str());
+    return false;
+  }
+  base_ = base;
+  size_ = bytes;
+  fd_ = fd;
+  owner_ = true;
+  return true;
+}
+
+bool ShmRegion::OpenReadOnly(const std::string& name, std::string* error) {
+  Close();
+  path_ = ResolvePath(name);
+  int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("open");
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    if (error != nullptr) *error = Errno("fstat");
+    ::close(fd);
+    return false;
+  }
+  size_t bytes = static_cast<size_t>(st.st_size);
+  void* base = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    if (error != nullptr) *error = Errno("mmap");
+    ::close(fd);
+    return false;
+  }
+  base_ = base;
+  size_ = bytes;
+  fd_ = fd;
+  owner_ = false;
+  return true;
+}
+
+void ShmRegion::Close() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (owner_ && !path_.empty()) {
+    ::unlink(path_.c_str());
+  }
+  owner_ = false;
+  size_ = 0;
+}
+
+}  // namespace tock

@@ -1,0 +1,71 @@
+// ERA: 8
+// Shared-memory region: the mmap substrate under the live-telemetry transport
+// (kernel/telemetry.h). A writer process creates a file-backed mapping in the
+// POSIX shm namespace (/dev/shm) and formats it; any number of reader processes
+// map the same bytes read-only (tools/tap). All cross-process coordination
+// happens through std::atomic words *inside* the mapping — this class only
+// owns the lifecycle (create/size/map/unmap/unlink) and never touches content.
+//
+// Name resolution: a name containing '/' is used as a filesystem path verbatim
+// (tests point it at a temp dir); anything else becomes /dev/shm/<name>, which
+// is what shm_open(3) does underneath — spelled as plain open()+mmap() here so
+// no librt link dependency is needed.
+#ifndef TOCK_UTIL_SHM_REGION_H_
+#define TOCK_UTIL_SHM_REGION_H_
+
+#include <cstddef>
+#include <string>
+
+namespace tock {
+
+class ShmRegion {
+ public:
+  ShmRegion() = default;
+  ~ShmRegion();
+
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+  ShmRegion(ShmRegion&& other) noexcept;
+  ShmRegion& operator=(ShmRegion&& other) noexcept;
+
+  // Creates (replacing any stale file of the same name) a zero-filled region of
+  // `bytes`, mapped read-write. The creator owns the name: a clean Close()
+  // unlinks it, while a killed process leaves the file behind for post-mortem
+  // attachment. Returns false with `*error` set on failure.
+  bool CreateOrReplace(const std::string& name, size_t bytes, std::string* error);
+
+  // Maps an existing region read-only (the tap side). The size comes from the
+  // file itself. Writes through base() are a bus error by construction — a
+  // reader cannot perturb the writer even by accident.
+  bool OpenReadOnly(const std::string& name, std::string* error);
+
+  // Unmaps (and, for the creator, unlinks) the region. Idempotent.
+  void Close();
+
+  // Makes Close() leave the backing file behind even for the creator — for
+  // post-mortem inspection or a tap that attaches after the run finished.
+  void ReleaseOwnership() { owner_ = false; }
+
+  bool valid() const { return base_ != nullptr; }
+  void* base() { return base_; }
+  const void* base() const { return base_; }
+  size_t size() const { return size_; }
+  // The resolved filesystem path ("/dev/shm/<name>" for bare names).
+  const std::string& path() const { return path_; }
+
+  // The path a bare name resolves to; exposed so CLIs can report it.
+  static std::string ResolvePath(const std::string& name);
+
+ private:
+  void MoveFrom(ShmRegion& other) noexcept;
+
+  void* base_ = nullptr;
+  size_t size_ = 0;
+  int fd_ = -1;
+  bool owner_ = false;  // creator unlinks on Close
+  std::string path_;
+};
+
+}  // namespace tock
+
+#endif  // TOCK_UTIL_SHM_REGION_H_
