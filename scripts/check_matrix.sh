@@ -8,6 +8,8 @@
 #   trace-off-decode-off — both hot-path subsystems compiled out together
 #   telemetry-off        — TOCK_TELEMETRY=OFF (live shm transport compiled out;
 #                          boards must behave identically without it)
+#   superblocks-off      — TOCK_SUPERBLOCKS=OFF (superblock chaining compiled out;
+#                          the plain threaded batch engine must be bit-identical)
 # and, for each preset, sweeps the scheduler dimension: the full suite under the
 # default round-robin policy, then again under the cooperative policy via the
 # TOCK_SCHED_POLICY override (board/sim_board.cc). The cooperative leg excludes
@@ -28,7 +30,7 @@ cd "$(dirname "$0")/.."
 
 COOP_EXCLUDE='KernelTest.InfiniteLoopCannotStarveNeighbor|AsyncLoader\.|LoaderCorruption.BitFlippedSignatureFailsTheAuthenticityStep|FaultPolicy.AppBreakResetsAndPeerGrantsSurviveRestart|Profiler.GoldenChromeTraceTwoApps|^fault_soak$'
 
-for preset in default trace-off decode-off trace-off-decode-off telemetry-off; do
+for preset in default trace-off decode-off trace-off-decode-off telemetry-off superblocks-off; do
   echo "==== preset: $preset, policy: round-robin (default) ===="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
@@ -61,6 +63,6 @@ echo "==== OTA smoke: lossy multi-threaded signed-app push must converge ===="
 echo "==== preset: tsan — fleet sharding + radio mailbox + lossy OTA + live telemetry under ThreadSanitizer ===="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --preset tsan -R 'Fleet|RadioHw|RadioFaults|Ota|Telemetry|SpscRing' "$@"
+ctest --preset tsan -R 'Fleet|RadioHw|RadioFaults|Ota|Telemetry|SpscRing|Superblock|MidRunFlash' "$@"
 
-echo "==== matrix OK (trace on/off x decode-cache on/off x telemetry on/off, round-robin + cooperative, fleet + OTA + telemetry + tsan) ===="
+echo "==== matrix OK (trace on/off x decode-cache on/off x telemetry on/off x superblocks on/off, round-robin + cooperative, fleet + OTA + telemetry + tsan) ===="

@@ -137,7 +137,8 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
                     "syscalls %llu  ctxsw %llu  mpu %llu  irq %llu  deferred %llu\n"
                     "upcalls q %llu d %llu s %llu x %llu  grants %llu/%lluB\n"
                     "sleep %llu cycles in %llu entries\n"
-                    "telemetry %llu emitted %llu dropped %llu suppressed\n",
+                    "telemetry %llu emitted %llu dropped %llu suppressed\n"
+                    "vm blocks %llu built %llu inval  chain %llu  cache %lluB\n",
                     (unsigned long long)s.SyscallsTotal(),
                     (unsigned long long)s.context_switches,
                     (unsigned long long)s.mpu_reprograms,
@@ -152,7 +153,11 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
                     (unsigned long long)s.sleep_entries,
                     (unsigned long long)s.telemetry_events_emitted,
                     (unsigned long long)s.telemetry_events_dropped,
-                    (unsigned long long)s.telemetry_suppressed);
+                    (unsigned long long)s.telemetry_suppressed,
+                    (unsigned long long)s.vm_blocks_built,
+                    (unsigned long long)s.vm_blocks_invalidated,
+                    (unsigned long long)s.vm_block_chain_hits,
+                    (unsigned long long)s.vm_cache_bytes);
       Emit(out);
       return;
     }

@@ -28,6 +28,17 @@
 #define TOCK_DECODE_CACHE_ENABLED 1
 #endif
 
+// Compile-time gate for the interpreter's superblock engine (vm/decode.h grows the
+// block tables, vm/cpu.cc the block execution paths). When defined to 0 (CMake:
+// -DTOCK_SUPERBLOCKS=OFF) no block tables are ever allocated and the batch engine
+// runs strictly instruction-at-a-time dispatch — the escape hatch if a superblock
+// bug is ever suspected. Simulated behavior is identical either way. The macro is
+// consumed in vm/decode.h (which cannot include kernel headers); this mirror keeps
+// the kernel-facing constexpr next to its siblings.
+#ifndef TOCK_SUPERBLOCKS_ENABLED
+#define TOCK_SUPERBLOCKS_ENABLED 1
+#endif
+
 // Compile-time gate for the live telemetry transport (kernel/telemetry.h). When
 // defined to 0 (CMake: -DTOCK_TELEMETRY=OFF) the trace hook carries no sink and
 // the shm publishing layer compiles away, mirroring the TOCK_TRACE idiom.
@@ -167,6 +178,23 @@ struct KernelConfig {
   // -DTOCK_DECODE_CACHE=OFF build — the flag cannot resurrect compiled-out code.
   static constexpr bool decode_cache_compiled = TOCK_DECODE_CACHE_ENABLED != 0;
   bool enable_decode_cache = decode_cache_compiled;
+
+  // Interpreter v2 engine toggles, runtime for the same reason as
+  // enable_decode_cache: one binary must be able to race every engine leg
+  // (bench/tab_hotpath_throughput.cc) and prove the simulated state identical.
+  //
+  // enable_threaded_dispatch selects the batch engine (Cpu::RunBatch: computed-
+  // goto dispatch, per-block cycle accounting reconciled at batch boundaries) for
+  // process execution; off = the PR-5-era per-instruction Step loop. Works with
+  // or without the decode cache.
+  //
+  // enable_superblocks additionally builds and chains straight-line superblocks
+  // inside the batch engine. Requires the decode cache (blocks live in its
+  // tables) and the batch engine (the per-insn loop never sees blocks); the
+  // kernel clamps it to false when either is off or when compiled out.
+  static constexpr bool superblocks_compiled = TOCK_SUPERBLOCKS_ENABLED != 0;
+  bool enable_threaded_dispatch = true;
+  bool enable_superblocks = superblocks_compiled;
 
   // Whether the live telemetry transport is compiled in (kernel/telemetry.h).
   // A board still has to attach a sink (BoardConfig::telemetry) for anything to

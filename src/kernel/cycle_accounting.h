@@ -24,6 +24,18 @@
 // CycleSpan into a ring, which is what the Chrome-trace exporter
 // (tools/trace_export.h) turns into duration events.
 //
+// Batched block-boundary accounting (interpreter v2): the kernel's batch engine
+// does NOT tick the clock per instruction. It computes a budget of instructions
+// guaranteed to contain no observable point — min(run deadline, SimClock::
+// NextEventAt()) minus now — runs them in one RunBatch call, and ticks once with
+// the consumed count at the batch boundary. Because kVmInstruction == 1
+// (static_assert'ed in kernel/kernel.cc), Tick(k) advances the clock to exactly
+// the cycle per-insn ticking would have reached, and no clock event can fire
+// strictly inside the batch, so every flush point here sees identical cycle
+// values either way. The conservation law is untouched: batches begin and end
+// inside the same kUser scope, and all Service/Irq/Idle transitions still happen
+// at batch boundaries.
+//
 // Like the rest of the trace layer this compiles away under -DTOCK_TRACE=OFF:
 // every method body is behind `if constexpr` on KernelConfig::trace_enabled.
 #ifndef TOCK_KERNEL_CYCLE_ACCOUNTING_H_

@@ -50,10 +50,16 @@ Kernel::Kernel(Mcu* mcu, SysTick* systick, const KernelConfig& config)
     : mcu_(mcu), systick_(systick), config_(config), cpu_(&mcu->bus()) {
   // The kernel owns the SysTick interrupt line for preemption.
   mcu_->irq().Enable(kSysTickIrqLine);
-  // The runtime decode-cache switch exists so one binary can compare both engines
-  // (the hotpath bench); it cannot resurrect a compiled-out cache.
+  // The runtime engine switches exist so one binary can compare every engine leg
+  // (the hotpath bench); they cannot resurrect compiled-out code. Superblocks
+  // additionally require the decode cache (blocks live in its tables) and the
+  // batch engine (the per-insn loop never executes blocks).
   config_.enable_decode_cache =
       config_.enable_decode_cache && KernelConfig::decode_cache_compiled;
+  config_.enable_superblocks = config_.enable_superblocks &&
+                               KernelConfig::superblocks_compiled &&
+                               config_.enable_decode_cache &&
+                               config_.enable_threaded_dispatch;
   // Watch the one modeled flash-write path so reprogrammed code can never execute
   // from a stale predecoded record (vm/decode.h).
   mcu_->bus().set_flash_observer(this);
@@ -126,7 +132,7 @@ SyscallDriver* Kernel::LookupDriver(uint32_t driver_num) {
 
 void Kernel::OnFlashProgrammed(uint32_t addr, uint32_t len) {
   for (size_t i = 0; i < num_created_processes_; ++i) {
-    processes_[i].decode_cache.InvalidateRange(addr, len);
+    trace_.RecordVmBlocksInvalidated(processes_[i].decode_cache.InvalidateRange(addr, len));
   }
 }
 
@@ -165,11 +171,10 @@ Process* Kernel::CreateProcess(const ProcessCreateInfo& info,
   p.priority = info.priority.value_or(config_.scheduler.default_priority);
   p.queue_level = 0;
   p.sched_stamp = 0;
-  if (config_.enable_decode_cache) {
-    // Sized to the flash window now; a dynamic reload into the same window goes
-    // through ProgramFlash and is caught by OnFlashProgrammed.
-    p.decode_cache.Configure(p.flash_start, p.flash_size);
-  }
+  // The decode/block tables are NOT sized here: they allocate lazily on the
+  // process's first dispatch (ExecuteProcess), so fleet slots that are created
+  // but never scheduled cost zero cache memory. A dynamic reload into the same
+  // window goes through ProgramFlash and is caught by OnFlashProgrammed.
   p.state = ProcessState::kUnstarted;
   return &p;
 }
@@ -188,6 +193,7 @@ Result<void> Kernel::StopProcess(ProcessId pid, const ProcessManagementCapabilit
     p->restart_event_id = 0;
     p->restart_due_cycle = 0;
   }
+  ReleaseVmCache(*p);
   p->state = ProcessState::kTerminated;
   trace_.RecordProcessExit(mcu_->CyclesNow(), p->id.index, 0);
   return Result<void>::Ok();
@@ -207,6 +213,7 @@ Result<void> Kernel::RestartProcess(ProcessId pid, const ProcessManagementCapabi
   trace_.RecordGrantFree(mcu_->CyclesNow(), p->id.index, p->grant_regions_live,
                          p->grant_bytes_live);
   trace_.ClearProcessProfile(p->id.index);
+  ReleaseVmCache(*p);
   p->ResetForRestart();
   p->SetBreak(p->initial_break);
   InitProcessContext(*p);
@@ -529,6 +536,7 @@ void Kernel::FaultProcess(Process& p, const VmFault& fault) {
 
   bool restart = p.fault_policy.action == FaultAction::kRestart &&
                  p.restart_count < p.fault_policy.max_restarts;
+  ReleaseVmCache(p);
   if (!restart) {
     p.state = ProcessState::kFaulted;
     if (p.fault_policy.action == FaultAction::kPanic) {
@@ -577,6 +585,17 @@ void Kernel::ReviveProcess(ProcessId pid) {
   mcu_->irq().Raise(kSysTickIrqLine);
 }
 
+void Kernel::ReleaseVmCache(Process& p) {
+  if (!p.decode_cache.IsConfigured()) {
+    return;  // never dispatched (or already released): nothing allocated
+  }
+  // Settle the gauge before Release() frees the backing vectors, and fold the
+  // blocks that die with the tables into the invalidation counter so every
+  // built block is eventually accounted as dropped.
+  trace_.RecordVmCacheBytes(-static_cast<int64_t>(p.decode_cache.MemoryBytes()));
+  trace_.RecordVmBlocksInvalidated(p.decode_cache.Release());
+}
+
 // ---- Process execution --------------------------------------------------------------
 
 StoppedReason Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles,
@@ -608,7 +627,13 @@ StoppedReason Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles,
 
   // Safe to bind the predecoded cache only now: MPU region 0 maps exactly this
   // process's flash window read+execute (ConfigureMpuFor), which is the fast path's
-  // license to skip the per-fetch execute check (vm/decode.h).
+  // license to skip the per-fetch execute check (vm/decode.h). The tables allocate
+  // lazily here, on the process's first dispatch — not at CreateProcess — so slots
+  // that never run cost nothing; ReleaseVmCache frees them at every life-end.
+  if (config_.enable_decode_cache && !p.decode_cache.IsConfigured()) {
+    p.decode_cache.Configure(p.flash_start, p.flash_size, config_.enable_superblocks);
+    trace_.RecordVmCacheBytes(static_cast<int64_t>(p.decode_cache.MemoryBytes()));
+  }
   cpu_.set_decode_cache(config_.enable_decode_cache ? &p.decode_cache : nullptr);
 
   // An absent timeslice is the cooperative contract: ArmCycles(0) schedules
@@ -621,6 +646,20 @@ StoppedReason Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles,
   // cost moves.
   const InterruptController& irq = mcu_->irq();
   const SimClock& clock = mcu_->clock();
+  const bool threaded = config_.enable_threaded_dispatch;
+  const bool superblocks = config_.enable_superblocks;
+
+  // Batched block-boundary accounting (the batch engine below) folds the
+  // per-instruction Tick into one Tick(executed) at the batch boundary. That is
+  // bit-identical to per-insn ticking only because one VM instruction costs
+  // exactly one cycle: a batch of k instructions advances the clock by k either
+  // way, and the batch budget never crosses a pending clock event.
+  static_assert(CycleCosts::kVmInstruction == 1,
+                "batched accounting folds k instructions into Tick(k); a non-unit "
+                "instruction cost would need a multiply and a re-derived budget");
+  // Cap so the uint32 budget/executed arithmetic in RunBatch can't overflow even
+  // with a far-future deadline and an idle event queue.
+  constexpr uint64_t kMaxBatchInsns = 1u << 20;
 
   while (true) {
     if (irq.AnyPending()) {
@@ -636,16 +675,47 @@ StoppedReason Kernel::ExecuteProcess(Process& p, uint64_t deadline_cycles,
       return StoppedReason::kDeadline;  // only reachable with preemption disabled
     }
 
-    if (fault_injector_ != nullptr) {
-      if (auto injected = fault_injector_->OnInstruction(p.id.index, p.ctx.pc)) {
-        FaultProcess(p, *injected);
-        systick_->DisarmAndClear();
-        return StoppedReason::kExited;
+    StepResult result;
+    if (threaded &&
+        (fault_injector_ == nullptr || fault_injector_->armed_cpu_faults() == 0)) {
+      // Budget = instructions until the next observable point: the run-deadline
+      // or the earliest scheduled clock event (conservative lower bound — a
+      // lazily-cancelled event only shortens the batch). No event can fire
+      // strictly inside the batch, so deferring the Tick to the boundary leaves
+      // every event firing at the same cycle as per-insn ticking. An overdue
+      // event (NextEventAt <= now) degrades to budget 1: it fires after one
+      // instruction, exactly like the per-insn loop.
+      uint64_t now = clock.Now();
+      uint64_t horizon = clock.NextEventAt();
+      if (horizon > deadline_cycles) {
+        horizon = deadline_cycles;
       }
+      uint64_t budget = horizon > now ? horizon - now : 1;
+      uint32_t max_insns =
+          budget > kMaxBatchInsns ? static_cast<uint32_t>(kMaxBatchInsns)
+                                  : static_cast<uint32_t>(budget);
+      Cpu::BatchResult batch = cpu_.RunBatch(p.ctx, max_insns, superblocks);
+      mcu_->Tick(batch.executed);
+      if (batch.blocks_built != 0 || batch.chain_hits != 0) {
+        trace_.RecordVmBlocks(batch.blocks_built, batch.chain_hits);
+      }
+      if (batch.status == StepResult::kOk) {
+        continue;  // budget exhausted; re-check irq/deadline like every boundary
+      }
+      result = batch.status;
+    } else {
+      // Per-insn reference engine: runtime-disabled threading, or a fault
+      // injector with armed CPU faults (OnInstruction must see every pc).
+      if (fault_injector_ != nullptr) {
+        if (auto injected = fault_injector_->OnInstruction(p.id.index, p.ctx.pc)) {
+          FaultProcess(p, *injected);
+          systick_->DisarmAndClear();
+          return StoppedReason::kExited;
+        }
+      }
+      result = cpu_.Step(p.ctx);
+      mcu_->Tick(CycleCosts::kVmInstruction);
     }
-
-    StepResult result = cpu_.Step(p.ctx);
-    mcu_->Tick(CycleCosts::kVmInstruction);
 
     switch (result) {
       case StepResult::kOk:
@@ -736,6 +806,7 @@ bool Kernel::HandleSyscall(Process& p) {
       return true;
 
     case SyscallClass::kExit: {
+      ReleaseVmCache(p);  // both variants end this life; the tables die with it
       if (static_cast<ExitVariant>(call.args[0]) == ExitVariant::kRestart) {
         ++p.restart_count;
         trace_.RecordGrantFree(mcu_->CyclesNow(), p.id.index, p.grant_regions_live,

@@ -252,6 +252,13 @@ class Kernel : public FlashWriteObserver {
                            uint32_t userdata);
   void DeliverDirectReturn(Process& p, const QueuedUpcall& upcall);
 
+  // Frees a process's decode/block tables (the lazy-allocation counterpart of the
+  // first-dispatch Configure in ExecuteProcess) and settles the vm_cache_bytes
+  // gauge and vm.blocks_invalidated counter. Called at every life-end transition
+  // (terminal exit/fault/stop and all three restart paths) *before*
+  // ResetForRestart so the stats see the tables while they still exist.
+  void ReleaseVmCache(Process& p);
+
   // Applies the process's fault policy: panic, park it terminally, or schedule a
   // deferred backoff restart. `fault` is the cause recorded for diagnostics.
   void FaultProcess(Process& p, const VmFault& fault);

@@ -62,6 +62,10 @@ void KernelStats::Accumulate(const KernelStats& other) {
   telemetry_events_emitted += other.telemetry_events_emitted;
   telemetry_events_dropped += other.telemetry_events_dropped;
   telemetry_suppressed += other.telemetry_suppressed;
+  vm_blocks_built += other.vm_blocks_built;
+  vm_blocks_invalidated += other.vm_blocks_invalidated;
+  vm_block_chain_hits += other.vm_block_chain_hits;
+  vm_cache_bytes += other.vm_cache_bytes;
 }
 
 uint64_t StatValue(const KernelStats& stats, StatId id) {
@@ -128,6 +132,14 @@ uint64_t StatValue(const KernelStats& stats, StatId id) {
       return stats.telemetry_events_dropped;
     case StatId::kTelemetrySuppressed:
       return stats.telemetry_suppressed;
+    case StatId::kVmBlocksBuilt:
+      return stats.vm_blocks_built;
+    case StatId::kVmBlocksInvalidated:
+      return stats.vm_blocks_invalidated;
+    case StatId::kVmBlockChainHits:
+      return stats.vm_block_chain_hits;
+    case StatId::kVmCacheBytes:
+      return stats.vm_cache_bytes;
     case StatId::kNumStats:
       break;
   }
@@ -198,6 +210,14 @@ const char* StatName(StatId id) {
       return "telemetry.events_dropped";
     case StatId::kTelemetrySuppressed:
       return "telemetry.suppressed";
+    case StatId::kVmBlocksBuilt:
+      return "vm.blocks_built";
+    case StatId::kVmBlocksInvalidated:
+      return "vm.blocks_invalidated";
+    case StatId::kVmBlockChainHits:
+      return "vm.block_chain_hits";
+    case StatId::kVmCacheBytes:
+      return "vm.cache_bytes";
     case StatId::kNumStats:
       break;
   }
@@ -212,6 +232,18 @@ bool StatIsTelemetryTransport(StatId id) {
       return true;
     default:
       return false;
+  }
+}
+
+bool StatIsHostOnly(StatId id) {
+  switch (id) {
+    case StatId::kVmBlocksBuilt:
+    case StatId::kVmBlocksInvalidated:
+    case StatId::kVmBlockChainHits:
+    case StatId::kVmCacheBytes:
+      return true;
+    default:
+      return StatIsTelemetryTransport(id);
   }
 }
 
@@ -368,9 +400,9 @@ void KernelTrace::DumpStats(std::string& out) const {
   out += "==== kernel stats ====\n";
   for (uint32_t i = 0; i < static_cast<uint32_t>(StatId::kNumStats); ++i) {
     StatId id = static_cast<StatId>(i);
-    if (StatIsTelemetryTransport(id)) {
-      continue;  // host-side transport bookkeeping; keeps the dump golden-
-                 // identical whether or not a board publishes telemetry
+    if (StatIsHostOnly(id)) {
+      continue;  // host-side bookkeeping (telemetry transport, vm engine); keeps
+                 // the dump golden-identical across telemetry and engine configs
     }
     std::snprintf(line, sizeof(line), "%-26s %" PRIu64 "\n", StatName(id),
                   StatValue(stats_, id));

@@ -94,6 +94,17 @@ struct KernelStats {
   uint64_t telemetry_events_dropped = 0;
   uint64_t telemetry_suppressed = 0;
 
+  // Interpreter v2 engine counters (vm/decode.h superblocks): host-side engine
+  // bookkeeping, not simulated kernel events — excluded from golden surfaces the
+  // same way as the telemetry transport counters (StatIsHostOnly), since they
+  // differ across engine legs that are simulated-state identical. vm_cache_bytes
+  // is a gauge (current decode+block table heap bytes), maintained with +/-
+  // deltas so Accumulate still sums meaningfully across a fleet.
+  uint64_t vm_blocks_built = 0;
+  uint64_t vm_blocks_invalidated = 0;
+  uint64_t vm_block_chain_hits = 0;
+  uint64_t vm_cache_bytes = 0;
+
   uint64_t SyscallsTotal() const {
     return syscalls_yield + syscalls_subscribe + syscalls_command + syscalls_rw_allow +
            syscalls_ro_allow + syscalls_memop + syscalls_exit + syscalls_blocking_command +
@@ -141,7 +152,11 @@ enum class StatId : uint32_t {
   kTelemetryEventsEmitted = 28,
   kTelemetryEventsDropped = 29,
   kTelemetrySuppressed = 30,
-  kNumStats = 31,
+  kVmBlocksBuilt = 31,
+  kVmBlocksInvalidated = 32,
+  kVmBlockChainHits = 33,
+  kVmCacheBytes = 34,
+  kNumStats = 35,
 };
 
 // Returns the counter for `id`, or 0 for an out-of-range id.
@@ -154,6 +169,13 @@ const char* StatName(StatId id);
 // not change a byte of any golden artifact. They remain readable through the
 // stats syscall (append-only StatIds) and the fleet aggregate table.
 bool StatIsTelemetryTransport(StatId id);
+
+// True for every counter that measures host-side machinery rather than simulated
+// kernel events: the telemetry transport counters plus the interpreter-v2 engine
+// counters (vm_*, which vary across engine legs and presets that are simulated-
+// state identical). This is the predicate the golden surfaces — DumpStats and the
+// exporter's tockStats sidecar — actually use.
+bool StatIsHostOnly(StatId id);
 
 // One recorded kernel event. `pid` is the process slot the event concerns (0xFF =
 // none/kernel); `arg` is event-specific (syscall class, IRQ line, grant size, ...).
@@ -400,6 +422,27 @@ class KernelTrace {
     if constexpr (kEnabled) {
       ++stats_.process_exits;
       Push(cycle, TraceEventKind::kProcessExit, pid, completion_code);
+    }
+  }
+
+  // Interpreter-v2 engine activity (counters only — no trace events, so the
+  // golden-locked event ring is untouched by engine choice).
+  void RecordVmBlocks(uint64_t built, uint64_t chain_hits) {
+    if constexpr (kEnabled) {
+      stats_.vm_blocks_built += built;
+      stats_.vm_block_chain_hits += chain_hits;
+    }
+  }
+  void RecordVmBlocksInvalidated(uint64_t count) {
+    if constexpr (kEnabled) {
+      stats_.vm_blocks_invalidated += count;
+    }
+  }
+  // vm_cache_bytes is a gauge: +bytes when a process's decode/block tables are
+  // allocated (first dispatch), -bytes when they are released (death/restart).
+  void RecordVmCacheBytes(int64_t delta) {
+    if constexpr (kEnabled) {
+      stats_.vm_cache_bytes += static_cast<uint64_t>(delta);
     }
   }
 

@@ -423,6 +423,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(totals.frames_duplicated),
               static_cast<unsigned long long>(totals.frames_reordered),
               static_cast<unsigned long long>(totals.frames_corrupted));
+  std::printf("  vm blocks        %llu built, %llu invalidated, %llu chain hits, %llu cache bytes\n",
+              static_cast<unsigned long long>(totals.aggregate.vm_blocks_built),
+              static_cast<unsigned long long>(totals.aggregate.vm_blocks_invalidated),
+              static_cast<unsigned long long>(totals.aggregate.vm_block_chain_hits),
+              static_cast<unsigned long long>(totals.aggregate.vm_cache_bytes));
   if (!opts.telemetry.empty()) {
     std::printf("  telemetry        %llu emitted, %llu dropped, %llu suppressed\n",
                 static_cast<unsigned long long>(

@@ -158,17 +158,18 @@ std::string ExportChromeTrace(Kernel& kernel) {
   // Non-standard sidecar (Chrome ignores unknown top-level keys): the aggregate
   // counters and latency histograms, for scripted consumers of the same file.
   out += "\"tockStats\":{\n";
-  // Transport-bookkeeping counters (telemetry_*) are skipped: the sidecar is
-  // golden-locked, and attaching a tap must not change a byte of the artifact.
+  // Host-only counters (telemetry transport, vm engine) are skipped: the sidecar
+  // is golden-locked, and neither attaching a tap nor switching interpreter
+  // engines may change a byte of the artifact.
   uint32_t last_emitted = 0;
   for (uint32_t i = 0; i < static_cast<uint32_t>(StatId::kNumStats); ++i) {
-    if (!StatIsTelemetryTransport(static_cast<StatId>(i))) {
+    if (!StatIsHostOnly(static_cast<StatId>(i))) {
       last_emitted = i;
     }
   }
   for (uint32_t i = 0; i < static_cast<uint32_t>(StatId::kNumStats); ++i) {
     StatId id = static_cast<StatId>(i);
-    if (StatIsTelemetryTransport(id)) {
+    if (StatIsHostOnly(id)) {
       continue;
     }
     Append(out, "  \"%s\":%" PRIu64 "%s\n", StatName(id), StatValue(stats, id),

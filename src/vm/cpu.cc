@@ -1,4 +1,15 @@
 // ERA: 1
+// Two interpreter engines share the handler bodies in vm/interp_ops.inc:
+//
+//   * Execute/Step — the single-step reference engine (plain switch). Unit tests
+//     drive it directly and the kernel falls back to it whenever per-instruction
+//     observation is required (armed CPU-fault injection).
+//   * RunBatch — the threaded-dispatch batch engine: computed-goto dispatch under
+//     __GNUC__ (a portable switch otherwise), superblock execution and chaining
+//     when the bound DecodeCache carries block tables.
+//
+// The engines are architecturally bit-identical by construction: dispatch and
+// exit plumbing differ, instruction semantics cannot (one copy of every body).
 #include "vm/cpu.h"
 
 namespace tock {
@@ -53,205 +64,270 @@ StepResult Cpu::Step(CpuContext& ctx) {
 
 StepResult Cpu::Execute(CpuContext& ctx, const DecodedInsn& d) {
   auto& x = ctx.x;
-  auto wr = [&x](unsigned rd, uint32_t value) {
-    if (rd != 0) {
-      x[rd] = value;
-    }
-  };
-
   uint32_t next_pc = ctx.pc + 4;
 
   switch (d.h) {
-    case OpHandler::kLui:
-      wr(d.rd, d.imm);
-      break;
-    case OpHandler::kAuipc:
-      wr(d.rd, ctx.pc + d.imm);
-      break;
-    case OpHandler::kJal: {
-      uint32_t target = ctx.pc + d.imm;
-      wr(d.rd, ctx.pc + 4);
-      next_pc = target;
-      break;
-    }
-    case OpHandler::kJalr: {
-      uint32_t target = (x[d.rs1] + d.imm) & ~1u;
-      wr(d.rd, ctx.pc + 4);
-      next_pc = target;
-      break;
-    }
-    case OpHandler::kBeq:
-      if (x[d.rs1] == x[d.rs2]) {
-        next_pc = ctx.pc + d.imm;
-      }
-      break;
-    case OpHandler::kBne:
-      if (x[d.rs1] != x[d.rs2]) {
-        next_pc = ctx.pc + d.imm;
-      }
-      break;
-    case OpHandler::kBlt:
-      if (static_cast<int32_t>(x[d.rs1]) < static_cast<int32_t>(x[d.rs2])) {
-        next_pc = ctx.pc + d.imm;
-      }
-      break;
-    case OpHandler::kBge:
-      if (static_cast<int32_t>(x[d.rs1]) >= static_cast<int32_t>(x[d.rs2])) {
-        next_pc = ctx.pc + d.imm;
-      }
-      break;
-    case OpHandler::kBltu:
-      if (x[d.rs1] < x[d.rs2]) {
-        next_pc = ctx.pc + d.imm;
-      }
-      break;
-    case OpHandler::kBgeu:
-      if (x[d.rs1] >= x[d.rs2]) {
-        next_pc = ctx.pc + d.imm;
-      }
-      break;
-    case OpHandler::kLb:
-    case OpHandler::kLh:
-    case OpHandler::kLw:
-    case OpHandler::kLbu:
-    case OpHandler::kLhu: {
-      uint32_t addr = x[d.rs1] + d.imm;
-      unsigned size =
-          (d.h == OpHandler::kLb || d.h == OpHandler::kLbu)   ? 1
-          : (d.h == OpHandler::kLh || d.h == OpHandler::kLhu) ? 2
-                                                              : 4;
-      auto loaded = bus_->Read(addr, size, Privilege::kUnprivileged);
-      if (!loaded.has_value()) {
-        return RaiseBusFault(ctx, addr);
-      }
-      uint32_t value = *loaded;
-      if (d.h == OpHandler::kLb) {
-        value = static_cast<uint32_t>(SignExtend(value, 8));
-      } else if (d.h == OpHandler::kLh) {
-        value = static_cast<uint32_t>(SignExtend(value, 16));
-      }
-      wr(d.rd, value);
-      break;
-    }
-    case OpHandler::kSb:
-    case OpHandler::kSh:
-    case OpHandler::kSw: {
-      uint32_t addr = x[d.rs1] + d.imm;
-      unsigned size = d.h == OpHandler::kSb ? 1 : d.h == OpHandler::kSh ? 2 : 4;
-      if (!bus_->Write(addr, x[d.rs2], size, Privilege::kUnprivileged)) {
-        return RaiseBusFault(ctx, addr);
-      }
-      break;
-    }
-    case OpHandler::kAddi:
-      wr(d.rd, x[d.rs1] + d.imm);
-      break;
-    case OpHandler::kSlli:
-      wr(d.rd, x[d.rs1] << d.imm);
-      break;
-    case OpHandler::kSlti:
-      wr(d.rd, static_cast<int32_t>(x[d.rs1]) < static_cast<int32_t>(d.imm) ? 1 : 0);
-      break;
-    case OpHandler::kSltiu:
-      wr(d.rd, x[d.rs1] < d.imm ? 1 : 0);
-      break;
-    case OpHandler::kXori:
-      wr(d.rd, x[d.rs1] ^ d.imm);
-      break;
-    case OpHandler::kSrli:
-      wr(d.rd, x[d.rs1] >> d.imm);
-      break;
-    case OpHandler::kSrai:
-      wr(d.rd, static_cast<uint32_t>(static_cast<int32_t>(x[d.rs1]) >> d.imm));
-      break;
-    case OpHandler::kOri:
-      wr(d.rd, x[d.rs1] | d.imm);
-      break;
-    case OpHandler::kAndi:
-      wr(d.rd, x[d.rs1] & d.imm);
-      break;
-    case OpHandler::kAdd:
-      wr(d.rd, x[d.rs1] + x[d.rs2]);
-      break;
-    case OpHandler::kSub:
-      wr(d.rd, x[d.rs1] - x[d.rs2]);
-      break;
-    case OpHandler::kSll:
-      wr(d.rd, x[d.rs1] << (x[d.rs2] & 0x1F));
-      break;
-    case OpHandler::kSlt:
-      wr(d.rd, static_cast<int32_t>(x[d.rs1]) < static_cast<int32_t>(x[d.rs2]) ? 1 : 0);
-      break;
-    case OpHandler::kSltu:
-      wr(d.rd, x[d.rs1] < x[d.rs2] ? 1 : 0);
-      break;
-    case OpHandler::kXor:
-      wr(d.rd, x[d.rs1] ^ x[d.rs2]);
-      break;
-    case OpHandler::kSrl:
-      wr(d.rd, x[d.rs1] >> (x[d.rs2] & 0x1F));
-      break;
-    case OpHandler::kSra:
-      wr(d.rd, static_cast<uint32_t>(static_cast<int32_t>(x[d.rs1]) >> (x[d.rs2] & 0x1F)));
-      break;
-    case OpHandler::kOr:
-      wr(d.rd, x[d.rs1] | x[d.rs2]);
-      break;
-    case OpHandler::kAnd:
-      wr(d.rd, x[d.rs1] & x[d.rs2]);
-      break;
-    case OpHandler::kMul:
-      wr(d.rd, x[d.rs1] * x[d.rs2]);
-      break;
-    case OpHandler::kMulh: {
-      int64_t prod = static_cast<int64_t>(static_cast<int32_t>(x[d.rs1])) *
-                     static_cast<int64_t>(static_cast<int32_t>(x[d.rs2]));
-      wr(d.rd, static_cast<uint32_t>(prod >> 32));
-      break;
-    }
-    case OpHandler::kMulhu: {
-      uint64_t prod = static_cast<uint64_t>(x[d.rs1]) * static_cast<uint64_t>(x[d.rs2]);
-      wr(d.rd, static_cast<uint32_t>(prod >> 32));
-      break;
-    }
-    case OpHandler::kDiv: {
-      int32_t a = static_cast<int32_t>(x[d.rs1]);
-      int32_t b = static_cast<int32_t>(x[d.rs2]);
-      int32_t q = b == 0 ? -1 : (a == INT32_MIN && b == -1 ? a : a / b);
-      wr(d.rd, static_cast<uint32_t>(q));
-      break;
-    }
-    case OpHandler::kDivu:
-      wr(d.rd, x[d.rs2] == 0 ? UINT32_MAX : x[d.rs1] / x[d.rs2]);
-      break;
-    case OpHandler::kRem: {
-      int32_t a = static_cast<int32_t>(x[d.rs1]);
-      int32_t b = static_cast<int32_t>(x[d.rs2]);
-      int32_t r = b == 0 ? a : (a == INT32_MIN && b == -1 ? 0 : a % b);
-      wr(d.rd, static_cast<uint32_t>(r));
-      break;
-    }
-    case OpHandler::kRemu:
-      wr(d.rd, x[d.rs2] == 0 ? x[d.rs1] : x[d.rs1] % x[d.rs2]);
-      break;
-    case OpHandler::kFence:
-      break;
-    case OpHandler::kEcall:
-      ++instructions_retired_;
-      ctx.pc = next_pc;  // syscalls resume after the trap instruction
-      return StepResult::kEcall;
-    case OpHandler::kEbreak:
-      ++instructions_retired_;
-      ctx.pc = next_pc;
-      return StepResult::kEbreak;
-    case OpHandler::kIllegal:
-    case OpHandler::kNotDecoded:  // unreachable: Step fills before executing
-      return RaiseIllegal(ctx, d.imm);
+    // Reference-engine plumbing for the shared handler bodies: a plain case per
+    // handler, `break` falls through to the common retire epilogue below, traps
+    // and faults return out of the switch directly.
+#define TOCK_OP(Name) case OpHandler::k##Name:
+#define TOCK_OP_END break;
+#define TOCK_D d
+#define TOCK_PC ctx.pc
+#define TOCK_WR(reg, value)       \
+  do {                            \
+    unsigned tock_wr_rd = (reg);  \
+    if (tock_wr_rd != 0) {        \
+      x[tock_wr_rd] = (value);    \
+    }                             \
+  } while (0)
+#define TOCK_BUS_FAULT(addr) return RaiseBusFault(ctx, (addr))
+#define TOCK_ILLEGAL(word) return RaiseIllegal(ctx, (word))
+#define TOCK_TRAP_ECALL           \
+  do {                            \
+    ++instructions_retired_;      \
+    ctx.pc = next_pc;             \
+    return StepResult::kEcall;    \
+  } while (0)
+#define TOCK_TRAP_EBREAK          \
+  do {                            \
+    ++instructions_retired_;      \
+    ctx.pc = next_pc;             \
+    return StepResult::kEbreak;   \
+  } while (0)
+#include "vm/interp_ops.inc"
+#undef TOCK_OP
+#undef TOCK_OP_END
+#undef TOCK_D
+#undef TOCK_PC
+#undef TOCK_WR
+#undef TOCK_BUS_FAULT
+#undef TOCK_ILLEGAL
+#undef TOCK_TRAP_ECALL
+#undef TOCK_TRAP_EBREAK
   }
 
   ++instructions_retired_;
   ctx.pc = next_pc;
   return StepResult::kOk;
+}
+
+uint32_t Cpu::BuildBlock(DecodeCache& cache, uint32_t start_idx) {
+  const uint32_t room = cache.limit() - start_idx;
+  const uint32_t max_scan =
+      room < DecodeCache::kMaxBlockInsns ? room : DecodeCache::kMaxBlockInsns;
+  DecodedInsn* entries = cache.EntryAt(start_idx);
+  const uint32_t base_pc = cache.base() + start_idx * 4;
+  uint32_t len = 0;
+  while (len < max_scan) {
+    DecodedInsn& e = entries[len];
+    if (e.h == OpHandler::kNotDecoded) {
+      // Ahead-of-pc decode still goes through the checked bus fetch: the safety
+      // contract (MPU maps the whole window R+X while a cache is bound) makes it
+      // pass, and if it ever didn't, the block simply ends before that word and
+      // the dispatch loop faults there exactly like the per-insn engine.
+      auto fetched = bus_->Fetch(base_pc + len * 4, Privilege::kUnprivileged);
+      if (!fetched.has_value()) {
+        break;
+      }
+      e = Decode(*fetched);
+      cache.NoteFill();
+    }
+    ++len;
+    if (EndsBlock(e.h)) {
+      break;
+    }
+  }
+  if (len == 0) {
+    return 0;
+  }
+  // Length-1 blocks (a lone branch/trap) are recorded too: the entry marks the
+  // word as "already scanned" so hot lone terminators don't rebuild every visit.
+  cache.SetBlockLen(start_idx, static_cast<uint8_t>(len));
+  return len;
+}
+
+Cpu::BatchResult Cpu::RunBatch(CpuContext& ctx, uint32_t max_insns, bool superblocks) {
+  BatchResult res;
+  auto& x = ctx.x;
+  DecodeCache* const cache = cache_;
+  const bool use_blocks = DecodeCache::kSuperblocksCompiled && superblocks &&
+                          cache != nullptr && cache->blocks_enabled();
+  uint32_t executed = 0;
+  bool was_in_block = false;
+  const DecodedInsn* dp = nullptr;
+  DecodedInsn fallback{};              // out-of-window pcs decode into this
+  const DecodedInsn* blk_next = nullptr;
+  uint32_t blk_rem = 0;                // instructions left in the current superblock
+  uint32_t pc = ctx.pc;
+  uint32_t next_pc = 0;
+
+#if defined(__GNUC__)
+  // Threaded dispatch: the OpHandler byte in every DecodedInsn is the direct
+  // index into this label table (pinned to the enum order by TOCK_OPHANDLERS +
+  // the OpHandlerOrderMatches static_assert in vm/decode.h).
+#define TOCK_OPHANDLER_LABEL(Name) &&op_##Name,
+  static const void* const kDispatch[] = {TOCK_OPHANDLERS(TOCK_OPHANDLER_LABEL)};
+#undef TOCK_OPHANDLER_LABEL
+  static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) == kNumOpHandlers,
+                "dispatch table must cover every handler");
+#endif
+
+dispatch:
+  if (blk_rem != 0) {
+    // Superblock fast path: no budget / upcall-address / Lookup checks — the
+    // full dispatch below reserved budget for the whole block, pcs inside a
+    // block are sequential flash addresses (so never the upcall-return magic),
+    // and the block invariant guarantees every member word is decoded.
+    dp = blk_next++;
+    --blk_rem;
+    next_pc = pc + 4;
+    goto have_insn;
+  }
+  if (executed >= max_insns) {
+    res.status = StepResult::kOk;
+    goto done;
+  }
+  if (pc == kUpcallReturnAddr) {
+    ++executed;  // the pseudo-step consumes a cycle but retires nothing (see Step)
+    res.status = StepResult::kUpcallReturn;
+    goto done;
+  }
+  {
+    DecodedInsn* slot = cache != nullptr ? cache->Lookup(pc) : nullptr;
+    if (slot != nullptr) {
+      if (slot->h == OpHandler::kNotDecoded) {
+        auto fetched = bus_->Fetch(pc, Privilege::kUnprivileged);
+        if (!fetched.has_value()) {
+          ctx.pc = pc;
+          ++executed;
+          res.status = RaiseBusFault(ctx, pc);
+          goto done;
+        }
+        *slot = Decode(*fetched);
+        cache->NoteFill();
+      }
+      if (use_blocks) {
+        uint32_t idx = cache->IndexOf(slot);
+        uint32_t blk = cache->BlockLenAt(idx);
+        if (blk == 0) {
+          blk = BuildBlock(*cache, idx);
+          if (blk != 0) {
+            ++res.blocks_built;
+          }
+        }
+        if (blk > 1 && blk <= max_insns - executed) {
+          if (was_in_block) {
+            ++res.chain_hits;  // terminator target started another known block
+          }
+          was_in_block = true;
+          dp = slot;
+          blk_next = slot + 1;
+          blk_rem = blk - 1;
+          next_pc = pc + 4;
+          goto have_insn;
+        }
+      }
+      was_in_block = false;
+      dp = slot;
+      next_pc = pc + 4;
+      goto have_insn;
+    }
+  }
+  was_in_block = false;
+  {
+    auto fetched = bus_->Fetch(pc, Privilege::kUnprivileged);
+    if (!fetched.has_value()) {
+      ctx.pc = pc;
+      ++executed;
+      res.status = RaiseBusFault(ctx, pc);
+      goto done;
+    }
+    fallback = Decode(*fetched);
+    dp = &fallback;
+    next_pc = pc + 4;
+  }
+
+have_insn:
+#if defined(__GNUC__)
+  goto* kDispatch[static_cast<size_t>(dp->h)];
+#else
+  switch (dp->h) {
+#endif
+
+  // Batch-engine plumbing for the shared handler bodies: handlers retire by
+  // committing next_pc and jumping back to `dispatch`; traps/faults record the
+  // batch outcome and jump to `done`.
+#if defined(__GNUC__)
+#define TOCK_OP(Name) op_##Name:
+#else
+#define TOCK_OP(Name) case OpHandler::k##Name:
+#endif
+#define TOCK_OP_END               \
+  {                               \
+    pc = next_pc;                 \
+    ++instructions_retired_;      \
+    ++executed;                   \
+    goto dispatch;                \
+  }
+#define TOCK_D (*dp)
+#define TOCK_PC pc
+#define TOCK_WR(reg, value)       \
+  do {                            \
+    unsigned tock_wr_rd = (reg);  \
+    if (tock_wr_rd != 0) {        \
+      x[tock_wr_rd] = (value);    \
+    }                             \
+  } while (0)
+#define TOCK_BUS_FAULT(addr)                  \
+  do {                                        \
+    ctx.pc = pc;                              \
+    ++executed;                               \
+    res.status = RaiseBusFault(ctx, (addr));  \
+    goto done;                                \
+  } while (0)
+#define TOCK_ILLEGAL(word)                    \
+  do {                                        \
+    ctx.pc = pc;                              \
+    ++executed;                               \
+    res.status = RaiseIllegal(ctx, (word));   \
+    goto done;                                \
+  } while (0)
+#define TOCK_TRAP_ECALL                       \
+  do {                                        \
+    ++instructions_retired_;                  \
+    ++executed;                               \
+    pc = next_pc;                             \
+    res.status = StepResult::kEcall;          \
+    goto done;                                \
+  } while (0)
+#define TOCK_TRAP_EBREAK                      \
+  do {                                        \
+    ++instructions_retired_;                  \
+    ++executed;                               \
+    pc = next_pc;                             \
+    res.status = StepResult::kEbreak;         \
+    goto done;                                \
+  } while (0)
+#include "vm/interp_ops.inc"
+#undef TOCK_OP
+#undef TOCK_OP_END
+#undef TOCK_D
+#undef TOCK_PC
+#undef TOCK_WR
+#undef TOCK_BUS_FAULT
+#undef TOCK_ILLEGAL
+#undef TOCK_TRAP_ECALL
+#undef TOCK_TRAP_EBREAK
+
+#if !defined(__GNUC__)
+  }
+#endif
+
+done:
+  ctx.pc = pc;
+  res.executed = executed;
+  return res;
 }
 
 }  // namespace tock

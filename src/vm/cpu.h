@@ -75,6 +75,29 @@ class Cpu {
   // fetch-decode path runs, so behavior is identical either way.
   StepResult Step(CpuContext& ctx);
 
+  // Result of one RunBatch burst. `executed` counts consumed instruction slots —
+  // retired instructions plus the non-retiring slots a faulting instruction and
+  // the upcall-return pseudo-step consume — i.e. exactly the simulated cycles the
+  // per-insn loop would have ticked one at a time (CycleCosts::kVmInstruction
+  // each), so the kernel reconciles accounting with a single Tick(executed).
+  struct BatchResult {
+    StepResult status = StepResult::kOk;  // kOk = budget exhausted, nothing trapped
+    uint32_t executed = 0;
+    uint32_t blocks_built = 0;  // superblocks constructed during this burst
+    uint32_t chain_hits = 0;    // block→block transitions without a full dispatch
+  };
+
+  // Threaded-dispatch batch engine: executes up to `max_insns` instructions and
+  // returns on the first trap/fault/upcall-return, with computed-goto dispatch
+  // under __GNUC__ (portable switch otherwise) and — when `superblocks` is set
+  // and the bound cache has block tables — superblock execution and chaining.
+  // Architecturally bit-identical to calling Step() `max_insns` times: same
+  // handler bodies (vm/interp_ops.inc), same fault/trap semantics, same
+  // instructions_retired(). The caller guarantees nothing observable (IRQ state,
+  // clock events, deadline) can change within the batch window; the kernel picks
+  // max_insns = cycles-to-next-event to make that hold.
+  BatchResult RunBatch(CpuContext& ctx, uint32_t max_insns, bool superblocks);
+
   // Binds the running process's predecoded-instruction cache (nullptr = none). The
   // kernel rebinds on every process dispatch; unit tests drive it directly.
   void set_decode_cache(DecodeCache* cache) { cache_ = cache; }
@@ -87,6 +110,10 @@ class Cpu {
   StepResult Execute(CpuContext& ctx, const DecodedInsn& d);
   StepResult RaiseBusFault(CpuContext& ctx, uint32_t addr);
   StepResult RaiseIllegal(CpuContext& ctx, uint32_t instruction);
+  // Decodes a straight-line run starting at cache word `start_idx` and records it
+  // in the cache's block table. Returns the block length (0 if no block could be
+  // formed, e.g. the first word's fetch faults).
+  uint32_t BuildBlock(DecodeCache& cache, uint32_t start_idx);
 
   MemoryBus* bus_;
   DecodeCache* cache_ = nullptr;

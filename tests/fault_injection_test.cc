@@ -499,5 +499,71 @@ TEST(FaultInjection, MidRunFlashCorruptionIsExecutedFreshNotFromStaleDecodes) {
   EXPECT_EQ(p->fault_info.vm_fault.pc, p->entry_point + 4);
 }
 
+// Same scenario under the batch engine with superblocks: the corrupted word sits
+// inside a hot chained block, so the ProgramFlash observer must drop the whole
+// block (not just the word) for the garbage to be refetched. The run must be
+// bit-identical to the per-insn reference engine — same fault, same pc, same
+// instruction and cycle counts — and the terminal fault must settle the
+// vm.cache_bytes gauge back to zero (ReleaseVmCache on the death path).
+TEST(FaultInjection, MidRunFlashCorruptionUnderSuperblocksMatchesPerInsnEngine) {
+  struct Outcome {
+    uint64_t instructions = 0;
+    uint64_t syscalls = 0;
+    uint64_t cycles = 0;
+    ProcessState state = ProcessState::kUnstarted;
+    VmFault fault;
+    uint64_t blocks_invalidated = 0;
+    uint64_t cache_bytes = 0;
+  };
+  auto run = [](bool batch_engine) {
+    BoardConfig config;
+    config.kernel.enable_threaded_dispatch = batch_engine;
+    config.kernel.enable_superblocks = batch_engine;
+    SimBoard board(config);
+    AppSpec worker;
+    worker.name = "worker";
+    worker.source = kWorkerApp;
+    EXPECT_NE(board.installer().Install(worker), 0u);
+    EXPECT_EQ(board.Boot(), 1);
+
+    board.Run(100'000);  // warm: blocks built and chained across the loop branch
+    Process* p = board.kernel().process(0);
+    EXPECT_NE(p, nullptr);
+    const uint8_t zeros[4] = {0, 0, 0, 0};
+    EXPECT_TRUE(board.mcu().bus().ProgramFlash(p->entry_point + 4, zeros, 4));
+    board.Run(1'000'000);
+
+    Outcome o;
+    o.instructions = board.kernel().instructions_retired();
+    o.syscalls = board.kernel().stats().SyscallsTotal();
+    o.cycles = board.mcu().CyclesNow();
+    o.state = p->state;
+    o.fault = p->fault_info.vm_fault;
+    o.blocks_invalidated = board.kernel().stats().vm_blocks_invalidated;
+    o.cache_bytes = board.kernel().stats().vm_cache_bytes;
+    return o;
+  };
+
+  Outcome batch = run(true);
+  Outcome perinsn = run(false);
+
+  EXPECT_EQ(batch.state, ProcessState::kFaulted);
+  EXPECT_EQ(batch.fault.kind, VmFault::Kind::kIllegalInstruction);
+  EXPECT_EQ(batch.fault.pc, perinsn.fault.pc);
+  EXPECT_EQ(batch.instructions, perinsn.instructions);
+  EXPECT_EQ(batch.syscalls, perinsn.syscalls);
+  EXPECT_EQ(batch.cycles, perinsn.cycles);
+
+  if (KernelConfig::trace_enabled && KernelConfig::decode_cache_compiled) {
+    // The terminal fault released the tables, settling the gauge to zero.
+    EXPECT_EQ(batch.cache_bytes, 0u);
+    if (DecodeCache::kSuperblocksCompiled) {
+      // At least the corrupted word's block plus the blocks dying with the
+      // released tables.
+      EXPECT_GT(batch.blocks_invalidated, 0u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tock

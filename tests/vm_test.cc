@@ -489,5 +489,206 @@ TEST_F(VmTest, DecodeCacheFaultsMatchUncachedFaults) {
   EXPECT_EQ(last_fault_.pc, uncached_fault.pc);
 }
 
+// ---- Superblocks + batch engine (vm/cpu.cc RunBatch, interpreter v2) --------------------
+
+// Batch-engine analogue of Run(): drives RunBatch until it returns a trap/fault
+// (kOk just means the batch budget was exhausted). Accumulates the chain-hit
+// counter so tests can prove blocks actually chained, not merely built.
+struct BatchRun {
+  StepResult status = StepResult::kOk;
+  uint64_t executed = 0;
+  uint32_t chain_hits = 0;
+};
+
+BatchRun RunBatched(Cpu* cpu, CpuContext& ctx, uint32_t batch_budget = 128,
+                    uint64_t max_total = 100000) {
+  BatchRun out;
+  while (out.executed < max_total) {
+    Cpu::BatchResult b = cpu->RunBatch(ctx, batch_budget, /*superblocks=*/true);
+    out.executed += b.executed;
+    out.chain_hits += b.chain_hits;
+    if (b.status != StepResult::kOk) {
+      out.status = b.status;
+      return out;
+    }
+  }
+  return out;
+}
+
+TEST_F(VmTest, SuperblockExecutionMatchesStepEngine) {
+  Load(kMixedProgram);
+  Cpu stepper(&mcu_.bus());
+  while (stepper.Step(ctx_) == StepResult::kOk) {
+  }
+  CpuContext step_ctx = ctx_;
+  uint64_t step_retired = stepper.instructions_retired();
+
+  Load(kMixedProgram);
+  DecodeCache cache;
+  cache.Configure(kCodeBase, 4096, /*superblocks=*/true);
+  Cpu batch(&mcu_.bus());
+  batch.set_decode_cache(&cache);
+  BatchRun r = RunBatched(&batch, ctx_);
+  ASSERT_EQ(r.status, StepResult::kEcall);
+
+  // Architecturally invisible: same final registers, same pc, same retire count.
+  EXPECT_EQ(ctx_.pc, step_ctx.pc);
+  for (int reg = 0; reg < 32; ++reg) {
+    EXPECT_EQ(ctx_.x[reg], step_ctx.x[reg]) << "x" << reg;
+  }
+  EXPECT_EQ(batch.instructions_retired(), step_retired);
+  if (DecodeCache::kSuperblocksCompiled) {
+    EXPECT_GT(cache.blocks_built(), 0u);
+    EXPECT_GT(r.chain_hits, 0u);  // the loop chains block-to-block across branches
+  }
+}
+
+TEST_F(VmTest, SuperblockMidBlockFlashWriteInvalidatesWholeBlock) {
+  if (!DecodeCache::kSuperblocksCompiled) {
+    GTEST_SKIP() << "built with -DTOCK_SUPERBLOCKS=OFF";
+  }
+  const char* v1 =
+      "_start:\n    li a0, 1\n    li a1, 2\n    li a2, 3\n"
+      "    add a3, a0, a1\n    add a3, a3, a2\n    ecall\n";
+  const char* v2 =
+      "_start:\n    li a0, 1\n    li a1, 2\n    li a2, 7\n"
+      "    add a3, a0, a1\n    add a3, a3, a2\n    ecall\n";
+  Load(v1);
+  DecodeCache cache;
+  cache.Configure(kCodeBase, 4096, /*superblocks=*/true);
+  Cpu cpu(&mcu_.bus());
+  cpu.set_decode_cache(&cache);
+  ASSERT_EQ(RunBatched(&cpu, ctx_).status, StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA3], 6u);
+  ASSERT_GT(cache.live_blocks(), 0u);
+  uint32_t live_before = cache.live_blocks();
+
+  // Reprogram only the `li a2` pair (li expands to two words, so words 4-5) —
+  // the middle of the straight-line block — and invalidate just that range, as
+  // the kernel's ProgramFlash observer would. The whole enclosing block must
+  // drop: a block is all-current or gone.
+  AssembledImage image;
+  ASSERT_TRUE(assembler_.Assemble(v2, kCodeBase, &image));
+  ASSERT_TRUE(mcu_.bus().ProgramFlash(kCodeBase, image.bytes.data(),
+                                      static_cast<uint32_t>(image.bytes.size())));
+  EXPECT_EQ(cache.InvalidateRange(kCodeBase + 16, 8), 1u);
+  EXPECT_EQ(cache.live_blocks(), live_before - 1);
+  EXPECT_EQ(cache.BlockLenAt(0), 0u);
+
+  // Fresh execution re-decodes the stale word and rebuilds the block.
+  ctx_.pc = kCodeBase;
+  ASSERT_EQ(RunBatched(&cpu, ctx_).status, StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA3], 10u);  // 1 + 2 + 7: the new word, not the stale decode
+  EXPECT_EQ(cache.live_blocks(), live_before);
+}
+
+TEST_F(VmTest, SuperblockBranchIntoMiddleBuildsFreshBlock) {
+  if (!DecodeCache::kSuperblocksCompiled) {
+    GTEST_SKIP() << "built with -DTOCK_SUPERBLOCKS=OFF";
+  }
+  // First pass runs _start..beqz as one straight-line block; the second pass
+  // jumps into `mid` — the middle of that block, where no block starts — so the
+  // builder must lay down a fresh block at mid rather than reuse anything.
+  Load(R"(
+_start:
+    li s0, 0
+first:
+    addi s0, s0, 1
+mid:
+    addi s0, s0, 2
+    addi s0, s0, 4
+    beqz x0, check
+check:
+    li t0, 10
+    bltu s0, t0, tomid
+    mv a0, s0
+    ecall
+tomid:
+    j mid
+)");
+  DecodeCache cache;
+  cache.Configure(kCodeBase, 4096, /*superblocks=*/true);
+  Cpu cpu(&mcu_.bus());
+  cpu.set_decode_cache(&cache);
+  BatchRun r = RunBatched(&cpu, ctx_);
+  ASSERT_EQ(r.status, StepResult::kEcall);
+  EXPECT_EQ(ctx_.x[Reg::kA0], 13u);  // 1+2+4 on pass one, +2+4 via mid on pass two
+
+  uint32_t start_idx = (symbols_.at("_start") - kCodeBase) / 4;
+  uint32_t mid_idx = (symbols_.at("mid") - kCodeBase) / 4;
+  EXPECT_EQ(cache.BlockLenAt(start_idx), 6u);  // li (2 words)..beqz, terminator included
+  EXPECT_EQ(cache.BlockLenAt(mid_idx), 3u);    // addi, addi, beqz — built on entry
+}
+
+TEST_F(VmTest, SuperblockFaultInsideBlockMatchesStepEngine) {
+  // The store faults mid-straight-line: the batch engine must report the same
+  // fault at the same pc with the same retire count as the per-insn engine,
+  // leaving identical architectural state.
+  const char* faulty = R"(
+_start:
+    li a0, 1
+    li a1, 2
+    li t3, 0x40000000
+    sw a0, 0(t3)
+    add a2, a0, a1
+    ecall
+)";
+  Load(faulty);
+  ASSERT_EQ(Run(), StepResult::kFault);
+  VmFault step_fault = last_fault_;
+  CpuContext step_ctx = ctx_;
+
+  Load(faulty);
+  DecodeCache cache;
+  cache.Configure(kCodeBase, 4096, /*superblocks=*/true);
+  Cpu cpu(&mcu_.bus());
+  cpu.set_decode_cache(&cache);
+  BatchRun r = RunBatched(&cpu, ctx_);
+  ASSERT_EQ(r.status, StepResult::kFault);
+  EXPECT_EQ(cpu.fault().kind, step_fault.kind);
+  EXPECT_EQ(cpu.fault().detail, step_fault.detail);
+  EXPECT_EQ(cpu.fault().pc, step_fault.pc);
+  EXPECT_EQ(ctx_.pc, step_ctx.pc);
+  for (int reg = 0; reg < 32; ++reg) {
+    EXPECT_EQ(ctx_.x[reg], step_ctx.x[reg]) << "x" << reg;
+  }
+  EXPECT_EQ(r.executed, 7u);  // three 2-word lis + the faulting store (ticked, not retired)
+  EXPECT_EQ(cpu.instructions_retired(), 6u);
+}
+
+TEST_F(VmTest, SuperblockReleaseDropsAllBlocksAndMemory) {
+  Load(kMixedProgram);
+  DecodeCache cache;
+  cache.Configure(kCodeBase, 4096, /*superblocks=*/true);
+  Cpu cpu(&mcu_.bus());
+  cpu.set_decode_cache(&cache);
+  ASSERT_EQ(RunBatched(&cpu, ctx_).status, StepResult::kEcall);
+  CpuContext first_ctx = ctx_;
+  EXPECT_GT(cache.MemoryBytes(), 0u);
+  uint32_t live_before = cache.live_blocks();
+
+  // Release is the restart path: every block dies with the tables, and the
+  // freed cache must miss harmlessly rather than serve stale pointers.
+  EXPECT_EQ(cache.Release(), live_before);
+  EXPECT_EQ(cache.live_blocks(), 0u);
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+  EXPECT_FALSE(cache.IsConfigured());
+  EXPECT_EQ(cache.Lookup(kCodeBase), nullptr);
+  if (DecodeCache::kSuperblocksCompiled) {
+    EXPECT_GT(live_before, 0u);
+  }
+
+  // The cpu still holds the released cache: execution falls back to the checked
+  // bus path and reproduces the identical result.
+  ctx_ = CpuContext{};
+  ctx_.pc = kCodeBase;
+  ctx_.x[Reg::kSp] = kRam + 4096;
+  ASSERT_EQ(RunBatched(&cpu, ctx_).status, StepResult::kEcall);
+  EXPECT_EQ(ctx_.pc, first_ctx.pc);
+  for (int reg = 0; reg < 32; ++reg) {
+    EXPECT_EQ(ctx_.x[reg], first_ctx.x[reg]) << "x" << reg;
+  }
+}
+
 }  // namespace
 }  // namespace tock
