@@ -9,11 +9,25 @@
 //     clamps the epoch to the medium lookahead (4608 cycles) — the conservative
 //     lower bound with maximal cross-board chatter.
 //
+// Two further legs cover the fleet scale-out work (paged memory, work stealing,
+// idle skip):
+//
+//   * memory fleet: a 1,000-board homogeneous fleet sharing one immutable flash
+//     base image, run paged and eager. The hard gate is residency: the paged
+//     fleet must commit >=5x less host memory than the eager baseline, and the
+//     paged total must reconcile exactly against whole 4 KiB pages with every
+//     board holding the same page count (the fleet is homogeneous).
+//   * skewed fleet: 1 hot spinner + 31 duty-cycled boards. Work stealing must
+//     beat static sharding >=1.3x wall-clock at 4 threads (gated only when the
+//     host has >=4 cores; flat on fewer cores is expected, not a failure).
+//
 // Determinism is the hard gate, not a metric: if any board's (cycles, insns,
-// context switches) fingerprint differs between thread counts the bench fails.
+// context switches) fingerprint differs between thread counts — or across
+// paging on/off, idle-skip on/off, steal vs static — the bench fails.
 // The speedup itself is reported for the host it ran on (see host_cores): on a
 // single-core container every thread count collapses to ~1.0x by construction,
 // and the ≥3x-at-4-threads figure materializes only on ≥4-core hosts.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -25,6 +39,9 @@
 #include "bench_json.h"
 #include "board/fleet.h"
 #include "board/sim_board.h"
+#include "hw/memory_map.h"
+#include "hw/paged_mem.h"
+#include "libtock/libtock.h"
 
 namespace {
 
@@ -203,28 +220,200 @@ RunResult RunFleet(bool with_radio, unsigned threads, uint64_t cycles) {
   return r;
 }
 
-bool CheckIdentical(const char* what, const RunResult& base, const RunResult& other,
-                    unsigned threads) {
-  if (base.prints == other.prints) {
+bool CheckIdentical(const char* what, const std::vector<BoardPrint>& base,
+                    const std::vector<BoardPrint>& other) {
+  if (base == other) {
     return true;
   }
-  std::fprintf(stderr, "FAIL: %s fleet diverged between 1 and %u threads\n", what, threads);
-  for (size_t i = 0; i < base.prints.size(); ++i) {
-    if (!(base.prints[i] == other.prints[i])) {
+  std::fprintf(stderr, "FAIL: fleet diverged: %s\n", what);
+  for (size_t i = 0; i < base.size() && i < other.size(); ++i) {
+    if (!(base[i] == other[i])) {
       std::fprintf(stderr,
                    "  board %zu: cycles %llu vs %llu, insns %llu vs %llu, "
                    "ctxsw %llu vs %llu, rx %llu vs %llu\n",
-                   i, (unsigned long long)base.prints[i].cycles,
-                   (unsigned long long)other.prints[i].cycles,
-                   (unsigned long long)base.prints[i].instructions,
-                   (unsigned long long)other.prints[i].instructions,
-                   (unsigned long long)base.prints[i].context_switches,
-                   (unsigned long long)other.prints[i].context_switches,
-                   (unsigned long long)base.prints[i].packets_received,
-                   (unsigned long long)other.prints[i].packets_received);
+                   i, (unsigned long long)base[i].cycles,
+                   (unsigned long long)other[i].cycles,
+                   (unsigned long long)base[i].instructions,
+                   (unsigned long long)other[i].instructions,
+                   (unsigned long long)base[i].context_switches,
+                   (unsigned long long)other[i].context_switches,
+                   (unsigned long long)base[i].packets_received,
+                   (unsigned long long)other[i].packets_received);
     }
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet scale-out legs: paged board memory, work stealing, idle-board skip.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kMemBoards = 1000;
+constexpr uint64_t kMemCycles = 150'000;
+constexpr size_t kSkewBoards = 32;
+constexpr uint64_t kSkewCycles = 6'000'000;
+
+// Duty-cycled workload: a burst of arithmetic, a RAM-counter write, then a sleep
+// several epochs long. The RAM write matters for the memory leg (each board must
+// dirty *some* pages — an all-register app would show a degenerate 0-byte paged
+// fleet) and the sleep matters for the skewed leg (the board is idle-skippable
+// most of the time, so its average cost is a small fraction of the hot board's).
+const char* kDutyApp = R"(
+_start:
+    mv s0, a0
+    li s2, 0x9E37
+loop:
+    li t1, 2000
+inner:
+    addi s1, s1, 1
+    xor s3, s1, s2
+    add s2, s2, s3
+    addi t1, t1, -1
+    bnez t1, inner
+    sw s1, 0(s0)
+    li a0, 60000
+    call sleep_ticks
+    j loop
+)";
+
+struct MemLeg {
+  bool ok = false;
+  uint64_t resident_total = 0;
+  uint64_t resident_min = 0;
+  uint64_t resident_max = 0;
+  std::vector<BoardPrint> prints;
+};
+
+// 1,000 identical boards, radio-less, all adopting ONE immutable flash base
+// image holding the pre-built duty app — the homogeneous-fleet deployment shape.
+// `paged` toggles BoardConfig::paged_mem at runtime, so both legs run the same
+// binary over the same simulated bytes.
+MemLeg RunMemFleet(bool paged, unsigned threads) {
+  tock::FleetConfig fc;
+  fc.threads = threads;
+  fc.slice = 50'000;
+  tock::Fleet fleet(fc);
+
+  auto shared_flash = std::make_shared<std::vector<uint8_t>>(
+      tock::MemoryMap::kFlashSize, uint8_t{0xFF});
+  uint32_t shared_next = tock::SimBoard::kAppFlashBase;
+  {
+    tock::AppSpec duty;
+    duty.name = "duty";
+    duty.source = kDutyApp;
+    std::string error;
+    std::vector<uint8_t> image = tock::BuildAppImage(
+        duty, shared_next, tock::SimBoard::kDeviceKey, &error);
+    if (image.empty() ||
+        shared_next + image.size() > tock::SimBoard::kAppFlashEnd) {
+      std::fprintf(stderr, "duty app build failed: %s\n", error.c_str());
+      return {};
+    }
+    std::copy(image.begin(), image.end(), shared_flash->begin() + shared_next);
+    shared_next += static_cast<uint32_t>(image.size());
+  }
+  const std::shared_ptr<const std::vector<uint8_t>> base = shared_flash;
+
+  std::vector<std::unique_ptr<tock::SimBoard>> boards;
+  boards.reserve(kMemBoards);
+  for (size_t i = 0; i < kMemBoards; ++i) {
+    tock::BoardConfig bc;
+    bc.paged_mem = paged;
+    bc.rng_seed = 0xB0A7 + static_cast<uint32_t>(i);
+    auto board = std::make_unique<tock::SimBoard>(bc);
+    board->mcu().bus().AdoptFlashBase(base);
+    board->installer().set_next_addr(shared_next);
+    if (board->Boot() != 1) {
+      std::fprintf(stderr, "memory fleet: boot failed on board %zu\n", i);
+      return {};
+    }
+    fleet.AddBoard(board.get());
+    boards.push_back(std::move(board));
+  }
+  fleet.AlignClocks();
+  fleet.Run(kMemCycles);
+
+  MemLeg r;
+  r.ok = true;
+  r.resident_min = UINT64_MAX;
+  for (size_t i = 0; i < kMemBoards; ++i) {
+    tock::SimBoard& b = *boards[i];
+    const uint64_t res = b.mcu().bus().resident_bytes();
+    r.resident_total += res;
+    r.resident_min = std::min(r.resident_min, res);
+    r.resident_max = std::max(r.resident_max, res);
+    r.prints.push_back(BoardPrint{b.mcu().CyclesNow(),
+                                  b.kernel().instructions_retired(),
+                                  b.kernel().stats().context_switches, 0});
+  }
+  return r;
+}
+
+struct SkewLeg {
+  bool ok = false;
+  double wall_s = 0.0;
+  uint64_t idle_skips = 0;
+  std::vector<BoardPrint> prints;
+};
+
+// 1 hot board (the all-register spinner, never sleeps) + 31 duty-cycled boards.
+// Under static sharding the hot board's thread also drags its stride-mates;
+// under stealing the other threads drain the cheap boards while one thread works
+// the hot one. Every (threads, steal, idle_skip, paged) combination must produce
+// the same per-board fingerprints.
+SkewLeg RunSkewFleet(unsigned threads, bool steal, bool idle_skip, bool paged) {
+  tock::FleetConfig fc;
+  fc.threads = threads;
+  fc.steal = steal;
+  fc.idle_skip = idle_skip;
+  fc.slice = 20'000;
+  tock::Fleet fleet(fc);
+
+  std::vector<std::unique_ptr<tock::SimBoard>> boards;
+  boards.reserve(kSkewBoards);
+  for (size_t i = 0; i < kSkewBoards; ++i) {
+    tock::BoardConfig bc;
+    bc.paged_mem = paged;
+    bc.rng_seed = 0x5CE1 + static_cast<uint32_t>(i);
+    auto board = std::make_unique<tock::SimBoard>(bc);
+    tock::AppSpec app;
+    if (i == 0) {
+      app.name = "hot";
+      app.source = kComputeApp;
+      app.include_runtime = false;
+    } else {
+      app.name = "duty";
+      app.source = kDutyApp;
+    }
+    if (board->installer().Install(app) == 0) {
+      std::fprintf(stderr, "skewed fleet setup failed: %s\n",
+                   board->installer().error().c_str());
+      return {};
+    }
+    if (board->Boot() != 1) {
+      std::fprintf(stderr, "skewed fleet: boot failed on board %zu\n", i);
+      return {};
+    }
+    fleet.AddBoard(board.get());
+    boards.push_back(std::move(board));
+  }
+  fleet.AlignClocks();
+
+  auto start = std::chrono::steady_clock::now();
+  fleet.Run(kSkewCycles);
+  auto stop = std::chrono::steady_clock::now();
+
+  SkewLeg r;
+  r.ok = true;
+  r.wall_s = std::chrono::duration<double>(stop - start).count();
+  r.idle_skips = fleet.Stats().aggregate.fleet_idle_skips;
+  for (size_t i = 0; i < kSkewBoards; ++i) {
+    tock::SimBoard& b = *boards[i];
+    r.prints.push_back(BoardPrint{b.mcu().CyclesNow(),
+                                  b.kernel().instructions_retired(),
+                                  b.kernel().stats().context_switches, 0});
+  }
+  return r;
 }
 
 }  // namespace
@@ -245,14 +434,15 @@ int main(int argc, char** argv) {
     }
   }
   // Per-board results must be bit-identical no matter how the fleet was sharded.
-  if (!CheckIdentical("compute", compute[0], compute[1], 2) ||
-      !CheckIdentical("compute", compute[0], compute[2], 4)) {
+  if (!CheckIdentical("compute fleet, 1 vs 2 threads", compute[0].prints, compute[1].prints) ||
+      !CheckIdentical("compute fleet, 1 vs 4 threads", compute[0].prints, compute[2].prints)) {
     return 1;
   }
 
   RunResult radio1 = RunFleet(/*with_radio=*/true, 1, kRadioCycles);
   RunResult radio4 = RunFleet(/*with_radio=*/true, 4, kRadioCycles);
-  if (!radio1.ok || !radio4.ok || !CheckIdentical("radio", radio1, radio4, 4)) {
+  if (!radio1.ok || !radio4.ok ||
+      !CheckIdentical("radio fleet, 1 vs 4 threads", radio1.prints, radio4.prints)) {
     return 1;
   }
   if (radio1.packets_received == 0) {
@@ -297,5 +487,121 @@ int main(int argc, char** argv) {
   reporter.Record("radio_fleet_packets_delivered",
                   static_cast<double>(radio1.packets_received), "packets");
   reporter.Record("deterministic_across_threads", 1.0, "bool");
+
+  // ---- Memory fleet: 1,000 homogeneous boards, paged vs eager ----
+  std::printf("\n==== Memory fleet: %zu homogeneous boards, paged vs eager ====\n\n",
+              kMemBoards);
+  MemLeg mem_paged = RunMemFleet(/*paged=*/true, /*threads=*/4);
+  MemLeg mem_eager = RunMemFleet(/*paged=*/false, /*threads=*/4);
+  if (!mem_paged.ok || !mem_eager.ok) {
+    return 1;
+  }
+  // Paging must be invisible to the simulation.
+  if (!CheckIdentical("memory fleet, paged vs eager", mem_paged.prints,
+                      mem_eager.prints)) {
+    return 1;
+  }
+  const double mib = 1024.0 * 1024.0;
+  std::printf("  eager resident: %8.2f MiB (%zu boards x flash+RAM)\n",
+              mem_eager.resident_total / mib, kMemBoards);
+  std::printf("  paged resident: %8.2f MiB (%llu pages/board x 4 KiB)\n",
+              mem_paged.resident_total / mib,
+              (unsigned long long)(mem_paged.resident_max / tock::PagedBank::kPageSize));
+  if (tock::PagedBank::kCompiled) {
+    // Reconcile the gauge against whole pages: a homogeneous fleet must hold the
+    // same private page count on every board, and the total must be exactly
+    // boards x that count x 4 KiB — anything else means the residency gauge
+    // drifted from the pages actually committed.
+    if (mem_paged.resident_min != mem_paged.resident_max ||
+        mem_paged.resident_max % tock::PagedBank::kPageSize != 0 ||
+        mem_paged.resident_total != kMemBoards * mem_paged.resident_max) {
+      std::fprintf(stderr,
+                   "FAIL: paged residency does not reconcile against page counts "
+                   "(min %llu, max %llu, total %llu)\n",
+                   (unsigned long long)mem_paged.resident_min,
+                   (unsigned long long)mem_paged.resident_max,
+                   (unsigned long long)mem_paged.resident_total);
+      return 1;
+    }
+    if (mem_paged.resident_total == 0 ||
+        mem_eager.resident_total < 5 * mem_paged.resident_total) {
+      std::fprintf(stderr,
+                   "FAIL: paged fleet not >=5x smaller than eager (%llu vs %llu bytes)\n",
+                   (unsigned long long)mem_paged.resident_total,
+                   (unsigned long long)mem_eager.resident_total);
+      return 1;
+    }
+    std::printf("  reduction: %.1fx (gate: >=5x)\n",
+                (double)mem_eager.resident_total / (double)mem_paged.resident_total);
+  } else {
+    std::printf("  note: TOCK_PAGED_MEM=OFF — both legs eager, residency gate skipped\n");
+  }
+
+  // ---- Skewed fleet: work stealing vs static sharding ----
+  std::printf("\n==== Skewed fleet: 1 hot + %zu duty-cycled boards ====\n\n",
+              kSkewBoards - 1);
+  const bool paged_default = tock::PagedBank::kCompiled;
+  SkewLeg skew_base = RunSkewFleet(1, /*steal=*/true, /*idle_skip=*/true, paged_default);
+  SkewLeg skew_steal4 = RunSkewFleet(4, /*steal=*/true, /*idle_skip=*/true, paged_default);
+  SkewLeg skew_static4 = RunSkewFleet(4, /*steal=*/false, /*idle_skip=*/true, paged_default);
+  SkewLeg skew_noskip = RunSkewFleet(1, /*steal=*/true, /*idle_skip=*/false, paged_default);
+  SkewLeg skew_eager = RunSkewFleet(1, /*steal=*/true, /*idle_skip=*/true, /*paged=*/false);
+  if (!skew_base.ok || !skew_steal4.ok || !skew_static4.ok || !skew_noskip.ok ||
+      !skew_eager.ok) {
+    return 1;
+  }
+  // The full determinism matrix: thread count x steal x idle-skip x paging.
+  if (!CheckIdentical("skewed fleet, stealing 1 vs 4 threads", skew_base.prints,
+                      skew_steal4.prints) ||
+      !CheckIdentical("skewed fleet, steal vs static at 4 threads", skew_base.prints,
+                      skew_static4.prints) ||
+      !CheckIdentical("skewed fleet, idle-skip on vs off", skew_base.prints,
+                      skew_noskip.prints) ||
+      !CheckIdentical("skewed fleet, paged vs eager", skew_base.prints,
+                      skew_eager.prints)) {
+    return 1;
+  }
+  // Idle skip must actually engage on the duty-cycled boards (and only when on).
+  if (skew_base.idle_skips == 0 || skew_noskip.idle_skips != 0) {
+    std::fprintf(stderr, "FAIL: idle-skip counters wrong (on: %llu, off: %llu)\n",
+                 (unsigned long long)skew_base.idle_skips,
+                 (unsigned long long)skew_noskip.idle_skips);
+    return 1;
+  }
+  const double steal_speedup = skew_static4.wall_s / skew_steal4.wall_s;
+  std::printf("  static sharding, 4 threads: %8.2f s\n", skew_static4.wall_s);
+  std::printf("  work stealing,   4 threads: %8.2f s  (%.2fx vs static)\n",
+              skew_steal4.wall_s, steal_speedup);
+  std::printf("  idle skips (1-thread base): %llu epochs fast-forwarded\n",
+              (unsigned long long)skew_base.idle_skips);
+  if (host_cores >= 4) {
+    if (steal_speedup < 1.3) {
+      std::fprintf(stderr,
+                   "FAIL: work stealing only %.2fx vs static sharding on a %u-core "
+                   "host (gate: >=1.3x)\n",
+                   steal_speedup, host_cores);
+      return 1;
+    }
+  } else {
+    std::printf("  note: only %u host core(s) — steal-vs-static speedup is flat by "
+                "construction; the >=1.3x gate applies on >=4-core hosts\n",
+                host_cores);
+  }
+
+  reporter.Record("mem_fleet_boards", static_cast<double>(kMemBoards), "boards");
+  reporter.Record("mem_fleet_resident_eager_bytes",
+                  static_cast<double>(mem_eager.resident_total), "bytes");
+  reporter.Record("mem_fleet_resident_paged_bytes",
+                  static_cast<double>(mem_paged.resident_total), "bytes");
+  if (tock::PagedBank::kCompiled && mem_paged.resident_total != 0) {
+    reporter.Record("mem_fleet_reduction",
+                    static_cast<double>(mem_eager.resident_total) /
+                        static_cast<double>(mem_paged.resident_total),
+                    "x");
+  }
+  reporter.Record("skew_fleet_steal_speedup_4t", steal_speedup, "x");
+  reporter.Record("skew_fleet_idle_skips", static_cast<double>(skew_base.idle_skips),
+                  "epochs");
+  reporter.Record("deterministic_across_modes", 1.0, "bool");
   return 0;
 }

@@ -42,6 +42,18 @@ void Fleet::StepBoard(size_t i, uint64_t epoch_end) {
   if (board->mcu().CyclesNow() >= target) {
     return;
   }
+  // Idle fast-forward: a board that is provably quiescent until `target` — and
+  // whose radio inbox holds no un-pumped frame (belt and braces: the lookahead
+  // clamp already guarantees in-flight frames deliver at or past epoch_end) —
+  // skips the kernel main loop entirely. TryIdleFastForward replays the one
+  // main-loop pass stepping would have made, byte for byte, so simulated state
+  // is bit-identical either way; only the host-only fleet.idle_skips counter
+  // records that the shortcut was taken.
+  if (config_.idle_skip && board->radio_hw().InboxEmpty() &&
+      board->kernel().TryIdleFastForward(target, board->main_cap())) {
+    board->OnEpochBarrier();
+    return;
+  }
   board->kernel().MainLoop(target, board->main_cap());
   // A wedged (or panicked) board stalls short of the target; peers may still
   // address radio frames to it, so force the clock forward to preserve lockstep.
@@ -122,16 +134,32 @@ void Fleet::Run(uint64_t cycles) {
     return;
   }
 
-  // Sharded run. Static board→thread assignment (board i belongs to thread
-  // i % threads) and two barriers per epoch: `gate` publishes the epoch plan to
-  // the workers, `done` hands the quiesced boards back to the coordinator for
+  // Sharded run. Two board→thread assignment modes — work-stealing (default):
+  // every thread claims the next unstepped board with an atomic fetch-add, so a
+  // thread whose boards all idle-skip keeps pulling work instead of idling at
+  // the barrier behind a hot shard; static: board i belongs to thread
+  // i % threads (bench baseline). Either way there are two barriers per epoch:
+  // `gate` publishes the epoch plan (and the reset steal cursor) to the
+  // workers, `done` hands the quiesced boards back to the coordinator for
   // supervision. The barriers are also the happens-before edges that make the
   // mailbox handoff race-free: every Enqueue in epoch k is ordered before every
-  // PumpInbox in epoch k+1.
+  // PumpInbox in epoch k+1. Which thread steps a board never affects simulated
+  // state — boards are only touched between the barriers by their claiming
+  // thread, and cross-board delivery is ordered by the frame's
+  // (deliver_at, sender, seq) key — so stealing keeps runs bit-identical.
   uint64_t epoch_end = 0;
   bool stop = false;
+  const bool steal = config_.steal;
   std::barrier gate(static_cast<std::ptrdiff_t>(threads));
   std::barrier done(static_cast<std::ptrdiff_t>(threads));
+
+  auto step_claimed = [&] {
+    size_t i;
+    while ((i = next_board_.fetch_add(1, std::memory_order_relaxed)) <
+           boards_.size()) {
+      StepBoard(i, epoch_end);
+    }
+  };
 
   std::vector<std::thread> workers;
   workers.reserve(threads - 1);
@@ -142,8 +170,12 @@ void Fleet::Run(uint64_t cycles) {
         if (stop) {
           return;
         }
-        for (size_t i = w; i < boards_.size(); i += threads) {
-          StepBoard(i, epoch_end);
+        if (steal) {
+          step_claimed();
+        } else {
+          for (size_t i = w; i < boards_.size(); i += threads) {
+            StepBoard(i, epoch_end);
+          }
         }
         done.arrive_and_wait();
       }
@@ -152,9 +184,17 @@ void Fleet::Run(uint64_t cycles) {
 
   for (uint64_t t = start; t < end;) {
     epoch_end = std::min(t + slice, end);
+    // Relaxed is enough: the gate barrier below publishes the reset to the
+    // workers, and the previous done barrier ordered their last claims before
+    // this store.
+    next_board_.store(0, std::memory_order_relaxed);
     gate.arrive_and_wait();
-    for (size_t i = 0; i < boards_.size(); i += threads) {
-      StepBoard(i, epoch_end);
+    if (steal) {
+      step_claimed();
+    } else {
+      for (size_t i = 0; i < boards_.size(); i += threads) {
+        StepBoard(i, epoch_end);
+      }
     }
     done.arrive_and_wait();
     // Single-threaded at the barrier: supervision decisions are made on quiesced

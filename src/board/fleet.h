@@ -19,6 +19,7 @@
 #ifndef TOCK_BOARD_FLEET_H_
 #define TOCK_BOARD_FLEET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -29,9 +30,25 @@
 namespace tock {
 
 struct FleetConfig {
-  // Host threads stepping boards. Boards are statically sharded round-robin
-  // (board i belongs to thread i % threads); results are identical for any value.
+  // Host threads stepping boards. With `steal` (the default) threads claim
+  // boards from a shared per-epoch queue; otherwise boards are statically
+  // sharded round-robin (board i belongs to thread i % threads). Results are
+  // bit-identical for any value of `threads` and either assignment mode.
   unsigned threads = 1;
+  // Work-stealing board assignment. Each epoch every thread claims the next
+  // unstepped board with an atomic fetch-add, so a thread that drew only idle
+  // boards keeps pulling work instead of waiting at the barrier behind a hot
+  // shard. Legal because board state only crosses threads at the epoch
+  // barriers, and cross-board delivery is ordered by the frame's
+  // (deliver_at, sender attach index, seq) key — never by which host thread
+  // stepped the receiver. `false` restores static sharding (bench baseline).
+  bool steal = true;
+  // Idle-board fast-forward: a board that is provably quiescent for a whole
+  // epoch (no pending IRQ/deferred call/schedulable process, next clock event
+  // at or past the epoch end, radio inbox empty) advances its clock without
+  // entering the kernel main loop. Bit-identical to stepping — counted in
+  // fleet.idle_skips (host-only; excluded from golden stat dumps).
+  bool idle_skip = true;
   // Radio channel to drive in deferred (mailbox) mode. nullptr = the fleet owns
   // a private medium; World (board/sim_board.h) passes its own.
   RadioMedium* medium = nullptr;
@@ -121,7 +138,8 @@ class Fleet {
 
  private:
   // Steps one board through [its now, min(epoch_end, its target)): pump radio
-  // mailbox, run the kernel, force-advance a wedged clock to keep lockstep.
+  // mailbox, fast-forward if provably idle, otherwise run the kernel;
+  // force-advance a wedged clock to keep lockstep.
   void StepBoard(size_t i, uint64_t epoch_end);
   // Barrier-time supervision for one board (single-threaded).
   void Supervise(size_t i);
@@ -132,6 +150,9 @@ class Fleet {
   std::vector<SimBoard*> boards_;
   std::vector<BoardHealth> health_;
   std::vector<uint64_t> targets_;  // per-board absolute run targets
+  // Work-stealing epoch queue: reset to 0 by the coordinator before each epoch
+  // gate; every thread (coordinator included) claims boards with fetch_add.
+  std::atomic<size_t> next_board_{0};
 };
 
 }  // namespace tock

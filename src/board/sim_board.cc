@@ -64,6 +64,9 @@ SimBoard::BusWiring::BusWiring(SimBoard& board) {
 
 SimBoard::SimBoard(const BoardConfig& config)
     : config_(ApplySchedulerEnv(config)),
+      // Memory backing mode is a board-construction choice (runtime knob so one
+      // binary can benchmark paged vs eager fleets side by side).
+      mcu_(config_.paged_mem),
       // Hardware peripherals, attached to the bus below.
       uart_hw_(&mcu_.clock(), &mcu_.bus(), Line(mcu_, MemoryMap::kUart0)),
       uart1_hw_(&mcu_.clock(), &mcu_.bus(), Line(mcu_, MemoryMap::kUart1)),
@@ -203,20 +206,23 @@ void SimBoard::Run(uint64_t cycles) {
     kernel_.MainLoop(mcu_.CyclesNow() + cycles, main_cap_);
     return;
   }
-  // Chunked so the trace artifact on disk is never more than one flush period
-  // stale. Chunk deadlines bound sleep fast-forwards, so a sleep spanning a
-  // boundary records as two kSleep events — documented at the config knob.
+  // Step against the FULL deadline and flush whenever the post-step clock
+  // passes the next flush point. Because no step ever sees a shortened
+  // deadline, idle sleeps fast-forward exactly as in an unflushed run and the
+  // recorded trace is identical — flushing only chooses when the artifact is
+  // rewritten, never how the simulation advances.
   const uint64_t deadline = mcu_.CyclesNow() + cycles;
+  uint64_t next_flush = mcu_.CyclesNow() + config_.trace_export_flush_cycles;
   while (mcu_.CyclesNow() < deadline) {
-    const uint64_t remaining = deadline - mcu_.CyclesNow();
-    const uint64_t chunk = std::min(remaining, config_.trace_export_flush_cycles);
-    const uint64_t chunk_end = mcu_.CyclesNow() + chunk;
-    kernel_.MainLoop(chunk_end, main_cap_);
-    FlushTraceArtifact();
-    if (mcu_.CyclesNow() < chunk_end) {
-      break;  // wedged: MainLoop gave up before the deadline
+    if (!kernel_.MainLoopStep(main_cap_, deadline)) {
+      break;  // wedged: nothing runnable and no future hardware event
+    }
+    if (mcu_.CyclesNow() >= next_flush) {
+      FlushTraceArtifact();
+      next_flush = mcu_.CyclesNow() + config_.trace_export_flush_cycles;
     }
   }
+  FlushTraceArtifact();
 }
 
 void SimBoard::OnEpochBarrier() {

@@ -71,6 +71,13 @@ struct OtaBoardConfig {
 
 struct BoardConfig {
   KernelConfig kernel;
+  // Back this board's flash/RAM with 4 KiB copy-on-write pages (hw/paged_mem.h):
+  // flash pages reference a fleet-shared immutable base image until first write,
+  // RAM pages materialize on first write. Defaults to the build-wide setting
+  // (-DTOCK_PAGED_MEM); the runtime knob exists so benchmarks can compare paged
+  // and eager boards inside one binary. Simulated behavior is bit-identical
+  // either way — only host memory usage (mem.resident_bytes) differs.
+  bool paged_mem = PagedBank::kCompiled;
   uint32_t rng_seed = 0xC0FFEE;
   uint16_t radio_addr = 1;
   RadioMedium* medium = nullptr;  // attach to a shared radio medium (multi-board)
@@ -89,9 +96,9 @@ struct BoardConfig {
   // When nonzero, the trace export is also rewritten (atomically, via a tmp
   // file + rename) at least every this many simulated cycles while the board
   // runs, so a killed or wedged run still leaves a valid JSON artifact.
-  // Applies to Run() (which then steps in flush-sized chunks — note a sleep
-  // spanning a chunk boundary records as two kSleep events, so golden-trace
-  // runs leave this 0) and to fleet epoch barriers (which never chunk).
+  // Applies to Run() (which then flushes between main-loop steps — the steps
+  // run against the full deadline, so the recorded trace is identical to an
+  // unflushed run) and to fleet epoch barriers.
   uint64_t trace_export_flush_cycles = 0;
   // Live telemetry publisher for this board (one block of a TelemetryRegion,
   // kernel/telemetry.h). The board attaches its kernel to it and feeds it from

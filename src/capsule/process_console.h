@@ -138,7 +138,8 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
                     "upcalls q %llu d %llu s %llu x %llu  grants %llu/%lluB\n"
                     "sleep %llu cycles in %llu entries\n"
                     "telemetry %llu emitted %llu dropped %llu suppressed\n"
-                    "vm blocks %llu built %llu inval  chain %llu  cache %lluB\n",
+                    "vm blocks %llu built %llu inval  chain %llu  cache %lluB\n"
+                    "mem resident %lluB  idle skips %llu\n",
                     (unsigned long long)s.SyscallsTotal(),
                     (unsigned long long)s.context_switches,
                     (unsigned long long)s.mpu_reprograms,
@@ -157,7 +158,9 @@ class ProcessConsole : public hil::UartReceiveClient, public hil::UartTransmitCl
                     (unsigned long long)s.vm_blocks_built,
                     (unsigned long long)s.vm_blocks_invalidated,
                     (unsigned long long)s.vm_block_chain_hits,
-                    (unsigned long long)s.vm_cache_bytes);
+                    (unsigned long long)s.vm_cache_bytes,
+                    (unsigned long long)s.mem_resident_bytes,
+                    (unsigned long long)s.fleet_idle_skips);
       Emit(out);
       return;
     }

@@ -29,12 +29,12 @@ std::optional<uint32_t> MemoryBus::Read(uint32_t addr, unsigned size, Privilege 
   }
   if (InRam(addr, size)) {
     uint32_t value = 0;
-    std::memcpy(&value, &ram_[addr - MemoryMap::kRamBase], size);
+    ram_.Read(addr - MemoryMap::kRamBase, &value, size);
     return value;
   }
   if (InFlash(addr, size)) {
     uint32_t value = 0;
-    std::memcpy(&value, &flash_[addr - MemoryMap::kFlashBase], size);
+    flash_.Read(addr - MemoryMap::kFlashBase, &value, size);
     return value;
   }
   uint32_t offset = 0;
@@ -56,7 +56,7 @@ bool MemoryBus::Write(uint32_t addr, uint32_t value, unsigned size, Privilege pr
     return Fault(BusFaultKind::kMpuViolation, addr, AccessType::kWrite);
   }
   if (InRam(addr, size)) {
-    std::memcpy(&ram_[addr - MemoryMap::kRamBase], &value, size);
+    ram_.Write(addr - MemoryMap::kRamBase, &value, size);
     return true;
   }
   if (InFlash(addr, size)) {
@@ -85,12 +85,12 @@ std::optional<uint32_t> MemoryBus::Fetch(uint32_t addr, Privilege priv) {
   }
   if (InRam(addr, 4)) {
     uint32_t value = 0;
-    std::memcpy(&value, &ram_[addr - MemoryMap::kRamBase], 4);
+    ram_.Read(addr - MemoryMap::kRamBase, &value, 4);
     return value;
   }
   if (InFlash(addr, 4)) {
     uint32_t value = 0;
-    std::memcpy(&value, &flash_[addr - MemoryMap::kFlashBase], 4);
+    flash_.Read(addr - MemoryMap::kFlashBase, &value, 4);
     return value;
   }
   Fault(BusFaultKind::kUnmapped, addr, AccessType::kExecute);
@@ -99,11 +99,11 @@ std::optional<uint32_t> MemoryBus::Fetch(uint32_t addr, Privilege priv) {
 
 bool MemoryBus::ReadBlock(uint32_t addr, uint8_t* out, uint32_t len) {
   if (InRam(addr, len)) {
-    std::memcpy(out, &ram_[addr - MemoryMap::kRamBase], len);
+    ram_.Read(addr - MemoryMap::kRamBase, out, len);
     return true;
   }
   if (InFlash(addr, len)) {
-    std::memcpy(out, &flash_[addr - MemoryMap::kFlashBase], len);
+    flash_.Read(addr - MemoryMap::kFlashBase, out, len);
     return true;
   }
   return false;
@@ -111,7 +111,7 @@ bool MemoryBus::ReadBlock(uint32_t addr, uint8_t* out, uint32_t len) {
 
 bool MemoryBus::WriteBlock(uint32_t addr, const uint8_t* data, uint32_t len) {
   if (InRam(addr, len)) {
-    std::memcpy(&ram_[addr - MemoryMap::kRamBase], data, len);
+    ram_.Write(addr - MemoryMap::kRamBase, data, len);
     return true;
   }
   return false;
@@ -121,11 +121,44 @@ bool MemoryBus::ProgramFlash(uint32_t addr, const uint8_t* data, uint32_t len) {
   if (!InFlash(addr, len)) {
     return false;
   }
-  std::memcpy(&flash_[addr - MemoryMap::kFlashBase], data, len);
+  flash_.Write(addr - MemoryMap::kFlashBase, data, len);
   if (flash_observer_ != nullptr) {
     flash_observer_->OnFlashProgrammed(addr, len);
   }
   return true;
+}
+
+bool MemoryBus::FlashWriteRaw(uint32_t addr, const uint8_t* data, uint32_t len) {
+  if (!InFlash(addr, len)) {
+    return false;
+  }
+  flash_.Write(addr - MemoryMap::kFlashBase, data, len);
+  return true;
+}
+
+bool MemoryBus::ResetRam(uint32_t addr, uint32_t len) {
+  if (!InRam(addr, len)) {
+    return false;
+  }
+  ram_.ResetRange(addr - MemoryMap::kRamBase, len);
+  return true;
+}
+
+uint8_t* MemoryBus::RamWritePtr(uint32_t addr, uint32_t len) {
+  if (!InRam(addr, len)) {
+    return nullptr;
+  }
+  return ram_.ContiguousWrite(addr - MemoryMap::kRamBase, len);
+}
+
+const uint8_t* MemoryBus::MemReadPtr(uint32_t addr, uint32_t len) {
+  if (InRam(addr, len)) {
+    return ram_.ContiguousRead(addr - MemoryMap::kRamBase, len);
+  }
+  if (InFlash(addr, len)) {
+    return flash_.ContiguousRead(addr - MemoryMap::kFlashBase, len);
+  }
+  return nullptr;
 }
 
 }  // namespace tock

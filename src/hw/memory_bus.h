@@ -4,15 +4,22 @@
 // simulated userspace VM flows through CheckedRead/CheckedWrite, which is what makes
 // process isolation (§2.3) *actually enforced* in this reproduction rather than
 // assumed.
+//
+// Backing storage is 4 KiB-paged copy-on-write (hw/paged_mem.h): flash pages can
+// resolve from a fleet-shared immutable base image, RAM pages are zero-backed until
+// first write. Paging is invisible to the simulation — only the host-side
+// resident_bytes() gauge can tell the difference.
 #ifndef TOCK_HW_MEMORY_BUS_H_
 #define TOCK_HW_MEMORY_BUS_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "hw/memory_map.h"
 #include "hw/mpu.h"
+#include "hw/paged_mem.h"
 
 namespace tock {
 
@@ -53,8 +60,10 @@ struct BusFault {
 
 class MemoryBus {
  public:
-  explicit MemoryBus(Mpu* mpu)
-      : mpu_(mpu), flash_(MemoryMap::kFlashSize, 0xFF), ram_(MemoryMap::kRamSize, 0) {}
+  explicit MemoryBus(Mpu* mpu, bool paged = PagedBank::kCompiled)
+      : mpu_(mpu),
+        flash_(MemoryMap::kFlashSize, 0xFF, paged),
+        ram_(MemoryMap::kRamSize, 0x00, paged) {}
 
   // Registers `device` at the given peripheral slot.
   void AttachDevice(MemoryMap::Slot slot, MmioDevice* device);
@@ -80,7 +89,30 @@ class MemoryBus {
   // may write flash contents; it does so through this method after modelling the
   // program/erase latency.
   bool ProgramFlash(uint32_t addr, const uint8_t* data, uint32_t len);
+  // Host-side raw flash patch that deliberately bypasses the flash-write observer
+  // (no decode-cache invalidation). Test fixtures use it to plant stale bytes under
+  // a cache and prove the *other* invalidation paths catch them.
+  bool FlashWriteRaw(uint32_t addr, const uint8_t* data, uint32_t len);
   // TRUSTED-END
+
+  // Shares an immutable flash base image across a fleet: boards flashed from the
+  // same TBF set keep COW references into one copy until OTA/ProgramFlash diverges
+  // them. Must be exactly kFlashSize bytes. Call before the board runs.
+  void AdoptFlashBase(std::shared_ptr<const std::vector<uint8_t>> image) {
+    flash_.AdoptBase(std::move(image));
+  }
+
+  // Resets a RAM range to zeros, releasing fully covered private pages back to
+  // the shared backing. Process restart uses this to return the quota's pages.
+  // Returns false if the range leaves RAM.
+  bool ResetRam(uint32_t addr, uint32_t len);
+
+  // Borrowed-pointer accessors for the kernel's zero-copy translation fast path.
+  // Valid only while no other bus mutation happens; nullptr when the range spans
+  // a 4 KiB page line in paged mode (callers bounce via ReadBlock/WriteBlock) or
+  // leaves mapped memory.
+  uint8_t* RamWritePtr(uint32_t addr, uint32_t len);
+  const uint8_t* MemReadPtr(uint32_t addr, uint32_t len);
 
   // At most one observer (the kernel); nullptr detaches.
   void set_flash_observer(FlashWriteObserver* observer) { flash_observer_ = observer; }
@@ -90,9 +122,12 @@ class MemoryBus {
 
   Mpu* mpu() { return mpu_; }
 
-  // Raw backing stores, for loaders and test fixtures.
-  std::vector<uint8_t>& flash() { return flash_; }
-  std::vector<uint8_t>& ram() { return ram_; }
+  // Host memory committed to this board's flash+RAM: private pages only in paged
+  // mode (shared base-image and fill pages ride free), the full banks otherwise.
+  uint64_t resident_bytes() const {
+    return flash_.resident_bytes() + ram_.resident_bytes();
+  }
+  bool paged() const { return flash_.paged(); }
 
   // Counters for the MMIO-cost experiments.
   uint64_t mmio_accesses() const { return mmio_accesses_; }
@@ -114,8 +149,8 @@ class MemoryBus {
   }
 
   Mpu* mpu_;
-  std::vector<uint8_t> flash_;
-  std::vector<uint8_t> ram_;
+  PagedBank flash_;
+  PagedBank ram_;
   MmioDevice* devices_[MemoryMap::kNumSlots] = {};
   FlashWriteObserver* flash_observer_ = nullptr;
   BusFault last_fault_;

@@ -147,6 +147,15 @@ class Radio : public MmioDevice {
   // single-threaded immediate mode.
   void PumpInbox();
 
+  // Owner side: true when no frame is waiting in the inbound mailbox. Pumped
+  // (pending_) frames do not count — they have delivery events armed on this
+  // board's clock, so the kernel's quiescence check already covers them. The
+  // fleet's idle-skip path uses this to prove an epoch has no radio work.
+  bool InboxEmpty() {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    return inbox_.empty();
+  }
+
   uint16_t node_addr() const { return static_cast<uint16_t>(node_addr_); }
   SimClock* clock() { return clock_; }
 

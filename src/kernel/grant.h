@@ -26,6 +26,9 @@ template <typename T>
 class Grant {
   static_assert(std::is_trivially_destructible_v<T>,
                 "grant state is reclaimed without destruction when a process dies");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "grant state lives in simulated RAM and may bounce through a copy "
+                "when the allocation straddles a 4 KiB page line");
 
  public:
   Grant() : kernel_(nullptr), grant_id_(0) {}
@@ -43,12 +46,15 @@ class Grant {
       return Result<void>(ErrorCode::kFail);
     }
     bool first_time = false;
-    void* mem = kernel_->GrantEnterRaw(pid, grant_id_, sizeof(T), alignof(T), &first_time);
-    if (mem == nullptr) {
+    uint32_t addr =
+        kernel_->GrantEnterResolve(pid, grant_id_, sizeof(T), alignof(T), &first_time);
+    if (addr == 0) {
       return Result<void>(kernel_->IsAlive(pid) ? ErrorCode::kNoMem : ErrorCode::kInvalid);
     }
-    T* state = first_time ? new (mem) T() : static_cast<T*>(mem);
-    fn(*state);
+    kernel_->WithRamBytes(addr, sizeof(T), [&](uint8_t* mem) {
+      T* state = first_time ? new (mem) T() : reinterpret_cast<T*>(mem);
+      fn(*state);
+    });
     return Result<void>::Ok();
   }
 

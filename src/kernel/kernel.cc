@@ -214,6 +214,11 @@ Result<void> Kernel::RestartProcess(ProcessId pid, const ProcessManagementCapabi
                          p->grant_bytes_live);
   trace_.ClearProcessProfile(p->id.index);
   ReleaseVmCache(*p);
+  // The reclaimed grant region is dead memory — grant_ptrs are cleared and the
+  // app can never reach above its break — so zero it now, releasing its private
+  // pages back to the shared backing. App-accessible RAM deliberately persists
+  // across restarts (ExitRestartRunsAgainWithBumpedGeneration pins that).
+  mcu_->bus().ResetRam(p->grant_break, p->ram_start + p->ram_size - p->grant_break);
   p->ResetForRestart();
   p->SetBreak(p->initial_break);
   InitProcessContext(*p);
@@ -298,36 +303,33 @@ size_t Kernel::NumLiveProcesses() const {
 // ---- Memory translation --------------------------------------------------------------
 
 uint8_t* Kernel::TranslateRam(uint32_t addr) {
-  auto& ram = mcu_->bus().ram();
-  assert(addr >= MemoryMap::kRamBase && addr - MemoryMap::kRamBase < ram.size());
-  return &ram[addr - MemoryMap::kRamBase];
+  uint8_t* p = mcu_->bus().RamWritePtr(addr, 1);
+  assert(p != nullptr);
+  return p;
 }
 
 const uint8_t* Kernel::TranslateMem(uint32_t addr) {
-  if (addr >= MemoryMap::kRamBase) {
-    return TranslateRam(addr);
-  }
-  auto& flash = mcu_->bus().flash();
-  assert(addr < flash.size());
-  return &flash[addr];
+  const uint8_t* p = mcu_->bus().MemReadPtr(addr, 1);
+  assert(p != nullptr);
+  return p;
 }
 
 // ---- Grants ---------------------------------------------------------------------------
 
-void* Kernel::GrantEnterRaw(ProcessId pid, unsigned grant_id, uint32_t size, uint32_t align,
-                            bool* first_time) {
+uint32_t Kernel::GrantEnterResolve(ProcessId pid, unsigned grant_id, uint32_t size,
+                                   uint32_t align, bool* first_time) {
   Process* p = GetLiveProcess(pid);
   if (p == nullptr || grant_id >= Process::kMaxGrants) {
-    return nullptr;
+    return 0;
   }
   uint32_t addr = p->grant_ptrs[grant_id];
   if (addr == 0) {
     if (fault_injector_ != nullptr && fault_injector_->ShouldFailGrantAlloc(p->id.index)) {
-      return nullptr;  // injected quota exhaustion: indistinguishable from the real one
+      return 0;  // injected quota exhaustion: indistinguishable from the real one
     }
     addr = p->AllocateGrantMemory(size, align);
     if (addr == 0) {
-      return nullptr;  // this process exhausted its own quota; nobody else affected
+      return 0;  // this process exhausted its own quota; nobody else affected
     }
     p->grant_ptrs[grant_id] = addr;
     trace_.RecordGrantAlloc(mcu_->CyclesNow(), p->id.index, size, p->grant_bytes_live);
@@ -335,7 +337,7 @@ void* Kernel::GrantEnterRaw(ProcessId pid, unsigned grant_id, uint32_t size, uin
   } else {
     *first_time = false;
   }
-  return TranslateRam(addr);
+  return addr;
 }
 
 // ---- Deferred calls -------------------------------------------------------------------
@@ -552,6 +554,8 @@ void Kernel::FaultProcess(Process& p, const VmFault& fault) {
   ProcessFaultInfo diagnostics = p.fault_info;
   trace_.RecordGrantFree(now, p.id.index, p.grant_regions_live, p.grant_bytes_live);
   trace_.ClearProcessProfile(p.id.index);
+  // Zero the reclaimed grant region (dead memory), releasing its private pages.
+  mcu_->bus().ResetRam(p.grant_break, p.ram_start + p.ram_size - p.grant_break);
   p.ResetForRestart();            // bumps the generation: stale ProcessIds go dead
   p.fault_info = diagnostics;     // keep the cause visible while restart-pending
   p.state = ProcessState::kRestartPending;
@@ -812,6 +816,9 @@ bool Kernel::HandleSyscall(Process& p) {
         trace_.RecordGrantFree(mcu_->CyclesNow(), p.id.index, p.grant_regions_live,
                                p.grant_bytes_live);
         trace_.ClearProcessProfile(p.id.index);
+        // Zero the reclaimed grant region (dead memory), releasing its pages.
+        mcu_->bus().ResetRam(p.grant_break,
+                             p.ram_start + p.ram_size - p.grant_break);
         p.ResetForRestart();
         p.SetBreak(p.initial_break);
         InitProcessContext(p);
@@ -1042,6 +1049,8 @@ bool Kernel::MainLoopStep(const MainLoopCapability& cap, uint64_t deadline_cycle
   // conservation window); the ambient bucket between scopes is kKernel, so
   // main-loop glue and inter-step board activity stay accounted for.
   trace_.accounting().Begin(mcu_->CyclesNow());
+  // Host-only gauge: what the paged backing store currently has materialized.
+  trace_.SetMemResident(mcu_->bus().resident_bytes());
 
   {
     AcctScope irq_scope(trace_, *mcu_, CycleBucket::kIrq);
@@ -1077,6 +1086,56 @@ void Kernel::MainLoop(uint64_t deadline_cycles, const MainLoopCapability& cap) {
       return;  // wedged: no runnable process and no future hardware event
     }
   }
+}
+
+bool Kernel::IsQuiescedUntil(uint64_t deadline_cycles) {
+  if (panicked_ || mcu_->CyclesNow() >= deadline_cycles) {
+    return false;
+  }
+  if (mcu_->irq().AnyPending()) {
+    return false;
+  }
+  for (size_t i = 0; i < num_deferred_; ++i) {
+    if (deferred_[i].pending) {
+      return false;
+    }
+  }
+  for (const Process& p : processes_) {
+    if (IsSchedulable(p)) {
+      return false;
+    }
+  }
+  // The next hardware event (alarms, restart backoffs, in-flight radio frames —
+  // everything is a clock event) must lie at or past the deadline, and must
+  // exist: a board with *no* future event would wedge under stepping, and the
+  // skip path must not hide that from fleet supervision.
+  const uint64_t next = mcu_->clock().NextEventAt();
+  return next >= deadline_cycles && next != UINT64_MAX;
+}
+
+bool Kernel::TryIdleFastForward(uint64_t deadline_cycles, const MainLoopCapability& cap) {
+  (void)cap;
+  if (!IsQuiescedUntil(deadline_cycles)) {
+    return false;
+  }
+  // Replicate the one idle pass a stepped MainLoop would have made, byte for
+  // byte: anchor the attribution window, give the policy its time observation
+  // (the MLFQ boost clock advances in Next() even with nothing schedulable),
+  // then sleep to the deadline under the idle bucket and record it. The
+  // interrupt/deferred scopes of a real pass are provably invisible here — no
+  // work means zero-delta scopes, which flush nothing.
+  const uint64_t now = mcu_->CyclesNow();
+  trace_.accounting().Begin(now);
+  trace_.SetMemResident(mcu_->bus().resident_bytes());
+  scheduler_->ObserveIdle(now);
+  uint64_t slept;
+  {
+    AcctScope idle_scope(trace_, *mcu_, CycleBucket::kIdle);
+    slept = mcu_->SleepUntilInterrupt(deadline_cycles);
+  }
+  trace_.RecordSleep(mcu_->CyclesNow(), slept);
+  trace_.RecordIdleSkip();
+  return true;
 }
 
 }  // namespace tock

@@ -6,9 +6,11 @@
 #define TOCK_KERNEL_KERNEL_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "hw/mcu.h"
 #include "hw/timer.h"
@@ -105,6 +107,16 @@ class Kernel : public FlashWriteObserver {
   // One scheduling pass; returns false when the system is wedged. `deadline_cycles`
   // bounds how far an idle sleep may fast-forward the clock (multi-board lockstep).
   bool MainLoopStep(const MainLoopCapability& cap, uint64_t deadline_cycles = UINT64_MAX);
+  // Fleet idle-skip fast path: if the kernel is provably quiescent until
+  // `deadline_cycles` (nothing schedulable, no pending IRQs or deferred calls, and
+  // the next hardware event is at or past the deadline), advance the clock to the
+  // deadline without entering the main-loop machinery and return true. The pass is
+  // bit-identical to what one stepped MainLoop pass would have produced — same
+  // sleep trace event, same cycle accounting, same scheduler bookkeeping
+  // (Scheduler::ObserveIdle) — so fleets may apply it per epoch freely. Returns
+  // false (doing nothing) when the board has, or might have, work; wedged boards
+  // (no future event at all) also return false so supervision still sees them.
+  bool TryIdleFastForward(uint64_t deadline_cycles, const MainLoopCapability& cap);
 
   // ---- Capsule services (safe API surface, §2.2) ----------------------------------
   // Schedules an upcall for (driver, sub). Returns kInvalid for a dead process; a
@@ -114,7 +126,9 @@ class Kernel : public FlashWriteObserver {
 
   // Lends the contents of an allowed read-write buffer to `fn` as a span, after
   // liveness + generation checks. The span must not escape `fn` — this is the
-  // closure-scoped access of §3.3.2. Returns kInvalid if no such buffer.
+  // closure-scoped access of §3.3.2 (and what makes the page-straddle bounce copy
+  // below sound: nobody can observe the buffer mid-closure). Returns kInvalid if
+  // no such buffer.
   template <typename Fn>
   Result<void> WithReadWriteBuffer(ProcessId pid, uint32_t driver, uint32_t allow_num, Fn&& fn) {
     Process* p = GetLiveProcess(pid);
@@ -125,7 +139,16 @@ class Kernel : public FlashWriteObserver {
     if (slot == nullptr || !slot->in_use) {
       return Result<void>(ErrorCode::kInvalid);
     }
-    fn(std::span<uint8_t>(TranslateRam(slot->addr), slot->len));
+    if (uint8_t* direct = mcu_->bus().RamWritePtr(slot->addr, slot->len)) {
+      fn(std::span<uint8_t>(direct, slot->len));
+    } else {
+      // The buffer straddles a 4 KiB page line: lend a bounce copy and write the
+      // closure's edits back through the bus.
+      std::vector<uint8_t> bounce(slot->len);
+      mcu_->bus().ReadBlock(slot->addr, bounce.data(), slot->len);
+      fn(std::span<uint8_t>(bounce.data(), bounce.size()));
+      mcu_->bus().WriteBlock(slot->addr, bounce.data(), slot->len);
+    }
     return Result<void>::Ok();
   }
 
@@ -139,18 +162,44 @@ class Kernel : public FlashWriteObserver {
     if (slot == nullptr || !slot->in_use) {
       return Result<void>(ErrorCode::kInvalid);
     }
-    fn(std::span<const uint8_t>(TranslateMem(slot->addr), slot->len));
+    if (const uint8_t* direct = mcu_->bus().MemReadPtr(slot->addr, slot->len)) {
+      fn(std::span<const uint8_t>(direct, slot->len));
+    } else {
+      std::vector<uint8_t> bounce(slot->len);
+      mcu_->bus().ReadBlock(slot->addr, bounce.data(), slot->len);
+      fn(std::span<const uint8_t>(bounce.data(), bounce.size()));
+    }
     return Result<void>::Ok();
   }
 
   bool IsAlive(ProcessId pid) const;
 
-  // Grant entry: returns the host view of the grant allocation for (pid, grant_id),
-  // allocating `size` bytes from the process's own RAM quota on first entry
-  // (`*first_time` reports whether initialization is needed). nullptr = dead process
-  // or quota exhausted. Used via the typed Grant<T> wrapper (kernel/grant.h).
-  void* GrantEnterRaw(ProcessId pid, unsigned grant_id, uint32_t size, uint32_t align,
-                      bool* first_time);
+  // Grant entry: resolves the simulated address of the grant allocation for
+  // (pid, grant_id), allocating `size` bytes from the process's own RAM quota on
+  // first entry (`*first_time` reports whether initialization is needed). 0 = dead
+  // process or quota exhausted. Used via the typed Grant<T> wrapper
+  // (kernel/grant.h), which materializes the bytes through WithRamBytes.
+  uint32_t GrantEnterResolve(ProcessId pid, unsigned grant_id, uint32_t size, uint32_t align,
+                             bool* first_time);
+
+  // Lends `len` bytes of simulated RAM at `addr` to `fn` as a host pointer —
+  // direct when the range is page-contiguous, else a bounce copy written back
+  // after the closure returns (grant allocations can straddle page lines). The
+  // pointer must not escape `fn`. The bounce buffer is max_align-aligned so
+  // placement-new of any grant type is valid either way.
+  template <typename Fn>
+  void WithRamBytes(uint32_t addr, uint32_t len, Fn&& fn) {
+    if (uint8_t* direct = mcu_->bus().RamWritePtr(addr, len)) {
+      fn(direct);
+      return;
+    }
+    std::vector<std::max_align_t> bounce(
+        (len + sizeof(std::max_align_t) - 1) / sizeof(std::max_align_t));
+    uint8_t* bytes = reinterpret_cast<uint8_t*>(bounce.data());
+    mcu_->bus().ReadBlock(addr, bytes, len);
+    fn(bytes);
+    mcu_->bus().WriteBlock(addr, bytes, len);
+  }
 
   // Deferred calls (§2.5): capsules register once, then set the flag to be called
   // back from the main loop outside any interrupt context.
@@ -193,8 +242,9 @@ class Kernel : public FlashWriteObserver {
 
   // TRUSTED-BEGIN(process memory translation): converts a validated simulated RAM
   // address into a host pointer. Every caller must have bounds-checked the range
-  // against the owning process's layout first; this is the single place the
-  // simulation's equivalent of a raw pointer dereference happens.
+  // against the owning process's layout first. With paged backing the pointer is
+  // only valid within the containing 4 KiB page — multi-page ranges must go
+  // through WithRamBytes / the With*Buffer lenders, which bounce when needed.
   uint8_t* TranslateRam(uint32_t addr);
   const uint8_t* TranslateMem(uint32_t addr);  // RAM or flash (read-only allows)
   // TRUSTED-END
@@ -269,6 +319,9 @@ class Kernel : public FlashWriteObserver {
   uint64_t BackoffDelay(const Process& p) const;
   void ServiceInterrupts();
   bool RunDeferredCalls();
+  // The idle-skip precondition: true iff a main-loop pass started now would
+  // provably do nothing but sleep to `deadline_cycles`.
+  bool IsQuiescedUntil(uint64_t deadline_cycles);
 
   Mcu* mcu_;
   SysTick* systick_;

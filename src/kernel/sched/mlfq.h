@@ -24,17 +24,7 @@ class MlfqScheduler : public Scheduler {
   SchedulerPolicy policy() const override { return SchedulerPolicy::kMlfq; }
 
   SchedulingDecision Next(uint64_t now) override {
-    // Anchor the boost period at the first decision so boot time does not count
-    // as an elapsed period.
-    if (!anchored_) {
-      anchored_ = true;
-      last_boost_ = now;
-    }
-    const uint64_t period = config_->scheduler.mlfq_boost_period_cycles;
-    if (period > 0 && now - last_boost_ >= period) {
-      Boost();
-      last_boost_ = now;
-    }
+    MaybeBoost(now);
 
     Process* best = nullptr;
     for (Process& p : processes_) {
@@ -64,11 +54,31 @@ class MlfqScheduler : public Scheduler {
     }
   }
 
+  // MLFQ is the one policy whose Next() mutates state even when idle (the boost
+  // clock anchors and advances). The idle fast-forward path must replay exactly
+  // that bookkeeping to stay bit-identical with stepped idling.
+  void ObserveIdle(uint64_t now) override { MaybeBoost(now); }
+
   // How many priority boosts have fired (fault-soak asserts the anti-starvation
   // machinery actually ran).
   uint64_t boosts() const { return boosts_; }
 
  private:
+  // The time-anchored prelude of every scheduling decision: anchor the boost
+  // period at the first call so boot time does not count as an elapsed period,
+  // then boost when a full period has passed.
+  void MaybeBoost(uint64_t now) {
+    if (!anchored_) {
+      anchored_ = true;
+      last_boost_ = now;
+    }
+    const uint64_t period = config_->scheduler.mlfq_boost_period_cycles;
+    if (period > 0 && now - last_boost_ >= period) {
+      Boost();
+      last_boost_ = now;
+    }
+  }
+
   void Boost() {
     for (Process& p : processes_) {
       p.queue_level = 0;

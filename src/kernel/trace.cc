@@ -66,6 +66,8 @@ void KernelStats::Accumulate(const KernelStats& other) {
   vm_blocks_invalidated += other.vm_blocks_invalidated;
   vm_block_chain_hits += other.vm_block_chain_hits;
   vm_cache_bytes += other.vm_cache_bytes;
+  mem_resident_bytes += other.mem_resident_bytes;
+  fleet_idle_skips += other.fleet_idle_skips;
 }
 
 uint64_t StatValue(const KernelStats& stats, StatId id) {
@@ -140,6 +142,10 @@ uint64_t StatValue(const KernelStats& stats, StatId id) {
       return stats.vm_block_chain_hits;
     case StatId::kVmCacheBytes:
       return stats.vm_cache_bytes;
+    case StatId::kMemResidentBytes:
+      return stats.mem_resident_bytes;
+    case StatId::kFleetIdleSkips:
+      return stats.fleet_idle_skips;
     case StatId::kNumStats:
       break;
   }
@@ -218,6 +224,10 @@ const char* StatName(StatId id) {
       return "vm.block_chain_hits";
     case StatId::kVmCacheBytes:
       return "vm.cache_bytes";
+    case StatId::kMemResidentBytes:
+      return "mem.resident_bytes";
+    case StatId::kFleetIdleSkips:
+      return "fleet.idle_skips";
     case StatId::kNumStats:
       break;
   }
@@ -241,6 +251,10 @@ bool StatIsHostOnly(StatId id) {
     case StatId::kVmBlocksInvalidated:
     case StatId::kVmBlockChainHits:
     case StatId::kVmCacheBytes:
+    // Fleet scale-out gauges: resident memory differs across paging on/off legs
+    // and idle skips across idle-skip on/off legs, all simulated-state identical.
+    case StatId::kMemResidentBytes:
+    case StatId::kFleetIdleSkips:
       return true;
     default:
       return StatIsTelemetryTransport(id);

@@ -105,6 +105,14 @@ struct KernelStats {
   uint64_t vm_block_chain_hits = 0;
   uint64_t vm_cache_bytes = 0;
 
+  // Fleet scale-out counters (host-side, StatIsHostOnly like the vm_* group):
+  // mem_resident_bytes is an absolute gauge of host memory committed to this
+  // board's flash+RAM banks (hw/paged_mem.h private pages — differs across
+  // paging on/off legs that are simulated-state identical); fleet_idle_skips
+  // counts epochs a quiesced board fast-forwarded without entering MainLoop.
+  uint64_t mem_resident_bytes = 0;
+  uint64_t fleet_idle_skips = 0;
+
   uint64_t SyscallsTotal() const {
     return syscalls_yield + syscalls_subscribe + syscalls_command + syscalls_rw_allow +
            syscalls_ro_allow + syscalls_memop + syscalls_exit + syscalls_blocking_command +
@@ -156,7 +164,9 @@ enum class StatId : uint32_t {
   kVmBlocksInvalidated = 32,
   kVmBlockChainHits = 33,
   kVmCacheBytes = 34,
-  kNumStats = 35,
+  kMemResidentBytes = 35,
+  kFleetIdleSkips = 36,
+  kNumStats = 37,
 };
 
 // Returns the counter for `id`, or 0 for an out-of-range id.
@@ -443,6 +453,18 @@ class KernelTrace {
   void RecordVmCacheBytes(int64_t delta) {
     if constexpr (kEnabled) {
       stats_.vm_cache_bytes += static_cast<uint64_t>(delta);
+    }
+  }
+  // mem_resident_bytes is an absolute gauge (synced from the bus each main-loop
+  // pass, not delta-maintained: page releases happen deep in restart paths).
+  void SetMemResident(uint64_t bytes) {
+    if constexpr (kEnabled) {
+      stats_.mem_resident_bytes = bytes;
+    }
+  }
+  void RecordIdleSkip() {
+    if constexpr (kEnabled) {
+      ++stats_.fleet_idle_skips;
     }
   }
 

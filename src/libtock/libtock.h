@@ -78,6 +78,11 @@ class AppInstaller {
 
   const std::string& error() const { return error_; }
   uint32_t next_addr() const { return next_addr_; }
+  // Repositions the install cursor past app images that reached flash without
+  // going through Install — e.g. a fleet-shared base image adopted via
+  // MemoryBus::AdoptFlashBase, where every page stays copy-on-write-shared
+  // instead of being programmed per board.
+  void set_next_addr(uint32_t addr) { next_addr_ = addr; }
 
  private:
   Mcu* mcu_;

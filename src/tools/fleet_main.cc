@@ -7,6 +7,9 @@
 //
 //   $ ./build/src/tools/fleet --boards=8 --threads=4 --cycles=2000000
 //   $ ./build/src/tools/fleet --boards=8 --radio=off   # compute-only, big epochs
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -125,6 +128,13 @@ struct Options {
   bool radio = true;
   uint32_t seed = 0xC0FFEE;
   bool restart_wedged = true;
+  // Scale-out knobs (board/fleet.h). All three default on and none changes
+  // simulated results — they exist so benchmarks can compare modes.
+  bool steal = true;      // work-stealing board assignment vs static sharding
+  bool idle_skip = true;  // idle-board epoch fast-forward
+  bool paged = tock::PagedBank::kCompiled;  // copy-on-write paged board memory
+  // Print host peak RSS and the paged-memory resident footprint after the run.
+  bool report_rss = false;
   // OTA scenario: board 0 becomes a gateway pushing a signed app update to every
   // other board over the (optionally lossy) medium. --cycles is the soak budget;
   // exit status reflects convergence, so this doubles as a CI smoke leg.
@@ -175,6 +185,14 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
       opts->radio = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
     } else if (key == "--restart-wedged") {
       opts->restart_wedged = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
+    } else if (key == "--steal") {
+      opts->steal = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
+    } else if (key == "--idle-skip") {
+      opts->idle_skip = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
+    } else if (key == "--paged") {
+      opts->paged = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
+    } else if (key == "--report-rss") {
+      opts->report_rss = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
     } else if (key == "--ota") {
       opts->ota = std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0;
     } else if (key == "--drop" && ParseUint(value, &n) && n <= 1000) {
@@ -200,6 +218,8 @@ bool ParseOptions(int argc, char** argv, Options* opts) {
                    "unknown or malformed flag: %s\n"
                    "usage: fleet [--boards=N] [--threads=N] [--cycles=N] [--slice=N]\n"
                    "             [--radio=on|off] [--seed=N] [--restart-wedged=on|off]\n"
+                   "             [--steal=on|off] [--idle-skip=on|off] [--paged=on|off]\n"
+                   "             [--report-rss]\n"
                    "             [--ota] [--drop=permille] [--dup=permille]\n"
                    "             [--reorder=permille] [--corrupt=permille] [--fault-seed=N]\n"
                    "             [--telemetry=<shm name>] [--telemetry-cap=pow2]\n"
@@ -223,6 +243,8 @@ int main(int argc, char** argv) {
   fleet_config.threads = opts.threads;
   fleet_config.slice = opts.slice;
   fleet_config.restart_wedged = opts.restart_wedged;
+  fleet_config.steal = opts.steal;
+  fleet_config.idle_skip = opts.idle_skip;
   fleet_config.link_faults.seed = opts.fault_seed;
   fleet_config.link_faults.drop_permille = static_cast<uint32_t>(opts.drop);
   fleet_config.link_faults.duplicate_permille = static_cast<uint32_t>(opts.dup);
@@ -265,10 +287,41 @@ int main(int argc, char** argv) {
       tock::SchedulerPolicy::kMlfq,
   };
 
+  // The baseline compute app is byte-identical on every board that carries it
+  // (its image has no per-board content), so build it once into a fleet-shared
+  // immutable flash base image. Boards adopt the base instead of programming
+  // their own copy: under paged memory those flash pages stay copy-on-write
+  // references until a board writes them (OTA staging, nonvolatile storage), so
+  // a homogeneous 1,000-board fleet holds ONE copy of the app image. Eager
+  // boards memcpy the base at adoption — identical simulated contents, no
+  // sharing, which is exactly the bench baseline.
+  auto shared_flash = std::make_shared<std::vector<uint8_t>>(
+      tock::MemoryMap::kFlashSize, uint8_t{0xFF});
+  uint32_t shared_next = tock::SimBoard::kAppFlashBase;
+  {
+    tock::AppSpec compute;
+    compute.name = "compute";
+    compute.source = kComputeApp;
+    compute.include_runtime = false;
+    std::string error;
+    std::vector<uint8_t> image = tock::BuildAppImage(
+        compute, shared_next, tock::SimBoard::kDeviceKey, &error);
+    if (image.empty() ||
+        shared_next + image.size() > tock::SimBoard::kAppFlashEnd) {
+      std::fprintf(stderr, "compute app build failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::copy(image.begin(), image.end(), shared_flash->begin() + shared_next);
+    shared_next += static_cast<uint32_t>(image.size());
+  }
+  const std::shared_ptr<const std::vector<uint8_t>> shared_flash_base =
+      shared_flash;
+
   std::vector<std::unique_ptr<tock::SimBoard>> boards;
   boards.reserve(opts.boards);
   for (size_t i = 0; i < opts.boards; ++i) {
     tock::BoardConfig config;
+    config.paged_mem = opts.paged;
     config.rng_seed = opts.seed + static_cast<uint32_t>(i);
     config.radio_addr = static_cast<uint16_t>(i + 1);
     if (opts.radio) {
@@ -287,18 +340,13 @@ int main(int argc, char** argv) {
 
     int expected = 0;
     if (!opts.ota || i != 0) {
-      // Baseline workload; on OTA subscribers these are the apps that keep
-      // running while the update streams in.
-      tock::AppSpec compute;
-      compute.name = "compute";
-      compute.source = kComputeApp;
-      compute.include_runtime = false;
+      // Baseline workload (on OTA subscribers, the app that keeps running while
+      // the update streams in): adopt the shared base holding the pre-built
+      // compute image and move the install cursor past it. The OTA gateway
+      // carries no baseline app and keeps its pristine flash.
+      board->mcu().bus().AdoptFlashBase(shared_flash_base);
+      board->installer().set_next_addr(shared_next);
       expected += 1;
-      if (board->installer().Install(compute) == 0) {
-        std::fprintf(stderr, "board %zu: install failed: %s\n", i,
-                     board->installer().error().c_str());
-        return 1;
-      }
     }
     if (opts.radio && !opts.ota) {
       tock::AppSpec beacon;
@@ -428,6 +476,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(totals.aggregate.vm_blocks_invalidated),
               static_cast<unsigned long long>(totals.aggregate.vm_block_chain_hits),
               static_cast<unsigned long long>(totals.aggregate.vm_cache_bytes));
+  // Board-memory footprint, read live off the buses (exact even in trace-off
+  // builds, where the mem.resident_bytes stats gauge is compiled out).
+  uint64_t resident = 0;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    resident += fleet.board(i)->mcu().bus().resident_bytes();
+  }
+  std::printf("  mem resident     %.2f MiB board flash+RAM (%s backing)\n",
+              static_cast<double>(resident) / (1024.0 * 1024.0),
+              opts.paged && tock::PagedBank::kCompiled ? "paged" : "eager");
+  std::printf("  idle skips       %llu epochs fast-forwarded\n",
+              static_cast<unsigned long long>(totals.aggregate.fleet_idle_skips));
   if (!opts.telemetry.empty()) {
     std::printf("  telemetry        %llu emitted, %llu dropped, %llu suppressed\n",
                 static_cast<unsigned long long>(
@@ -440,6 +499,15 @@ int main(int argc, char** argv) {
   std::printf("  wall time        %.3f s (%.1f M sim-insn/s aggregate)\n", wall_s,
               wall_s > 0 ? static_cast<double>(totals.instructions) / wall_s / 1e6
                          : 0.0);
+  if (opts.report_rss) {
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+      // ru_maxrss is KiB on Linux: the host-process high-water mark, the number
+      // the boards-vs-RSS scaling table in README.md is built from.
+      std::printf("  host peak rss    %.2f MiB\n",
+                  static_cast<double>(usage.ru_maxrss) / 1024.0);
+    }
+  }
 
   if (opts.ota) {
     const tock::OtaGatewayStats& gw = boards[0]->ota_gateway().stats();

@@ -216,6 +216,134 @@ TEST(FleetDeterminism, DeliveryTraceStepOrderInvariant) {
   }
 }
 
+// CPU-bound spinner for the skewed-fleet tests: one hot board that never
+// sleeps, surrounded by duty-cycled beacons.
+const char* kSpinApp = R"(
+_start:
+    li s0, 0
+    li s1, 1
+loop:
+    add s0, s0, s1
+    xor s2, s0, s1
+    slli s3, s2, 3
+    j loop
+)";
+
+// A deliberately imbalanced deployment: board 0 runs a hot spin loop (busy all
+// epoch, every epoch) while the rest duty-cycle — beacon, then sleep far past
+// the epoch length. Under static sharding the thread that draws board 0 does
+// almost all the work; work-stealing and idle-skip exist for exactly this
+// shape, and neither may change one observable byte.
+struct SkewedFleet {
+  static constexpr size_t kBoards = 32;  // 1 hot + 31 duty-cycled
+
+  SkewedFleet(unsigned threads, bool steal, bool idle_skip) {
+    FleetConfig config;
+    config.threads = threads;
+    config.steal = steal;
+    config.idle_skip = idle_skip;
+    fleet = std::make_unique<Fleet>(config);
+    for (size_t i = 0; i < kBoards; ++i) {
+      BoardConfig bc;
+      bc.rng_seed = 0xFEED + static_cast<uint32_t>(i);
+      bc.radio_addr = static_cast<uint16_t>(i + 1);
+      bc.medium = &fleet->medium();
+      auto board = std::make_unique<SimBoard>(bc);
+      board->radio_hw().EnableDeliveryLog();
+      int expected = 0;
+      if (i == 0) {
+        AppSpec spin;
+        spin.name = "spin";
+        spin.source = kSpinApp;
+        spin.include_runtime = false;
+        AppSpec listener;
+        listener.name = "listener";
+        listener.source = kListenerApp;
+        EXPECT_NE(board->installer().Install(spin), 0u) << board->installer().error();
+        EXPECT_NE(board->installer().Install(listener), 0u)
+            << board->installer().error();
+        expected = 2;
+      } else {
+        AppSpec beacon;
+        beacon.name = "beacon";
+        beacon.source = BeaconApp(static_cast<int>(i + 1));
+        EXPECT_NE(board->installer().Install(beacon), 0u) << board->installer().error();
+        expected = 1;
+      }
+      EXPECT_EQ(board->Boot(), expected);
+      fleet->AddBoard(board.get());
+      boards.push_back(std::move(board));
+    }
+    fleet->AlignClocks();
+  }
+
+  std::string Fingerprint(size_t i) {
+    SimBoard& board = *boards[i];
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line), "cycles=%llu insns=%llu tx=%llu rx=%llu\n",
+                  static_cast<unsigned long long>(board.mcu().CyclesNow()),
+                  static_cast<unsigned long long>(board.kernel().instructions_retired()),
+                  static_cast<unsigned long long>(board.radio_hw().packets_sent()),
+                  static_cast<unsigned long long>(board.radio_hw().packets_received()));
+    out += line;
+    board.kernel().trace().DumpStats(out);
+    board.kernel().trace().DumpTrace(out);
+    for (const RadioDeliveryRecord& r : board.radio_hw().delivery_log()) {
+      std::snprintf(line, sizeof(line), "deliver cycle=%llu src=%u len=%u sum=%u\n",
+                    static_cast<unsigned long long>(r.cycle), r.src, r.len,
+                    r.payload_sum);
+      out += line;
+    }
+    return out;
+  }
+
+  std::unique_ptr<Fleet> fleet;
+  std::vector<std::unique_ptr<SimBoard>> boards;
+};
+
+// Work-stealing board assignment must be invisible in the results: the skewed
+// fleet stepped by 1 thread, by 4 stealing threads, and by 4 statically-sharded
+// threads produces bit-identical per-board fingerprints (stats, trace rings,
+// delivery logs). This is the tentpole determinism claim for the scale-out
+// scheduler.
+TEST(FleetDeterminism, WorkStealingSkewedFleetThreadCountInvariant) {
+  SkewedFleet solo(1, /*steal=*/true, /*idle_skip=*/true);
+  SkewedFleet quad(4, /*steal=*/true, /*idle_skip=*/true);
+  SkewedFleet pinned(4, /*steal=*/false, /*idle_skip=*/true);
+  solo.fleet->Run(300'000);
+  quad.fleet->Run(300'000);
+  pinned.fleet->Run(300'000);
+
+  uint64_t total_rx = 0;
+  for (size_t i = 0; i < SkewedFleet::kBoards; ++i) {
+    std::string expect = solo.Fingerprint(i);
+    EXPECT_EQ(expect, quad.Fingerprint(i)) << "board " << i << " (stealing)";
+    EXPECT_EQ(expect, pinned.Fingerprint(i)) << "board " << i << " (static)";
+    total_rx += solo.boards[i]->radio_hw().packets_received();
+  }
+  EXPECT_GT(total_rx, 0u);
+}
+
+// Idle-board fast-forward must be equally invisible: the same skewed fleet with
+// the skip enabled and disabled produces identical fingerprints, and the
+// enabled run actually took the shortcut (the host-only fleet.idle_skips
+// counter — excluded from the fingerprint's stat dump — is the only trace).
+TEST(FleetDeterminism, IdleSkipInvariantAndActuallySkips) {
+  SkewedFleet skipping(1, /*steal=*/true, /*idle_skip=*/true);
+  SkewedFleet stepping(1, /*steal=*/true, /*idle_skip=*/false);
+  skipping.fleet->Run(300'000);
+  stepping.fleet->Run(300'000);
+
+  for (size_t i = 0; i < SkewedFleet::kBoards; ++i) {
+    EXPECT_EQ(skipping.Fingerprint(i), stepping.Fingerprint(i)) << "board " << i;
+  }
+  if (KernelConfig::trace_enabled) {
+    EXPECT_GT(skipping.fleet->Stats().aggregate.fleet_idle_skips, 0u);
+    EXPECT_EQ(stepping.fleet->Stats().aggregate.fleet_idle_skips, 0u);
+  }
+}
+
 // Supervision: a board whose only process exits is wedged (no runnable process,
 // no future event). With restart_wedged set, the fleet revives it through the
 // capability-gated restart path after the grace period — repeatedly.

@@ -718,14 +718,16 @@ spin:
   EXPECT_EQ(word[0], 11u);  // first incarnation ran (and its decodes are cached)
 
   // `li t0, 11` expands to `lui t0, 0` (entry+4) + `addi t0, t0, 11` (entry+8).
-  // Patch the addi to `addi t0, x0, 22` in the raw flash vector, and scrub the RAM
-  // result so a stale re-run is distinguishable.
+  // Patch the addi to `addi t0, x0, 22` via the raw flash backdoor — deliberately
+  // bypassing the flash-write observer so RestartProcess alone must drop the stale
+  // decodes — and scrub the RAM result so a stale re-run is distinguishable.
   uint32_t insn_addr = p->entry_point + 8;
   uint32_t patched = (22u << 20) | (5u << 7) | 0x13u;  // addi t0, x0, 22
-  std::vector<uint8_t>& flash = board.mcu().bus().flash();
+  uint8_t patched_bytes[4];
   for (int i = 0; i < 4; ++i) {
-    flash[insn_addr + i] = static_cast<uint8_t>(patched >> (8 * i));
+    patched_bytes[i] = static_cast<uint8_t>(patched >> (8 * i));
   }
+  ASSERT_TRUE(board.mcu().bus().FlashWriteRaw(insn_addr, patched_bytes, 4));
   const uint8_t zeros[4] = {0, 0, 0, 0};
   ASSERT_TRUE(board.mcu().bus().WriteBlock(result_addr, zeros, 4));
 

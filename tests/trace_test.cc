@@ -175,6 +175,45 @@ TEST(Trace, StatsSyscallMatchesKernelStats) {
   EXPECT_EQ(bad.values[0], static_cast<uint32_t>(StatId::kNumStats));
 }
 
+// Periodic trace-artifact flushing must not perturb the recorded trace. The old
+// implementation stepped MainLoop in flush-sized chunks, so a sleep spanning a
+// chunk boundary was split into two kSleep fast-forwards (two trace events, two
+// sleep entries) — chunked and unchunked runs diverged. Run() now steps against
+// the full deadline and flushes at the post-sleep clock, so the flush cadence
+// is invisible to the simulation.
+TEST(Trace, FlushCadenceDoesNotPerturbTrace) {
+  if (!KernelTrace::kEnabled) {
+    GTEST_SKIP() << "trace layer compiled out (TOCK_TRACE=OFF)";
+  }
+  auto run = [](uint64_t flush_cycles) {
+    BoardConfig config;
+    // No export path: the on-disk flush is a no-op, but the chunking the knob
+    // used to impose on Run() is exactly what this test pins down.
+    config.trace_export_flush_cycles = flush_cycles;
+    SimBoard board(config);
+    AppSpec app;
+    app.name = "napper";
+    // Sleeps far longer than the flush period, so each sleep spans several
+    // would-be chunk boundaries.
+    app.source =
+        "_start:\nloop:\n    li a0, 90000\n    call sleep_ticks\n    j loop\n";
+    EXPECT_NE(board.installer().Install(app), 0u) << board.installer().error();
+    EXPECT_EQ(board.Boot(), 1);
+    board.Run(600'000);
+    std::string out;
+    char head[64];
+    std::snprintf(head, sizeof(head), "cycles=%llu insns=%llu\n",
+                  static_cast<unsigned long long>(board.mcu().CyclesNow()),
+                  static_cast<unsigned long long>(
+                      board.kernel().instructions_retired()));
+    out = head;
+    board.kernel().trace().DumpStats(out);
+    board.kernel().trace().DumpTrace(out);
+    return out;
+  };
+  EXPECT_EQ(run(0), run(20'000));
+}
+
 TEST(Trace, ProcessConsoleReportsStats) {
   if (!KernelTrace::kEnabled) {
     GTEST_SKIP() << "trace layer compiled out (TOCK_TRACE=OFF)";
